@@ -1,0 +1,69 @@
+"""Experiment E5 — size of the Theorem 4.1 construction.
+
+Claim: for a hierarchical CQ without self joins the PCEA ``P_Q`` has size
+quadratic in ``|Q|``; with self joins the construction is exponential in the
+worst case (the blow-up comes from annotating tuples with self-join groups).
+The experiment builds the automaton for growing star queries (no self joins),
+growing telescope queries (deep q-trees) and growing single-relation stars
+(every atom shares the relation name) and reports ``|P_Q|``.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.streams.generators import deep_hcq, self_join_hcq, star_hcq
+
+
+def query_size(query) -> int:
+    return sum(1 + atom.arity for atom in query.atoms)
+
+
+@pytest.mark.parametrize("arms", [2, 4, 8, 12])
+def test_construction_time_star(benchmark, arms):
+    query = star_hcq(arms)
+    pcea = benchmark(lambda: hcq_to_pcea(query))
+    assert pcea.uses_only_equality_predicates()
+
+
+@pytest.mark.parametrize("copies", [2, 3, 4, 5])
+def test_construction_time_self_join(benchmark, copies):
+    query = self_join_hcq(copies)
+    pcea = benchmark(lambda: hcq_to_pcea(query))
+    assert pcea.labels == set(range(copies))
+
+
+def test_size_growth_quadratic_vs_exponential(benchmark):
+    def sweep():
+        star_rows = []
+        for arms in range(2, 11):
+            query = star_hcq(arms)
+            star_rows.append((arms, query_size(query), hcq_to_pcea(query).size()))
+        deep_rows = []
+        for depth in range(2, 9):
+            query = deep_hcq(depth)
+            deep_rows.append((depth, query_size(query), hcq_to_pcea(query).size()))
+        self_join_rows = []
+        for copies in range(1, 6):
+            query = self_join_hcq(copies)
+            self_join_rows.append((copies, query_size(query), hcq_to_pcea(query).size()))
+        return star_rows, deep_rows, self_join_rows
+
+    star_rows, deep_rows, self_join_rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("E5a: |P_Q| for star HCQ (no self joins) — quadratic")
+    print(format_table(["arms", "|Q|", "|P_Q|"], star_rows))
+    print("E5b: |P_Q| for telescope HCQ (no self joins) — quadratic")
+    print(format_table(["depth", "|Q|", "|P_Q|"], deep_rows))
+    print("E5c: |P_Q| for single-relation star (all atoms share a relation) — exponential")
+    print(format_table(["copies", "|Q|", "|P_Q|"], self_join_rows))
+
+    # Quadratic bound for the no-self-join constructions.
+    for _, qsize, psize in star_rows + deep_rows:
+        assert psize <= 4 * qsize * qsize + 10
+
+    # Exponential growth for the self-join construction: consecutive ratios increase.
+    sizes = [psize for _, _, psize in self_join_rows]
+    ratios = [later / earlier for earlier, later in zip(sizes, sizes[1:])]
+    assert ratios[-1] > 2.0, f"self-join construction should blow up, ratios={ratios}"
+    assert sizes[-1] > 50 * sizes[0]

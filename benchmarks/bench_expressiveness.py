@@ -1,0 +1,124 @@
+"""Experiment E7 — expressiveness separations (Propositions 3.4, Theorems 4.1/4.2).
+
+Three qualitative results are regenerated as measurable facts:
+
+* **PCEA ⊋ CCEA** (Prop. 3.4): on streams where the conjunctive pattern's
+  events arrive out of order, the chain engine misses matches that the PCEA
+  engine reports; on ordered streams they agree.
+* **HCQ → PCEA** (Thm. 4.1): for hierarchical queries the translated automaton
+  reports exactly the matches of the CQ semantics (counted here over a random
+  stream).
+* **Non-hierarchical acyclic CQ are rejected** (Thm. 4.2): the construction
+  refuses them, while the baseline engines can still evaluate them — the class
+  boundary of the paper is visible in the API.
+"""
+
+import pytest
+
+from repro.baselines.ccea_engine import CCEAStreamingEngine
+from repro.baselines.delta_join import DeltaJoinEngine
+from repro.bench.harness import format_table
+from repro.core.ccea import CCEA, CCEATransition
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.predicates import ProjectionEquality, RelationPredicate
+from repro.cq.hierarchical import NotHierarchicalError, is_hierarchical
+from repro.cq.acyclic import is_acyclic
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.streams.generators import StockStreamGenerator
+
+from workloads import drain
+
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+HIERARCHICAL_QUERY = ConjunctiveQuery(
+    [X, Y, Z], [Atom("News", (X,)), Atom("Buy", (X, Y)), Atom("Sell", (X, Z))], name="HQ"
+)
+NON_HIERARCHICAL_QUERY = ConjunctiveQuery(
+    [X, Y], [Atom("News", (X,)), Atom("Buy", (X, Y)), Atom("Deal", (Y,))], name="NHQ"
+)
+
+
+def chain_ccea_for_scenario() -> CCEA:
+    """News before Buy before Sell, correlated on the symbol (a CCEA / chain pattern)."""
+    return CCEA(
+        states={"q0", "q1", "q2"},
+        initial={"q0": (RelationPredicate("News"), {0})},
+        transitions=[
+            CCEATransition(
+                "q0", RelationPredicate("Buy"), ProjectionEquality({"News": (0,)}, {"Buy": (0,)}), {1}, "q1"
+            ),
+            CCEATransition(
+                "q1", RelationPredicate("Sell"), ProjectionEquality({"Buy": (0,)}, {"Sell": (0,)}), {2}, "q2"
+            ),
+        ],
+        final={"q2"},
+    )
+
+
+def scenario_stream(length: int = 800):
+    """The conjunctive counterpart of the chain pattern: same correlation (the
+    symbol ``x``), but no ordering constraint — so its match set is a superset
+    of the chain automaton's on every stream."""
+    generator = StockStreamGenerator(symbols=6, news_probability=0.2, seed=13)
+    return HIERARCHICAL_QUERY, generator.stream(length).materialise()
+
+
+def test_pcea_finds_strictly_more_matches_than_ccea(benchmark):
+    query, stream = scenario_stream()
+    window = 60
+
+    def run():
+        pcea_total = drain(StreamingEvaluator(hcq_to_pcea(query), window=window), stream)
+        ccea_total = drain(CCEAStreamingEngine(chain_ccea_for_scenario(), window=window), stream)
+        return pcea_total, ccea_total
+
+    pcea_total, ccea_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("E7a: matches on an out-of-order stream (window 60)")
+    print(format_table(["engine", "matches"], [("PCEA (conjunction)", pcea_total), ("CCEA (chain)", ccea_total)]))
+    assert ccea_total < pcea_total, "the chain automaton must miss out-of-order matches"
+    assert ccea_total > 0
+
+
+def test_hcq_translation_matches_cq_semantics(benchmark):
+    query, stream = scenario_stream(400)
+    window = 40
+
+    def run():
+        streaming = drain(StreamingEvaluator(hcq_to_pcea(query), window=window), stream)
+        reference = drain(DeltaJoinEngine(query, window=window), stream)
+        return streaming, reference
+
+    streaming, reference = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"E7b: PCEA translation vs CQ semantics — {streaming} matches each")
+    assert streaming == reference
+
+
+def test_non_hierarchical_queries_are_rejected(benchmark):
+    def run():
+        rejected = False
+        try:
+            hcq_to_pcea(NON_HIERARCHICAL_QUERY)
+        except NotHierarchicalError:
+            rejected = True
+        return rejected
+
+    rejected = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("E7c: acyclic-but-not-hierarchical query rejected by the construction:", rejected)
+    assert is_acyclic(NON_HIERARCHICAL_QUERY)
+    assert not is_hierarchical(NON_HIERARCHICAL_QUERY)
+    assert rejected
+
+
+@pytest.mark.parametrize("engine_kind", ["pcea", "ccea"])
+def test_engine_throughput_on_scenario(benchmark, engine_kind):
+    query, stream = scenario_stream()
+    window = 60
+    if engine_kind == "pcea":
+        factory = lambda: StreamingEvaluator(hcq_to_pcea(query), window=window)  # noqa: E731
+    else:
+        factory = lambda: CCEAStreamingEngine(chain_ccea_for_scenario(), window=window)  # noqa: E731
+    benchmark(lambda: drain(factory(), stream))

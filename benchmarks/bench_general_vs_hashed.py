@@ -1,0 +1,86 @@
+"""Experiment E10 — hashing on equality keys vs. scanning live runs.
+
+The algorithmic heart of Theorem 5.1 is that, for equality predicates, partial
+runs can be indexed by their join key, making the update phase independent of
+the number of live runs.  The extension evaluator
+(:class:`repro.extensions.general_evaluation.GeneralStreamingEvaluator`)
+supports arbitrary predicates by scanning the live runs instead.  Both produce
+identical outputs on equality-only automata; this experiment measures the
+update-cost gap as the window (and hence the number of live runs) grows.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.extensions.general_evaluation import GeneralStreamingEvaluator
+
+from workloads import star_workload
+
+
+STREAM_LENGTH = 1_500
+WINDOWS = [32, 128, 512]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("kind", ["hashed", "scanning"])
+def test_update_throughput(benchmark, kind, window):
+    query, stream = star_workload(STREAM_LENGTH)
+    pcea = hcq_to_pcea(query)
+
+    def run():
+        engine = (
+            StreamingEvaluator(pcea, window=window)
+            if kind == "hashed"
+            else GeneralStreamingEvaluator(pcea, window=window)
+        )
+        for tup in stream:
+            engine.update(tup)
+        return engine
+
+    benchmark(run)
+
+
+def test_gap_grows_with_window(benchmark):
+    query, stream = star_workload(STREAM_LENGTH)
+    pcea = hcq_to_pcea(query)
+
+    def sweep():
+        rows = []
+        for window in WINDOWS:
+            timings = {}
+            outputs = {}
+            for kind in ("hashed", "scanning"):
+                engine = (
+                    StreamingEvaluator(pcea, window=window)
+                    if kind == "hashed"
+                    else GeneralStreamingEvaluator(pcea, window=window)
+                )
+                start = time.perf_counter()
+                total = 0
+                for tup in stream:
+                    total += len(engine.process(tup))
+                timings[kind] = time.perf_counter() - start
+                outputs[kind] = total
+            assert outputs["hashed"] == outputs["scanning"]
+            rows.append(
+                (
+                    window,
+                    outputs["hashed"],
+                    f"{timings['hashed'] * 1000:.1f} ms",
+                    f"{timings['scanning'] * 1000:.1f} ms",
+                    f"{timings['scanning'] / timings['hashed']:.2f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("E10: equality-key hashing (Algorithm 1) vs live-run scanning (general evaluator)")
+    print(format_table(["window", "outputs", "hashed", "scanning", "slowdown"], rows))
+    # The scanning evaluator's relative cost must grow with the window.
+    slowdowns = [float(row[-1][:-1]) for row in rows]
+    assert slowdowns[-1] >= slowdowns[0]

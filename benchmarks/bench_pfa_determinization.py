@@ -1,0 +1,81 @@
+"""Experiment E6 — PFA determinization (Proposition 3.2).
+
+Claim: every PFA with ``n`` states has an equivalent DFA with at most ``2^n``
+states.  The experiment determinizes two families:
+
+* the "k-th symbol from the end is *a*" family, whose minimal DFA genuinely
+  needs ``2^k`` states — showing the bound is tight in practice; and
+* random PFA, whose reachable subset automata stay well below the bound.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.pfa import PFA, determinize_pfa
+from repro.bench.harness import format_table
+
+
+def kth_from_end_pfa(k: int) -> PFA:
+    """A PFA (in fact an NFA) for "the k-th symbol from the end is 'a'"."""
+    states = list(range(k + 1))
+    transitions = {(frozenset({0}), symbol, 0) for symbol in "ab"}
+    transitions.add((frozenset({0}), "a", 1))
+    for i in range(1, k):
+        for symbol in "ab":
+            transitions.add((frozenset({i}), symbol, i + 1))
+    return PFA(states, {"a", "b"}, transitions, {0}, {k})
+
+
+def random_pfa(states: int, transitions: int, seed: int) -> PFA:
+    rng = random.Random(seed)
+    state_list = list(range(states))
+    transition_set = set()
+    for _ in range(transitions):
+        size = rng.randint(1, min(3, states))
+        sources = frozenset(rng.sample(state_list, size))
+        transition_set.add((sources, rng.choice("ab"), rng.choice(state_list)))
+    return PFA(state_list, {"a", "b"}, transition_set, {0}, {states - 1})
+
+
+@pytest.mark.parametrize("k", [4, 8, 12])
+def test_determinization_time_worst_case_family(benchmark, k):
+    pfa = kth_from_end_pfa(k)
+    dfa = benchmark(lambda: determinize_pfa(pfa))
+    assert len(dfa.states) <= 2 ** len(pfa.states)
+
+
+@pytest.mark.parametrize("states", [6, 10, 14])
+def test_determinization_time_random_pfa(benchmark, states):
+    pfa = random_pfa(states, transitions=3 * states, seed=states)
+    dfa = benchmark(lambda: determinize_pfa(pfa))
+    assert len(dfa.states) <= 2 ** states
+
+
+def test_state_blowup_table(benchmark):
+    def sweep():
+        worst_rows = []
+        for k in range(2, 11):
+            pfa = kth_from_end_pfa(k)
+            dfa = determinize_pfa(pfa)
+            worst_rows.append((k, len(pfa.states), len(dfa.states), 2 ** len(pfa.states)))
+        random_rows = []
+        for states in (4, 8, 12, 16):
+            pfa = random_pfa(states, transitions=3 * states, seed=states)
+            dfa = determinize_pfa(pfa)
+            random_rows.append((states, len(pfa.states), len(dfa.states), 2 ** states))
+        return worst_rows, random_rows
+
+    worst_rows, random_rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("E6a: determinization of the 'k-th symbol from the end' family (tight 2^k)")
+    print(format_table(["k", "|Q| PFA", "|Q| DFA", "2^|Q|"], worst_rows))
+    print("E6b: determinization of random PFA (reachable subsets only)")
+    print(format_table(["n", "|Q| PFA", "|Q| DFA", "2^n"], random_rows))
+
+    for k, n_pfa, n_dfa, bound in worst_rows:
+        assert n_dfa <= bound
+        # The family needs exactly 2^k reachable subset states.
+        assert n_dfa >= 2 ** k
+    for _, n_pfa, n_dfa, bound in random_rows:
+        assert n_dfa <= bound

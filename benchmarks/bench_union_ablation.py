@@ -1,0 +1,86 @@
+"""Experiment E8 — ablation of the persistent balanced union structure (Prop. 5.3).
+
+The design choice under test: Algorithm 1 stores, per hash key, the *union* of
+all partial runs with that key.  Proposition 5.3 implements the union as a
+persistent, direction-bit balanced tree with expired-subtree pruning, giving
+``O(log(k·w))`` per call.  The ablation replaces it with a naive linked-list
+union (still correct, no balancing, no pruning) and measures the difference in
+update time and in the depth of the union structures, on a workload where many
+runs share the same join key.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.datastructure import DataStructure, LinkedListUnionStructure
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+
+from workloads import hot_star_workload
+
+
+WINDOW = 300
+STREAM_LENGTH = 2_000
+
+
+def build_engine(query, structure_kind: str) -> StreamingEvaluator:
+    structure = (
+        DataStructure(WINDOW) if structure_kind == "balanced" else LinkedListUnionStructure(WINDOW)
+    )
+    return StreamingEvaluator(hcq_to_pcea(query), window=WINDOW, datastructure=structure)
+
+
+@pytest.mark.parametrize("structure_kind", ["balanced", "linked-list"])
+def test_update_throughput_per_structure(benchmark, structure_kind):
+    query, stream = hot_star_workload(STREAM_LENGTH, hot_fraction=0.7)
+
+    def run():
+        engine = build_engine(query, structure_kind)
+        for tup in stream:
+            engine.update(tup)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.ds.union_calls > 0
+
+
+def test_ablation_outputs_identical_and_costs_reported(benchmark):
+    query, stream = hot_star_workload(STREAM_LENGTH, hot_fraction=0.7)
+
+    def run():
+        results = {}
+        for kind in ("balanced", "linked-list"):
+            engine = build_engine(query, kind)
+            start = time.perf_counter()
+            outputs = 0
+            for tup in stream:
+                outputs += sum(1 for _ in engine.process(tup))
+            elapsed = time.perf_counter() - start
+            results[kind] = {
+                "outputs": outputs,
+                "seconds": elapsed,
+                "union_copies": engine.ds.union_copies,
+                "nodes": engine.ds.nodes_created,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            kind,
+            data["outputs"],
+            f"{data['seconds'] * 1000:.1f} ms",
+            data["union_copies"],
+            data["nodes"],
+        )
+        for kind, data in results.items()
+    ]
+    print()
+    print("E8: balanced persistent unions vs linked-list unions (same workload)")
+    print(format_table(["structure", "outputs", "total time", "union copies", "nodes created"], rows))
+    assert results["balanced"]["outputs"] == results["linked-list"]["outputs"]
+    # The balanced structure must not be slower than the naive one by more than noise.
+    assert results["balanced"]["seconds"] <= 1.5 * results["linked-list"]["seconds"]

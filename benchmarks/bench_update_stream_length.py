@@ -1,0 +1,50 @@
+"""Experiment E2 — update time vs. stream length / output history (Theorem 5.1).
+
+Claim: the update time of Algorithm 1 "does not depend on the number of outputs
+seen so far".  The experiment processes progressively longer prefixes of the
+same stream (with a fixed window) and reports the mean per-tuple update time of
+each *quarter* of the stream: the last quarter should not be slower than the
+first even though the engine has accumulated a large output history.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import format_table, measure_update_times
+
+from workloads import star_workload, streaming_engine, update_only
+
+
+LENGTHS = [1_000, 2_000, 4_000, 8_000]
+WINDOW = 512
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_total_update_time_scales_linearly(benchmark, length):
+    """Total update time should scale linearly with the stream length."""
+    query, stream = star_workload(length)
+
+    def run():
+        engine = streaming_engine(query, WINDOW)
+        update_only(engine, stream)
+
+    benchmark(run)
+
+
+def test_per_tuple_update_time_is_stable_over_time(benchmark):
+    """Per-tuple update time in the last quarter ≈ first quarter (no history effect)."""
+    query, stream = star_workload(6_000)
+
+    def run():
+        engine = streaming_engine(query, WINDOW)
+        return measure_update_times(engine, stream)
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    quarter = len(times) // 4
+    quarters = [statistics.fmean(times[i * quarter : (i + 1) * quarter]) for i in range(4)]
+    rows = [(f"Q{i + 1}", f"{mean * 1e6:.2f} µs") for i, mean in enumerate(quarters)]
+    print()
+    print("E2: per-tuple update time per stream quarter (fixed window)")
+    print(format_table(["quarter", "mean update"], rows))
+    assert quarters[3] <= 3 * quarters[0], f"update time degraded over the stream: {quarters}"

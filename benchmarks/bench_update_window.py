@@ -1,0 +1,81 @@
+"""Experiment E1 — update time vs. window size (Theorem 5.1).
+
+Claim: the update phase of Algorithm 1 costs ``O(|P|·|t| + |P|·log|P| + |P|·log w)``
+per tuple, i.e. for a fixed automaton the dependency on the window size ``w``
+is *logarithmic*.  The experiment fixes a star HCQ and a stream and sweeps the
+window over three orders of magnitude: per-tuple update time should stay
+nearly flat (each doubling of ``w`` may add at most a small constant), in sharp
+contrast with the naive baseline whose window content grows linearly.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.harness import format_table, measure_update_times, summarize
+from repro.baselines.naive import NaiveRecomputeEngine
+
+from workloads import star_workload, streaming_engine, update_only
+
+
+STREAM_LENGTH = 3_000
+WINDOWS = [64, 256, 1_024, 4_096, 16_384]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_update_time_per_window(benchmark, window):
+    """Wall-clock time of the update phase over the whole stream, per window size."""
+    query, stream = star_workload(STREAM_LENGTH)
+
+    def run():
+        engine = streaming_engine(query, window)
+        update_only(engine, stream)
+        return engine
+
+    engine = benchmark(run)
+    # Sanity: the run really performed work proportional to the stream.
+    assert engine.stats.transitions_scanned >= STREAM_LENGTH
+
+
+def test_update_time_growth_is_sublinear_in_window(benchmark):
+    """The shape check: mean per-tuple update time grows far slower than the window."""
+    query, stream = star_workload(STREAM_LENGTH)
+
+    def sweep():
+        means = []
+        for window in WINDOWS:
+            engine = streaming_engine(query, window)
+            times = measure_update_times(engine, stream, warmup=100)
+            means.append(statistics.fmean(times))
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (window, f"{mean * 1e6:.2f} µs", f"{means[i] / means[0]:.2f}x")
+        for i, (window, mean) in enumerate(zip(WINDOWS, means))
+    ]
+    print()
+    print("E1: streaming update time vs window")
+    print(format_table(["window", "mean update", "vs smallest"], rows))
+    # The window grows 256x; a logarithmic dependency should keep the growth
+    # of the mean update time small.  Allow a generous factor for noise.
+    assert means[-1] <= 6 * means[0], f"update time grew too fast: {means}"
+
+
+def test_naive_baseline_grows_with_window(benchmark):
+    """Contrast: the naive engine's per-tuple cost grows roughly linearly with w."""
+    query, stream = star_workload(600)
+
+    def sweep():
+        means = []
+        for window in (32, 128, 512):
+            engine = NaiveRecomputeEngine(query, window=window)
+            times = measure_update_times(engine, stream, warmup=50)
+            means.append(statistics.fmean(times))
+        return means
+
+    means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("E1 (baseline): naive per-tuple cost for windows 32/128/512:",
+          [f"{m * 1e6:.1f} µs" for m in means])
+    assert means[-1] > 2 * means[0], "the naive baseline should degrade with the window"

@@ -1,0 +1,62 @@
+"""Shared workload builders for the benchmark suite.
+
+Each experiment file (``bench_*.py``) imports from here so that all experiments
+run on the same family of synthetic workloads: the parametric star-HCQ of
+:class:`repro.streams.generators.HCQWorkloadGenerator` plus the two CER
+scenarios.  Keeping workload construction in one place also makes the numbers
+recorded in EXPERIMENTS.md easy to regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.schema import Tuple
+from repro.streams.generators import HCQWorkloadGenerator
+
+
+DEFAULT_ARMS = 3
+DEFAULT_KEY_DOMAIN = 32
+
+
+def star_workload(
+    length: int,
+    arms: int = DEFAULT_ARMS,
+    key_domain: int = DEFAULT_KEY_DOMAIN,
+    seed: int = 0,
+) -> tuple[ConjunctiveQuery, List[Tuple]]:
+    """A star HCQ and a materialised random stream for it."""
+    generator = HCQWorkloadGenerator(arms=arms, key_domain=key_domain, seed=seed)
+    return generator.query(), generator.stream(length).materialise()
+
+
+def hot_star_workload(
+    length: int,
+    arms: int = 2,
+    hot_fraction: float = 0.6,
+    seed: int = 0,
+) -> tuple[ConjunctiveQuery, List[Tuple]]:
+    """A star workload with a skewed key so many outputs fire per position."""
+    generator = HCQWorkloadGenerator(arms=arms, key_domain=64, seed=seed)
+    return generator.query(), generator.hot_key_stream(length, hot_fraction).materialise()
+
+
+def streaming_engine(query: ConjunctiveQuery, window: int) -> StreamingEvaluator:
+    return StreamingEvaluator(hcq_to_pcea(query), window=window)
+
+
+def drain(engine, stream) -> int:
+    """Process a whole stream, counting (but not storing) the outputs."""
+    outputs = 0
+    for tup in stream:
+        outputs += len(engine.process(tup))
+    return outputs
+
+
+def update_only(engine: StreamingEvaluator, stream) -> None:
+    """Run only the update phase of Algorithm 1 over the stream (no enumeration)."""
+    for tup in stream:
+        engine.update(tup)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installing the package.
+
+``pip install -e .`` is the supported path; this fallback keeps ``pytest``
+usable in minimal environments (e.g. offline machines without the ``wheel``
+package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

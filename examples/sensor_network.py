@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Sensor-network monitoring scenario under a sliding window.
+
+Detect, for every alarm raised by a sensor, the temperature and humidity
+readings of the *same sensor* still inside the sliding window — the
+hierarchical pattern ``Alarm(s) ∧ Temp(s, t) ∧ Humid(s, h)``.  The example
+shows how the window size changes both the number of reported matches and the
+per-event cost of the naive baseline, while the streaming engine's update cost
+stays flat (Theorem 5.1).
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+import time
+
+from repro import (
+    DeltaJoinEngine,
+    SensorStreamGenerator,
+    StreamingEvaluator,
+    hcq_to_pcea,
+)
+
+
+STREAM_LENGTH = 1_500
+
+
+def measure(engine, stream):
+    start = time.perf_counter()
+    matches = 0
+    for event in stream:
+        matches += len(engine.process(event))
+    return matches, time.perf_counter() - start
+
+
+def main() -> None:
+    generator = SensorStreamGenerator(sensors=8, alarm_probability=0.08, seed=7)
+    query = generator.query()
+    stream = generator.stream(STREAM_LENGTH).materialise()
+    pcea = hcq_to_pcea(query)
+    print(f"query: {query}")
+    print(f"stream: {STREAM_LENGTH} readings from {generator.sensors} sensors")
+    print()
+    print(f"{'window':>8} | {'matches':>8} | {'streaming ms':>12} | {'delta-join ms':>13}")
+    print("-" * 52)
+    for window in (10, 25, 50, 100, 200):
+        streaming_matches, streaming_time = measure(
+            StreamingEvaluator(pcea, window=window), stream
+        )
+        delta_matches, delta_time = measure(DeltaJoinEngine(query, window=window), stream)
+        assert streaming_matches == delta_matches
+        print(
+            f"{window:>8} | {streaming_matches:>8} | {streaming_time * 1000:>12.1f} | "
+            f"{delta_time * 1000:>13.1f}"
+        )
+    print()
+    print("Matches grow with the window; the streaming engine's update phase does not")
+    print("re-enumerate old matches, so its cost grows only logarithmically with the window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Stock-market correlation scenario.
+
+A classic CER motivation: whenever a news item about a symbol is followed by a
+buy and a sell of the same symbol within a sliding window, report the triple.
+The example contrasts
+
+* the *unordered* conjunctive pattern (a hierarchical CQ evaluated through the
+  Theorem 4.1 translation), and
+* the *sequenced* pattern News → Buy → Sell built with the pattern DSL,
+
+and compares the streaming engine against the naive re-evaluation baseline on
+the same workload.
+
+Run with::
+
+    python examples/stock_correlation.py
+"""
+
+import time
+
+from repro import (
+    NaiveRecomputeEngine,
+    StockStreamGenerator,
+    StreamingEvaluator,
+    atom,
+    compile_pattern,
+    conjunction,
+    hcq_to_pcea,
+    sequence,
+)
+
+
+WINDOW = 50
+STREAM_LENGTH = 2_000
+
+
+def run_engine(name, engine, stream):
+    start = time.perf_counter()
+    matches = 0
+    for event in stream:
+        matches += len(engine.process(event))
+    elapsed = time.perf_counter() - start
+    print(f"  {name:28s} {matches:6d} matches   {elapsed * 1000:8.1f} ms "
+          f"({elapsed / len(stream) * 1e6:6.1f} µs/event)")
+    return matches
+
+
+def main() -> None:
+    generator = StockStreamGenerator(symbols=25, news_probability=0.1, seed=42)
+    query = generator.query()
+    stream = generator.stream(STREAM_LENGTH).materialise()
+    print(f"workload: {STREAM_LENGTH} events over {generator.symbols} symbols, window = {WINDOW}")
+    print(f"conjunctive query: {query}")
+    print()
+
+    print("unordered pattern (News & Buy & Sell on the same symbol):")
+    streaming_matches = run_engine(
+        "PCEA streaming (Algorithm 1)",
+        StreamingEvaluator(hcq_to_pcea(query), window=WINDOW),
+        stream,
+    )
+    naive_matches = run_engine(
+        "naive re-evaluation", NaiveRecomputeEngine(query, window=WINDOW), stream
+    )
+    assert streaming_matches == naive_matches, "engines must agree on the match count"
+    print()
+
+    print("sequenced pattern (News ; Buy ; Sell on the same symbol):")
+    sequenced = compile_pattern(
+        sequence(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+    )
+    run_engine("PCEA streaming (Algorithm 1)", StreamingEvaluator(sequenced, window=WINDOW), stream)
+
+    unordered_dsl = compile_pattern(
+        conjunction(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+    )
+    run_engine("unordered via DSL", StreamingEvaluator(unordered_dsl, window=WINDOW), stream)
+    print()
+    print("(the sequenced pattern reports a subset of the unordered matches)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable (``pip install -e .``) on machines without
+network access or without the ``wheel`` package (legacy ``setup.py develop``
+path).
+"""
+
+from setuptools import setup
+
+setup()

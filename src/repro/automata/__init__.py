@@ -1,0 +1,6 @@
+"""Classical automata substrate: NFA/DFA and Parallelized Finite Automata (PFA)."""
+
+from repro.automata.nfa import NFA, DFA
+from repro.automata.pfa import PFA, determinize_pfa
+
+__all__ = ["NFA", "DFA", "PFA", "determinize_pfa"]

@@ -1,0 +1,184 @@
+"""Non-deterministic and deterministic finite automata (paper, Section 2).
+
+These are the classical models that Parallelized Finite Automata generalise.
+They are used by the PFA determinization result (Proposition 3.2), by the
+property tests that compare PFA languages with regular languages, and by the
+expressiveness benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+
+State = Hashable
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A non-deterministic finite automaton ``(Q, Σ, Δ, I, F)``.
+
+    Transitions are triples ``(p, a, q)``.
+
+    Examples
+    --------
+    >>> nfa = NFA(states={0, 1}, alphabet={"a", "b"},
+    ...           transitions={(0, "a", 0), (0, "b", 0), (0, "a", 1)},
+    ...           initial={0}, final={1})
+    >>> nfa.accepts(["b", "a"])
+    True
+    >>> nfa.accepts(["b", "b"])
+    False
+    """
+
+    states: FrozenSet[State]
+    alphabet: FrozenSet[Symbol]
+    transitions: FrozenSet[Tuple[State, Symbol, State]]
+    initial: FrozenSet[State]
+    final: FrozenSet[State]
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Iterable[Tuple[State, Symbol, State]],
+        initial: Iterable[State],
+        final: Iterable[State],
+    ) -> None:
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        object.__setattr__(self, "transitions", frozenset(transitions))
+        object.__setattr__(self, "initial", frozenset(initial))
+        object.__setattr__(self, "final", frozenset(final))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.initial <= self.states:
+            raise ValueError("initial states must be states")
+        if not self.final <= self.states:
+            raise ValueError("final states must be states")
+        for source, symbol, target in self.transitions:
+            if source not in self.states or target not in self.states:
+                raise ValueError(f"transition ({source}, {symbol}, {target}) uses unknown states")
+            if symbol not in self.alphabet:
+                raise ValueError(f"transition symbol {symbol!r} not in alphabet")
+
+    # -------------------------------------------------------------- semantics
+    def step(self, current: Set[State], symbol: Symbol) -> Set[State]:
+        """One subset-construction step."""
+        return {
+            target
+            for source, sym, target in self.transitions
+            if sym == symbol and source in current
+        }
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Whether the automaton accepts ``word``."""
+        current: Set[State] = set(self.initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.final)
+
+    def runs(self, word: Sequence[Symbol]) -> Iterator[List[State]]:
+        """Enumerate all runs (state sequences) of the automaton over ``word``."""
+
+        def recurse(position: int, state: State, path: List[State]) -> Iterator[List[State]]:
+            if position == len(word):
+                yield list(path)
+                return
+            for source, symbol, target in self.transitions:
+                if source == state and symbol == word[position]:
+                    path.append(target)
+                    yield from recurse(position + 1, target, path)
+                    path.pop()
+
+        for start in self.initial:
+            yield from recurse(0, start, [start])
+
+    def determinize(self) -> "DFA":
+        """Classical subset construction."""
+        initial = frozenset(self.initial)
+        transition: Dict[Tuple[FrozenSet[State], Symbol], FrozenSet[State]] = {}
+        states: Set[FrozenSet[State]] = {initial}
+        frontier = [initial]
+        while frontier:
+            subset = frontier.pop()
+            for symbol in self.alphabet:
+                successor = frozenset(self.step(set(subset), symbol))
+                transition[(subset, symbol)] = successor
+                if successor not in states:
+                    states.add(successor)
+                    frontier.append(successor)
+        final = {subset for subset in states if subset & self.final}
+        return DFA(states, self.alphabet, transition, initial, final)
+
+    def size(self) -> int:
+        """Number of states plus transitions."""
+        return len(self.states) + len(self.transitions)
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A deterministic finite automaton with a (partial) transition function."""
+
+    states: FrozenSet[State]
+    alphabet: FrozenSet[Symbol]
+    transition: Mapping[Tuple[State, Symbol], State]
+    initial: State
+    final: FrozenSet[State]
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transition: Mapping[Tuple[State, Symbol], State],
+        initial: State,
+        final: Iterable[State],
+    ) -> None:
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        object.__setattr__(self, "transition", dict(transition))
+        object.__setattr__(self, "initial", initial)
+        object.__setattr__(self, "final", frozenset(final))
+        if initial not in self.states:
+            raise ValueError("initial state must be a state")
+        if not self.final <= self.states:
+            raise ValueError("final states must be states")
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        current: State | None = self.initial
+        for symbol in word:
+            current = self.transition.get((current, symbol))
+            if current is None:
+                return False
+        return current in self.final
+
+    def size(self) -> int:
+        return len(self.states) + len(self.transition)
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            current = frontier.pop()
+            for symbol in self.alphabet:
+                target = self.transition.get((current, symbol))
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return frozenset(seen)
+
+    def trim(self) -> "DFA":
+        """Restrict to reachable states (useful after subset constructions)."""
+        reachable = self.reachable_states()
+        transition = {
+            (source, symbol): target
+            for (source, symbol), target in self.transition.items()
+            if source in reachable and target in reachable
+        }
+        return DFA(reachable, self.alphabet, transition, self.initial, self.final & reachable)

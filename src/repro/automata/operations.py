@@ -1,0 +1,138 @@
+"""Closure operations on PFA / DFA languages.
+
+PFA recognise exactly the regular languages (Proposition 3.2), so the usual
+Boolean closure operations are available by going through the determinization.
+The operations here are used by tests (language comparisons between models) and
+by the expressiveness benchmark; union is also provided directly on PFA, where
+it is a simple disjoint union of the automata.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Sequence, Set, Tuple
+
+from repro.automata.nfa import DFA
+from repro.automata.pfa import PFA, determinize_pfa
+
+
+State = Hashable
+Symbol = Hashable
+
+
+def _tag_states(pfa: PFA, tag: str) -> PFA:
+    """Rename every state of ``pfa`` to ``(tag, state)`` (disjointness helper)."""
+    rename = lambda state: (tag, state)  # noqa: E731
+    transitions = {
+        (frozenset(rename(s) for s in sources), symbol, rename(target))
+        for sources, symbol, target in pfa.transitions
+    }
+    return PFA(
+        {rename(s) for s in pfa.states},
+        pfa.alphabet,
+        transitions,
+        {rename(s) for s in pfa.initial},
+        {rename(s) for s in pfa.final},
+    )
+
+
+def pfa_union(first: PFA, second: PFA) -> PFA:
+    """A PFA recognising ``L(first) ∪ L(second)`` (disjoint union of the automata)."""
+    left = _tag_states(first, "L")
+    right = _tag_states(second, "R")
+    return PFA(
+        left.states | right.states,
+        left.alphabet | right.alphabet,
+        left.transitions | right.transitions,
+        left.initial | right.initial,
+        left.final | right.final,
+    )
+
+
+def dfa_product(first: DFA, second: DFA, accept: Callable[[bool, bool], bool]) -> DFA:
+    """The product DFA with acceptance combined by ``accept`` (e.g. ``and``/``or``).
+
+    Both automata must share their alphabet; missing transitions are treated as
+    a rejecting sink.
+    """
+    if first.alphabet != second.alphabet:
+        raise ValueError("product requires identical alphabets")
+    alphabet = first.alphabet
+    sink = ("sink", "sink")
+    initial = (first.initial, second.initial)
+    states: Set[Tuple[State, State]] = {initial, sink}
+    transition: Dict[Tuple[Tuple[State, State], Symbol], Tuple[State, State]] = {}
+    frontier = [initial]
+    while frontier:
+        current = frontier.pop()
+        for symbol in alphabet:
+            if current == sink:
+                successor = sink
+            else:
+                left = first.transition.get((current[0], symbol))
+                right = second.transition.get((current[1], symbol))
+                successor = (left, right) if left is not None and right is not None else sink
+                if successor == (None, None):
+                    successor = sink
+            transition[(current, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                frontier.append(successor)
+    for symbol in alphabet:
+        transition.setdefault((sink, symbol), sink)
+    final = {
+        state
+        for state in states
+        if state != sink and accept(state[0] in first.final, state[1] in second.final)
+    }
+    # The sink can still be accepting for operations like NOR; handle explicitly.
+    if accept(False, False):
+        final.add(sink)
+    return DFA(states, alphabet, transition, initial, final)
+
+
+def pfa_intersection_dfa(first: PFA, second: PFA) -> DFA:
+    """A DFA for ``L(first) ∩ L(second)`` obtained through determinization."""
+    return dfa_product(
+        _pad_alphabet(determinize_pfa(first), first.alphabet | second.alphabet),
+        _pad_alphabet(determinize_pfa(second), first.alphabet | second.alphabet),
+        lambda a, b: a and b,
+    )
+
+
+def pfa_difference_dfa(first: PFA, second: PFA) -> DFA:
+    """A DFA for ``L(first) ∖ L(second)``."""
+    return dfa_product(
+        _pad_alphabet(determinize_pfa(first), first.alphabet | second.alphabet),
+        _pad_alphabet(determinize_pfa(second), first.alphabet | second.alphabet),
+        lambda a, b: a and not b,
+    )
+
+
+def _pad_alphabet(dfa: DFA, alphabet: FrozenSet[Symbol] | Set[Symbol]) -> DFA:
+    """Extend a DFA to a larger alphabet (unknown symbols go nowhere / reject)."""
+    if set(alphabet) == set(dfa.alphabet):
+        return dfa
+    return DFA(dfa.states, alphabet, dfa.transition, dfa.initial, dfa.final)
+
+
+def languages_equal_up_to(first: PFA, second: PFA, max_length: int) -> bool:
+    """Whether both PFA accept the same words of length ≤ ``max_length``.
+
+    A bounded language-equivalence check used in tests and benchmarks; for a
+    complete check one would compare the determinized automata up to
+    bisimulation, which the bounded check approximates well for the small
+    alphabets used here.
+    """
+    alphabet = sorted(first.alphabet | second.alphabet, key=repr)
+    words: Sequence[Tuple[Symbol, ...]] = [()]
+    for _ in range(max_length + 1):
+        next_words = []
+        for word in words:
+            if first.accepts(word) != second.accepts(word):
+                return False
+            if len(word) < max_length:
+                next_words.extend(word + (symbol,) for symbol in alphabet)
+        words = next_words
+        if not words:
+            break
+    return True

@@ -1,0 +1,291 @@
+"""Parallelized Finite Automata (paper, Section 3).
+
+A PFA is a tuple ``P = (Q, Σ, Δ, I, F)`` whose transitions have the form
+``(P, a, q)`` with ``P ⊆ Q``: to move into state ``q`` while reading ``a``,
+*one parallel run per state of P* must have been completed already.  A run is
+therefore a tree whose leaves (all at depth ``n``) carry initial states, whose
+root carries the last state, and where the children of an inner node are
+labelled exactly by the source set of the transition it takes.
+
+Two independent semantics are provided:
+
+* :meth:`PFA.accepts` — the forward "subset" simulation used by the proof of
+  Proposition 3.2 (linear in ``|word| · |Δ|``);
+* :meth:`PFA.run_trees` / :meth:`PFA.accepts_by_run_tree` — the literal
+  run-tree semantics (exponential, used as ground truth in property tests).
+
+:func:`determinize_pfa` materialises the DFA of Proposition 3.2 with at most
+``2^|Q|`` states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import DFA, NFA
+
+
+State = Hashable
+Symbol = Hashable
+PFATransition = Tuple[FrozenSet[State], Symbol, State]
+
+
+@dataclass(frozen=True)
+class PFARunNode:
+    """A node of a PFA run tree: a state together with its children."""
+
+    state: State
+    children: Tuple["PFARunNode", ...] = ()
+
+    def depth(self) -> int:
+        """Length of the longest path to a leaf below this node."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def leaves(self) -> Iterator["PFARunNode"]:
+        if not self.children:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.leaves()
+
+    def __repr__(self) -> str:
+        return f"PFARunNode({self.state!r}, {len(self.children)} children)"
+
+
+@dataclass(frozen=True)
+class PFA:
+    """A Parallelized Finite Automaton ``(Q, Σ, Δ, I, F)``.
+
+    Examples
+    --------
+    The automaton ``P_0`` of Example 3.1 — "a ``T`` and an ``S`` (in any
+    order), later joined by an ``R``":
+
+    >>> sigma = {"T", "S", "R"}
+    >>> loops = {(frozenset({s}), a, s) for s in (0, 1, 2, 3) for a in sigma}
+    >>> p0 = PFA(states={0, 1, 2, 3, 4}, alphabet=sigma,
+    ...          transitions=loops | {
+    ...              (frozenset(), "T", 0), (frozenset({0}), "T", 1),
+    ...              (frozenset(), "S", 2), (frozenset({2}), "S", 3),
+    ...              (frozenset({1, 3}), "R", 4)},
+    ...          initial={0, 2}, final={4})
+    >>> p0.accepts(["S", "T", "R"])  # doctest: +SKIP
+    """
+
+    states: FrozenSet[State]
+    alphabet: FrozenSet[Symbol]
+    transitions: FrozenSet[PFATransition]
+    initial: FrozenSet[State]
+    final: FrozenSet[State]
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Iterable[Tuple[Iterable[State], Symbol, State]],
+        initial: Iterable[State],
+        final: Iterable[State],
+    ) -> None:
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet))
+        object.__setattr__(
+            self,
+            "transitions",
+            frozenset((frozenset(sources), symbol, target) for sources, symbol, target in transitions),
+        )
+        object.__setattr__(self, "initial", frozenset(initial))
+        object.__setattr__(self, "final", frozenset(final))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.initial <= self.states or not self.final <= self.states:
+            raise ValueError("initial/final states must be states")
+        for sources, symbol, target in self.transitions:
+            if not sources <= self.states or target not in self.states:
+                raise ValueError(f"transition ({set(sources)}, {symbol!r}, {target}) uses unknown states")
+            if symbol not in self.alphabet:
+                raise ValueError(f"transition symbol {symbol!r} not in alphabet")
+
+    # ----------------------------------------------------------------- sizing
+    def size(self) -> int:
+        """``|P| = |Q| + Σ_{(P,a,q)} (|P| + 1)`` as defined in the paper."""
+        return len(self.states) + sum(len(sources) + 1 for sources, _, _ in self.transitions)
+
+    # -------------------------------------------------- forward (fast) semantics
+    def step(self, current: Set[State], symbol: Symbol) -> Set[State]:
+        """One step of the Proposition 3.2 simulation: states reachable by firing
+        any transition whose source set is contained in ``current``.
+
+        Transitions with an empty source set are skipped: in the run-tree
+        semantics a node taking such a transition would be a leaf below depth
+        ``n``, which the definition forbids, so they can never participate in
+        an accepting run.  Skipping them keeps :meth:`accepts` and
+        :meth:`accepts_by_run_tree` in exact agreement (the paper's automata
+        never use empty sources for PFA; they only do for PCEA, where they play
+        the role of the initial function).
+        """
+        return {
+            target
+            for sources, sym, target in self.transitions
+            if sources and sym == symbol and sources <= current
+        }
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Language membership via the forward subset simulation (Prop. 3.2)."""
+        if not word:
+            return bool(self.initial & self.final)
+        current: Set[State] = set(self.initial)
+        for symbol in word:
+            current = self.step(current, symbol)
+        return bool(current & self.final)
+
+    # --------------------------------------------------- run-tree (reference) semantics
+    def accepts_by_run_tree(self, word: Sequence[Symbol]) -> bool:
+        """Language membership by directly checking run-tree existence.
+
+        This is the literal Section 3 definition and serves as the reference
+        implementation the fast simulation is property-tested against.
+        """
+        word = tuple(word)
+        length = len(word)
+        if length == 0:
+            return bool(self.initial & self.final)
+
+        @lru_cache(maxsize=None)
+        def can_root(state: State, depth: int) -> bool:
+            """Whether a run subtree rooted at (state, depth) exists with all leaves at depth n."""
+            if depth == length:
+                return state in self.initial
+            symbol = word[length - depth - 1]
+            for sources, sym, target in self.transitions:
+                if sym != symbol or target != state or not sources:
+                    continue
+                if all(can_root(source, depth + 1) for source in sources):
+                    return True
+            return False
+
+        return any(can_root(final, 0) for final in self.final)
+
+    def run_trees(self, word: Sequence[Symbol], limit: int | None = None) -> Iterator[PFARunNode]:
+        """Enumerate accepting run trees over ``word`` (up to ``limit``).
+
+        Intended for witnesses in tests and examples; the number of run trees
+        can be exponential.
+        """
+        word = tuple(word)
+        length = len(word)
+        emitted = 0
+
+        if length == 0:
+            for state in sorted(self.initial & self.final, key=repr):
+                yield PFARunNode(state)
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+            return
+
+        def subtrees(state: State, depth: int) -> Iterator[PFARunNode]:
+            if depth == length:
+                if state in self.initial:
+                    yield PFARunNode(state)
+                return
+            symbol = word[length - depth - 1]
+            for sources, sym, target in sorted(self.transitions, key=repr):
+                if sym != symbol or target != state or not sources:
+                    continue
+                yield from _combine(sorted(sources, key=repr), depth, state)
+
+        def _combine(sources: List[State], depth: int, state: State) -> Iterator[PFARunNode]:
+            choices: List[List[PFARunNode]] = []
+            for source in sources:
+                alternatives = list(subtrees(source, depth + 1))
+                if not alternatives:
+                    return
+                choices.append(alternatives)
+            for combination in _product(choices):
+                yield PFARunNode(state, tuple(combination))
+
+        for final in sorted(self.final, key=repr):
+            for tree in subtrees(final, 0):
+                yield tree
+                emitted += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+    # ----------------------------------------------------------- conversions
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "PFA":
+        """Embed an NFA as a PFA (every run tree is a line)."""
+        transitions = set()
+        for source, symbol, target in nfa.transitions:
+            transitions.add((frozenset({source}), symbol, target))
+        # Initial states are reached by empty-source transitions in PCEA style;
+        # for PFA the initial set itself plays that role, so no change needed.
+        return cls(nfa.states, nfa.alphabet, transitions, nfa.initial, nfa.final)
+
+    def __repr__(self) -> str:
+        return (
+            f"PFA(|Q|={len(self.states)}, |Σ|={len(self.alphabet)}, "
+            f"|Δ|={len(self.transitions)}, size={self.size()})"
+        )
+
+
+def _product(choices: List[List[PFARunNode]]) -> Iterator[List[PFARunNode]]:
+    """Cartesian product of per-child alternatives."""
+    if not choices:
+        yield []
+        return
+    head, *tail = choices
+    for first in head:
+        for rest in _product(tail):
+            yield [first] + rest
+
+
+def determinize_pfa(pfa: PFA, trim: bool = True) -> DFA:
+    """Build the DFA of Proposition 3.2: ``δ(S, a) = {q | ∃(P, a, q) ∈ Δ, P ⊆ S}``.
+
+    The DFA has at most ``2^|Q|`` states; with ``trim=True`` only the states
+    reachable from the initial subset are materialised (this is what the
+    construction in the proof explores as well).
+    """
+    initial = frozenset(pfa.initial)
+    transition: Dict[Tuple[FrozenSet[State], Symbol], FrozenSet[State]] = {}
+    states: Set[FrozenSet[State]] = {initial}
+    frontier = [initial]
+    while frontier:
+        subset = frontier.pop()
+        for symbol in pfa.alphabet:
+            successor = frozenset(pfa.step(set(subset), symbol))
+            transition[(subset, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                frontier.append(successor)
+    final = {subset for subset in states if subset & pfa.final}
+    dfa = DFA(states, pfa.alphabet, transition, initial, final)
+    return dfa.trim() if trim else dfa
+
+
+def pfa_language_sample(pfa: PFA, max_length: int) -> Set[Tuple[Symbol, ...]]:
+    """All accepted words of length at most ``max_length`` (alphabet must be small).
+
+    Utility for tests and the expressiveness benchmarks.
+    """
+    alphabet = sorted(pfa.alphabet, key=repr)
+    accepted: Set[Tuple[Symbol, ...]] = set()
+    words: List[Tuple[Symbol, ...]] = [()]
+    for _ in range(max_length + 1):
+        next_words: List[Tuple[Symbol, ...]] = []
+        for word in words:
+            if pfa.accepts(word):
+                accepted.add(word)
+            if len(word) < max_length:
+                for symbol in alphabet:
+                    next_words.append(word + (symbol,))
+        words = next_words
+        if not words:
+            break
+    return accepted

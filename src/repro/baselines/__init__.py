@@ -1,0 +1,7 @@
+"""Baseline evaluation engines used by the comparison experiments (E4, E7)."""
+
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.baselines.delta_join import DeltaJoinEngine
+from repro.baselines.ccea_engine import CCEAStreamingEngine
+
+__all__ = ["NaiveRecomputeEngine", "DeltaJoinEngine", "CCEAStreamingEngine"]

@@ -1,0 +1,60 @@
+"""Naive per-tuple re-evaluation baseline.
+
+At every stream position the engine rebuilds the database of the last ``w + 1``
+tuples and re-enumerates every t-homomorphism of the query, keeping those that
+use the newest tuple.  Its update time therefore grows with the window content
+(and with the number of partial matches), which is the behaviour the streaming
+algorithm of Theorem 5.1 is designed to avoid; experiment E4 contrasts the two.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple as Tup
+
+from repro.cq.database import Database
+from repro.cq.homomorphism import enumerate_t_homomorphisms
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.schema import Schema, Tuple
+from repro.valuation import Valuation
+
+
+class NaiveRecomputeEngine:
+    """Re-evaluate the query from scratch at every position.
+
+    The engine exposes the same ``process`` interface as
+    :class:`repro.core.evaluation.StreamingEvaluator` so benchmarks can swap
+    engines without touching the workload code.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, window: int, schema: Schema | None = None) -> None:
+        self.query = query
+        self.window = window
+        self.schema = schema or query.infer_schema()
+        self.position = -1
+        self._buffer: Deque[Tup[int, Tuple]] = deque()
+
+    def process(self, tup: Tuple) -> List[Valuation]:
+        """Insert ``tup`` and return the new matches (those using the new position)."""
+        self.position += 1
+        self._buffer.append((self.position, tup))
+        low = self.position - self.window
+        while self._buffer and self._buffer[0][0] < low:
+            self._buffer.popleft()
+        database = Database(self.schema, {position: t for position, t in self._buffer})
+        outputs: List[Valuation] = []
+        for t_hom in enumerate_t_homomorphisms(self.query, database):
+            positions = t_hom.positions()
+            if self.position not in positions:
+                continue
+            outputs.append(Valuation({atom_id: {pos} for atom_id, pos in t_hom.items()}))
+        return outputs
+
+    def run(self, stream, collect: bool = True) -> Dict[int, List[Valuation]]:
+        """Process a finite stream, mirroring ``StreamingEvaluator.run``."""
+        results: Dict[int, List[Valuation]] = {}
+        for tup in stream:
+            outputs = self.process(tup)
+            if collect:
+                results[self.position] = outputs
+        return results

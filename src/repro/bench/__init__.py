@@ -1,0 +1,19 @@
+"""Measurement harness shared by the benchmark suite (``benchmarks/``)."""
+
+from repro.bench.harness import (
+    MeasurementSeries,
+    measure_engine_run,
+    measure_update_times,
+    measure_enumeration_delays,
+    geometric_sweep,
+    format_table,
+)
+
+__all__ = [
+    "MeasurementSeries",
+    "measure_engine_run",
+    "measure_update_times",
+    "measure_enumeration_delays",
+    "geometric_sweep",
+    "format_table",
+]

@@ -1,0 +1,155 @@
+"""Measurement utilities behind the benchmark suite.
+
+The paper's claims are asymptotic (update time, enumeration delay).  Because a
+pure-Python reproduction cannot meaningfully compare absolute constants with a
+RAM-model statement, every experiment reports *both*:
+
+* wall-clock timings (per-tuple update time, per-output delay), and
+* machine-independent operation counts (data-structure nodes created, hash
+  operations, unions) taken from the evaluator's instrumentation.
+
+The helpers here run an engine over a stream while recording those quantities,
+and format small result tables so the benchmarks print the series that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple as Tup
+
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+
+@dataclass
+class MeasurementSeries:
+    """A labelled series of (parameter, value) measurements."""
+
+    name: str
+    parameters: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, parameter: float, value: float) -> None:
+        self.parameters.append(parameter)
+        self.values.append(value)
+
+    def ratios(self) -> List[float]:
+        """Consecutive value ratios — a quick eyeball test for growth rate."""
+        return [
+            later / earlier if earlier else float("inf")
+            for earlier, later in zip(self.values, self.values[1:])
+        ]
+
+    def as_rows(self) -> List[Tup[float, float]]:
+        return list(zip(self.parameters, self.values))
+
+
+def measure_engine_run(engine, stream: Iterable[Tuple]) -> Dict[str, float]:
+    """Run ``engine`` over ``stream`` measuring totals.
+
+    Works with every engine exposing ``process(tuple) -> iterable`` (the
+    streaming evaluator and all baselines).
+    """
+    tuples = list(stream)
+    outputs = 0
+    start = time.perf_counter()
+    for tup in tuples:
+        for _ in engine.process(tup):
+            outputs += 1
+    elapsed = time.perf_counter() - start
+    return {
+        "tuples": float(len(tuples)),
+        "outputs": float(outputs),
+        "total_seconds": elapsed,
+        "seconds_per_tuple": elapsed / len(tuples) if tuples else 0.0,
+    }
+
+
+def measure_update_times(
+    engine, stream: Iterable[Tuple], warmup: int = 0
+) -> List[float]:
+    """Per-tuple *update-phase* times (enumeration excluded when supported).
+
+    For the streaming evaluator the update phase is measured in isolation via
+    ``engine.update``; for baselines (which interleave matching and output
+    production) the whole ``process`` call is measured instead.
+    """
+    times: List[float] = []
+    update = getattr(engine, "update", None)
+    for index, tup in enumerate(stream):
+        start = time.perf_counter()
+        if update is not None:
+            final_nodes = update(tup)
+            elapsed = time.perf_counter() - start
+            # Drain the outputs outside the timed section so the measurement is
+            # genuinely about the update phase.
+            for _ in engine.enumerate_outputs(final_nodes):
+                pass
+        else:
+            for _ in engine.process(tup):
+                pass
+            elapsed = time.perf_counter() - start
+        if index >= warmup:
+            times.append(elapsed)
+    return times
+
+
+def measure_enumeration_delays(engine, stream: Iterable[Tuple]) -> List[Tup[int, float]]:
+    """Per-position ``(number of outputs, enumeration time)`` pairs.
+
+    Only meaningful for the streaming evaluator, whose enumeration phase is
+    separate from the update phase.
+    """
+    measurements: List[Tup[int, float]] = []
+    for tup in stream:
+        final_nodes = engine.update(tup)
+        start = time.perf_counter()
+        count = 0
+        size = 0
+        for valuation in engine.enumerate_outputs(final_nodes):
+            count += 1
+            size += valuation.size()
+        elapsed = time.perf_counter() - start
+        if count:
+            measurements.append((size, elapsed))
+    return measurements
+
+
+def summarize(times: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p99 / max of a timing series (seconds)."""
+    if not times:
+        return {"mean": 0.0, "median": 0.0, "p99": 0.0, "max": 0.0}
+    ordered = sorted(times)
+    p99_index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+    return {
+        "mean": statistics.fmean(ordered),
+        "median": ordered[len(ordered) // 2],
+        "p99": ordered[p99_index],
+        "max": ordered[-1],
+    }
+
+
+def geometric_sweep(start: int, stop: int, factor: int = 2) -> List[int]:
+    """``[start, start*factor, ...]`` up to and including ``stop``."""
+    values = []
+    current = start
+    while current <= stop:
+        values.append(current)
+        current *= factor
+    return values
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Format a small aligned text table (used by benchmark printouts)."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(width) for h, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

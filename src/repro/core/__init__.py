@@ -1,0 +1,55 @@
+"""The paper's contribution: predicates, CCEA, PCEA, the HCQ translation and the
+streaming evaluation algorithm (Sections 2–5)."""
+
+from repro.core.predicates import (
+    UnaryPredicate,
+    TruePredicate,
+    RelationPredicate,
+    AtomUnaryPredicate,
+    SelfJoinUnaryPredicate,
+    LambdaUnaryPredicate,
+    AttributeFilter,
+    BinaryPredicate,
+    LambdaBinaryPredicate,
+    EqualityPredicate,
+    ProjectionEquality,
+    AtomJoinEquality,
+    VariableAtomEquality,
+    unify_self_join_atoms,
+)
+from repro.core.ccea import CCEA, CCEATransition
+from repro.core.runtree import Configuration, RunTreeNode
+from repro.core.pcea import PCEA, PCEATransition, check_unambiguous_on_stream
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.datastructure import DataStructure, Node, BOTTOM
+from repro.core.evaluation import StreamingEvaluator, evaluate_pcea
+
+__all__ = [
+    "UnaryPredicate",
+    "TruePredicate",
+    "RelationPredicate",
+    "AtomUnaryPredicate",
+    "SelfJoinUnaryPredicate",
+    "LambdaUnaryPredicate",
+    "AttributeFilter",
+    "BinaryPredicate",
+    "LambdaBinaryPredicate",
+    "EqualityPredicate",
+    "ProjectionEquality",
+    "AtomJoinEquality",
+    "VariableAtomEquality",
+    "unify_self_join_atoms",
+    "CCEA",
+    "CCEATransition",
+    "Configuration",
+    "RunTreeNode",
+    "PCEA",
+    "PCEATransition",
+    "check_unambiguous_on_stream",
+    "hcq_to_pcea",
+    "DataStructure",
+    "Node",
+    "BOTTOM",
+    "StreamingEvaluator",
+    "evaluate_pcea",
+]

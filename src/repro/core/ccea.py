@@ -1,0 +1,229 @@
+"""Chain Complex Event Automata (paper, Section 2).
+
+A CCEA reads a stream and selects *subsequences*: a run is a chain of
+configurations whose positions strictly increase, where each transition checks
+a unary predicate on the current tuple and a binary predicate against the
+previous tuple of the chain.  CCEA is the model of Grez & Riveros (ICDT 2020)
+extended with a label set ``Ω`` so its outputs are valuations; PCEA strictly
+generalises it (Proposition 3.4).
+
+The evaluator implemented here is the naive reference one (it materialises all
+partial runs); the streaming engine with guarantees lives in
+:mod:`repro.core.evaluation` and works on the PCEA embedding of a CCEA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple as Tup
+
+from repro.core.predicates import BinaryPredicate, TrueEquality, UnaryPredicate
+from repro.core.runtree import Configuration
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+
+State = Hashable
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class CCEATransition:
+    """A CCEA transition ``(p, U, B, L, q)``."""
+
+    source: State
+    unary: UnaryPredicate
+    binary: BinaryPredicate
+    labels: FrozenSet[Label]
+    target: State
+
+    def __init__(
+        self,
+        source: State,
+        unary: UnaryPredicate,
+        binary: BinaryPredicate,
+        labels: Iterable[Label],
+        target: State,
+    ) -> None:
+        labels = frozenset(labels)
+        if not labels:
+            raise ValueError("transition label sets must be non-empty")
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "unary", unary)
+        object.__setattr__(self, "binary", binary)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "target", target)
+
+
+@dataclass(frozen=True)
+class _PartialRun:
+    """A partial CCEA run: the configurations so far plus the last tuple read."""
+
+    configurations: Tup[Configuration, ...]
+    last_tuple: Tuple
+
+    @property
+    def last(self) -> Configuration:
+        return self.configurations[-1]
+
+    def valuation(self) -> Valuation:
+        result = Valuation.empty()
+        for configuration in self.configurations:
+            result = result.product(configuration.valuation())
+        return result
+
+
+class CCEA:
+    """A Chain Complex Event Automaton ``(Q, U, B, Ω, Δ, I, F)``.
+
+    Parameters
+    ----------
+    states:
+        The state set ``Q``.
+    initial:
+        The partial initial function ``I : Q -> U × (2^Ω ∖ {∅})`` given as a
+        mapping from states to ``(unary predicate, labels)`` pairs.
+    transitions:
+        The transition relation as :class:`CCEATransition` objects.
+    final:
+        The final states ``F``.
+    labels:
+        The label set ``Ω``; inferred from the transitions when omitted.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial: Mapping[State, Tup[UnaryPredicate, Iterable[Label]]],
+        transitions: Iterable[CCEATransition],
+        final: Iterable[State],
+        labels: Iterable[Label] | None = None,
+    ) -> None:
+        self.states: FrozenSet[State] = frozenset(states)
+        self.initial: Dict[State, Tup[UnaryPredicate, FrozenSet[Label]]] = {
+            state: (unary, frozenset(lbls)) for state, (unary, lbls) in initial.items()
+        }
+        self.transitions: Tup[CCEATransition, ...] = tuple(transitions)
+        self.final: FrozenSet[State] = frozenset(final)
+        inferred: Set[Label] = set()
+        for _, lbls in self.initial.values():
+            inferred |= lbls
+        for transition in self.transitions:
+            inferred |= transition.labels
+        self.labels: FrozenSet[Label] = frozenset(labels) if labels is not None else frozenset(inferred)
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.final <= self.states:
+            raise ValueError("final states must be states")
+        for state, (_, lbls) in self.initial.items():
+            if state not in self.states:
+                raise ValueError(f"initial state {state!r} not in states")
+            if not lbls:
+                raise ValueError("initial label sets must be non-empty")
+        for transition in self.transitions:
+            if transition.source not in self.states or transition.target not in self.states:
+                raise ValueError("transition endpoints must be states")
+
+    def size(self) -> int:
+        """``|C|``: number of states plus encoded transitions."""
+        return len(self.states) + sum(1 + len(t.labels) for t in self.transitions) + len(self.initial)
+
+    # -------------------------------------------------------------- semantics
+    def runs_at(self, stream: Sequence[Tuple], position: int) -> Iterator[_PartialRun]:
+        """All accepting runs at ``position`` (naive enumeration)."""
+        for run in self._all_runs(stream, position):
+            if run.last.position == position and run.last.state in self.final:
+                yield run
+
+    def _all_runs(self, stream: Sequence[Tuple], upto: int) -> Iterator[_PartialRun]:
+        """All runs (accepting or not) whose last position is at most ``upto``."""
+        partials: List[_PartialRun] = []
+        for position in range(min(upto + 1, len(stream))):
+            tup = stream[position]
+            new_partials: List[_PartialRun] = []
+            # Extend existing runs.
+            for partial in partials:
+                for transition in self.transitions:
+                    if transition.source != partial.last.state:
+                        continue
+                    if not transition.unary.holds(tup):
+                        continue
+                    if not transition.binary.holds(partial.last_tuple, tup):
+                        continue
+                    configuration = Configuration(transition.target, position, transition.labels)
+                    new_partials.append(
+                        _PartialRun(partial.configurations + (configuration,), tup)
+                    )
+            # Start new runs via the initial function.
+            for state, (unary, labels) in self.initial.items():
+                if unary.holds(tup):
+                    configuration = Configuration(state, position, labels)
+                    new_partials.append(_PartialRun((configuration,), tup))
+            partials.extend(new_partials)
+            yield from new_partials
+        return
+
+    def output_at(self, stream: Sequence[Tuple], position: int) -> Set[Valuation]:
+        """``⟦C⟧_position(S)``: the set of valuations of accepting runs at ``position``."""
+        return {run.valuation() for run in self.runs_at(stream, position)}
+
+    def outputs_upto(self, stream: Sequence[Tuple], upto: int) -> Dict[int, Set[Valuation]]:
+        """Outputs at every position ``0..upto`` (single pass of the naive evaluator)."""
+        results: Dict[int, Set[Valuation]] = {i: set() for i in range(upto + 1)}
+        for run in self._all_runs(stream, upto):
+            if run.last.state in self.final:
+                results[run.last.position].add(run.valuation())
+        return results
+
+    # ------------------------------------------------------------ conversions
+    def to_pcea(self):
+        """Embed the CCEA as a PCEA (every transition has at most one source).
+
+        The initial function becomes empty-source transitions, mirroring the
+        observation after Example 3.3 in the paper.
+        """
+        from repro.core.pcea import PCEA, PCEATransition
+
+        transitions: List[PCEATransition] = []
+        for state, (unary, labels) in self.initial.items():
+            transitions.append(PCEATransition(frozenset(), unary, {}, labels, state))
+        for transition in self.transitions:
+            transitions.append(
+                PCEATransition(
+                    frozenset({transition.source}),
+                    transition.unary,
+                    {transition.source: transition.binary},
+                    transition.labels,
+                    transition.target,
+                )
+            )
+        return PCEA(self.states, transitions, self.final, labels=self.labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"CCEA(|Q|={len(self.states)}, |Δ|={len(self.transitions)}, "
+            f"|I|={len(self.initial)}, |F|={len(self.final)})"
+        )
+
+
+def chain_ccea(
+    steps: Sequence[Tup[UnaryPredicate, Optional[BinaryPredicate], Iterable[Label]]],
+) -> CCEA:
+    """Build a simple chain CCEA ``q_0 -> q_1 -> ... -> q_k``.
+
+    Each step is ``(unary, binary, labels)``; the binary predicate of the first
+    step is ignored (there is no previous tuple).  This is the shape of the
+    automaton ``C_0`` of Example 2.1 and is reused by tests and examples.
+    """
+    if not steps:
+        raise ValueError("a chain needs at least one step")
+    states = list(range(len(steps)))
+    first_unary, _, first_labels = steps[0]
+    initial = {0: (first_unary, frozenset(first_labels))}
+    transitions = []
+    for index, (unary, binary, labels) in enumerate(steps[1:], start=1):
+        transitions.append(
+            CCEATransition(index - 1, unary, binary or TrueEquality(), labels, index)
+        )
+    return CCEA(states, initial, transitions, {len(steps) - 1})

@@ -1,0 +1,334 @@
+"""The enumeration data structure ``DS_w`` of Section 5.
+
+``DS_w`` stores bags of valuations compactly.  Each node carries a label set
+``L``, a position ``i``, a list ``prod`` of product children and two union
+links ``uleft`` / ``uright``; its semantics is
+
+    ⟦n⟧_prod = {{ν_{L(n), i(n)}}} ⊕ ⨁_{n' ∈ prod(n)} ⟦n'⟧
+    ⟦n⟧      = ⟦n⟧_prod ∪ ⟦uleft(n)⟧ ∪ ⟦uright(n)⟧
+
+Each node also stores ``max_start = max{min(ν) | ν ∈ ⟦n⟧_prod}`` and the union
+links respect the heap condition (‡): ``max_start(n) ≥ max_start(uleft(n))``
+and ``max_start(n) ≥ max_start(uright(n))``.  Together these allow the
+enumeration of ``⟦n⟧^w_i`` (the valuations still inside the sliding window) to
+skip empty subtrees in constant time, which is what yields output-linear delay
+(Theorem 5.2).
+
+Two node-producing operations are provided, mirroring the paper:
+
+* :meth:`DataStructure.extend` — constant time (in the number of product
+  children), building a product node;
+* :meth:`DataStructure.union` — fully persistent union with logarithmic
+  amortised cost (Proposition 5.3), implemented with path copying, direction
+  bits for balance, and pruning of subtrees that fell out of the window.
+
+An intentionally naive variant (:class:`LinkedListUnionStructure`) implements
+``union`` as a linked list; it exists only for the ablation benchmark
+(experiment E8) that shows why the balanced persistent structure matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
+
+from repro.valuation import Valuation
+
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class Node:
+    """An immutable node of ``DS_w``.
+
+    Nodes are persistent: operations never mutate existing nodes, they only
+    allocate new ones (path copying), so nodes already referenced by the
+    algorithm's hash table remain valid forever.
+    """
+
+    labels: FrozenSet[Label]
+    position: int
+    prod: Tup["Node", ...]
+    uleft: Optional["Node"]
+    uright: Optional["Node"]
+    max_start: int
+    direction: bool = False  # insertion direction bit used for balancing
+
+    def is_bottom(self) -> bool:
+        return self.position < 0 and not self.labels
+
+    def __repr__(self) -> str:
+        if self.is_bottom():
+            return "⊥"
+        labels = ",".join(str(l) for l in sorted(self.labels, key=str))
+        return (
+            f"Node(pos={self.position}, L={{{labels}}}, prod={len(self.prod)}, "
+            f"max_start={self.max_start})"
+        )
+
+
+#: The bottom node ``⊥`` (empty bag of valuations).
+BOTTOM = Node(frozenset(), -1, (), None, None, -1)
+
+
+class DataStructure:
+    """The data structure ``DS_w`` with window size ``w``.
+
+    Parameters
+    ----------
+    window:
+        The sliding-window size ``w``.  A valuation ``ν`` is *alive* at
+        position ``i`` when ``i - min(ν) <= window``.
+
+    Notes
+    -----
+    The instance counts node allocations and union depths so that the
+    benchmarks can report machine-independent operation counts alongside wall
+    clock times.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 0:
+            raise ValueError("window size must be non-negative")
+        self.window = window
+        self.nodes_created = 0
+        self.union_calls = 0
+        self.union_copies = 0
+
+    # ------------------------------------------------------------------ nodes
+    def _make_node(
+        self,
+        labels: FrozenSet[Label],
+        position: int,
+        prod: Tup[Node, ...],
+        uleft: Optional[Node],
+        uright: Optional[Node],
+        max_start: int,
+        direction: bool = False,
+    ) -> Node:
+        self.nodes_created += 1
+        return Node(labels, position, prod, uleft, uright, max_start, direction)
+
+    def expired(self, node: Node, position: int) -> bool:
+        """Whether every valuation of ``⟦node⟧`` is out of the window at ``position``.
+
+        By the heap condition this is equivalent to the product part of the
+        node itself being out of the window.
+        """
+        if node is None or node.is_bottom():
+            return True
+        return position - node.max_start > self.window
+
+    def extend(self, labels: Iterable[Label], position: int, children: Sequence[Node]) -> Node:
+        """``extend(L, i, N)``: a fresh node with ``⟦n_e⟧ = {{ν_{L,i}}} ⊕ ⨁_{n∈N} ⟦n⟧``.
+
+        Runs in ``O(|N|)``.  ``max_start`` is ``min(i, min_n max_start(n))``.
+        """
+        labels = frozenset(labels)
+        children = tuple(children)
+        for child in children:
+            if child.is_bottom():
+                raise ValueError("product children must not be the bottom node")
+            if child.position >= position:
+                raise ValueError("product children must have strictly smaller positions")
+        max_start = position
+        for child in children:
+            max_start = min(max_start, child.max_start)
+        return self._make_node(labels, position, children, None, None, max_start)
+
+    # ------------------------------------------------------------------ union
+    def union(self, left: Node, fresh: Node) -> Node:
+        """``union(n1, n2)``: a node whose bag is ``⟦n1⟧ ∪ ⟦n2⟧`` (Proposition 5.3).
+
+        Preconditions (checked): ``fresh`` has no union links yet and its
+        position is at least the maximum position in ``left``.  The operation
+        is fully persistent — neither argument is modified — and costs
+        ``O(log(k·w))`` node copies thanks to direction-bit balancing and the
+        pruning of expired subtrees.
+        """
+        if fresh.uleft is not None or fresh.uright is not None:
+            raise ValueError("the second argument of union must be a fresh product node")
+        self.union_calls += 1
+        return self._union(left, fresh, fresh.position)
+
+    def _union(self, left: Node, fresh: Node, position: int) -> Node:
+        if left is None or left.is_bottom():
+            return fresh
+        if self.expired(left, position):
+            # Every valuation below ``left`` is out of the window forever
+            # (positions only grow), so the subtree can be dropped.
+            return fresh
+        self.union_copies += 1
+        if fresh.max_start >= left.max_start:
+            # The fresh node becomes the new top; heap condition holds because
+            # its max_start dominates the whole old tree.
+            return self._make_node(
+                fresh.labels,
+                fresh.position,
+                fresh.prod,
+                left,
+                None,
+                fresh.max_start,
+                direction=not left.direction,
+            )
+        # Otherwise keep ``left`` on top and insert below, alternating sides
+        # via the direction bit (path copying keeps persistence).
+        if left.direction:
+            new_child = self._union(left.uleft if left.uleft is not None else BOTTOM, fresh, position)
+            return self._make_node(
+                left.labels,
+                left.position,
+                left.prod,
+                new_child,
+                left.uright,
+                left.max_start,
+                direction=False,
+            )
+        new_child = self._union(left.uright if left.uright is not None else BOTTOM, fresh, position)
+        return self._make_node(
+            left.labels,
+            left.position,
+            left.prod,
+            left.uleft,
+            new_child,
+            left.max_start,
+            direction=True,
+        )
+
+    # ------------------------------------------------------------ enumeration
+    def enumerate(self, node: Node, position: int) -> Iterator[Valuation]:
+        """Enumerate ``⟦node⟧^w_position`` (valuations alive in the window).
+
+        The traversal prunes subtrees whose ``max_start`` certifies emptiness,
+        so between two consecutive outputs only work proportional to the size
+        of the next output is performed (Theorem 5.2); duplicates cannot occur
+        when the structure is simple (which unambiguous PCEA guarantee).
+        """
+        stack: List[Node] = [node] if node is not None else []
+        while stack:
+            current = stack.pop()
+            if current is None or current.is_bottom() or self.expired(current, position):
+                continue
+            yield from self._enumerate_prod(current, position)
+            if current.uright is not None:
+                stack.append(current.uright)
+            if current.uleft is not None:
+                stack.append(current.uleft)
+
+    def _enumerate_prod(self, node: Node, position: int) -> Iterator[Valuation]:
+        base = Valuation.singleton(node.labels, node.position)
+        if not node.prod:
+            if position - node.position <= self.window:
+                yield base
+            return
+        children_iterables = [self.enumerate(child, position) for child in node.prod]
+
+        def combine(index: int, acc: Valuation) -> Iterator[Valuation]:
+            if index == len(node.prod):
+                yield acc
+                return
+            for child_valuation in self.enumerate(node.prod[index], position):
+                yield from combine(index + 1, acc.product(child_valuation))
+
+        # ``children_iterables`` above is only used to keep the signature close
+        # to the paper's presentation; the recursion re-creates the iterators so
+        # that the cross product is complete.
+        del children_iterables
+        yield from combine(0, base)
+
+    def enumerate_all(self, node: Node) -> Iterator[Valuation]:
+        """Enumerate ``⟦node⟧`` ignoring the window (used by tests)."""
+        stack: List[Node] = [node] if node is not None else []
+        while stack:
+            current = stack.pop()
+            if current is None or current.is_bottom():
+                continue
+            yield from self._enumerate_prod_all(current)
+            if current.uright is not None:
+                stack.append(current.uright)
+            if current.uleft is not None:
+                stack.append(current.uleft)
+
+    def _enumerate_prod_all(self, node: Node) -> Iterator[Valuation]:
+        base = Valuation.singleton(node.labels, node.position)
+
+        def combine(index: int, acc: Valuation) -> Iterator[Valuation]:
+            if index == len(node.prod):
+                yield acc
+                return
+            for child_valuation in self.enumerate_all(node.prod[index]):
+                yield from combine(index + 1, acc.product(child_valuation))
+
+        yield from combine(0, base)
+
+    # ------------------------------------------------------------- validation
+    def check_simple(self, node: Node) -> bool:
+        """Whether the bag rooted at ``node`` is *simple* (no overlapping products).
+
+        Exponential in general; used only by tests and the engine's debug mode.
+        """
+        if node is None or node.is_bottom():
+            return True
+        base = Valuation.singleton(node.labels, node.position)
+        partials: List[Valuation] = [base]
+        for child in node.prod:
+            new_partials: List[Valuation] = []
+            for partial in partials:
+                for child_valuation in self.enumerate_all(child):
+                    if not partial.simple_with(child_valuation):
+                        return False
+                    new_partials.append(partial.product(child_valuation))
+            partials = new_partials
+        for child in node.prod:
+            if not self.check_simple(child):
+                return False
+        for link in (node.uleft, node.uright):
+            if link is not None and not self.check_simple(link):
+                return False
+        return True
+
+    def check_heap_condition(self, node: Node) -> bool:
+        """Whether condition (‡) holds everywhere below ``node``."""
+        if node is None or node.is_bottom():
+            return True
+        for link in (node.uleft, node.uright):
+            if link is not None and not link.is_bottom():
+                if link.max_start > node.max_start:
+                    return False
+                if not self.check_heap_condition(link):
+                    return False
+        return all(self.check_heap_condition(child) for child in node.prod)
+
+    def union_depth(self, node: Node) -> int:
+        """Depth of the union tree hanging at ``node`` (benchmark instrumentation)."""
+        best = 0
+        stack: List[Tup[Node, int]] = [(node, 1)] if node is not None and not node.is_bottom() else []
+        while stack:
+            current, depth = stack.pop()
+            best = max(best, depth)
+            for link in (current.uleft, current.uright):
+                if link is not None and not link.is_bottom():
+                    stack.append((link, depth + 1))
+        return best
+
+
+class LinkedListUnionStructure(DataStructure):
+    """Ablation variant: unions form a left-leaning linked list (no balance, no pruning).
+
+    Retains correctness but loses the logarithmic union/enumeration guarantees;
+    experiment E8 contrasts the two implementations.
+    """
+
+    def _union(self, left: Node, fresh: Node, position: int) -> Node:
+        if left is None or left.is_bottom():
+            return fresh
+        self.union_copies += 1
+        return self._make_node(
+            fresh.labels,
+            fresh.position,
+            fresh.prod,
+            left,
+            None,
+            max(fresh.max_start, left.max_start),
+        )

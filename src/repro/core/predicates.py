@@ -1,0 +1,617 @@
+"""Unary and binary predicates over tuples (paper, Section 2, "Predicates").
+
+Two classes of predicates matter algorithmically:
+
+* ``U_lin`` — unary predicates decidable in time linear in ``|t|``; and
+* ``B_eq`` — *equality predicates*: binary predicates ``B`` for which there are
+  partial key functions ``left_key`` (the paper's ``⃗B`` applied to the earlier
+  tuple) and ``right_key`` (applied to the later tuple) such that
+  ``(t1, t2) ∈ B`` iff both keys are defined and equal.
+
+The streaming algorithm of Section 5 hashes on these keys, which is what makes
+transition firing constant-time; the naive evaluators only need the boolean
+``holds`` interface and therefore work with arbitrary binary predicates.
+
+The module also builds the specific predicates used by the Theorem 4.1
+construction: ``U_{R(x̄)}`` (tuples homomorphic to an atom), ``B_{S(ȳ),T(z̄)}``
+(pairs agreeing on the shared variables), their generalisations to q-tree
+variables, and the self-join variants of Lemmas B.3/B.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Sequence, Tuple as Tup
+
+from repro.cq.query import Atom, Variable, is_variable
+from repro.cq.schema import DataValue, Tuple
+
+
+Key = Hashable
+
+
+# --------------------------------------------------------------------------- unary
+class UnaryPredicate:
+    """Base class of unary predicates ``U ⊆ Tuples[σ]``."""
+
+    def holds(self, tup: Tuple) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, tup: Tuple) -> bool:
+        return self.holds(tup)
+
+    # Simple combinators keep the DSL compiler small.
+    def __and__(self, other: "UnaryPredicate") -> "UnaryPredicate":
+        return LambdaUnaryPredicate(
+            lambda tup: self.holds(tup) and other.holds(tup),
+            description=f"({self} and {other})",
+        )
+
+    def __or__(self, other: "UnaryPredicate") -> "UnaryPredicate":
+        return LambdaUnaryPredicate(
+            lambda tup: self.holds(tup) or other.holds(tup),
+            description=f"({self} or {other})",
+        )
+
+
+@dataclass(frozen=True)
+class TruePredicate(UnaryPredicate):
+    """The trivial unary predicate containing every tuple."""
+
+    def holds(self, tup: Tuple) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class RelationPredicate(UnaryPredicate):
+    """Tuples of one of the given relation names (the paper's ``T``, ``S``, ``R``)."""
+
+    relations: FrozenSet[str]
+
+    def __init__(self, relations: str | Iterable[str]) -> None:
+        if isinstance(relations, str):
+            relations = {relations}
+        object.__setattr__(self, "relations", frozenset(relations))
+
+    def holds(self, tup: Tuple) -> bool:
+        return tup.relation in self.relations
+
+    def __str__(self) -> str:
+        return "|".join(sorted(self.relations))
+
+
+@dataclass(frozen=True)
+class AtomUnaryPredicate(UnaryPredicate):
+    """``U_{R(x̄)}``: tuples onto which some homomorphism maps the atom.
+
+    Checks relation name, arity, constants, and equality of values at repeated
+    variable positions — all in time linear in ``|t|``.
+    """
+
+    atom: Atom
+
+    def holds(self, tup: Tuple) -> bool:
+        return self.atom.matches(tup)
+
+    def __str__(self) -> str:
+        return f"U[{self.atom}]"
+
+
+@dataclass(frozen=True)
+class SelfJoinUnaryPredicate(UnaryPredicate):
+    """``U_A``: tuples that a single homomorphism maps *all* atoms of ``A`` onto.
+
+    Implements Lemma B.3: the atoms of the self-join are unified into a single
+    atom ``t_A`` (variables merged into equivalence classes) and the check
+    reduces to matching ``t_A``.
+    """
+
+    atoms: Tup[Atom, ...]
+    unified: Atom
+
+    def __init__(self, atoms: Sequence[Atom]) -> None:
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "unified", unify_self_join_atoms(atoms))
+
+    def holds(self, tup: Tuple) -> bool:
+        return self.unified.matches(tup)
+
+    def __str__(self) -> str:
+        return f"U[{' & '.join(str(a) for a in self.atoms)}]"
+
+
+@dataclass(frozen=True)
+class LambdaUnaryPredicate(UnaryPredicate):
+    """A unary predicate given by an arbitrary callable (assumed linear time)."""
+
+    func: Callable[[Tuple], bool]
+    description: str = "λ"
+
+    def holds(self, tup: Tuple) -> bool:
+        return bool(self.func(tup))
+
+    def __str__(self) -> str:
+        return self.description
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LambdaUnaryPredicate):
+            return self.func is other.func
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(id(self.func))
+
+
+@dataclass(frozen=True)
+class AttributeFilter(UnaryPredicate):
+    """Tuples of ``relation`` whose value at ``position`` satisfies a comparison.
+
+    Supported operators: ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.  Used by
+    the CER pattern DSL for local filters (e.g. ``price > 100``).
+    """
+
+    relation: str
+    position: int
+    operator: str
+    constant: DataValue
+
+    _OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def holds(self, tup: Tuple) -> bool:
+        if tup.relation != self.relation or self.position >= tup.arity:
+            return False
+        try:
+            return self._OPS[self.operator](tup.value(self.position), self.constant)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.relation}[{self.position}] {self.operator} {self.constant!r}"
+
+
+# -------------------------------------------------------------------------- binary
+class BinaryPredicate:
+    """Base class of binary predicates ``B ⊆ Tuples[σ]^2``.
+
+    ``holds(t1, t2)`` receives the *earlier* tuple first, matching the order in
+    which CCEA/PCEA runs compare consecutive tuples.
+    """
+
+    def holds(self, first: Tuple, second: Tuple) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, first: Tuple, second: Tuple) -> bool:
+        return self.holds(first, second)
+
+
+@dataclass(frozen=True)
+class LambdaBinaryPredicate(BinaryPredicate):
+    """A binary predicate given by an arbitrary callable (not necessarily in ``B_eq``)."""
+
+    func: Callable[[Tuple, Tuple], bool]
+    description: str = "λ2"
+
+    def holds(self, first: Tuple, second: Tuple) -> bool:
+        return bool(self.func(first, second))
+
+    def __str__(self) -> str:
+        return self.description
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LambdaBinaryPredicate):
+            return self.func is other.func
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(id(self.func))
+
+
+class EqualityPredicate(BinaryPredicate):
+    """An equality predicate of the class ``B_eq``.
+
+    Subclasses implement :meth:`left_key` (the paper's ``⃗B`` on the earlier
+    tuple) and :meth:`right_key` (on the later tuple); ``(t1, t2) ∈ B`` iff both
+    keys are defined (not ``None``) and equal.  Keys must be hashable — the
+    streaming algorithm indexes its hash table on them.
+    """
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        raise NotImplementedError
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        raise NotImplementedError
+
+    def holds(self, first: Tuple, second: Tuple) -> bool:
+        left = self.left_key(first)
+        if left is None:
+            return False
+        right = self.right_key(second)
+        if right is None:
+            return False
+        return left == right
+
+
+@dataclass(frozen=True)
+class TrueEquality(EqualityPredicate):
+    """The total binary predicate, presented as an equality predicate.
+
+    Both key functions are defined everywhere and constant, so every pair of
+    tuples is related; being in ``B_eq`` it can be used by Algorithm 1 (e.g.
+    for pure sequencing steps with no correlation).
+    """
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        return ()
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        return ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class ProjectionEquality(EqualityPredicate):
+    """Equality of attribute projections, e.g. ``(T x, S x y)``.
+
+    ``left_spec`` and ``right_spec`` map relation names to the attribute
+    positions whose values form the key; tuples of other relations are
+    undefined for the corresponding side.
+
+    Examples
+    --------
+    >>> eq = ProjectionEquality({"T": (0,)}, {"S": (0,)})
+    >>> eq.holds(Tuple("T", (2,)), Tuple("S", (2, 11)))
+    True
+    >>> eq.holds(Tuple("T", (3,)), Tuple("S", (2, 11)))
+    False
+    """
+
+    left_spec: Mapping[str, Tup[int, ...]]
+    right_spec: Mapping[str, Tup[int, ...]]
+
+    def __init__(
+        self,
+        left_spec: Mapping[str, Sequence[int]],
+        right_spec: Mapping[str, Sequence[int]],
+    ) -> None:
+        object.__setattr__(
+            self, "left_spec", {rel: tuple(pos) for rel, pos in left_spec.items()}
+        )
+        object.__setattr__(
+            self, "right_spec", {rel: tuple(pos) for rel, pos in right_spec.items()}
+        )
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        positions = self.left_spec.get(tup.relation)
+        if positions is None or any(p >= tup.arity for p in positions):
+            return None
+        return tup.project(positions)
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        positions = self.right_spec.get(tup.relation)
+        if positions is None or any(p >= tup.arity for p in positions):
+            return None
+        return tup.project(positions)
+
+    def __str__(self) -> str:
+        def fmt(spec: Mapping[str, Tup[int, ...]]) -> str:
+            return ",".join(f"{rel}{list(pos)}" for rel, pos in sorted(spec.items()))
+
+        return f"eq({fmt(self.left_spec)} ~ {fmt(self.right_spec)})"
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                tuple(sorted(self.left_spec.items())),
+                tuple(sorted(self.right_spec.items())),
+            )
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ProjectionEquality):
+            return (
+                dict(self.left_spec) == dict(other.left_spec)
+                and dict(self.right_spec) == dict(other.right_spec)
+            )
+        return NotImplemented
+
+
+def _shared_variable_key(atom: Atom, shared: Sequence[Variable], tup: Tuple) -> Optional[Key]:
+    """Project ``tup`` (matched against ``atom``) onto the shared variables."""
+    if not atom.matches(tup):
+        return None
+    values = []
+    for variable in shared:
+        positions = atom.positions_of(variable)
+        if not positions:
+            # The variable does not occur in this atom: the predicate places
+            # no constraint through it; encode with a wildcard component.
+            values.append(("*",))
+        else:
+            values.append(tup.value(positions[0]))
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class AtomJoinEquality(EqualityPredicate):
+    """``B_{S(ȳ), T(z̄)}``: pairs of tuples consistent with a single homomorphism.
+
+    The key is the projection onto the variables shared by the two atoms
+    (sorted by name).  When the atoms share no variables the key is the empty
+    tuple, i.e. every pair of matching tuples is related.
+    """
+
+    left_atom: Atom
+    right_atom: Atom
+    shared: Tup[Variable, ...]
+
+    def __init__(self, left_atom: Atom, right_atom: Atom) -> None:
+        object.__setattr__(self, "left_atom", left_atom)
+        object.__setattr__(self, "right_atom", right_atom)
+        shared = sorted(left_atom.variables() & right_atom.variables(), key=lambda v: v.name)
+        object.__setattr__(self, "shared", tuple(shared))
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        return _shared_variable_key(self.left_atom, self.shared, tup)
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        return _shared_variable_key(self.right_atom, self.shared, tup)
+
+    def __str__(self) -> str:
+        return f"B[{self.left_atom} ~ {self.right_atom}]"
+
+
+@dataclass(frozen=True)
+class VariableAtomEquality(EqualityPredicate):
+    """``B_{x, S(ȳ)}``: join of the q-tree subtree below ``x`` with atom ``S(ȳ)``.
+
+    The left side accepts any tuple matching one of the atoms hanging below the
+    q-tree variable ``x`` (the paper's ``⋃_{i ∈ desc(x)} B_{R_i(x̄_i), S(ȳ)}``).
+    Hierarchy guarantees every such atom shares the *same* variable set with
+    ``S(ȳ)``, so the union of equality predicates is itself an equality
+    predicate; the constructor checks this defensively.
+    """
+
+    left_atoms: Tup[Atom, ...]
+    right_atom: Atom
+    shared: Tup[Variable, ...]
+
+    def __init__(self, left_atoms: Sequence[Atom], right_atom: Atom) -> None:
+        if not left_atoms:
+            raise ValueError("VariableAtomEquality needs at least one left atom")
+        object.__setattr__(self, "left_atoms", tuple(left_atoms))
+        object.__setattr__(self, "right_atom", right_atom)
+        shared_sets = {
+            frozenset(atom.variables() & right_atom.variables()) for atom in left_atoms
+        }
+        if len(shared_sets) != 1:
+            raise ValueError(
+                "atoms below a q-tree variable must share the same variables with the "
+                f"target atom; got {shared_sets}"
+            )
+        shared = sorted(next(iter(shared_sets)), key=lambda v: v.name)
+        object.__setattr__(self, "shared", tuple(shared))
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        for atom in self.left_atoms:
+            key = _shared_variable_key(atom, self.shared, tup)
+            if key is not None:
+                return key
+        return None
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        return _shared_variable_key(self.right_atom, self.shared, tup)
+
+    def __str__(self) -> str:
+        left = "|".join(str(a) for a in self.left_atoms)
+        return f"B[({left}) ~ {self.right_atom}]"
+
+
+@dataclass(frozen=True)
+class OrderPredicate(BinaryPredicate):
+    """An order (inequality) predicate between attribute projections.
+
+    ``(t1, t2) ∈ B`` iff ``t1`` is a tuple of ``left_relation``, ``t2`` of
+    ``right_relation``, and ``t1[left_position] op t2[right_position]`` holds
+    for the given comparison operator.  Order predicates are *not* equality
+    predicates, so Algorithm 1 does not apply; they are supported by the
+    general evaluator of :mod:`repro.extensions.general_evaluation` (the
+    paper's Section 6 lists this as an open direction).
+    """
+
+    left_relation: str
+    left_position: int
+    operator: str
+    right_relation: str
+    right_position: int
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "!=": lambda a, b: a != b,
+        "==": lambda a, b: a == b,
+    }
+
+    def holds(self, first: Tuple, second: Tuple) -> bool:
+        if first.relation != self.left_relation or second.relation != self.right_relation:
+            return False
+        if self.left_position >= first.arity or self.right_position >= second.arity:
+            return False
+        try:
+            return self._OPS[self.operator](
+                first.value(self.left_position), second.value(self.right_position)
+            )
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_relation}[{self.left_position}] {self.operator} "
+            f"{self.right_relation}[{self.right_position}]"
+        )
+
+
+# -------------------------------------------------------------- self-join machinery
+def unify_self_join_atoms(atoms: Sequence[Atom]) -> Atom:
+    """Compute the unified atom ``t_A`` of Lemma B.3.
+
+    All atoms must share the same relation name and arity.  Attribute positions
+    are grouped into equivalence classes: two positions are equivalent when some
+    atom carries the same variable at both, and the classes are closed
+    transitively across atoms.  The unified atom carries one fresh variable per
+    class (or the constant, when a class is pinned by a constant occurring at
+    one of its positions).
+    """
+    atoms = list(atoms)
+    if not atoms:
+        raise ValueError("cannot unify an empty self join")
+    relation = atoms[0].relation
+    arity = atoms[0].arity
+    for atom in atoms[1:]:
+        if atom.relation != relation or atom.arity != arity:
+            raise ValueError("self-join atoms must share relation name and arity")
+
+    # Union-find over positions 0..arity-1.
+    parent = list(range(arity))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    for atom in atoms:
+        positions_by_term: Dict[object, list[int]] = {}
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                positions_by_term.setdefault(term, []).append(position)
+        for positions in positions_by_term.values():
+            for first, second in zip(positions, positions[1:]):
+                union(first, second)
+
+    # Also: the same variable occurring in two different atoms at different
+    # positions identifies those positions (a single homomorphism must send
+    # both occurrences to the same value of the single tuple).
+    variable_positions: Dict[Variable, list[int]] = {}
+    for atom in atoms:
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                variable_positions.setdefault(term, []).append(position)
+    for positions in variable_positions.values():
+        for first, second in zip(positions, positions[1:]):
+            union(first, second)
+
+    # Constants pin their class.
+    constants: Dict[int, DataValue] = {}
+    conflict_free = True
+    for atom in atoms:
+        for position, term in enumerate(atom.terms):
+            if not is_variable(term):
+                root = find(position)
+                if root in constants and constants[root] != term:
+                    conflict_free = False
+                constants[root] = term
+    if not conflict_free:
+        # No tuple can satisfy the self join; encode with an unsatisfiable atom
+        # using two distinct constants forced equal through a repeated variable
+        # is impossible, so we signal with a dedicated impossible relation name.
+        return Atom(relation + "#unsat", tuple(Variable(f"_c{i}") for i in range(arity)))
+
+    terms: list = []
+    for position in range(arity):
+        root = find(position)
+        if root in constants:
+            terms.append(constants[root])
+        else:
+            terms.append(Variable(f"_c{root}"))
+    return Atom(relation, tuple(terms))
+
+
+def _group_variables(atoms: Sequence[Atom]) -> FrozenSet[Variable]:
+    result: set[Variable] = set()
+    for atom in atoms:
+        result |= atom.variables()
+    return frozenset(result)
+
+
+def _first_position_of(atoms: Sequence[Atom], variable: Variable) -> Optional[int]:
+    """First attribute position where ``variable`` occurs in any atom of the group.
+
+    When the group's tuples match the unified atom, every occurrence of the
+    variable carries the same value, so any position works as the projection
+    target.
+    """
+    for atom in atoms:
+        positions = atom.positions_of(variable)
+        if positions:
+            return positions[0]
+    return None
+
+
+@dataclass(frozen=True)
+class SelfJoinEquality(EqualityPredicate):
+    """``B_{A1, A2}`` of Lemma B.4: consistency of two (self-join) atom groups.
+
+    ``(t1, t2) ∈ B`` iff a single homomorphism maps every atom of ``A1`` onto
+    ``t1`` and every atom of ``A2`` onto ``t2``.  The within-group constraints
+    are exactly the unified atoms of Lemma B.3; the cross-group constraint is
+    equality of the values of the variables shared by the two groups, which is
+    the equality key used for hashing.
+    """
+
+    left_atoms: Tup[Atom, ...]
+    right_atoms: Tup[Atom, ...]
+    left_unified: Atom
+    right_unified: Atom
+    shared: Tup[Variable, ...]
+
+    def __init__(self, left_atoms: Sequence[Atom], right_atoms: Sequence[Atom]) -> None:
+        object.__setattr__(self, "left_atoms", tuple(left_atoms))
+        object.__setattr__(self, "right_atoms", tuple(right_atoms))
+        object.__setattr__(self, "left_unified", unify_self_join_atoms(left_atoms))
+        object.__setattr__(self, "right_unified", unify_self_join_atoms(right_atoms))
+        shared = sorted(
+            _group_variables(left_atoms) & _group_variables(right_atoms),
+            key=lambda v: v.name,
+        )
+        object.__setattr__(self, "shared", tuple(shared))
+
+    def _key(self, atoms: Tup[Atom, ...], unified: Atom, tup: Tuple) -> Optional[Key]:
+        if not unified.matches(tup):
+            return None
+        values = []
+        for variable in self.shared:
+            position = _first_position_of(atoms, variable)
+            if position is None or position >= tup.arity:
+                return None
+            values.append(tup.value(position))
+        return tuple(values)
+
+    def left_key(self, tup: Tuple) -> Optional[Key]:
+        return self._key(self.left_atoms, self.left_unified, tup)
+
+    def right_key(self, tup: Tuple) -> Optional[Key]:
+        return self._key(self.right_atoms, self.right_unified, tup)
+
+    def __str__(self) -> str:
+        left = "&".join(str(a) for a in self.left_atoms)
+        right = "&".join(str(a) for a in self.right_atoms)
+        return f"B[{left} ~ {right}]"

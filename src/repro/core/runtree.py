@@ -1,0 +1,125 @@
+"""Configurations and run trees of complex event automata (paper, Sections 2 and 3).
+
+A *configuration* ``(q, i, L)`` records that an automaton is in state ``q``
+after reading and marking the tuple at position ``i`` with the labels ``L``.
+CCEA runs are sequences of configurations; PCEA runs are *trees* of
+configurations whose positions increase towards the root.  Both produce a
+:class:`~repro.valuation.Valuation` mapping each label to the positions marked
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterator, Sequence, Tuple as Tup
+
+from repro.valuation import Valuation
+
+
+State = Hashable
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A configuration ``(q, i, L)`` of a CCEA or PCEA."""
+
+    state: State
+    position: int
+    labels: FrozenSet[Label]
+
+    def __init__(self, state: State, position: int, labels) -> None:
+        object.__setattr__(self, "state", state)
+        object.__setattr__(self, "position", position)
+        object.__setattr__(self, "labels", frozenset(labels))
+
+    def valuation(self) -> Valuation:
+        """The valuation ``ν_{L, i}`` contributed by this configuration alone."""
+        return Valuation.singleton(self.labels, self.position)
+
+    def __repr__(self) -> str:
+        labels = ",".join(str(l) for l in sorted(self.labels, key=str))
+        return f"({self.state!r}, {self.position}, {{{labels}}})"
+
+
+@dataclass(frozen=True)
+class RunTreeNode:
+    """A node of a PCEA run tree: a configuration plus children.
+
+    The valuation of the subtree is cached at construction so the naive
+    evaluator does not re-traverse trees when collecting outputs.
+    """
+
+    configuration: Configuration
+    children: Tup["RunTreeNode", ...] = ()
+    valuation: Valuation = field(default=None)  # type: ignore[assignment]
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        children: Sequence["RunTreeNode"] = (),
+    ) -> None:
+        object.__setattr__(self, "configuration", configuration)
+        object.__setattr__(self, "children", tuple(children))
+        valuation = configuration.valuation()
+        for child in self.children:
+            valuation = valuation.product(child.valuation)
+        object.__setattr__(self, "valuation", valuation)
+
+    # ------------------------------------------------------------- navigation
+    @property
+    def state(self) -> State:
+        return self.configuration.state
+
+    @property
+    def position(self) -> int:
+        return self.configuration.position
+
+    @property
+    def labels(self) -> FrozenSet[Label]:
+        return self.configuration.labels
+
+    def iter_nodes(self) -> Iterator["RunTreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def leaves(self) -> Iterator["RunTreeNode"]:
+        if not self.children:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.leaves()
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+    # -------------------------------------------------------------- properties
+    def is_simple(self) -> bool:
+        """Whether the run is *simple*: nodes sharing a position have disjoint labels."""
+        seen: dict[int, set[Label]] = {}
+        for node in self.iter_nodes():
+            bucket = seen.setdefault(node.position, set())
+            if bucket & node.labels:
+                return False
+            bucket |= node.labels
+        return True
+
+    def canonical_form(self) -> Hashable:
+        """A canonical, order-insensitive encoding used to compare runs up to isomorphism."""
+        return (
+            self.state,
+            self.position,
+            self.labels,
+            frozenset(child.canonical_form() for child in self.children),
+        )
+
+    def pretty(self, indent: int = 0) -> str:
+        """Indented rendering used by examples and error messages."""
+        lines = ["  " * indent + repr(self.configuration)]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RunTreeNode({self.configuration!r}, {len(self.children)} children)"

@@ -1,0 +1,52 @@
+"""Conjunctive-query substrate.
+
+This subpackage implements the relational machinery that the paper's Section 2
+and Section 4 depend on:
+
+* schemas, tuples and data values (:mod:`repro.cq.schema`),
+* bags with element identity (:mod:`repro.cq.bag`),
+* relational databases with duplicates (:mod:`repro.cq.database`),
+* conjunctive queries and their structural classes
+  (:mod:`repro.cq.query`, :mod:`repro.cq.hierarchical`, :mod:`repro.cq.acyclic`),
+* homomorphisms, t-homomorphisms and bag semantics
+  (:mod:`repro.cq.homomorphism`),
+* CQ semantics over streams (:mod:`repro.cq.stream_semantics`).
+"""
+
+from repro.cq.bag import Bag
+from repro.cq.schema import Schema, Tuple
+from repro.cq.database import Database
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.cq.hierarchical import is_hierarchical, build_q_tree, QTree
+from repro.cq.acyclic import is_acyclic, build_join_tree
+from repro.cq.homomorphism import (
+    Homomorphism,
+    THomomorphism,
+    enumerate_homomorphisms,
+    enumerate_t_homomorphisms,
+    bag_semantics,
+    chaudhuri_vardi_semantics,
+)
+from repro.cq.stream_semantics import cq_stream_output
+
+__all__ = [
+    "Bag",
+    "Schema",
+    "Tuple",
+    "Database",
+    "Atom",
+    "ConjunctiveQuery",
+    "Variable",
+    "is_hierarchical",
+    "build_q_tree",
+    "QTree",
+    "is_acyclic",
+    "build_join_tree",
+    "Homomorphism",
+    "THomomorphism",
+    "enumerate_homomorphisms",
+    "enumerate_t_homomorphisms",
+    "bag_semantics",
+    "chaudhuri_vardi_semantics",
+    "cq_stream_output",
+]

@@ -1,0 +1,149 @@
+"""Bags (multisets) with element identity (paper, Section 4).
+
+The paper represents a bag as a surjective function ``B : I -> U`` from a
+finite set of identifiers to the underlying set.  Identity matters because the
+bag semantics of conjunctive queries is defined through *t-homomorphisms*,
+which map atom identifiers to tuple identifiers.
+
+:class:`Bag` keeps that representation literally: it is a mapping from
+identifiers (arbitrary hashable keys, by default consecutive integers) to
+elements.  Equality between bags is multiplicity equality ("equal up to a
+renaming of the identifiers"), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Generic, Hashable, Iterable, Iterator, Mapping, Tuple as Tup, TypeVar
+
+E = TypeVar("E", bound=Hashable)
+I = TypeVar("I", bound=Hashable)
+
+
+class Bag(Generic[E]):
+    """A bag ``B : I -> U`` with explicit element identity.
+
+    Parameters
+    ----------
+    elements:
+        Either an iterable of elements (identifiers ``0..n-1`` are assigned in
+        iteration order, mirroring the paper's ``{{a_0, ..., a_{n-1}}}``
+        notation) or a mapping from identifiers to elements.
+
+    Examples
+    --------
+    >>> b = Bag(["a", "a", "b"])
+    >>> b.multiplicity("a")
+    2
+    >>> sorted(b.identifiers())
+    [0, 1, 2]
+    >>> b == Bag({"x": "a", "y": "a", "z": "b"})
+    True
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, elements: Iterable[E] | Mapping[Hashable, E] = ()) -> None:
+        if isinstance(elements, Mapping):
+            self._mapping: Dict[Hashable, E] = dict(elements)
+        else:
+            self._mapping = {index: element for index, element in enumerate(elements)}
+
+    # ------------------------------------------------------------------ basic
+    def identifiers(self) -> frozenset:
+        """The identifier set ``I(B)``."""
+        return frozenset(self._mapping)
+
+    def underlying_set(self) -> frozenset:
+        """The underlying set ``U(B)``."""
+        return frozenset(self._mapping.values())
+
+    def __getitem__(self, identifier: Hashable) -> E:
+        return self._mapping[identifier]
+
+    def get(self, identifier: Hashable, default: E | None = None) -> E | None:
+        return self._mapping.get(identifier, default)
+
+    def items(self) -> Iterator[Tup[Hashable, E]]:
+        """Iterate over ``(identifier, element)`` pairs."""
+        return iter(self._mapping.items())
+
+    def __iter__(self) -> Iterator[E]:
+        """Iterate over elements *with multiplicity* (identifier order is arbitrary)."""
+        return iter(self._mapping.values())
+
+    def __len__(self) -> int:
+        """Total number of elements, counting multiplicity."""
+        return len(self._mapping)
+
+    def __bool__(self) -> bool:
+        return bool(self._mapping)
+
+    def __contains__(self, element: object) -> bool:
+        """``a in B`` iff ``B(i) = a`` for some identifier ``i``."""
+        return element in self._mapping.values()
+
+    # ------------------------------------------------------ bag-algebra layer
+    def multiplicity(self, element: E) -> int:
+        """``mult_B(a)``: number of identifiers mapped to ``element``."""
+        return sum(1 for value in self._mapping.values() if value == element)
+
+    def counter(self) -> Counter:
+        """Return the multiplicity function as a :class:`collections.Counter`."""
+        return Counter(self._mapping.values())
+
+    def contained_in(self, other: "Bag[E]") -> bool:
+        """``self ⊆ other`` iff every multiplicity in ``self`` is ≤ in ``other``."""
+        mine, theirs = self.counter(), other.counter()
+        return all(theirs[element] >= count for element, count in mine.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bag):
+            return self.counter() == other.counter()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.counter().items()))
+
+    # ----------------------------------------------------------- constructors
+    def restrict(self, predicate) -> "Bag[E]":
+        """Sub-bag of elements satisfying ``predicate``, keeping identifiers."""
+        return Bag({i: e for i, e in self._mapping.items() if predicate(e)})
+
+    def restrict_identifiers(self, identifiers: Iterable[Hashable]) -> "Bag[E]":
+        """Sub-bag restricted to the given identifiers (missing ids are ignored)."""
+        wanted = set(identifiers)
+        return Bag({i: e for i, e in self._mapping.items() if i in wanted})
+
+    def map(self, func) -> "Bag":
+        """Point-wise application of ``func`` to elements, keeping identifiers."""
+        return Bag({i: func(e) for i, e in self._mapping.items()})
+
+    def with_element(self, identifier: Hashable, element: E) -> "Bag[E]":
+        """Return a copy with ``identifier -> element`` added (or replaced)."""
+        mapping = dict(self._mapping)
+        mapping[identifier] = element
+        return Bag(mapping)
+
+    def union(self, other: "Bag[E]") -> "Bag[E]":
+        """Additive (bag) union; identifiers of ``other`` are re-keyed to avoid clashes."""
+        mapping: Dict[Hashable, E] = dict(self._mapping)
+        for identifier, element in other.items():
+            key = identifier
+            while key in mapping:
+                key = (key, "+")
+            mapping[key] = element
+        return Bag(mapping)
+
+    def as_mapping(self) -> Dict[Hashable, E]:
+        """Return a copy of the underlying ``I -> U`` mapping."""
+        return dict(self._mapping)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{i}: {e!r}" for i, e in sorted(self._mapping.items(), key=lambda kv: str(kv[0])))
+        return f"Bag({{{inner}}})"
+
+
+def bag_of(*elements: E) -> Bag[E]:
+    """Build a bag ``{{e_0, ..., e_{n-1}}}`` with integer identifiers."""
+    return Bag(elements)

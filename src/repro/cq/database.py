@@ -1,0 +1,148 @@
+"""Relational databases with duplicates (paper, Section 4).
+
+A database ``D`` over a schema ``σ`` is a bag of tuples.  ``R^D`` is the
+sub-bag of ``D`` containing only the ``R``-tuples, keeping the original
+identifiers — this is what allows t-homomorphisms to refer to concrete
+occurrences of a tuple.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple as Tup
+
+from repro.cq.bag import Bag
+from repro.cq.schema import DataValue, Schema, SchemaError, Tuple
+
+
+class Database:
+    """A relational database (bag of tuples) over a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema the tuples must conform to.
+    tuples:
+        Either an iterable of :class:`~repro.cq.schema.Tuple` (identifiers
+        ``0..n-1`` assigned in order) or a mapping from identifiers to tuples.
+
+    Examples
+    --------
+    >>> sigma0 = Schema({"R": 2, "S": 2, "T": 1})
+    >>> d0 = Database(sigma0, [Tuple("S", (2, 11)), Tuple("T", (2,)), Tuple("R", (1, 10))])
+    >>> len(d0)
+    3
+    >>> sorted(str(t) for t in d0.relation("T"))
+    ['T(2)']
+    """
+
+    __slots__ = ("schema", "_bag", "_by_relation", "_index_cache")
+
+    def __init__(
+        self,
+        schema: Schema,
+        tuples: Iterable[Tuple] | Mapping[Hashable, Tuple] = (),
+    ) -> None:
+        self.schema = schema
+        bag = Bag(tuples)
+        for tup in bag:
+            schema.validate(tup)
+        self._bag: Bag[Tuple] = bag
+        by_relation: Dict[str, Dict[Hashable, Tuple]] = defaultdict(dict)
+        for identifier, tup in bag.items():
+            by_relation[tup.relation][identifier] = tup
+        self._by_relation = {name: Bag(mapping) for name, mapping in by_relation.items()}
+        self._index_cache: Dict[Tup[str, Tup[int, ...]], Dict[tuple, list]] = {}
+
+    # ----------------------------------------------------------------- access
+    def as_bag(self) -> Bag[Tuple]:
+        """The database as a bag of tuples."""
+        return self._bag
+
+    def identifiers(self) -> frozenset:
+        """All tuple identifiers ``I(D)``."""
+        return self._bag.identifiers()
+
+    def __getitem__(self, identifier: Hashable) -> Tuple:
+        return self._bag[identifier]
+
+    def __len__(self) -> int:
+        return len(self._bag)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._bag)
+
+    def __contains__(self, tup: object) -> bool:
+        return tup in self._bag
+
+    def items(self) -> Iterator[Tup[Hashable, Tuple]]:
+        return self._bag.items()
+
+    def relation(self, name: str) -> Bag[Tuple]:
+        """The bag ``R^D`` of ``name``-tuples, keeping identifiers."""
+        if name not in self.schema:
+            raise SchemaError(f"unknown relation name {name!r}")
+        return self._by_relation.get(name, Bag())
+
+    def multiplicity(self, tup: Tuple) -> int:
+        """``mult_D(t)``."""
+        return self._bag.multiplicity(tup)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self.schema == other.schema and self._bag == other._bag
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self._bag))
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._bag)} tuples over {sorted(self.schema.relation_names)})"
+
+    # ----------------------------------------------------------------- update
+    def insert(self, tup: Tuple, identifier: Hashable | None = None) -> "Database":
+        """Return a new database with ``tup`` inserted under ``identifier``.
+
+        When ``identifier`` is ``None`` the next unused integer is chosen.
+        Databases are immutable value objects; streaming components build the
+        prefix databases ``D_n[S]`` incrementally through their own indexes
+        instead of repeatedly calling this method.
+        """
+        self.schema.validate(tup)
+        if identifier is None:
+            used = self._bag.identifiers()
+            identifier = 0
+            while identifier in used:
+                identifier += 1
+        elif identifier in self._bag.identifiers():
+            raise ValueError(f"identifier {identifier!r} already present")
+        return Database(self.schema, self._bag.with_element(identifier, tup).as_mapping())
+
+    # ------------------------------------------------------------------ index
+    def index(self, relation: str, positions: Tup[int, ...]) -> Dict[tuple, list]:
+        """Hash index of ``relation`` on the given attribute positions.
+
+        Maps each key (projection of a tuple onto ``positions``) to the list of
+        ``(identifier, tuple)`` pairs having that key.  Used by the
+        join-based evaluators; results are cached per database instance.
+        """
+        cache_key = (relation, tuple(positions))
+        if cache_key not in self._index_cache:
+            index: Dict[tuple, list] = defaultdict(list)
+            for identifier, tup in self.relation(relation).items():
+                index[tup.project(positions)].append((identifier, tup))
+            self._index_cache[cache_key] = dict(index)
+        return self._index_cache[cache_key]
+
+
+def database_from_rows(
+    schema: Schema, rows: Iterable[Tup[str, Tup[DataValue, ...]]]
+) -> Database:
+    """Build a database from ``(relation, values)`` rows.
+
+    >>> sigma = Schema({"T": 1})
+    >>> db = database_from_rows(sigma, [("T", (1,)), ("T", (2,))])
+    >>> len(db)
+    2
+    """
+    return Database(schema, [schema.tuple(rel, *values) for rel, values in rows])

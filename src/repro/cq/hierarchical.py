@@ -1,0 +1,307 @@
+"""Hierarchical conjunctive queries and q-trees (paper, Section 4 and Appendix B).
+
+A CQ ``Q`` is *hierarchical* iff it is full and for every pair of variables
+``x, y`` the atom sets ``atoms(x)`` and ``atoms(y)`` are comparable by
+inclusion or disjoint.  Berkholz, Keppeler and Schweikardt showed that a CQ is
+hierarchical and connected iff it admits a *q-tree*: a labelled tree whose
+inner nodes are the variables, whose leaves are the atom identifiers, and where
+the inner nodes on the path from the root to a leaf ``i`` are exactly the
+variables of atom ``i``.
+
+This module provides the hierarchy test, q-tree construction, the *compact*
+q-tree (inner nodes with a single child contracted away) used by the PCEA
+construction of Theorem 4.1, and a validator used by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.cq.query import ConjunctiveQuery, Variable
+
+
+NodeLabel = Union[Variable, int]
+
+
+class NotHierarchicalError(ValueError):
+    """Raised when a q-tree is requested for a non-hierarchical or disconnected CQ."""
+
+
+def is_hierarchical(query: ConjunctiveQuery, require_full: bool = True) -> bool:
+    """Return whether ``query`` is a hierarchical CQ.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query to test.
+    require_full:
+        The paper's definition of HCQ additionally requires the query to be
+        *full* (every body variable appears in the head).  Set to ``False`` to
+        test only the atoms(x)/atoms(y) containment condition.
+    """
+    if require_full and not query.is_full():
+        return False
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    atom_sets = {variable: query.atom_ids_with(variable) for variable in variables}
+    for i, x in enumerate(variables):
+        for y in variables[i + 1 :]:
+            ax, ay = atom_sets[x], atom_sets[y]
+            if not (ax <= ay or ay <= ax or not (ax & ay)):
+                return False
+    return True
+
+
+@dataclass
+class QTreeNode:
+    """A node of a (possibly compact) q-tree.
+
+    ``label`` is a :class:`Variable` for inner nodes and an atom identifier
+    (``int``) for leaves.
+    """
+
+    label: NodeLabel
+    children: List["QTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self.label, Variable)
+
+    def iter_nodes(self) -> Iterator["QTreeNode"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def leaves(self) -> Iterator["QTreeNode"]:
+        """All leaf nodes below (or equal to) this node."""
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+    def __repr__(self) -> str:
+        return f"QTreeNode({self.label!r}, children={len(self.children)})"
+
+
+@dataclass
+class QTree:
+    """A q-tree (or compact q-tree) for a connected hierarchical CQ."""
+
+    query: ConjunctiveQuery
+    root: QTreeNode
+    compact: bool = False
+
+    # ------------------------------------------------------------- navigation
+    def nodes(self) -> Iterator[QTreeNode]:
+        return self.root.iter_nodes()
+
+    def variable_nodes(self) -> Iterator[QTreeNode]:
+        for node in self.nodes():
+            if node.is_variable:
+                yield node
+
+    def leaf_nodes(self) -> Iterator[QTreeNode]:
+        yield from self.root.leaves()
+
+    def node_of(self, label: NodeLabel) -> QTreeNode:
+        """Return the unique node carrying ``label``."""
+        for node in self.nodes():
+            if node.label == label:
+                return node
+        raise KeyError(f"label {label!r} not in q-tree")
+
+    def parent_map(self) -> Dict[NodeLabel, Optional[NodeLabel]]:
+        """Map each node label to its parent's label (``None`` for the root)."""
+        parents: Dict[NodeLabel, Optional[NodeLabel]] = {self.root.label: None}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                parents[child.label] = node.label
+                stack.append(child)
+        return parents
+
+    def descendants(self, label: NodeLabel) -> frozenset[NodeLabel]:
+        """Labels of all descendants of ``label`` (including itself)."""
+        node = self.node_of(label)
+        return frozenset(n.label for n in node.iter_nodes())
+
+    def descendant_atoms(self, label: NodeLabel) -> frozenset[int]:
+        """Atom identifiers at the leaves below ``label``."""
+        return frozenset(l for l in self.descendants(label) if isinstance(l, int))
+
+    def ancestors(self, label: NodeLabel) -> tuple[NodeLabel, ...]:
+        """Labels on the path from the root to ``label`` (inclusive)."""
+        parents = self.parent_map()
+        path: List[NodeLabel] = [label]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        return tuple(reversed(path))
+
+    def path_variables(self, atom_id: int) -> frozenset[Variable]:
+        """Variables on the path from the root to the leaf of ``atom_id``."""
+        return frozenset(
+            label for label in self.ancestors(atom_id) if isinstance(label, Variable)
+        )
+
+    def depth(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+
+        def rec(node: QTreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(rec(child) for child in node.children)
+
+        return rec(self.root)
+
+    # -------------------------------------------------------------- transform
+    def compacted(self) -> "QTree":
+        """Return the compact q-tree (single-child inner nodes contracted).
+
+        Following Appendix B: for every inner node with a single child, the
+        node is removed and its child takes its place.  The root of a compact
+        q-tree of a query with at least two atoms is always a variable with at
+        least two children.
+        """
+
+        def compact(node: QTreeNode) -> QTreeNode:
+            while node.is_variable and len(node.children) == 1:
+                node = node.children[0]
+            if node.is_leaf:
+                return QTreeNode(node.label)
+            return QTreeNode(node.label, [compact(child) for child in node.children])
+
+        return QTree(self.query, compact(self.root), compact=True)
+
+    def pretty(self) -> str:
+        """Human-readable indented rendering (used by examples and docs)."""
+        lines: List[str] = []
+
+        def walk(node: QTreeNode, depth: int) -> None:
+            if node.is_variable:
+                text = str(node.label)
+            else:
+                text = f"[{node.label}] {self.query.atom(node.label)}"
+            lines.append("  " * depth + text)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        kind = "compact q-tree" if self.compact else "q-tree"
+        return f"QTree({kind} of {self.query.name}, {sum(1 for _ in self.nodes())} nodes)"
+
+
+def build_q_tree(query: ConjunctiveQuery) -> QTree:
+    """Build a q-tree for a connected hierarchical CQ.
+
+    Raises
+    ------
+    NotHierarchicalError
+        If the query is not hierarchical (atom-set condition), not full, or
+        not connected (no variable occurs in every atom).
+    """
+    if not query.is_full():
+        raise NotHierarchicalError(f"{query} is not full")
+    if not is_hierarchical(query):
+        raise NotHierarchicalError(f"{query} is not hierarchical")
+    if not query.is_connected_hierarchically():
+        raise NotHierarchicalError(f"{query} is not connected (no variable in every atom)")
+
+    def occurrences(variable: Variable, atom_ids: Sequence[int]) -> int:
+        return sum(1 for i in atom_ids if variable in query.atom(i).variables())
+
+    def build(atom_ids: List[int], remaining: frozenset[Variable]) -> QTreeNode:
+        """Build the subtree for ``atom_ids`` whose unplaced variables are ``remaining``."""
+        relevant = {
+            v for v in remaining if any(v in query.atom(i).variables() for i in atom_ids)
+        }
+        if len(atom_ids) == 1 and not relevant:
+            return QTreeNode(atom_ids[0])
+        # A variable occurring in every atom of the group must exist for
+        # hierarchical connected groups; pick deterministically by name.
+        common = sorted(
+            (v for v in relevant if occurrences(v, atom_ids) == len(atom_ids)),
+            key=lambda v: v.name,
+        )
+        if not common:
+            raise NotHierarchicalError(
+                f"no common variable for atom group {sorted(atom_ids)}; query is not "
+                "hierarchical or not connected"
+            )
+        pivot = common[0]
+        node = QTreeNode(pivot)
+        rest = frozenset(relevant) - {pivot}
+        # Atoms whose unplaced variables are exhausted become leaf children.
+        # The others are grouped into connected components w.r.t. the
+        # remaining variables and recursed upon.
+        exhausted = [
+            i for i in atom_ids if not (query.atom(i).variables() & rest)
+        ]
+        pending = [i for i in atom_ids if i not in exhausted]
+        for atom_id in sorted(exhausted):
+            node.children.append(QTreeNode(atom_id))
+        for component in _components(query, pending, rest):
+            node.children.append(build(component, rest))
+        return node
+
+    atom_ids = list(range(len(query.atoms)))
+    root = build(atom_ids, query.variables())
+    return QTree(query, root, compact=False)
+
+
+def _components(
+    query: ConjunctiveQuery, atom_ids: List[int], variables: frozenset[Variable]
+) -> List[List[int]]:
+    """Connected components of ``atom_ids`` linked by sharing a variable of ``variables``."""
+    remaining = set(atom_ids)
+    components: List[List[int]] = []
+    while remaining:
+        seed = min(remaining)
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            current_vars = query.atom(current).variables() & variables
+            for other in list(remaining - component):
+                if query.atom(other).variables() & current_vars:
+                    component.add(other)
+                    frontier.append(other)
+        components.append(sorted(component))
+        remaining -= component
+    return components
+
+
+def validate_q_tree(tree: QTree) -> None:
+    """Check the defining conditions of a q-tree, raising ``AssertionError`` otherwise.
+
+    Used by the test suite; works for both plain and compact q-trees (for the
+    compact variant the path condition is relaxed to "path variables are a
+    subset of the atom's variables and determine them within the tree").
+    """
+    query = tree.query
+    variable_labels = [node.label for node in tree.variable_nodes()]
+    leaf_labels = [node.label for node in tree.leaf_nodes()]
+    assert len(set(leaf_labels)) == len(leaf_labels), "duplicate leaf labels"
+    assert set(leaf_labels) == set(query.atom_identifiers()), "leaves must be the atom ids"
+    assert len(set(variable_labels)) == len(variable_labels), "duplicate variable nodes"
+    for node in tree.variable_nodes():
+        assert node.children, "variable nodes must be inner nodes"
+    if not tree.compact:
+        assert set(variable_labels) == set(query.variables()), "inner nodes must be the variables"
+        for atom_id in query.atom_identifiers():
+            expected = query.atom(atom_id).variables()
+            assert tree.path_variables(atom_id) == expected, (
+                f"path to atom {atom_id} carries {tree.path_variables(atom_id)}, "
+                f"expected {expected}"
+            )
+    else:
+        for atom_id in query.atom_identifiers():
+            expected = query.atom(atom_id).variables()
+            assert tree.path_variables(atom_id) <= expected, "compact path variables must shrink"

@@ -1,0 +1,231 @@
+"""Homomorphisms, t-homomorphisms and CQ bag semantics (paper, Section 4 and Appendix B).
+
+Two equivalent bag semantics are implemented:
+
+* :func:`bag_semantics` — the paper's presentation via *t-homomorphisms*
+  (functions from atom identifiers to tuple identifiers), where each output
+  tuple is witnessed by exactly one t-homomorphism;
+* :func:`chaudhuri_vardi_semantics` — the classical presentation of
+  Chaudhuri & Vardi via homomorphisms and multiplicities.
+
+Appendix B proves both coincide; ``tests/test_homomorphism.py`` checks this
+property on random queries and databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Mapping, Tuple as Tup
+
+from repro.cq.bag import Bag
+from repro.cq.database import Database
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.cq.schema import DataValue, Tuple
+
+
+@dataclass(frozen=True)
+class Homomorphism:
+    """A homomorphism ``h`` restricted to the variables of a query.
+
+    Data values are implicitly mapped to themselves, so only the variable
+    bindings are stored.
+    """
+
+    bindings: Mapping[Variable, DataValue]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bindings", dict(self.bindings))
+
+    def __getitem__(self, variable: Variable) -> DataValue:
+        return self.bindings[variable]
+
+    def __contains__(self, variable: object) -> bool:
+        return variable in self.bindings
+
+    def apply(self, atom: Atom) -> Tuple:
+        """``h(R(x̄)) := R(h(x̄))``."""
+        return atom.instantiate(dict(self.bindings))
+
+    def head_tuple(self, query: ConjunctiveQuery) -> Tuple:
+        """The output tuple ``Q(h(x̄))`` for the query head."""
+        return Tuple(query.name, tuple(self.bindings[v] for v in query.head))
+
+    def items(self):
+        return self.bindings.items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Homomorphism):
+            return dict(self.bindings) == dict(other.bindings)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.bindings.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v.name}->{val!r}" for v, val in sorted(self.bindings.items()))
+        return f"Homomorphism({inner})"
+
+
+@dataclass(frozen=True)
+class THomomorphism:
+    """A t-homomorphism ``η : I(Q) -> I(D)`` with its associated homomorphism."""
+
+    assignment: Mapping[int, Hashable]
+    homomorphism: Homomorphism
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignment", dict(self.assignment))
+
+    def __getitem__(self, atom_id: int) -> Hashable:
+        return self.assignment[atom_id]
+
+    def items(self):
+        return self.assignment.items()
+
+    def positions(self) -> frozenset:
+        """The set of database identifiers used by this t-homomorphism."""
+        return frozenset(self.assignment.values())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, THomomorphism):
+            return dict(self.assignment) == dict(other.assignment)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.assignment.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{i}->{j!r}" for i, j in sorted(self.assignment.items(), key=str))
+        return f"THomomorphism({inner})"
+
+
+def _candidate_ids(
+    database: Database, atom: Atom, partial: Dict[Variable, DataValue]
+) -> Iterator[Tup[Hashable, Tuple]]:
+    """Yield ``(identifier, tuple)`` candidates of ``atom`` consistent with ``partial``.
+
+    Uses a hash index on the atom's already-bound variable positions when
+    possible, falling back to a scan of the relation otherwise.
+    """
+    bound_positions = []
+    bound_values = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable):
+            if term in partial:
+                bound_positions.append(position)
+                bound_values.append(partial[term])
+        else:
+            bound_positions.append(position)
+            bound_values.append(term)
+    if bound_positions:
+        index = database.index(atom.relation, tuple(bound_positions))
+        yield from index.get(tuple(bound_values), ())
+    else:
+        yield from database.relation(atom.relation).items()
+
+
+def _extend(
+    atom: Atom, tup: Tuple, partial: Dict[Variable, DataValue]
+) -> Dict[Variable, DataValue] | None:
+    """Try to extend ``partial`` so that it maps ``atom`` onto ``tup``."""
+    extended = dict(partial)
+    for term, value in zip(atom.terms, tup.values):
+        if isinstance(term, Variable):
+            if term in extended:
+                if extended[term] != value:
+                    return None
+            else:
+                extended[term] = value
+        elif term != value:
+            return None
+    return extended
+
+
+def enumerate_t_homomorphisms(
+    query: ConjunctiveQuery, database: Database
+) -> Iterator[THomomorphism]:
+    """Enumerate every t-homomorphism from ``query`` to ``database``.
+
+    The enumeration is a straightforward backtracking join over the atoms in
+    body order, using per-relation hash indexes on the already-bound
+    positions.  It is the reference (obviously correct) evaluator that the
+    streaming algorithms are tested against; it makes no sub-exponential
+    complexity claim.
+    """
+
+    atoms = query.atoms
+
+    def recurse(
+        atom_index: int,
+        partial: Dict[Variable, DataValue],
+        chosen: Dict[int, Hashable],
+    ) -> Iterator[THomomorphism]:
+        if atom_index == len(atoms):
+            yield THomomorphism(dict(chosen), Homomorphism(dict(partial)))
+            return
+        atom = atoms[atom_index]
+        for identifier, tup in _candidate_ids(database, atom, partial):
+            extended = _extend(atom, tup, partial)
+            if extended is None:
+                continue
+            chosen[atom_index] = identifier
+            yield from recurse(atom_index + 1, extended, chosen)
+            del chosen[atom_index]
+
+    yield from recurse(0, {}, {})
+
+
+def enumerate_homomorphisms(
+    query: ConjunctiveQuery, database: Database
+) -> Iterator[Homomorphism]:
+    """Enumerate ``Hom(Q, D)`` (each homomorphism exactly once)."""
+    seen: set[Homomorphism] = set()
+    for t_hom in enumerate_t_homomorphisms(query, database):
+        if t_hom.homomorphism not in seen:
+            seen.add(t_hom.homomorphism)
+            yield t_hom.homomorphism
+
+
+def bag_semantics(query: ConjunctiveQuery, database: Database) -> Bag[Tuple]:
+    """The paper's bag semantics ``⟦Q⟧(D)``.
+
+    Each t-homomorphism ``η`` contributes one occurrence of the output tuple
+    ``Q(h_η(x̄))``; the t-homomorphism itself is used as the bag identifier so
+    outputs and witnesses are in one-to-one correspondence.
+    """
+    mapping: Dict[THomomorphism, Tuple] = {}
+    for t_hom in enumerate_t_homomorphisms(query, database):
+        mapping[t_hom] = t_hom.homomorphism.head_tuple(query)
+    return Bag(mapping)
+
+
+def multiplicity_of_homomorphism(
+    query: ConjunctiveQuery, database: Database, homomorphism: Homomorphism
+) -> int:
+    """``mult_{Q,D}(h) = Π_i mult_D(h(R_i(x̄_i)))``."""
+    result = 1
+    for atom in query.atoms:
+        result *= database.multiplicity(homomorphism.apply(atom))
+        if result == 0:
+            return 0
+    return result
+
+
+def chaudhuri_vardi_semantics(query: ConjunctiveQuery, database: Database) -> Bag[Tuple]:
+    """The classical bag semantics ``⌈⌈Q⌋⌋(D)`` of Chaudhuri & Vardi.
+
+    Each output tuple ``Q(ā)`` receives multiplicity
+    ``Σ_{h : h(x̄)=ā} mult_{Q,D}(h)``.  Appendix B of the paper shows this bag
+    equals :func:`bag_semantics`; the equality is property-tested.
+    """
+    multiplicities: Dict[Tuple, int] = {}
+    for homomorphism in enumerate_homomorphisms(query, database):
+        output = homomorphism.head_tuple(query)
+        multiplicities[output] = multiplicities.get(output, 0) + multiplicity_of_homomorphism(
+            query, database, homomorphism
+        )
+    mapping: Dict[Hashable, Tuple] = {}
+    for output, count in multiplicities.items():
+        for occurrence in range(count):
+            mapping[(output, occurrence)] = output
+    return Bag(mapping)

@@ -1,0 +1,171 @@
+"""Relational schemas, tuples and data values (paper, Section 2).
+
+The paper fixes a set ``D`` of data values and defines a relational schema as a
+pair ``(T, arity)`` mapping relation names to arities.  An ``R``-tuple is an
+object ``R(a_0, ..., a_{k-1})`` with ``a_i in D`` and ``k = arity(R)``.
+
+In this reproduction data values are arbitrary hashable Python objects
+(integers and strings in practice).  The *size* of a tuple, used by the
+complexity statements (``|t|``), is the number of data values it carries plus
+one for the relation name; callers that need a finer notion (e.g. string
+lengths) can override :func:`value_size`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+
+DataValue = Hashable
+
+
+def value_size(value: DataValue) -> int:
+    """Return the size ``|a|`` of a data value.
+
+    Integers and other atomic values have size 1; strings contribute their
+    length (at least 1) so that ``|t|``-dependent cost statements remain
+    meaningful for string-valued streams.
+    """
+    if isinstance(value, str):
+        return max(1, len(value))
+    return 1
+
+
+class SchemaError(ValueError):
+    """Raised when a tuple or query does not conform to its schema."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A relational schema ``(T, arity)``.
+
+    Parameters
+    ----------
+    arities:
+        Mapping from relation name to arity.
+
+    Examples
+    --------
+    >>> sigma0 = Schema({"R": 2, "S": 2, "T": 1})
+    >>> sigma0.arity("R")
+    2
+    >>> "T" in sigma0
+    True
+    """
+
+    arities: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for name, arity in self.arities.items():
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+            if not isinstance(arity, int) or arity < 0:
+                raise SchemaError(f"arity of {name!r} must be a non-negative int, got {arity!r}")
+        # Freeze the mapping so the dataclass is genuinely immutable/hashable.
+        object.__setattr__(self, "arities", dict(self.arities))
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        """The set ``T`` of relation names."""
+        return frozenset(self.arities)
+
+    def arity(self, name: str) -> int:
+        """Return ``arity(name)``, raising :class:`SchemaError` for unknown names."""
+        try:
+            return self.arities[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation name {name!r}") from exc
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.arities
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.arities)
+
+    def __len__(self) -> int:
+        return len(self.arities)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.arities.items())))
+
+    def validate(self, tup: "Tuple") -> None:
+        """Raise :class:`SchemaError` if ``tup`` is not a tuple of this schema."""
+        if tup.relation not in self.arities:
+            raise SchemaError(f"tuple relation {tup.relation!r} not in schema")
+        expected = self.arities[tup.relation]
+        if len(tup.values) != expected:
+            raise SchemaError(
+                f"tuple {tup} has arity {len(tup.values)}, schema expects {expected}"
+            )
+
+    def tuple(self, relation: str, *values: DataValue) -> "Tuple":
+        """Build a validated :class:`Tuple` of this schema."""
+        tup = Tuple(relation, tuple(values))
+        self.validate(tup)
+        return tup
+
+
+@dataclass(frozen=True, order=True)
+class Tuple:
+    """An ``R``-tuple ``R(a_0, ..., a_{k-1})``.
+
+    Tuples are immutable value objects: two tuples with the same relation name
+    and the same values are equal (their *identity* in a bag or a stream is
+    carried by the bag identifier / stream position, never by the object).
+
+    Examples
+    --------
+    >>> t = Tuple("S", (2, 11))
+    >>> t.relation, t.values
+    ('S', (2, 11))
+    >>> t.size
+    3
+    >>> str(t)
+    'S(2, 11)'
+    """
+
+    relation: str
+    values: tuple[DataValue, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        """Number of data values of the tuple."""
+        return len(self.values)
+
+    @property
+    def size(self) -> int:
+        """The size ``|t|`` used by the complexity statements."""
+        return 1 + sum(value_size(v) for v in self.values)
+
+    def value(self, index: int) -> DataValue:
+        """Return the ``index``-th data value."""
+        return self.values[index]
+
+    def project(self, indexes: Iterable[int]) -> tuple[DataValue, ...]:
+        """Project the tuple onto the given positions (in the given order)."""
+        return tuple(self.values[i] for i in indexes)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) if isinstance(v, str) else str(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+    def __repr__(self) -> str:
+        return f"Tuple({self.relation!r}, {self.values!r})"
+
+
+def make_tuple(relation: str, *values: DataValue) -> Tuple:
+    """Convenience constructor mirroring the paper's ``R(a, b)`` notation."""
+    return Tuple(relation, tuple(values))
+
+
+def tuples_of(schema: Schema, relation: str, rows: Iterable[Iterable[Any]]) -> list[Tuple]:
+    """Build a list of validated tuples of ``relation`` from raw value rows."""
+    result = []
+    for row in rows:
+        result.append(schema.tuple(relation, *row))
+    return result

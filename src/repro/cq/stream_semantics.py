@@ -1,0 +1,118 @@
+"""CQ semantics over streams (paper, Section 4, "CQ over streams").
+
+Given a CQ ``Q`` with atom identifiers ``Ω = I(Q)`` and a stream ``S``, the
+output at position ``n`` is the set of valuations ``η̂`` obtained from the
+t-homomorphisms ``η`` from ``Q`` to the prefix database ``D_n[S]``::
+
+    ⟦Q⟧_n(S) = { η̂ | η is a t-homomorphism from Q to D_n[S] }
+
+where ``η̂(i) = {η(i)}`` maps each atom identifier to the singleton containing
+the stream position it was matched to.  This is the yardstick that a PCEA must
+match (``P ≡ Q``) and the ground truth for the streaming-engine tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set
+
+from repro.cq.database import Database
+from repro.cq.homomorphism import enumerate_t_homomorphisms
+from repro.cq.query import ConjunctiveQuery
+from repro.cq.schema import Schema, Tuple
+from repro.valuation import Valuation
+
+
+def _database_of_prefix(
+    tuples: Sequence[Tuple],
+    position: int,
+    schema: Schema | None,
+    query: ConjunctiveQuery | None = None,
+    start: int = 0,
+) -> Database:
+    """Database of positions ``start .. position`` with positions as identifiers.
+
+    When no schema is given, one is inferred from both the observed tuples and
+    the query's atoms, so that relations mentioned by the query but not (yet)
+    present in the stream prefix are still valid lookup targets.
+    """
+    if position >= len(tuples):
+        raise IndexError(f"position {position} beyond stream of length {len(tuples)}")
+    window = {i: tuples[i] for i in range(start, position + 1)}
+    if schema is None:
+        arities = {}
+        if query is not None:
+            arities.update(query.infer_schema().arities)
+        for tup in window.values():
+            arities.setdefault(tup.relation, tup.arity)
+        schema = Schema(arities)
+    return Database(schema, window)
+
+
+def cq_stream_output(
+    query: ConjunctiveQuery,
+    stream: Iterable[Tuple],
+    position: int,
+    window: int | None = None,
+    schema: Schema | None = None,
+) -> Set[Valuation]:
+    """Compute ``⟦Q⟧_n(S)`` (optionally restricted to a sliding window).
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query; its atom identifiers are the labels of the
+        output valuations.
+    stream:
+        A stream (any iterable of tuples; a :class:`repro.streams.Stream` or a
+        plain list both work).
+    position:
+        The position ``n`` at which to evaluate.
+    window:
+        When given, only valuations ``ν`` with ``position - min(ν) <= window``
+        are returned — the sliding-window output ``⟦Q⟧^w_n(S)`` used to compare
+        against Algorithm 1.
+    schema:
+        Optional schema for the prefix database.
+
+    Returns
+    -------
+    set of :class:`~repro.valuation.Valuation`
+        One valuation per t-homomorphism, mapping atom identifiers to
+        singleton position sets.
+    """
+    tuples = _as_sequence(stream, position)
+    database = _database_of_prefix(tuples, position, schema, query)
+    outputs: Set[Valuation] = set()
+    for t_hom in enumerate_t_homomorphisms(query, database):
+        valuation = Valuation({atom_id: {pos} for atom_id, pos in t_hom.items()})
+        if window is None or valuation.within_window(position, window):
+            outputs.add(valuation)
+    return outputs
+
+
+def cq_stream_new_outputs(
+    query: ConjunctiveQuery,
+    stream: Iterable[Tuple],
+    position: int,
+    window: int | None = None,
+    schema: Schema | None = None,
+) -> Set[Valuation]:
+    """Outputs at ``position`` that *use* the tuple at ``position``.
+
+    Streaming engines report, at each position, the outputs fired by the last
+    tuple; this helper provides the matching ground truth (the valuations of
+    ``⟦Q⟧_n(S)`` whose maximum position equals ``n``).
+    """
+    return {
+        valuation
+        for valuation in cq_stream_output(query, stream, position, window, schema)
+        if valuation.max_position() == position
+    }
+
+
+def _as_sequence(stream: Iterable[Tuple], position: int) -> Sequence[Tuple]:
+    if hasattr(stream, "materialise"):
+        return stream.materialise(position + 1)  # type: ignore[attr-defined]
+    if isinstance(stream, Sequence):
+        return stream
+    return list(stream)

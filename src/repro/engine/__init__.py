@@ -1,0 +1,34 @@
+"""CER pattern DSL compiled to PCEA.
+
+The paper leaves "a query language that characterizes the expressive power of
+PCEA" as future work (Section 6).  This subpackage provides a pragmatic subset:
+atom patterns with filters, unordered conjunction (via the Theorem 4.1
+translation), sequencing and disjunction, all compiled to PCEA so the
+streaming evaluator of Section 5 can run them.
+"""
+
+from repro.engine.dsl import (
+    AtomPattern,
+    Conjunction,
+    Disjunction,
+    Pattern,
+    Sequence,
+    atom,
+    conjunction,
+    disjunction,
+    sequence,
+)
+from repro.engine.compiler import compile_pattern
+
+__all__ = [
+    "AtomPattern",
+    "Conjunction",
+    "Disjunction",
+    "Pattern",
+    "Sequence",
+    "atom",
+    "conjunction",
+    "disjunction",
+    "sequence",
+    "compile_pattern",
+]

@@ -1,0 +1,158 @@
+"""A small CER pattern language (syntax only; compilation in :mod:`repro.engine.compiler`).
+
+Patterns are built from four combinators:
+
+* :func:`atom` — a single event of a relation, binding variables and applying
+  local filters (e.g. ``atom("Buy", "s", "p", filters=[("p", ">", 100)])``);
+* :func:`conjunction` — all sub-events must occur (in any order), correlated
+  through shared variables; the variable structure must be hierarchical;
+* :func:`sequence` — the components must occur in stream order; correlation
+  with the previous component happens through the variables shared with it
+  (the model's inherent "compare with the last tuple" restriction);
+* :func:`disjunction` — either alternative matches.
+
+Every atom occurring in a pattern receives an integer label (its position in a
+left-to-right traversal); the output valuations map these labels to stream
+positions, exactly like the atom identifiers of a CQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence as Seq, Tuple as Tup, Union
+
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import DataValue
+
+
+FilterSpec = Tup[str, str, DataValue]
+
+
+class Pattern:
+    """Base class of CER patterns."""
+
+    def atoms(self) -> Iterator["AtomPattern"]:
+        """All atom patterns, in left-to-right order."""
+        raise NotImplementedError
+
+    def then(self, other: "Pattern") -> "Sequence":
+        """``self`` followed (later in the stream) by ``other``."""
+        return sequence(self, other)
+
+    def and_(self, other: "Pattern") -> "Conjunction":
+        """``self`` and ``other`` in any order."""
+        return conjunction(self, other)
+
+    def or_(self, other: "Pattern") -> "Disjunction":
+        """``self`` or ``other``."""
+        return disjunction(self, other)
+
+
+@dataclass(frozen=True)
+class AtomPattern(Pattern):
+    """A single-event pattern: relation name, variable names, optional filters.
+
+    ``variables`` may repeat a name (forcing equal attribute values) and
+    filters are ``(variable, operator, constant)`` triples applied locally.
+    """
+
+    relation: str
+    variables: Tup[str, ...]
+    filters: Tup[FilterSpec, ...] = ()
+
+    def atoms(self) -> Iterator["AtomPattern"]:
+        yield self
+
+    def as_atom(self) -> Atom:
+        """The CQ atom corresponding to this pattern (filters excluded)."""
+        return Atom(self.relation, tuple(Variable(name) for name in self.variables))
+
+    def variable_positions(self, name: str) -> Tup[int, ...]:
+        return tuple(i for i, v in enumerate(self.variables) if v == name)
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.variables)
+        suffix = "".join(f"[{v} {op} {c!r}]" for v, op, c in self.filters)
+        return f"{self.relation}({inner}){suffix}"
+
+
+@dataclass(frozen=True)
+class Conjunction(Pattern):
+    """Unordered conjunction of atom patterns (and nested conjunctions)."""
+
+    parts: Tup[Pattern, ...]
+
+    def atoms(self) -> Iterator[AtomPattern]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({part})" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Sequence(Pattern):
+    """Ordered sequence of components (atoms or conjunctions)."""
+
+    parts: Tup[Pattern, ...]
+
+    def atoms(self) -> Iterator[AtomPattern]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def __str__(self) -> str:
+        return " ; ".join(f"({part})" for part in self.parts)
+
+
+@dataclass(frozen=True)
+class Disjunction(Pattern):
+    """Disjunction of alternatives."""
+
+    parts: Tup[Pattern, ...]
+
+    def atoms(self) -> Iterator[AtomPattern]:
+        for part in self.parts:
+            yield from part.atoms()
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({part})" for part in self.parts)
+
+
+def atom(relation: str, *variables: str, filters: Seq[FilterSpec] = ()) -> AtomPattern:
+    """Build an :class:`AtomPattern`.
+
+    >>> str(atom("Buy", "s", "p", filters=[("p", ">", 100)]))
+    "Buy(s, p)[p > 100]"
+    """
+    return AtomPattern(relation, tuple(variables), tuple(filters))
+
+
+def _flatten(parts: Seq[Pattern], kind: type) -> Tup[Pattern, ...]:
+    flattened: List[Pattern] = []
+    for part in parts:
+        if isinstance(part, kind):
+            flattened.extend(part.parts)  # type: ignore[attr-defined]
+        else:
+            flattened.append(part)
+    return tuple(flattened)
+
+
+def conjunction(*parts: Pattern) -> Conjunction:
+    """Unordered conjunction; nested conjunctions are flattened."""
+    if not parts:
+        raise ValueError("conjunction needs at least one part")
+    return Conjunction(_flatten(parts, Conjunction))
+
+
+def sequence(*parts: Pattern) -> Sequence:
+    """Ordered sequence; nested sequences are flattened."""
+    if not parts:
+        raise ValueError("sequence needs at least one part")
+    return Sequence(_flatten(parts, Sequence))
+
+
+def disjunction(*parts: Pattern) -> Disjunction:
+    """Disjunction; nested disjunctions are flattened."""
+    if not parts:
+        raise ValueError("disjunction needs at least one part")
+    return Disjunction(_flatten(parts, Disjunction))

@@ -1,0 +1,134 @@
+"""Bounded checks for the unambiguity hypothesis of Theorem 5.1.
+
+The paper's evaluation algorithm assumes an *unambiguous* PCEA (each output is
+witnessed by exactly one, simple, run) and leaves "a disambiguation procedure
+or deciding unambiguity" as future work.  This module provides two pragmatic
+tools:
+
+* :func:`is_syntactically_unambiguous` — a cheap *sufficient* structural
+  condition.  When it returns ``True`` the automaton is guaranteed unambiguous;
+  ``False`` means "unknown" (the Theorem 4.1 automata, for instance, are
+  unambiguous for semantic reasons this check cannot see).
+* :func:`ambiguity_witness` — an exhaustive bounded search over small abstract
+  streams that either returns a concrete witness stream on which two distinct
+  accepting runs produce the same valuation (or a non-simple run), or ``None``
+  if no violation exists up to the given bounds.  This is a semi-decision
+  procedure: the absence of a witness within the bounds is evidence, not proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.core.pcea import PCEA, check_unambiguous_on_stream
+from repro.core.predicates import (
+    AtomUnaryPredicate,
+    RelationPredicate,
+    SelfJoinUnaryPredicate,
+    UnaryPredicate,
+)
+from repro.cq.schema import Schema, Tuple
+
+
+def _possible_relations(unary: UnaryPredicate) -> Optional[frozenset[str]]:
+    """The relation names a unary predicate can accept, when statically known."""
+    if isinstance(unary, RelationPredicate):
+        return frozenset(unary.relations)
+    if isinstance(unary, AtomUnaryPredicate):
+        return frozenset({unary.atom.relation})
+    if isinstance(unary, SelfJoinUnaryPredicate):
+        return frozenset({unary.unified.relation})
+    return None
+
+
+def is_syntactically_unambiguous(pcea: PCEA) -> bool:
+    """A sufficient structural condition for unambiguity.
+
+    The condition: (1) every label is written by exactly one transition, and
+    (2) any two distinct transitions are *relation-disjoint* (their unary
+    predicates can never accept the same tuple, as far as relation names
+    reveal) or have disjoint label sets and different targets.  Under these
+    conditions a tuple can extend runs in at most one way per label, so no two
+    distinct runs can share a valuation and every run is simple.
+
+    Returns ``False`` whenever the condition cannot be established — in
+    particular for the Theorem 4.1 automata, whose unambiguity relies on the
+    q-tree structure rather than on syntactic disjointness.
+    """
+    transitions = list(pcea.transitions)
+    label_writers: dict = {}
+    for index, transition in enumerate(transitions):
+        for label in transition.labels:
+            label_writers.setdefault(label, set()).add(index)
+    if any(len(writers) > 1 for writers in label_writers.values()):
+        return False
+    for first, second in itertools.combinations(range(len(transitions)), 2):
+        t1, t2 = transitions[first], transitions[second]
+        relations1 = _possible_relations(t1.unary)
+        relations2 = _possible_relations(t2.unary)
+        relation_disjoint = (
+            relations1 is not None and relations2 is not None and not (relations1 & relations2)
+        )
+        if relation_disjoint:
+            continue
+        if t1.labels & t2.labels:
+            return False
+        if t1.target == t2.target:
+            return False
+    return True
+
+
+def _tuple_universe(schema: Schema, domain: Sequence[int]) -> List[Tuple]:
+    """Every tuple over ``schema`` with values drawn from ``domain``."""
+    universe: List[Tuple] = []
+    for relation in sorted(schema.relation_names):
+        arity = schema.arity(relation)
+        for values in itertools.product(domain, repeat=arity):
+            universe.append(Tuple(relation, values))
+    return universe
+
+
+def _streams(universe: Sequence[Tuple], length: int) -> Iterator[List[Tuple]]:
+    yield from (list(stream) for stream in itertools.product(universe, repeat=length))
+
+
+def ambiguity_witness(
+    pcea: PCEA,
+    schema: Schema,
+    max_length: int = 3,
+    domain: Sequence[int] = (0, 1),
+    max_streams: int | None = 20_000,
+) -> Optional[List[Tuple]]:
+    """Search exhaustively for a small stream violating unambiguity.
+
+    Parameters
+    ----------
+    pcea:
+        The automaton to audit.
+    schema:
+        Schema from which candidate tuples are drawn.
+    max_length:
+        Maximum stream length explored (the search is exponential in this).
+    domain:
+        Data values used to build candidate tuples; two or three values
+        suffice to expose equality/inequality behaviour of ``B_eq`` predicates.
+    max_streams:
+        Safety cap on the number of candidate streams (``None`` for no cap).
+
+    Returns
+    -------
+    The first stream (as a list of tuples) on which the automaton has either a
+    non-simple accepting run or two distinct accepting runs with the same
+    valuation; ``None`` if no such stream exists within the bounds.
+    """
+    universe = _tuple_universe(schema, domain)
+    explored = 0
+    for length in range(1, max_length + 1):
+        for stream in _streams(universe, length):
+            explored += 1
+            if max_streams is not None and explored > max_streams:
+                return None
+            if check_unambiguous_on_stream(pcea, stream):
+                return stream
+    return None

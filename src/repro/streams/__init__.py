@@ -1,0 +1,18 @@
+"""Stream substrate: tuple streams and synthetic workload generators."""
+
+from repro.streams.stream import Stream, prefix_database
+from repro.streams.generators import (
+    StockStreamGenerator,
+    SensorStreamGenerator,
+    HCQWorkloadGenerator,
+    random_stream,
+)
+
+__all__ = [
+    "Stream",
+    "prefix_database",
+    "StockStreamGenerator",
+    "SensorStreamGenerator",
+    "HCQWorkloadGenerator",
+    "random_stream",
+]

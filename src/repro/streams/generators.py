@@ -1,0 +1,257 @@
+"""Synthetic workload generators for tests, examples and benchmarks.
+
+The paper has no data sets; these generators produce streams whose *match
+density* (how many outputs a query produces per position) and *key skew* are
+controllable, which is what the experiments of EXPERIMENTS.md sweep over.
+
+Three families are provided:
+
+* :class:`HCQWorkloadGenerator` — a parametric star-shaped HCQ together with a
+  stream of tuples whose join keys are drawn from a configurable domain; used
+  by the update-time and delay experiments (E1–E4).
+* :class:`StockStreamGenerator` — a small market-data scenario (buy / sell /
+  news events per symbol) motivating the CER examples.
+* :class:`SensorStreamGenerator` — an IoT scenario (temperature / humidity /
+  alarm events per sensor).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.cq.schema import Schema, Tuple
+from repro.streams.stream import Stream
+
+
+def random_stream(
+    schema: Schema,
+    length: int,
+    domain_size: int = 10,
+    seed: int | None = 0,
+    relation_weights: Dict[str, float] | None = None,
+) -> Stream:
+    """A finite stream of uniformly random tuples over ``schema``.
+
+    Parameters
+    ----------
+    schema:
+        Relation names and arities to draw from.
+    length:
+        Number of tuples.
+    domain_size:
+        Data values are integers in ``[0, domain_size)``.
+    seed:
+        Seed for reproducibility (``None`` for nondeterministic).
+    relation_weights:
+        Optional relative frequency per relation name.
+    """
+    rng = random.Random(seed)
+    names = sorted(schema.relation_names)
+    weights = [relation_weights.get(name, 1.0) if relation_weights else 1.0 for name in names]
+    tuples: List[Tuple] = []
+    for _ in range(length):
+        relation = rng.choices(names, weights=weights, k=1)[0]
+        values = tuple(rng.randrange(domain_size) for _ in range(schema.arity(relation)))
+        tuples.append(Tuple(relation, values))
+    return Stream(tuples, schema)
+
+
+@dataclass
+class HCQWorkloadGenerator:
+    """Parametric star-HCQ workload.
+
+    The query is the star ``Q(x, y_1, ..., y_k) <- R_1(x, y_1), ..., R_k(x, y_k)``
+    which is hierarchical (the centre variable ``x`` occurs in every atom).
+    Tuples ``R_j(key, payload)`` are generated with keys drawn from
+    ``key_domain`` values and payloads from ``payload_domain`` values, so the
+    expected number of matches per position can be tuned through the domain
+    sizes and the number of relations.
+
+    Examples
+    --------
+    >>> workload = HCQWorkloadGenerator(arms=3, key_domain=5, seed=1)
+    >>> query = workload.query()
+    >>> stream = workload.stream(100)
+    >>> len(stream)
+    100
+    """
+
+    arms: int = 3
+    key_domain: int = 10
+    payload_domain: int = 100
+    seed: Optional[int] = 0
+    relation_prefix: str = "R"
+
+    def schema(self) -> Schema:
+        return Schema({f"{self.relation_prefix}{j}": 2 for j in range(1, self.arms + 1)})
+
+    def query(self) -> ConjunctiveQuery:
+        """The star HCQ over the workload's schema."""
+        x = Variable("x")
+        head: List[Variable] = [x]
+        atoms: List[Atom] = []
+        for j in range(1, self.arms + 1):
+            y = Variable(f"y{j}")
+            head.append(y)
+            atoms.append(Atom(f"{self.relation_prefix}{j}", (x, y)))
+        return ConjunctiveQuery(head, atoms, name="Star")
+
+    def tuples(self, length: int) -> Iterator[Tuple]:
+        rng = random.Random(self.seed)
+        relations = [f"{self.relation_prefix}{j}" for j in range(1, self.arms + 1)]
+        for _ in range(length):
+            relation = rng.choice(relations)
+            key = rng.randrange(self.key_domain)
+            payload = rng.randrange(self.payload_domain)
+            yield Tuple(relation, (key, payload))
+
+    def stream(self, length: int) -> Stream:
+        """A finite stream of ``length`` tuples."""
+        return Stream(list(self.tuples(length)), self.schema())
+
+    def hot_key_stream(self, length: int, hot_fraction: float = 0.5) -> Stream:
+        """A skewed stream where ``hot_fraction`` of the tuples share key ``0``.
+
+        Produces many matches per position; used by the enumeration-delay
+        experiment (E3), where the number of outputs must be controllable.
+        """
+        rng = random.Random(self.seed)
+        relations = [f"{self.relation_prefix}{j}" for j in range(1, self.arms + 1)]
+        tuples: List[Tuple] = []
+        for _ in range(length):
+            relation = rng.choice(relations)
+            if rng.random() < hot_fraction:
+                key = 0
+            else:
+                key = rng.randrange(1, max(2, self.key_domain))
+            payload = rng.randrange(self.payload_domain)
+            tuples.append(Tuple(relation, (key, payload)))
+        return Stream(tuples, self.schema())
+
+
+def star_hcq(arms: int, relation_prefix: str = "R") -> ConjunctiveQuery:
+    """The star HCQ ``Q(x, ȳ) <- R_1(x, y_1), ..., R_k(x, y_k)`` (used by E5)."""
+    return HCQWorkloadGenerator(arms=arms, relation_prefix=relation_prefix).query()
+
+
+def deep_hcq(depth: int, relation_prefix: str = "D") -> ConjunctiveQuery:
+    """A "telescope" HCQ with a q-tree of depth ``depth``.
+
+    Atom ``j`` (for ``j = 1..depth``) is ``D_j(x_1, ..., x_j)``; the variable
+    sets are nested, so the query is hierarchical and its q-tree is a path of
+    variables with one leaf hanging at each level.
+    """
+    variables = [Variable(f"x{i}") for i in range(1, depth + 1)]
+    atoms = [
+        Atom(f"{relation_prefix}{j}", tuple(variables[:j])) for j in range(1, depth + 1)
+    ]
+    return ConjunctiveQuery(variables, atoms, name="Telescope")
+
+
+def self_join_hcq(copies: int, relation: str = "R") -> ConjunctiveQuery:
+    """A star HCQ whose ``copies`` atoms all share one relation name.
+
+    ``Q(x, y_1, ..., y_k) <- R(x, y_1), ..., R(x, y_k)`` has exponentially many
+    self-join groups, which is what makes the Theorem 4.1 construction blow up
+    (experiment E5's exponential branch).
+    """
+    x = Variable("x")
+    head: List[Variable] = [x]
+    atoms: List[Atom] = []
+    for j in range(1, copies + 1):
+        y = Variable(f"y{j}")
+        head.append(y)
+        atoms.append(Atom(relation, (x, y)))
+    return ConjunctiveQuery(head, atoms, name="SelfJoinStar")
+
+
+@dataclass
+class StockStreamGenerator:
+    """Synthetic market-data stream: ``Buy(symbol, price)``, ``Sell(symbol, price)``,
+    ``News(symbol)`` events.
+
+    The motivating CER pattern (see ``examples/stock_correlation.py``) asks for
+    a news item about a symbol followed (in any order) by a buy and a sell of
+    that symbol at correlated prices — a hierarchical conjunctive pattern.
+    """
+
+    symbols: int = 20
+    price_levels: int = 50
+    news_probability: float = 0.1
+    seed: Optional[int] = 0
+
+    def schema(self) -> Schema:
+        return Schema({"Buy": 2, "Sell": 2, "News": 1})
+
+    def query(self) -> ConjunctiveQuery:
+        symbol, price_buy, price_sell = Variable("s"), Variable("pb"), Variable("ps")
+        return ConjunctiveQuery(
+            [symbol, price_buy, price_sell],
+            [
+                Atom("News", (symbol,)),
+                Atom("Buy", (symbol, price_buy)),
+                Atom("Sell", (symbol, price_sell)),
+            ],
+            name="NewsTrade",
+        )
+
+    def stream(self, length: int) -> Stream:
+        rng = random.Random(self.seed)
+        tuples: List[Tuple] = []
+        for _ in range(length):
+            symbol = rng.randrange(self.symbols)
+            if rng.random() < self.news_probability:
+                tuples.append(Tuple("News", (symbol,)))
+            elif rng.random() < 0.5:
+                tuples.append(Tuple("Buy", (symbol, rng.randrange(self.price_levels))))
+            else:
+                tuples.append(Tuple("Sell", (symbol, rng.randrange(self.price_levels))))
+        return Stream(tuples, self.schema())
+
+
+@dataclass
+class SensorStreamGenerator:
+    """Synthetic IoT stream: ``Temp(sensor, value)``, ``Humid(sensor, value)``,
+    ``Alarm(sensor)`` events.
+
+    The motivating pattern (``examples/sensor_network.py``) detects an alarm on
+    a sensor that also reported a high temperature and a high humidity inside
+    the sliding window.
+    """
+
+    sensors: int = 10
+    value_levels: int = 100
+    alarm_probability: float = 0.05
+    seed: Optional[int] = 0
+
+    def schema(self) -> Schema:
+        return Schema({"Temp": 2, "Humid": 2, "Alarm": 1})
+
+    def query(self) -> ConjunctiveQuery:
+        sensor, temperature, humidity = Variable("s"), Variable("t"), Variable("h")
+        return ConjunctiveQuery(
+            [sensor, temperature, humidity],
+            [
+                Atom("Alarm", (sensor,)),
+                Atom("Temp", (sensor, temperature)),
+                Atom("Humid", (sensor, humidity)),
+            ],
+            name="AlarmContext",
+        )
+
+    def stream(self, length: int) -> Stream:
+        rng = random.Random(self.seed)
+        tuples: List[Tuple] = []
+        for _ in range(length):
+            sensor = rng.randrange(self.sensors)
+            roll = rng.random()
+            if roll < self.alarm_probability:
+                tuples.append(Tuple("Alarm", (sensor,)))
+            elif roll < 0.5 + self.alarm_probability / 2:
+                tuples.append(Tuple("Temp", (sensor, rng.randrange(self.value_levels))))
+            else:
+                tuples.append(Tuple("Humid", (sensor, rng.randrange(self.value_levels))))
+        return Stream(tuples, self.schema())

@@ -1,0 +1,170 @@
+"""Streams of tuples (paper, Section 2) and their prefix databases (Section 4).
+
+A stream ``S = t_0 t_1 t_2 ...`` is an unbounded sequence of tuples over a
+schema; position ``i`` is the identifier of tuple ``t_i``.  The database of
+``S`` at position ``n`` is the bag ``D_n[S] = {{t_0, ..., t_n}}`` whose
+identifiers coincide with stream positions — this is how CQ semantics over
+streams is defined and how the equivalence ``⟦P_Q⟧_n(S) = ⟦Q⟧_n(S)`` is
+phrased.
+
+:class:`Stream` wraps either a finite materialised sequence (tests, examples)
+or a lazy generator (benchmarks over long synthetic streams).  The streaming
+engines only ever consume it through :meth:`Stream.__iter__` /
+:meth:`Stream.yield_next`, mirroring the paper's ``yield[S]`` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.cq.database import Database
+from repro.cq.schema import Schema, Tuple
+
+
+class Stream:
+    """A stream of tuples over a schema.
+
+    Parameters
+    ----------
+    tuples:
+        Iterable of tuples.  If it is a :class:`Sequence` the stream is
+        finite and supports random access; otherwise it is consumed lazily
+        (and :meth:`materialise` can capture a finite prefix).
+    schema:
+        Optional schema used to validate tuples on access.
+
+    Examples
+    --------
+    >>> sigma0 = Schema({"R": 2, "S": 2, "T": 1})
+    >>> s0 = Stream([Tuple("S", (2, 11)), Tuple("T", (2,)), Tuple("R", (1, 10))], sigma0)
+    >>> s0[1]
+    Tuple('T', (2,))
+    >>> len(s0)
+    3
+    """
+
+    def __init__(
+        self,
+        tuples: Iterable[Tuple],
+        schema: Schema | None = None,
+    ) -> None:
+        self.schema = schema
+        if isinstance(tuples, Sequence):
+            self._materialised: Optional[List[Tuple]] = list(tuples)
+            self._source: Optional[Iterator[Tuple]] = None
+        else:
+            self._materialised = None
+            self._source = iter(tuples)
+        if schema is not None and self._materialised is not None:
+            for tup in self._materialised:
+                schema.validate(tup)
+
+    # ------------------------------------------------------------ consumption
+    def __iter__(self) -> Iterator[Tuple]:
+        if self._materialised is not None:
+            yield from self._materialised
+        else:
+            assert self._source is not None
+            buffered: List[Tuple] = []
+            for tup in self._source:
+                if self.schema is not None:
+                    self.schema.validate(tup)
+                buffered.append(tup)
+                yield tup
+            # Once a lazy stream has been fully consumed it becomes finite.
+            self._materialised = buffered
+            self._source = None
+
+    def yield_next(self) -> Iterator[Tuple]:
+        """The paper's ``yield[S]`` interface: an iterator over the stream."""
+        return iter(self)
+
+    def __len__(self) -> int:
+        if self._materialised is None:
+            raise TypeError("lazy streams have no length until materialised")
+        return len(self._materialised)
+
+    def __getitem__(self, position: int) -> Tuple:
+        if self._materialised is None:
+            raise TypeError("lazy streams do not support random access")
+        return self._materialised[position]
+
+    def prefix(self, length: int) -> "Stream":
+        """The finite stream made of the first ``length`` tuples."""
+        return Stream(self.materialise(length), self.schema)
+
+    def materialise(self, length: int | None = None) -> List[Tuple]:
+        """Return (up to) the first ``length`` tuples as a list.
+
+        For lazy streams the prefix is consumed from the source; the stream is
+        left materialised with exactly the consumed prefix, so this method is
+        intended for test/benchmark setup, not for interleaving with streaming
+        consumption.
+        """
+        if self._materialised is not None:
+            return list(self._materialised) if length is None else list(self._materialised[:length])
+        assert self._source is not None
+        collected: List[Tuple] = []
+        for tup in self._source:
+            collected.append(tup)
+            if length is not None and len(collected) >= length:
+                break
+        self._materialised = collected
+        self._source = None
+        return list(collected)
+
+    # ----------------------------------------------------------- derived data
+    def database_at(self, position: int) -> Database:
+        """The prefix database ``D_position[S] = {{t_0, ..., t_position}}``.
+
+        Identifiers of the database are the stream positions.
+        """
+        tuples = self.materialise(position + 1)
+        if len(tuples) <= position:
+            raise IndexError(f"stream has only {len(tuples)} tuples, position {position} requested")
+        schema = self.schema or _infer_schema(tuples[: position + 1])
+        return Database(schema, {i: tup for i, tup in enumerate(tuples[: position + 1])})
+
+    def window_database(self, position: int, window: int) -> Database:
+        """The database of the last ``window + 1`` positions ending at ``position``.
+
+        Contains the tuples at positions ``max(0, position - window) .. position``
+        with stream positions as identifiers.  Used by the naive sliding-window
+        baseline.
+        """
+        tuples = self.materialise(position + 1)
+        start = max(0, position - window)
+        schema = self.schema or _infer_schema(tuples[start : position + 1])
+        return Database(
+            schema, {i: tuples[i] for i in range(start, position + 1)}
+        )
+
+    def __repr__(self) -> str:
+        if self._materialised is not None:
+            return f"Stream({len(self._materialised)} tuples)"
+        return "Stream(lazy)"
+
+
+def _infer_schema(tuples: Iterable[Tuple]) -> Schema:
+    arities = {}
+    for tup in tuples:
+        arities.setdefault(tup.relation, tup.arity)
+    return Schema(arities)
+
+
+def prefix_database(stream: Stream, position: int) -> Database:
+    """Module-level convenience alias for :meth:`Stream.database_at`."""
+    return stream.database_at(position)
+
+
+def stream_from_rows(
+    schema: Schema, rows: Iterable[tuple[str, tuple]], validate: bool = True
+) -> Stream:
+    """Build a finite stream from ``(relation, values)`` rows."""
+    tuples = [schema.tuple(rel, *values) if validate else Tuple(rel, tuple(values)) for rel, values in rows]
+    return Stream(tuples, schema)
+
+
+def lazy_stream(generator: Callable[[], Iterator[Tuple]], schema: Schema | None = None) -> Stream:
+    """Wrap a generator function into a lazy :class:`Stream`."""
+    return Stream(generator(), schema)

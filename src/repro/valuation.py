@@ -1,0 +1,183 @@
+"""Valuations ``ν : Ω -> 2^N`` and their algebra (paper, Sections 2, 3 and 5).
+
+A valuation maps labels to finite sets of stream positions.  It is the single
+output type shared by:
+
+* CCEA and PCEA runs (``ν_ρ`` / ``ν_τ``),
+* CQ-over-stream semantics (``η̂`` for a t-homomorphism ``η``), and
+* the enumeration data structure of Section 5 (``⟦n⟧``).
+
+Valuations are immutable and hashable, labels mapped to the empty set are
+normalised away, and the product ``⊕`` together with the *simple* check mirror
+the definitions used by the enumeration data structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Tuple
+
+
+Label = Hashable
+PositionSet = FrozenSet[int]
+
+
+class Valuation:
+    """An immutable valuation ``ν : Ω -> 2^N``.
+
+    Examples
+    --------
+    >>> v = Valuation({"dot": {1, 3, 5}})
+    >>> v["dot"]
+    frozenset({1, 3, 5})
+    >>> v.min_position(), v.max_position()
+    (1, 5)
+    >>> (v ⊕ Valuation({"dot": {7}})) if False else None  # doctest: +SKIP
+    """
+
+    __slots__ = ("_mapping", "_hash")
+
+    def __init__(self, mapping: Mapping[Label, Iterable[int]] | None = None) -> None:
+        normalised: Dict[Label, PositionSet] = {}
+        if mapping:
+            for label, positions in mapping.items():
+                frozen = frozenset(positions)
+                if frozen:
+                    normalised[label] = frozen
+        self._mapping: Dict[Label, PositionSet] = normalised
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def singleton(cls, labels: Iterable[Label], position: int) -> "Valuation":
+        """The valuation ``ν_{L,i}`` mapping every label of ``labels`` to ``{i}``."""
+        return cls({label: {position} for label in labels})
+
+    @classmethod
+    def empty(cls) -> "Valuation":
+        """The everywhere-empty valuation."""
+        return cls({})
+
+    # ----------------------------------------------------------------- access
+    def __getitem__(self, label: Label) -> PositionSet:
+        return self._mapping.get(label, frozenset())
+
+    def get(self, label: Label) -> PositionSet:
+        return self._mapping.get(label, frozenset())
+
+    def labels(self) -> FrozenSet[Label]:
+        """Labels mapped to a non-empty set of positions."""
+        return frozenset(self._mapping)
+
+    def items(self) -> Iterator[Tuple[Label, PositionSet]]:
+        return iter(self._mapping.items())
+
+    def positions(self) -> FrozenSet[int]:
+        """All positions appearing in the valuation."""
+        result: set[int] = set()
+        for positions in self._mapping.values():
+            result |= positions
+        return frozenset(result)
+
+    def min_position(self) -> int:
+        """``min(ν)``: the smallest position appearing in the valuation.
+
+        Raises :class:`ValueError` for the empty valuation, mirroring the fact
+        that the paper only applies ``min`` to outputs of accepting runs.
+        """
+        positions = self.positions()
+        if not positions:
+            raise ValueError("min() of an empty valuation")
+        return min(positions)
+
+    def max_position(self) -> int:
+        """``max`` over all positions appearing in the valuation."""
+        positions = self.positions()
+        if not positions:
+            raise ValueError("max() of an empty valuation")
+        return max(positions)
+
+    def size(self) -> int:
+        """``|ν|``: total number of (label, position) pairs."""
+        return sum(len(positions) for positions in self._mapping.values())
+
+    def is_empty(self) -> bool:
+        return not self._mapping
+
+    def within_window(self, position: int, window: int) -> bool:
+        """Whether ``|position - min(ν)| <= window`` (sliding-window condition)."""
+        if self.is_empty():
+            return True
+        return position - self.min_position() <= window
+
+    # ---------------------------------------------------------------- algebra
+    def product(self, other: "Valuation") -> "Valuation":
+        """The product ``ν ⊕ ν'`` (label-wise union of position sets)."""
+        merged: Dict[Label, set[int]] = {label: set(positions) for label, positions in self.items()}
+        for label, positions in other.items():
+            merged.setdefault(label, set()).update(positions)
+        return Valuation(merged)
+
+    __or__ = product
+
+    def simple_with(self, other: "Valuation") -> bool:
+        """Whether the product ``self ⊕ other`` is *simple* (label-wise disjoint)."""
+        for label, positions in self.items():
+            if positions & other.get(label):
+                return False
+        return True
+
+    def restrict_labels(self, labels: Iterable[Label]) -> "Valuation":
+        """Keep only the given labels."""
+        wanted = set(labels)
+        return Valuation({l: p for l, p in self.items() if l in wanted})
+
+    def rename_labels(self, renaming: Mapping[Label, Label]) -> "Valuation":
+        """Rename labels according to ``renaming`` (missing labels kept as-is)."""
+        return Valuation({renaming.get(l, l): p for l, p in self.items()})
+
+    # ------------------------------------------------------------- comparison
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Valuation):
+            return self._mapping == other._mapping
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._mapping.items()))
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __bool__(self) -> bool:
+        return bool(self._mapping)
+
+    def as_dict(self) -> Dict[Label, PositionSet]:
+        """A plain ``dict`` copy of the mapping."""
+        return dict(self._mapping)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{label!r}: {sorted(positions)}" for label, positions in sorted(self._mapping.items(), key=lambda kv: str(kv[0]))
+        )
+        return f"Valuation({{{inner}}})"
+
+
+def product_of(valuations: Iterable[Valuation]) -> Valuation:
+    """``⊕`` over a sequence of valuations (empty sequence yields the empty valuation)."""
+    result = Valuation.empty()
+    for valuation in valuations:
+        result = result.product(valuation)
+    return result
+
+
+def is_simple_product(valuations: Iterable[Valuation]) -> bool:
+    """Whether the product of the given valuations is simple (pairwise label-disjoint)."""
+    seen: Dict[Label, set[int]] = {}
+    for valuation in valuations:
+        for label, positions in valuation.items():
+            bucket = seen.setdefault(label, set())
+            if bucket & positions:
+                return False
+            bucket |= positions
+    return True

@@ -1,0 +1,165 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Centralises the paper's running examples (schema ``σ0``, stream ``S0``, queries
+``Q0``/``Q1``/``Q2``, automata ``C0``/``P0``) plus strategies for random
+streams and random hierarchical queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from hypothesis import strategies as st
+
+from repro.core.ccea import CCEA, CCEATransition
+from repro.core.pcea import PCEA, PCEATransition
+from repro.core.predicates import (
+    AtomJoinEquality,
+    AtomUnaryPredicate,
+    ProjectionEquality,
+    RelationPredicate,
+    VariableAtomEquality,
+)
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.cq.schema import Schema, Tuple
+
+
+# ----------------------------------------------------------- paper's examples
+SIGMA0 = Schema({"R": 2, "S": 2, "T": 1})
+
+#: The stream ``S0`` of Section 2 (first eight tuples).
+STREAM_S0: List[Tuple] = [
+    Tuple("S", (2, 11)),   # 0
+    Tuple("T", (2,)),      # 1
+    Tuple("R", (1, 10)),   # 2
+    Tuple("S", (2, 11)),   # 3
+    Tuple("T", (1,)),      # 4
+    Tuple("R", (2, 11)),   # 5
+    Tuple("S", (4, 13)),   # 6
+    Tuple("T", (1,)),      # 7
+]
+
+X, Y, Z, V, W = (Variable(name) for name in "xyzvw")
+
+#: ``Q0(x, y) <- T(x), S(x, y), R(x, y)`` — hierarchical, no self joins.
+QUERY_Q0 = ConjunctiveQuery(
+    [X, Y], [Atom("T", (X,)), Atom("S", (X, Y)), Atom("R", (X, Y))], name="Q0"
+)
+
+#: ``Q1(x, y) <- T(x), R(x, y), S(2, y), T(x)`` — has self joins, not hierarchical
+#: (it is not full either once the constant is involved); used for negative tests.
+QUERY_Q1 = ConjunctiveQuery(
+    [X, Y],
+    [Atom("T", (X,)), Atom("R", (X, Y)), Atom("S", (2, Y)), Atom("T", (X,))],
+    name="Q1",
+)
+
+#: The Figure-3 self-join query ``Q2(x,y,z,v) <- R(x,y,z), R(x,y,v), U(x,y)``.
+QUERY_Q2 = ConjunctiveQuery(
+    [X, Y, Z, V],
+    [Atom("R", (X, Y, Z)), Atom("R", (X, Y, V)), Atom("U", (X, Y))],
+    name="Q2",
+)
+
+#: The Figure-3 query ``Q1'(x,y,z,v,w) <- R(x,y,z), S(x,y,v), T(x,w), U(x,y)``
+#: (hierarchical, deeper q-tree).  Named QUERY_STARDEEP to avoid confusion with Q1.
+QUERY_STARDEEP = ConjunctiveQuery(
+    [X, Y, Z, V, W],
+    [
+        Atom("R", (X, Y, Z)),
+        Atom("S", (X, Y, V)),
+        Atom("T", (X, W)),
+        Atom("U", (X, Y)),
+    ],
+    name="Q1deep",
+)
+
+#: The acyclic but non-hierarchical query ``T(x), S(x, y), R(y)`` (Theorem 4.2 shape).
+QUERY_NON_HIERARCHICAL = ConjunctiveQuery(
+    [X, Y], [Atom("T", (X,)), Atom("S", (X, Y)), Atom("R", (Y,))], name="NH"
+)
+
+
+def example_ccea_c0() -> CCEA:
+    """The CCEA ``C_0`` of Example 2.1: ``T(x); S(x,y); R(x,y)`` in this order."""
+    t_pred = RelationPredicate("T")
+    s_pred = RelationPredicate("S")
+    r_pred = RelationPredicate("R")
+    tx_sxy = ProjectionEquality({"T": (0,)}, {"S": (0,)})
+    sxy_rxy = ProjectionEquality({"S": (0, 1)}, {"R": (0, 1)})
+    return CCEA(
+        states={"q0", "q1", "q2"},
+        initial={"q0": (t_pred, {"dot"})},
+        transitions=[
+            CCEATransition("q0", s_pred, tx_sxy, {"dot"}, "q1"),
+            CCEATransition("q1", r_pred, sxy_rxy, {"dot"}, "q2"),
+        ],
+        final={"q2"},
+    )
+
+
+def example_pcea_p0() -> PCEA:
+    """The PCEA ``P_0`` of Example 3.3 / Figure 1 (right).
+
+    A ``T(x)`` and an ``S(x, y)`` (in either order) joined later by an
+    ``R(x, y)`` matching both.
+    """
+    atom_t, atom_s, atom_r = Atom("T", (X,)), Atom("S", (X, Y)), Atom("R", (X, Y))
+    return PCEA(
+        states={"q0", "q1", "q2"},
+        transitions=[
+            PCEATransition(frozenset(), AtomUnaryPredicate(atom_t), {}, {"dot"}, "q0"),
+            PCEATransition(frozenset(), AtomUnaryPredicate(atom_s), {}, {"dot"}, "q1"),
+            PCEATransition(
+                {"q0", "q1"},
+                AtomUnaryPredicate(atom_r),
+                {
+                    "q0": AtomJoinEquality(atom_t, atom_r),
+                    "q1": AtomJoinEquality(atom_s, atom_r),
+                },
+                {"dot"},
+                "q2",
+            ),
+        ],
+        final={"q2"},
+    )
+
+
+# ------------------------------------------------------- hypothesis strategies
+def tuples_strategy(
+    schema: Schema = SIGMA0, domain: int = 4
+) -> st.SearchStrategy[Tuple]:
+    """Random tuples of ``schema`` with small integer values (to force joins)."""
+    names = sorted(schema.relation_names)
+
+    def build(name: str, values: List[int]) -> Tuple:
+        return Tuple(name, tuple(values[: schema.arity(name)]))
+
+    return st.builds(
+        build,
+        st.sampled_from(names),
+        st.lists(st.integers(min_value=0, max_value=domain - 1), min_size=3, max_size=3),
+    )
+
+
+def streams_strategy(
+    schema: Schema = SIGMA0, max_length: int = 10, domain: int = 3
+) -> st.SearchStrategy[List[Tuple]]:
+    """Short random streams with a small value domain (many accidental joins)."""
+    return st.lists(tuples_strategy(schema, domain), min_size=0, max_size=max_length)
+
+
+def star_query(arms: int, prefix: str = "A") -> ConjunctiveQuery:
+    """``Q(x, ȳ) <- A1(x, y1), ..., Ak(x, yk)``."""
+    x = Variable("x")
+    head = [x]
+    atoms = []
+    for j in range(1, arms + 1):
+        y = Variable(f"y{j}")
+        head.append(y)
+        atoms.append(Atom(f"{prefix}{j}", (x, y)))
+    return ConjunctiveQuery(head, atoms, name="Star")
+
+
+def star_schema(arms: int, prefix: str = "A") -> Schema:
+    return Schema({f"{prefix}{j}": 2 for j in range(1, arms + 1)})

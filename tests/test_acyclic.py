@@ -1,0 +1,83 @@
+"""Tests for acyclicity (GYO reduction) and join trees (repro.cq.acyclic)."""
+
+import pytest
+
+from repro.cq.acyclic import build_join_tree, gyo_reduction, is_acyclic
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+
+from helpers import QUERY_NON_HIERARCHICAL, QUERY_Q0, QUERY_Q1, QUERY_Q2, QUERY_STARDEEP
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestIsAcyclic:
+    def test_paper_examples_are_acyclic(self):
+        assert is_acyclic(QUERY_Q0)
+        assert is_acyclic(QUERY_Q1)
+        assert is_acyclic(QUERY_Q2)
+        assert is_acyclic(QUERY_STARDEEP)
+
+    def test_non_hierarchical_but_acyclic(self):
+        assert is_acyclic(QUERY_NON_HIERARCHICAL)
+
+    def test_triangle_query_is_cyclic(self):
+        triangle = ConjunctiveQuery(
+            [X, Y, Z],
+            [Atom("E", (X, Y)), Atom("E", (Y, Z)), Atom("E", (Z, X))],
+        )
+        assert not is_acyclic(triangle)
+
+    def test_square_query_is_cyclic(self):
+        a, b, c, d = (Variable(n) for n in "abcd")
+        square = ConjunctiveQuery(
+            [a, b, c, d],
+            [Atom("E", (a, b)), Atom("F", (b, c)), Atom("G", (c, d)), Atom("H", (d, a))],
+        )
+        assert not is_acyclic(square)
+
+    def test_single_atom_is_acyclic(self):
+        assert is_acyclic(ConjunctiveQuery([X], [Atom("T", (X,))]))
+
+    def test_disconnected_query_is_acyclic(self):
+        query = ConjunctiveQuery([X, Y], [Atom("T", (X,)), Atom("U", (Y,))])
+        assert is_acyclic(query)
+
+    def test_gyo_reports_elimination_order(self):
+        acyclic, elimination = gyo_reduction(QUERY_Q0)
+        assert acyclic
+        eliminated = {edge for edge, _ in elimination}
+        # One representative per distinct atom must be eliminated.
+        assert len(eliminated) == 3
+
+
+class TestJoinTree:
+    def test_join_tree_validates_for_acyclic_queries(self):
+        for query in (QUERY_Q0, QUERY_Q2, QUERY_STARDEEP, QUERY_NON_HIERARCHICAL):
+            tree = build_join_tree(query)
+            tree.validate()
+
+    def test_join_tree_covers_distinct_atoms(self):
+        tree = build_join_tree(QUERY_Q2)
+        representatives = {node.atom_index for node in tree.nodes()}
+        # R(x,y,z), R(x,y,v) and U(x,y) are pairwise distinct atoms.
+        assert len(representatives) == 3
+
+    def test_join_tree_raises_for_cyclic_query(self):
+        triangle = ConjunctiveQuery(
+            [X, Y, Z],
+            [Atom("E", (X, Y)), Atom("F", (Y, Z)), Atom("G", (Z, X))],
+        )
+        with pytest.raises(ValueError):
+            build_join_tree(triangle)
+
+    def test_join_tree_edges_are_parent_child_pairs(self):
+        tree = build_join_tree(QUERY_Q0)
+        nodes = {node.atom_index for node in tree.nodes()}
+        for parent, child in tree.edges():
+            assert parent in nodes and child in nodes
+
+    def test_repeated_atoms_share_a_node(self):
+        query = ConjunctiveQuery([X], [Atom("T", (X,)), Atom("T", (X,))])
+        tree = build_join_tree(query)
+        (node,) = list(tree.nodes())
+        assert set(node.atom_ids) == {0, 1}

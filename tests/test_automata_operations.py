@@ -1,0 +1,96 @@
+"""Tests for PFA/DFA language operations (repro.automata.operations)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.operations import (
+    dfa_product,
+    languages_equal_up_to,
+    pfa_difference_dfa,
+    pfa_intersection_dfa,
+    pfa_union,
+)
+from repro.automata.pfa import PFA, determinize_pfa
+
+
+def contains_symbol(symbol: str) -> PFA:
+    """Words over {a, b} containing ``symbol`` at least once."""
+    transitions = {(frozenset({0}), s, 0) for s in "ab"} | {(frozenset({1}), s, 1) for s in "ab"}
+    transitions.add((frozenset({0}), symbol, 1))
+    return PFA({0, 1}, {"a", "b"}, transitions, {0}, {1})
+
+
+def words(max_length: int):
+    result = [()]
+    for _ in range(max_length):
+        result = result + [w + (s,) for w in result if len(w) == len(result[-1]) or True for s in "ab"]
+    # Simpler: generate all words up to max_length explicitly.
+    all_words = [()]
+    frontier = [()]
+    for _ in range(max_length):
+        frontier = [w + (s,) for w in frontier for s in "ab"]
+        all_words.extend(frontier)
+    return all_words
+
+
+class TestPFAUnion:
+    def test_union_accepts_either_language(self):
+        union = pfa_union(contains_symbol("a"), contains_symbol("b"))
+        assert union.accepts(["a"])
+        assert union.accepts(["b"])
+        assert not union.accepts([])
+
+    def test_union_language_is_exactly_the_union(self):
+        first, second = contains_symbol("a"), contains_symbol("b")
+        union = pfa_union(first, second)
+        for word in words(4):
+            assert union.accepts(word) == (first.accepts(word) or second.accepts(word))
+
+
+class TestProducts:
+    def test_intersection(self):
+        first, second = contains_symbol("a"), contains_symbol("b")
+        both = pfa_intersection_dfa(first, second)
+        for word in words(4):
+            assert both.accepts(word) == (first.accepts(word) and second.accepts(word))
+
+    def test_difference(self):
+        first, second = contains_symbol("a"), contains_symbol("b")
+        only_a = pfa_difference_dfa(first, second)
+        for word in words(4):
+            assert only_a.accepts(word) == (first.accepts(word) and not second.accepts(word))
+
+    def test_dfa_product_requires_same_alphabet(self):
+        import pytest
+
+        d1 = determinize_pfa(contains_symbol("a"))
+        nfa = NFA({0}, {"c"}, set(), {0}, {0})
+        with pytest.raises(ValueError):
+            dfa_product(d1, nfa.determinize(), lambda a, b: a and b)
+
+    def test_product_with_or_combiner(self):
+        first, second = contains_symbol("a"), contains_symbol("b")
+        either = dfa_product(
+            determinize_pfa(first), determinize_pfa(second), lambda a, b: a or b
+        )
+        for word in words(4):
+            assert either.accepts(word) == (first.accepts(word) or second.accepts(word))
+
+
+class TestBoundedEquivalence:
+    def test_equal_automata(self):
+        assert languages_equal_up_to(contains_symbol("a"), contains_symbol("a"), 4)
+
+    def test_different_automata(self):
+        assert not languages_equal_up_to(contains_symbol("a"), contains_symbol("b"), 3)
+
+    def test_union_is_commutative_up_to_language(self):
+        first, second = contains_symbol("a"), contains_symbol("b")
+        assert languages_equal_up_to(pfa_union(first, second), pfa_union(second, first), 4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b"]), max_size=5))
+    def test_union_with_self_is_identity(self, word):
+        pfa = contains_symbol("a")
+        union = pfa_union(pfa, pfa)
+        assert union.accepts(word) == pfa.accepts(word)

@@ -1,0 +1,124 @@
+"""Unit and property tests for bags with identity (repro.cq.bag)."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.cq.bag import Bag, bag_of
+
+
+class TestBagBasics:
+    def test_list_constructor_assigns_positions(self):
+        bag = Bag(["a", "a", "b"])
+        assert bag.identifiers() == {0, 1, 2}
+        assert bag[0] == "a"
+        assert bag[2] == "b"
+
+    def test_mapping_constructor_keeps_identifiers(self):
+        bag = Bag({"i": "a", "j": "b"})
+        assert bag.identifiers() == {"i", "j"}
+        assert bag["i"] == "a"
+
+    def test_underlying_set(self):
+        assert Bag(["a", "a", "b"]).underlying_set() == {"a", "b"}
+
+    def test_multiplicity(self):
+        bag = Bag(["a", "a", "b"])
+        assert bag.multiplicity("a") == 2
+        assert bag.multiplicity("b") == 1
+        assert bag.multiplicity("c") == 0
+
+    def test_membership_and_len(self):
+        bag = Bag(["a", "a"])
+        assert "a" in bag
+        assert "b" not in bag
+        assert len(bag) == 2
+        assert bool(bag)
+        assert not Bag()
+
+    def test_equality_up_to_identifier_renaming(self):
+        assert Bag(["a", "a", "b"]) == Bag({"x": "a", "y": "b", "z": "a"})
+        assert Bag(["a"]) != Bag(["a", "a"])
+        assert hash(Bag(["a", "b"])) == hash(Bag({"u": "b", "v": "a"}))
+
+    def test_containment(self):
+        small = Bag(["a", "b"])
+        large = Bag(["a", "a", "b"])
+        assert small.contained_in(large)
+        assert not large.contained_in(small)
+        assert large.contained_in(large)
+
+    def test_restrict(self):
+        bag = Bag(["a", "b", "a"])
+        only_a = bag.restrict(lambda e: e == "a")
+        assert only_a == Bag(["a", "a"])
+        assert only_a.identifiers() <= bag.identifiers()
+
+    def test_restrict_identifiers(self):
+        bag = Bag({"i": "a", "j": "b"})
+        assert bag.restrict_identifiers(["i", "missing"]) == Bag(["a"])
+
+    def test_map_keeps_identifiers(self):
+        bag = Bag({"i": 1, "j": 2})
+        doubled = bag.map(lambda v: v * 2)
+        assert doubled["i"] == 2
+        assert doubled["j"] == 4
+
+    def test_with_element(self):
+        bag = Bag(["a"])
+        extended = bag.with_element(5, "b")
+        assert extended.multiplicity("b") == 1
+        assert bag.multiplicity("b") == 0  # original unchanged
+
+    def test_union_preserves_multiplicities(self):
+        left = Bag(["a", "b"])
+        right = Bag(["a"])
+        combined = left.union(right)
+        assert combined.multiplicity("a") == 2
+        assert combined.multiplicity("b") == 1
+
+    def test_union_with_clashing_identifiers(self):
+        left = Bag({0: "a"})
+        right = Bag({0: "b"})
+        combined = left.union(right)
+        assert combined.counter() == Counter({"a": 1, "b": 1})
+
+    def test_bag_of(self):
+        assert bag_of("x", "x") == Bag(["x", "x"])
+
+    def test_get_with_default(self):
+        bag = Bag({"i": "a"})
+        assert bag.get("i") == "a"
+        assert bag.get("missing", "fallback") == "fallback"
+
+
+class TestBagProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=5)))
+    def test_counter_matches_multiplicity(self, elements):
+        bag = Bag(elements)
+        counter = bag.counter()
+        for element in set(elements):
+            assert counter[element] == bag.multiplicity(element) == elements.count(element)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3)), st.lists(st.integers(min_value=0, max_value=3)))
+    def test_union_multiplicities_add(self, left_elements, right_elements):
+        left, right = Bag(left_elements), Bag(right_elements)
+        combined = left.union(right)
+        for element in set(left_elements) | set(right_elements):
+            assert combined.multiplicity(element) == (
+                left.multiplicity(element) + right.multiplicity(element)
+            )
+
+    @given(st.lists(st.integers(min_value=0, max_value=3)))
+    def test_equality_invariant_under_shuffled_identifiers(self, elements):
+        bag = Bag(elements)
+        renamed = Bag({f"k{i}": e for i, e in enumerate(reversed(elements))})
+        assert bag == renamed
+
+    @given(st.lists(st.integers(min_value=0, max_value=3)), st.lists(st.integers(min_value=0, max_value=3)))
+    def test_containment_is_multiplicity_wise(self, left_elements, right_elements):
+        left, right = Bag(left_elements), Bag(right_elements)
+        expected = all(
+            left.multiplicity(e) <= right.multiplicity(e) for e in set(left_elements)
+        )
+        assert left.contained_in(right) == expected

@@ -1,0 +1,126 @@
+"""Tests for the baseline engines (repro.baselines) against the same ground truth."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.ccea_engine import CCEAStreamingEngine
+from repro.baselines.delta_join import DeltaJoinEngine
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.cq.stream_semantics import cq_stream_new_outputs
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+from helpers import (
+    QUERY_Q0,
+    QUERY_Q2,
+    SIGMA0,
+    STREAM_S0,
+    example_ccea_c0,
+    star_query,
+    star_schema,
+    streams_strategy,
+)
+
+
+class TestNaiveRecomputeEngine:
+    def test_matches_ground_truth_on_s0(self):
+        engine = NaiveRecomputeEngine(QUERY_Q0, window=100)
+        for position, tup in enumerate(STREAM_S0):
+            expected = cq_stream_new_outputs(QUERY_Q0, STREAM_S0, position, window=100)
+            assert set(engine.process(tup)) == expected
+
+    def test_window_eviction(self):
+        engine = NaiveRecomputeEngine(QUERY_Q0, window=2)
+        results = engine.run(STREAM_S0)
+        assert results[5] == []  # the only matches at 5 need positions 0/1
+
+    def test_run_interface(self):
+        engine = NaiveRecomputeEngine(QUERY_Q0, window=100)
+        results = engine.run(STREAM_S0)
+        assert len(results) == len(STREAM_S0)
+        assert {v for v in results[5]} == cq_stream_new_outputs(QUERY_Q0, STREAM_S0, 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams_strategy(SIGMA0, max_length=8, domain=2), st.integers(min_value=0, max_value=6))
+    def test_random_streams_with_windows(self, stream, window):
+        engine = NaiveRecomputeEngine(QUERY_Q0, window=window)
+        for position, tup in enumerate(stream):
+            expected = cq_stream_new_outputs(QUERY_Q0, stream, position, window=window)
+            assert set(engine.process(tup)) == expected
+
+
+class TestDeltaJoinEngine:
+    def test_matches_ground_truth_on_s0(self):
+        engine = DeltaJoinEngine(QUERY_Q0, window=100)
+        for position, tup in enumerate(STREAM_S0):
+            expected = cq_stream_new_outputs(QUERY_Q0, STREAM_S0, position, window=100)
+            assert set(engine.process(tup)) == expected
+
+    def test_self_join_query_reuses_current_tuple(self):
+        engine = DeltaJoinEngine(QUERY_Q2, window=100)
+        stream = [Tuple("U", (0, 1)), Tuple("R", (0, 1, 2))]
+        engine.process(stream[0])
+        outputs = set(engine.process(stream[1]))
+        assert Valuation({0: {1}, 1: {1}, 2: {0}}) in outputs
+
+    def test_window_eviction(self):
+        engine = DeltaJoinEngine(QUERY_Q0, window=2)
+        results = engine.run(STREAM_S0)
+        assert results[5] == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams_strategy(SIGMA0, max_length=8, domain=2), st.integers(min_value=0, max_value=6))
+    def test_random_streams_with_windows(self, stream, window):
+        engine = DeltaJoinEngine(QUERY_Q0, window=window)
+        for position, tup in enumerate(stream):
+            expected = cq_stream_new_outputs(QUERY_Q0, stream, position, window=window)
+            assert set(engine.process(tup)) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(streams_strategy(QUERY_Q2.infer_schema(), max_length=7, domain=2))
+    def test_self_join_random_streams(self, stream):
+        engine = DeltaJoinEngine(QUERY_Q2, window=1000)
+        for position, tup in enumerate(stream):
+            expected = cq_stream_new_outputs(QUERY_Q2, stream, position, window=1000)
+            assert set(engine.process(tup)) == expected
+
+
+class TestCCEAStreamingEngine:
+    def test_matches_naive_ccea_semantics(self):
+        ccea = example_ccea_c0()
+        engine = CCEAStreamingEngine(ccea, window=100)
+        for position, tup in enumerate(STREAM_S0):
+            streaming = set(engine.process(tup))
+            naive = ccea.output_at(STREAM_S0, position)
+            assert streaming == naive
+
+    def test_window_behaviour(self):
+        engine = CCEAStreamingEngine(example_ccea_c0(), window=2)
+        results = engine.run(STREAM_S0)
+        assert results[5] == []
+        assert engine.position == len(STREAM_S0) - 1
+
+    def test_ccea_misses_pcea_outputs(self):
+        """Expressiveness gap (Prop. 3.4): the chain engine reports strictly fewer
+        matches than the hierarchical-query engine on the same stream."""
+        ccea_engine = CCEAStreamingEngine(example_ccea_c0(), window=100)
+        pcea_engine = StreamingEvaluator(hcq_to_pcea(QUERY_Q0), window=100)
+        ccea_total = sum(len(v) for v in ccea_engine.run(STREAM_S0).values())
+        pcea_total = sum(len(v) for v in pcea_engine.run(STREAM_S0).values())
+        assert ccea_total < pcea_total
+
+
+class TestEnginesAgree:
+    @settings(max_examples=15, deadline=None)
+    @given(streams_strategy(star_schema(2), max_length=9, domain=2), st.integers(min_value=1, max_value=6))
+    def test_all_engines_agree_on_star_query(self, stream, window):
+        query = star_query(2)
+        streaming = StreamingEvaluator(hcq_to_pcea(query), window=window)
+        naive = NaiveRecomputeEngine(query, window=window)
+        delta = DeltaJoinEngine(query, window=window)
+        for tup in stream:
+            a = set(streaming.process(tup))
+            b = set(naive.process(tup))
+            c = set(delta.process(tup))
+            assert a == b == c

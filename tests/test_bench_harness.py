@@ -1,0 +1,86 @@
+"""Tests for the measurement harness (repro.bench.harness)."""
+
+from repro.bench.harness import (
+    MeasurementSeries,
+    format_table,
+    geometric_sweep,
+    measure_engine_run,
+    measure_enumeration_delays,
+    measure_update_times,
+    summarize,
+)
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.streams.generators import HCQWorkloadGenerator
+
+
+def small_workload():
+    workload = HCQWorkloadGenerator(arms=2, key_domain=3, seed=1)
+    return workload.query(), workload.stream(40).materialise()
+
+
+class TestMeasurementSeries:
+    def test_add_and_rows(self):
+        series = MeasurementSeries("test")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.as_rows() == [(1, 10.0), (2, 20.0)]
+        assert series.ratios() == [2.0]
+
+    def test_ratio_with_zero(self):
+        series = MeasurementSeries("test", [1, 2], [0.0, 5.0])
+        assert series.ratios() == [float("inf")]
+
+
+class TestMeasurementHelpers:
+    def test_measure_engine_run(self):
+        query, stream = small_workload()
+        engine = StreamingEvaluator(hcq_to_pcea(query), window=10)
+        result = measure_engine_run(engine, stream)
+        assert result["tuples"] == len(stream)
+        assert result["total_seconds"] >= 0
+        assert result["outputs"] >= 0
+
+    def test_measure_update_times_streaming(self):
+        query, stream = small_workload()
+        engine = StreamingEvaluator(hcq_to_pcea(query), window=10)
+        times = measure_update_times(engine, stream, warmup=5)
+        assert len(times) == len(stream) - 5
+        assert all(t >= 0 for t in times)
+
+    def test_measure_update_times_baseline(self):
+        query, stream = small_workload()
+        engine = NaiveRecomputeEngine(query, window=10)
+        times = measure_update_times(engine, stream)
+        assert len(times) == len(stream)
+
+    def test_measure_enumeration_delays(self):
+        query, stream = small_workload()
+        engine = StreamingEvaluator(hcq_to_pcea(query), window=15)
+        measurements = measure_enumeration_delays(engine, stream)
+        for size, elapsed in measurements:
+            assert size > 0
+            assert elapsed >= 0
+
+    def test_summarize(self):
+        stats = summarize([3.0, 1.0, 2.0])
+        assert stats["mean"] == 2.0
+        assert stats["median"] == 2.0
+        assert stats["max"] == 3.0
+        assert summarize([]) == {"mean": 0.0, "median": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_geometric_sweep(self):
+        assert geometric_sweep(4, 64) == [4, 8, 16, 32, 64]
+        assert geometric_sweep(3, 30, factor=3) == [3, 9, 27]
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bb" in lines[0]
+        assert "40" in lines[-1]
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,92 @@
+"""Tests for Chain Complex Event Automata (repro.core.ccea) — Section 2."""
+
+import pytest
+
+from repro.core.ccea import CCEA, CCEATransition, chain_ccea
+from repro.core.predicates import ProjectionEquality, RelationPredicate
+from repro.valuation import Valuation
+
+from helpers import STREAM_S0, example_ccea_c0
+
+
+class TestCCEAExampleC0:
+    def test_accepting_run_at_position_five(self):
+        """Example 2.1: C0 over S0 yields {dot -> {1, 3, 5}} at position 5."""
+        ccea = example_ccea_c0()
+        outputs = ccea.output_at(STREAM_S0, 5)
+        assert Valuation({"dot": {1, 3, 5}}) in outputs
+
+    def test_ordered_semantics_excludes_reordered_match(self):
+        """C0 requires T before S before R, so {dot -> {0, 1, 5}} is NOT an output."""
+        ccea = example_ccea_c0()
+        outputs = ccea.output_at(STREAM_S0, 5)
+        assert Valuation({"dot": {0, 1, 5}}) not in outputs
+
+    def test_all_outputs_at_position_five(self):
+        ccea = example_ccea_c0()
+        outputs = ccea.output_at(STREAM_S0, 5)
+        assert outputs == {Valuation({"dot": {1, 3, 5}})}
+
+    def test_outputs_at_other_positions(self):
+        ccea = example_ccea_c0()
+        per_position = ccea.outputs_upto(STREAM_S0, 7)
+        assert per_position[5] == {Valuation({"dot": {1, 3, 5}})}
+        for position in (0, 1, 2, 3, 4, 6, 7):
+            assert per_position[position] == set()
+
+    def test_output_at_matches_outputs_upto(self):
+        ccea = example_ccea_c0()
+        per_position = ccea.outputs_upto(STREAM_S0, 7)
+        for position in range(8):
+            assert per_position[position] == ccea.output_at(STREAM_S0, position)
+
+
+class TestCCEAConstruction:
+    def test_validation_rejects_unknown_states(self):
+        with pytest.raises(ValueError):
+            CCEA({"a"}, {"a": (RelationPredicate("T"), {"l"})}, [], {"b"})
+        with pytest.raises(ValueError):
+            CCEA({"a"}, {"b": (RelationPredicate("T"), {"l"})}, [], set())
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            CCEATransition("a", RelationPredicate("T"), ProjectionEquality({}, {}), set(), "b")
+        with pytest.raises(ValueError):
+            CCEA({"a"}, {"a": (RelationPredicate("T"), set())}, [], set())
+
+    def test_labels_inferred(self):
+        ccea = example_ccea_c0()
+        assert ccea.labels == {"dot"}
+
+    def test_size(self):
+        assert example_ccea_c0().size() == 3 + 2 * 2 + 1
+
+    def test_chain_builder(self):
+        chain = chain_ccea(
+            [
+                (RelationPredicate("T"), None, {"t"}),
+                (RelationPredicate("S"), ProjectionEquality({"T": (0,)}, {"S": (0,)}), {"s"}),
+            ]
+        )
+        outputs = chain.output_at(STREAM_S0, 3)
+        assert Valuation({"t": {1}, "s": {3}}) in outputs
+
+    def test_chain_builder_requires_steps(self):
+        with pytest.raises(ValueError):
+            chain_ccea([])
+
+
+class TestCCEAToPCEA:
+    def test_embedding_preserves_outputs(self):
+        ccea = example_ccea_c0()
+        pcea = ccea.to_pcea()
+        for position in range(8):
+            assert pcea.output_at(STREAM_S0, position) == ccea.output_at(STREAM_S0, position)
+
+    def test_embedding_produces_single_source_transitions(self):
+        pcea = example_ccea_c0().to_pcea()
+        assert all(len(t.sources) <= 1 for t in pcea.transitions)
+
+    def test_embedding_keeps_equality_predicates(self):
+        pcea = example_ccea_c0().to_pcea()
+        assert pcea.uses_only_equality_predicates()

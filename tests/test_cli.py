@@ -1,0 +1,104 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, format_match, main, parse_event_line, read_events, run
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+
+EVENTS_CSV = """\
+# symbol price events
+S,2,11
+T,2
+R,1,10
+S,2,11
+T,1
+R,2,11
+"""
+
+
+class TestEventParsing:
+    def test_parse_simple_line(self):
+        assert parse_event_line("S,2,11") == Tuple("S", (2, 11))
+
+    def test_parse_string_values(self):
+        assert parse_event_line("News,acme,up") == Tuple("News", ("acme", "up"))
+
+    def test_blank_and_comment_lines_skipped(self):
+        assert parse_event_line("") is None
+        assert parse_event_line("   ") is None
+        assert parse_event_line("# comment") is None
+
+    def test_custom_separator(self):
+        assert parse_event_line("S;1;2", separator=";") == Tuple("S", (1, 2))
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(ValueError):
+            parse_event_line(",1,2")
+
+    def test_read_events(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        assert len(events) == 6
+        assert events[0] == Tuple("S", (2, 11))
+
+
+class TestFormatting:
+    def test_format_match(self):
+        valuation = Valuation({0: {1}, 1: {3}, 2: {5}})
+        assert format_match(5, valuation) == "5\t0=1,1=3,2=5"
+
+
+class TestRun:
+    def _run(self, argv, events):
+        parser = build_parser()
+        args = parser.parse_args(argv)
+        output = io.StringIO()
+        code = run(args, events, output)
+        return code, output.getvalue()
+
+    def test_end_to_end_matches(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"], events
+        )
+        assert code == 0
+        lines = [line for line in output.splitlines() if not line.startswith("#")]
+        assert len(lines) == 2  # the two matches at position 5
+        assert all(line.startswith("5\t") for line in lines)
+        assert "matches=2" in output
+
+    def test_quiet_mode(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--quiet"], events
+        )
+        assert code == 0
+        assert output.count("\n") == 1  # only the summary line
+
+    def test_limit(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--limit", "3"], events
+        )
+        assert code == 0
+        assert "events=3" in output
+        assert "matches=0" in output
+
+    def test_rejects_unparsable_query(self):
+        code, _ = self._run(["--query", "not a query"], [])
+        assert code == 2
+
+    def test_rejects_non_hierarchical_query(self):
+        code, _ = self._run(["--query", "Q(x, y) <- A(x), B(y), C(x, y)"], [])
+        assert code == 2
+
+    def test_main_with_file(self, tmp_path, capsys):
+        path = tmp_path / "events.csv"
+        path.write_text(EVENTS_CSV)
+        code = main(["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", str(path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "matches=2" in captured.out

@@ -1,0 +1,87 @@
+"""Unit tests for relational databases with duplicates (repro.cq.database)."""
+
+import pytest
+
+from repro.cq.bag import Bag
+from repro.cq.database import Database, database_from_rows
+from repro.cq.schema import Schema, SchemaError, Tuple
+
+from helpers import SIGMA0, STREAM_S0
+
+
+def example_d0() -> Database:
+    """The database ``D0`` of Section 4 (the first six tuples of ``S0``)."""
+    return Database(SIGMA0, {i: STREAM_S0[i] for i in range(6)})
+
+
+class TestDatabase:
+    def test_len_and_iteration(self):
+        db = example_d0()
+        assert len(db) == 6
+        assert sorted(t.relation for t in db) == ["R", "R", "S", "S", "T", "T"]
+
+    def test_identifiers_are_positions(self):
+        db = example_d0()
+        assert db.identifiers() == set(range(6))
+        assert db[1] == Tuple("T", (2,))
+
+    def test_relation_projection_keeps_identifiers(self):
+        db = example_d0()
+        t_bag = db.relation("T")
+        assert t_bag == Bag([Tuple("T", (2,)), Tuple("T", (1,))])
+        assert t_bag.identifiers() == {1, 4}
+
+    def test_relation_projection_of_duplicates(self):
+        db = example_d0()
+        s_bag = db.relation("S")
+        assert s_bag.multiplicity(Tuple("S", (2, 11))) == 2
+
+    def test_relation_unknown_name_raises(self):
+        db = example_d0()
+        with pytest.raises(SchemaError):
+            db.relation("X")
+
+    def test_relation_known_but_empty(self):
+        db = Database(SIGMA0, [Tuple("T", (1,))])
+        assert len(db.relation("R")) == 0
+
+    def test_multiplicity(self):
+        db = example_d0()
+        assert db.multiplicity(Tuple("S", (2, 11))) == 2
+        assert db.multiplicity(Tuple("S", (9, 9))) == 0
+
+    def test_schema_validation_on_construction(self):
+        with pytest.raises(SchemaError):
+            Database(SIGMA0, [Tuple("T", (1, 2))])
+
+    def test_equality(self):
+        assert example_d0() == example_d0()
+        assert example_d0() != Database(SIGMA0, [Tuple("T", (1,))])
+
+    def test_insert_returns_new_database(self):
+        db = Database(SIGMA0, [Tuple("T", (1,))])
+        extended = db.insert(Tuple("T", (2,)))
+        assert len(db) == 1
+        assert len(extended) == 2
+
+    def test_insert_with_explicit_identifier(self):
+        db = Database(SIGMA0, [Tuple("T", (1,))])
+        extended = db.insert(Tuple("T", (2,)), identifier="custom")
+        assert extended["custom"] == Tuple("T", (2,))
+        with pytest.raises(ValueError):
+            extended.insert(Tuple("T", (3,)), identifier="custom")
+
+    def test_index_groups_by_key(self):
+        db = example_d0()
+        index = db.index("S", (0,))
+        assert set(index) == {(2,), (4,)} or set(index) == {(2,)}  # S(4,13) is at position 6 (not in D0)
+        assert {identifier for identifier, _ in index[(2,)]} == {0, 3}
+
+    def test_index_is_cached(self):
+        db = example_d0()
+        assert db.index("R", (0, 1)) is db.index("R", (0, 1))
+
+    def test_database_from_rows(self):
+        db = database_from_rows(SIGMA0, [("T", (1,)), ("S", (1, 2))])
+        assert len(db) == 2
+        assert db.multiplicity(Tuple("T", (1,))) == 1

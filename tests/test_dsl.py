@@ -1,0 +1,80 @@
+"""Tests for the CER pattern DSL syntax (repro.engine.dsl)."""
+
+import pytest
+
+from repro.engine.dsl import (
+    AtomPattern,
+    Conjunction,
+    Disjunction,
+    Sequence,
+    atom,
+    conjunction,
+    disjunction,
+    sequence,
+)
+from repro.cq.query import Atom, Variable
+
+
+class TestAtomPattern:
+    def test_atom_builder(self):
+        pattern = atom("Buy", "s", "p")
+        assert pattern.relation == "Buy"
+        assert pattern.variables == ("s", "p")
+        assert pattern.as_atom() == Atom("Buy", (Variable("s"), Variable("p")))
+
+    def test_atom_with_filters(self):
+        pattern = atom("Buy", "s", "p", filters=[("p", ">", 100)])
+        assert pattern.filters == (("p", ">", 100),)
+        assert "p > 100" in str(pattern)
+
+    def test_variable_positions(self):
+        pattern = atom("E", "x", "y", "x")
+        assert pattern.variable_positions("x") == (0, 2)
+        assert pattern.variable_positions("z") == ()
+
+    def test_atoms_iteration(self):
+        pattern = atom("Buy", "s")
+        assert list(pattern.atoms()) == [pattern]
+
+
+class TestCombinators:
+    def test_conjunction_flattens(self):
+        pattern = conjunction(atom("A", "x"), conjunction(atom("B", "x"), atom("C", "x")))
+        assert isinstance(pattern, Conjunction)
+        assert len(pattern.parts) == 3
+        assert [p.relation for p in pattern.atoms()] == ["A", "B", "C"]
+
+    def test_sequence_flattens(self):
+        pattern = sequence(atom("A", "x"), sequence(atom("B", "x"), atom("C", "x")))
+        assert isinstance(pattern, Sequence)
+        assert len(pattern.parts) == 3
+
+    def test_disjunction_flattens(self):
+        pattern = disjunction(atom("A", "x"), disjunction(atom("B", "x"), atom("C", "x")))
+        assert isinstance(pattern, Disjunction)
+        assert len(pattern.parts) == 3
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction()
+        with pytest.raises(ValueError):
+            sequence()
+        with pytest.raises(ValueError):
+            disjunction()
+
+    def test_fluent_methods(self):
+        pattern = atom("A", "x").then(atom("B", "x"))
+        assert isinstance(pattern, Sequence)
+        pattern = atom("A", "x").and_(atom("B", "x"))
+        assert isinstance(pattern, Conjunction)
+        pattern = atom("A", "x").or_(atom("B", "x"))
+        assert isinstance(pattern, Disjunction)
+
+    def test_str_renderings(self):
+        assert "AND" in str(conjunction(atom("A", "x"), atom("B", "x")))
+        assert ";" in str(sequence(atom("A", "x"), atom("B", "x")))
+        assert "OR" in str(disjunction(atom("A", "x"), atom("B", "x")))
+
+    def test_atoms_order_is_left_to_right(self):
+        pattern = sequence(conjunction(atom("A", "x"), atom("B", "x")), atom("C", "x"))
+        assert [p.relation for p in pattern.atoms()] == ["A", "B", "C"]

@@ -1,0 +1,181 @@
+"""Tests for the streaming evaluation algorithm (repro.core.evaluation) — Section 5."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.datastructure import DataStructure, LinkedListUnionStructure
+from repro.core.evaluation import NotEqualityPredicateError, StreamingEvaluator, evaluate_pcea
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import PCEA, PCEATransition
+from repro.core.predicates import AtomUnaryPredicate, LambdaBinaryPredicate, RelationPredicate
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+from helpers import (
+    QUERY_Q0,
+    SIGMA0,
+    STREAM_S0,
+    example_pcea_p0,
+    star_query,
+    star_schema,
+    streams_strategy,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestStreamingEvaluatorBasics:
+    def test_example_p0_outputs(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        outputs = {}
+        for position, tup in enumerate(STREAM_S0):
+            outputs[position] = set(evaluator.process(tup))
+        assert outputs[5] == {
+            Valuation({"dot": {1, 3, 5}}),
+            Valuation({"dot": {0, 1, 5}}),
+        }
+        assert outputs[0] == set()
+        assert outputs[6] == set()
+
+    def test_agrees_with_naive_pcea_on_every_position(self):
+        pcea = example_pcea_p0()
+        evaluator = StreamingEvaluator(pcea, window=len(STREAM_S0) + 1)
+        for position, tup in enumerate(STREAM_S0):
+            streaming = set(evaluator.process(tup))
+            naive = pcea.output_at(STREAM_S0, position)
+            assert streaming == naive
+
+    def test_sliding_window_drops_old_matches(self):
+        pcea = example_pcea_p0()
+        evaluator = StreamingEvaluator(pcea, window=2)
+        results = evaluator.run(STREAM_S0)
+        # At position 5 the only match within a window of 2 would need min >= 3;
+        # both matches use positions 0/1, so nothing is reported.
+        assert results[5] == []
+
+    def test_window_zero_only_same_position_matches(self):
+        query = star_query(1)
+        pcea = hcq_to_pcea(query)
+        evaluator = StreamingEvaluator(pcea, window=0)
+        outputs = evaluator.process(Tuple("A1", (1, 2)))
+        assert outputs == [Valuation({0: {0}})]
+
+    def test_run_collects_per_position(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        results = evaluator.run(STREAM_S0)
+        assert set(results.keys()) == set(range(len(STREAM_S0)))
+        assert len(results[5]) == 2
+
+    def test_run_without_collection(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        assert evaluator.run(STREAM_S0, collect=False) == {}
+        assert evaluator.position == len(STREAM_S0) - 1
+
+    def test_evaluate_pcea_wrapper(self):
+        results = evaluate_pcea(example_pcea_p0(), STREAM_S0, window=10, positions=[5])
+        assert set(results.keys()) == {5}
+        assert len(results[5]) == 2
+
+    def test_rejects_non_equality_predicates(self):
+        unary = RelationPredicate("T")
+        arbitrary = LambdaBinaryPredicate(lambda a, b: True)
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), unary, {}, {"l"}, "a"),
+                PCEATransition({"a"}, unary, {"a": arbitrary}, {"l"}, "b"),
+            ],
+            final={"b"},
+        )
+        with pytest.raises(NotEqualityPredicateError):
+            StreamingEvaluator(pcea, window=5)
+
+    def test_rejects_mismatched_datastructure_window(self):
+        with pytest.raises(ValueError):
+            StreamingEvaluator(example_pcea_p0(), window=5, datastructure=DataStructure(7))
+
+    def test_statistics_counters(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        evaluator.run(STREAM_S0)
+        stats = evaluator.stats
+        assert stats.transitions_scanned == len(STREAM_S0) * 3
+        assert stats.transitions_fired > 0
+        assert stats.outputs_enumerated == 2
+        assert evaluator.hash_table_size() > 0
+        evaluator.reset_statistics()
+        assert evaluator.stats.transitions_fired == 0
+
+    def test_audit_mode_detects_duplicates(self):
+        """An ambiguous PCEA (same valuation via two runs) trips the audit."""
+        unary = AtomUnaryPredicate(Atom("T", (X,)))
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), unary, {}, {"l"}, "a"),
+                PCEATransition(set(), unary, {}, {"l"}, "b"),
+            ],
+            final={"a", "b"},
+        )
+        evaluator = StreamingEvaluator(pcea, window=5, audit=True)
+        with pytest.raises(AssertionError):
+            evaluator.process(Tuple("T", (1,)))
+
+    def test_linked_list_datastructure_gives_same_outputs(self):
+        pcea = example_pcea_p0()
+        balanced = StreamingEvaluator(pcea, window=4)
+        naive = StreamingEvaluator(pcea, window=4, datastructure=LinkedListUnionStructure(4))
+        for tup in STREAM_S0:
+            assert set(balanced.process(tup)) == set(naive.process(tup))
+
+
+class TestStreamingAgainstGroundTruth:
+    @settings(max_examples=30, deadline=None)
+    @given(streams_strategy(SIGMA0, max_length=9, domain=2), st.integers(min_value=0, max_value=8))
+    def test_matches_naive_pcea_with_windows(self, stream, window):
+        pcea = hcq_to_pcea(QUERY_Q0)
+        evaluator = StreamingEvaluator(pcea, window=window, audit=True)
+        for position, tup in enumerate(stream):
+            assert set(evaluator.process(tup)) == pcea.output_at(stream, position, window=window)
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams_strategy(star_schema(2), max_length=10, domain=2), st.integers(min_value=1, max_value=6))
+    def test_star_query_windows(self, stream, window):
+        pcea = hcq_to_pcea(star_query(2))
+        evaluator = StreamingEvaluator(pcea, window=window, audit=True)
+        for position, tup in enumerate(stream):
+            assert set(evaluator.process(tup)) == pcea.output_at(stream, position, window=window)
+
+    @settings(max_examples=15, deadline=None)
+    @given(streams_strategy(SIGMA0, max_length=10, domain=2))
+    def test_example_p0_random_streams(self, stream):
+        pcea = example_pcea_p0()
+        evaluator = StreamingEvaluator(pcea, window=len(stream) + 1, audit=True)
+        for position, tup in enumerate(stream):
+            assert set(evaluator.process(tup)) == pcea.output_at(stream, position)
+
+
+class TestUpdateCostBehaviour:
+    def test_hash_table_keys_are_join_keys(self):
+        pcea = hcq_to_pcea(star_query(2))
+        evaluator = StreamingEvaluator(pcea, window=100)
+        evaluator.process(Tuple("A1", (1, 10)))
+        evaluator.process(Tuple("A1", (2, 10)))
+        evaluator.process(Tuple("A2", (1, 20)))
+        # Entries exist for both join keys of A1 (1 and 2) across the transitions.
+        assert evaluator.hash_table_size() >= 2
+
+    def test_update_work_does_not_grow_with_output_history(self):
+        """The number of hash operations per tuple depends on |Δ|, not on how many
+        outputs have been produced so far (Theorem 5.1's key property)."""
+        pcea = hcq_to_pcea(star_query(2))
+        evaluator = StreamingEvaluator(pcea, window=10_000)
+        per_tuple_ops = []
+        for position in range(300):
+            relation = "A1" if position % 2 == 0 else "A2"
+            before = evaluator.stats.hash_lookups + evaluator.stats.hash_updates
+            evaluator.update(Tuple(relation, (0, position)))
+            after = evaluator.stats.hash_lookups + evaluator.stats.hash_updates
+            per_tuple_ops.append(after - before)
+        # Outputs grow quadratically along this stream, but per-tuple hash work is flat.
+        assert max(per_tuple_ops) <= 4 * len(pcea.transitions)

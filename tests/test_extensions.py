@@ -1,0 +1,175 @@
+"""Tests for the extensions: general (non-equality) evaluation and disambiguation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import PCEA, PCEATransition
+from repro.core.predicates import (
+    AtomUnaryPredicate,
+    OrderPredicate,
+    RelationPredicate,
+    TrueEquality,
+)
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import Schema, Tuple
+from repro.extensions.disambiguation import ambiguity_witness, is_syntactically_unambiguous
+from repro.extensions.general_evaluation import GeneralStreamingEvaluator
+from repro.valuation import Valuation
+
+from helpers import QUERY_Q0, SIGMA0, STREAM_S0, example_pcea_p0, star_query, streams_strategy
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestOrderPredicate:
+    def test_basic_comparisons(self):
+        pred = OrderPredicate("Buy", 1, "<", "Sell", 1)
+        assert pred.holds(Tuple("Buy", (1, 10)), Tuple("Sell", (1, 20)))
+        assert not pred.holds(Tuple("Buy", (1, 30)), Tuple("Sell", (1, 20)))
+        assert not pred.holds(Tuple("Sell", (1, 10)), Tuple("Sell", (1, 20)))
+
+    def test_out_of_range_and_type_errors_are_false(self):
+        pred = OrderPredicate("Buy", 5, "<", "Sell", 1)
+        assert not pred.holds(Tuple("Buy", (1, 10)), Tuple("Sell", (1, 20)))
+        mixed = OrderPredicate("Buy", 0, "<", "Sell", 0)
+        assert not mixed.holds(Tuple("Buy", ("abc",)), Tuple("Sell", (3,)))
+
+    def test_all_operators(self):
+        for operator, expected in [("<", True), ("<=", True), (">", False), (">=", False), ("!=", True), ("==", False)]:
+            pred = OrderPredicate("A", 0, operator, "B", 0)
+            assert pred.holds(Tuple("A", (1,)), Tuple("B", (2,))) is expected
+
+
+def increasing_price_pcea() -> PCEA:
+    """Buy followed by a Sell of the same... no — of *any* symbol at a higher price."""
+    buy, sell = Atom("Buy", (X, Y)), Atom("Sell", (X, Y))
+    return PCEA(
+        states={"b", "s"},
+        transitions=[
+            PCEATransition(set(), AtomUnaryPredicate(buy), {}, {"buy"}, "b"),
+            PCEATransition(
+                {"b"},
+                AtomUnaryPredicate(sell),
+                {"b": OrderPredicate("Buy", 1, "<", "Sell", 1)},
+                {"sell"},
+                "s",
+            ),
+        ],
+        final={"s"},
+    )
+
+
+class TestGeneralStreamingEvaluator:
+    def test_agrees_with_algorithm_1_on_equality_pcea(self):
+        pcea = example_pcea_p0()
+        general = GeneralStreamingEvaluator(pcea, window=10)
+        hashed = StreamingEvaluator(pcea, window=10)
+        for tup in STREAM_S0:
+            assert set(general.process(tup)) == set(hashed.process(tup))
+
+    def test_agrees_with_naive_pcea_on_hcq(self):
+        pcea = hcq_to_pcea(QUERY_Q0)
+        general = GeneralStreamingEvaluator(pcea, window=len(STREAM_S0) + 1)
+        for position, tup in enumerate(STREAM_S0):
+            assert set(general.process(tup)) == pcea.output_at(STREAM_S0, position)
+
+    def test_supports_inequality_predicates(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=10)
+        stream = [
+            Tuple("Buy", (1, 30)),
+            Tuple("Sell", (1, 20)),   # lower price: no match
+            Tuple("Sell", (1, 40)),   # higher than the buy at position 0
+            Tuple("Buy", (2, 35)),
+            Tuple("Sell", (2, 50)),   # higher than both buys
+        ]
+        outputs = engine.run(stream)
+        assert outputs[1] == []
+        assert set(outputs[2]) == {Valuation({"buy": {0}, "sell": {2}})}
+        assert set(outputs[4]) == {
+            Valuation({"buy": {0}, "sell": {4}}),
+            Valuation({"buy": {3}, "sell": {4}}),
+        }
+
+    def test_inequality_rejected_by_algorithm_1(self):
+        with pytest.raises(Exception):
+            StreamingEvaluator(increasing_price_pcea(), window=10)
+
+    def test_window_eviction(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=1)
+        stream = [Tuple("Buy", (1, 10)), Tuple("Sell", (9, 1)), Tuple("Sell", (1, 20))]
+        outputs = engine.run(stream)
+        assert outputs[2] == []  # the buy at position 0 is out of the window
+        assert engine.live_run_count() <= 2
+
+    def test_naive_node_scan_grows_with_live_runs(self):
+        pcea = hcq_to_pcea(star_query(2))
+        engine = GeneralStreamingEvaluator(pcea, window=1000)
+        for position in range(50):
+            engine.process(Tuple("A1" if position % 2 else "A2", (0, position)))
+        assert engine.nodes_scanned > 50  # linear-in-data behaviour, unlike Algorithm 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams_strategy(SIGMA0, max_length=8, domain=2), st.integers(min_value=0, max_value=6))
+    def test_random_equivalence_with_algorithm_1(self, stream, window):
+        pcea = hcq_to_pcea(QUERY_Q0)
+        general = GeneralStreamingEvaluator(pcea, window=window)
+        hashed = StreamingEvaluator(pcea, window=window)
+        for tup in stream:
+            assert set(general.process(tup)) == set(hashed.process(tup))
+
+
+class TestDisambiguation:
+    def test_syntactic_condition_accepts_disjoint_chain(self):
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), RelationPredicate("T"), {}, {"t"}, "a"),
+                PCEATransition({"a"}, RelationPredicate("S"), {"a": TrueEquality()}, {"s"}, "b"),
+            ],
+            final={"b"},
+        )
+        assert is_syntactically_unambiguous(pcea)
+
+    def test_syntactic_condition_rejects_duplicate_label_writers(self):
+        unary = RelationPredicate("T")
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), unary, {}, {"l"}, "a"),
+                PCEATransition(set(), unary, {}, {"l"}, "b"),
+            ],
+            final={"a", "b"},
+        )
+        assert not is_syntactically_unambiguous(pcea)
+
+    def test_syntactic_condition_is_only_sufficient(self):
+        """The Theorem 4.1 automata are unambiguous but not syntactically so."""
+        pcea = hcq_to_pcea(QUERY_Q0)
+        assert is_syntactically_unambiguous(pcea) in (False,)  # unknown, not a refutation
+
+    def test_witness_found_for_ambiguous_automaton(self):
+        unary = RelationPredicate("T")
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), unary, {}, {"l"}, "a"),
+                PCEATransition(set(), unary, {}, {"l"}, "b"),
+            ],
+            final={"a", "b"},
+        )
+        witness = ambiguity_witness(pcea, Schema({"T": 1}), max_length=1, domain=(0,))
+        assert witness is not None
+        assert len(witness) == 1
+
+    def test_no_witness_for_unambiguous_automata(self):
+        pcea = example_pcea_p0()
+        witness = ambiguity_witness(pcea, SIGMA0, max_length=2, domain=(0,), max_streams=500)
+        assert witness is None
+
+    def test_witness_search_respects_cap(self):
+        pcea = example_pcea_p0()
+        assert ambiguity_witness(pcea, SIGMA0, max_length=3, domain=(0, 1), max_streams=5) is None

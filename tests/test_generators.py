@@ -1,0 +1,115 @@
+"""Tests for the synthetic workload generators (repro.streams.generators)."""
+
+from repro.cq.hierarchical import is_hierarchical
+from repro.streams.generators import (
+    HCQWorkloadGenerator,
+    SensorStreamGenerator,
+    StockStreamGenerator,
+    deep_hcq,
+    random_stream,
+    self_join_hcq,
+    star_hcq,
+)
+from repro.cq.schema import Schema
+
+
+class TestRandomStream:
+    def test_length_and_schema_conformance(self):
+        schema = Schema({"R": 2, "T": 1})
+        stream = random_stream(schema, 50, domain_size=5, seed=3)
+        assert len(stream) == 50
+        for tup in stream:
+            schema.validate(tup)
+            assert all(0 <= v < 5 for v in tup.values)
+
+    def test_deterministic_by_seed(self):
+        schema = Schema({"R": 2})
+        first = random_stream(schema, 20, seed=7).materialise()
+        second = random_stream(schema, 20, seed=7).materialise()
+        assert first == second
+
+    def test_relation_weights(self):
+        schema = Schema({"R": 1, "T": 1})
+        stream = random_stream(schema, 200, seed=1, relation_weights={"R": 10.0, "T": 0.0001})
+        relations = [t.relation for t in stream]
+        assert relations.count("R") > relations.count("T")
+
+
+class TestHCQWorkloadGenerator:
+    def test_query_is_hierarchical_star(self):
+        workload = HCQWorkloadGenerator(arms=4)
+        query = workload.query()
+        assert len(query) == 4
+        assert is_hierarchical(query)
+
+    def test_schema_and_stream(self):
+        workload = HCQWorkloadGenerator(arms=3, key_domain=4, seed=2)
+        stream = workload.stream(100)
+        assert len(stream) == 100
+        for tup in stream:
+            workload.schema().validate(tup)
+            assert 0 <= tup.value(0) < 4
+
+    def test_stream_is_deterministic(self):
+        first = HCQWorkloadGenerator(arms=2, seed=9).stream(30).materialise()
+        second = HCQWorkloadGenerator(arms=2, seed=9).stream(30).materialise()
+        assert first == second
+
+    def test_hot_key_stream_has_skew(self):
+        workload = HCQWorkloadGenerator(arms=2, key_domain=50, seed=0)
+        stream = workload.hot_key_stream(200, hot_fraction=0.7)
+        hot = sum(1 for t in stream if t.value(0) == 0)
+        assert hot > 100
+
+    def test_query_produces_matches_on_generated_stream(self):
+        from repro.core.evaluation import StreamingEvaluator
+        from repro.core.hcq_to_pcea import hcq_to_pcea
+
+        workload = HCQWorkloadGenerator(arms=2, key_domain=2, seed=5)
+        evaluator = StreamingEvaluator(hcq_to_pcea(workload.query()), window=50)
+        total = sum(len(v) for v in evaluator.run(workload.stream(60)).values())
+        assert total > 0
+
+
+class TestParametricQueries:
+    def test_star_hcq(self):
+        assert is_hierarchical(star_hcq(5))
+        assert len(star_hcq(5)) == 5
+
+    def test_deep_hcq(self):
+        query = deep_hcq(4)
+        assert is_hierarchical(query)
+        assert len(query) == 4
+        assert query.atom(3).arity == 4
+
+    def test_self_join_hcq(self):
+        query = self_join_hcq(3)
+        assert is_hierarchical(query)
+        assert query.has_self_joins()
+        assert query.relations() == {"R"}
+
+
+class TestScenarioGenerators:
+    def test_stock_generator(self):
+        generator = StockStreamGenerator(symbols=5, seed=4)
+        stream = generator.stream(100)
+        assert len(stream) == 100
+        for tup in stream:
+            generator.schema().validate(tup)
+        assert is_hierarchical(generator.query())
+
+    def test_sensor_generator(self):
+        generator = SensorStreamGenerator(sensors=3, seed=4)
+        stream = generator.stream(100)
+        assert len(stream) == 100
+        for tup in stream:
+            generator.schema().validate(tup)
+        assert is_hierarchical(generator.query())
+
+    def test_scenario_queries_produce_matches(self):
+        from repro.baselines.naive import NaiveRecomputeEngine
+
+        generator = SensorStreamGenerator(sensors=2, alarm_probability=0.3, seed=1)
+        engine = NaiveRecomputeEngine(generator.query(), window=40)
+        total = sum(len(v) for v in engine.run(generator.stream(80)).values())
+        assert total > 0

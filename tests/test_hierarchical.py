@@ -1,0 +1,152 @@
+"""Tests for the hierarchy test and q-tree construction (repro.cq.hierarchical)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cq.hierarchical import (
+    NotHierarchicalError,
+    build_q_tree,
+    is_hierarchical,
+    validate_q_tree,
+)
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+
+from helpers import (
+    QUERY_NON_HIERARCHICAL,
+    QUERY_Q0,
+    QUERY_Q1,
+    QUERY_Q2,
+    QUERY_STARDEEP,
+    star_query,
+)
+
+
+class TestIsHierarchical:
+    def test_paper_examples(self):
+        assert is_hierarchical(QUERY_Q0)
+        assert not is_hierarchical(QUERY_Q1)  # atoms(x) and atoms(y) overlap without containment
+        assert is_hierarchical(QUERY_Q2)
+        assert is_hierarchical(QUERY_STARDEEP)
+
+    def test_non_hierarchical_triangle_of_atoms(self):
+        assert not is_hierarchical(QUERY_NON_HIERARCHICAL)
+
+    def test_full_requirement_can_be_relaxed(self):
+        x, y = Variable("x"), Variable("y")
+        projection = ConjunctiveQuery([x], [Atom("T", (x,)), Atom("S", (x, y))])
+        assert not is_hierarchical(projection)
+        assert is_hierarchical(projection, require_full=False)
+
+    def test_single_atom_is_hierarchical(self):
+        x = Variable("x")
+        assert is_hierarchical(ConjunctiveQuery([x], [Atom("T", (x,))]))
+
+    def test_star_queries_are_hierarchical(self):
+        for arms in range(1, 6):
+            assert is_hierarchical(star_query(arms))
+
+    def test_two_relation_cross_is_not_hierarchical(self):
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(
+            [x, y], [Atom("A", (x,)), Atom("B", (y,)), Atom("C", (x, y))]
+        )
+        assert not is_hierarchical(query)
+
+
+class TestQTree:
+    def test_q0_q_tree_structure(self):
+        tree = build_q_tree(QUERY_Q0)
+        validate_q_tree(tree)
+        root = tree.root
+        assert root.label == Variable("x")
+        # The leaf of atom 0 (T(x)) hangs directly below x; atoms 1 and 2 below y.
+        assert tree.path_variables(0) == {Variable("x")}
+        assert tree.path_variables(1) == {Variable("x"), Variable("y")}
+        assert tree.path_variables(2) == {Variable("x"), Variable("y")}
+
+    def test_deep_query_q_tree(self):
+        tree = build_q_tree(QUERY_STARDEEP)
+        validate_q_tree(tree)
+        # Atom 2 = T(x, w): its path carries exactly {x, w}.
+        assert tree.path_variables(2) == {Variable("x"), Variable("w")}
+
+    def test_q_tree_of_self_join_query(self):
+        tree = build_q_tree(QUERY_Q2)
+        validate_q_tree(tree)
+        assert tree.path_variables(2) == {Variable("x"), Variable("y")}
+
+    def test_compact_tree_has_no_unary_variables(self):
+        for query in (QUERY_Q0, QUERY_Q2, QUERY_STARDEEP, star_query(4)):
+            compact = build_q_tree(query).compacted()
+            validate_q_tree(compact)
+            for node in compact.variable_nodes():
+                assert len(node.children) >= 2
+
+    def test_compact_tree_of_q0_is_same_shape(self):
+        compact = build_q_tree(QUERY_Q0).compacted()
+        assert compact.root.label == Variable("x")
+        assert {n.label for n in compact.variable_nodes()} == {Variable("x"), Variable("y")}
+
+    def test_descendant_atoms(self):
+        tree = build_q_tree(QUERY_Q0)
+        assert tree.descendant_atoms(Variable("x")) == {0, 1, 2}
+        assert tree.descendant_atoms(Variable("y")) == {1, 2}
+
+    def test_ancestors_and_parent_map(self):
+        tree = build_q_tree(QUERY_Q0)
+        parents = tree.parent_map()
+        assert parents[tree.root.label] is None
+        ancestors = tree.ancestors(1)
+        assert ancestors[0] == tree.root.label
+        assert ancestors[-1] == 1
+
+    def test_depth(self):
+        assert build_q_tree(QUERY_Q0).depth() >= 2
+
+    def test_node_of_missing_label(self):
+        tree = build_q_tree(QUERY_Q0)
+        with pytest.raises(KeyError):
+            tree.node_of(Variable("nope"))
+
+    def test_pretty_rendering_mentions_all_atoms(self):
+        text = build_q_tree(QUERY_STARDEEP).pretty()
+        for atom in QUERY_STARDEEP.atoms:
+            assert str(atom) in text
+
+    def test_rejects_non_hierarchical(self):
+        with pytest.raises(NotHierarchicalError):
+            build_q_tree(QUERY_NON_HIERARCHICAL)
+
+    def test_rejects_non_full(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(NotHierarchicalError):
+            build_q_tree(ConjunctiveQuery([x], [Atom("S", (x, y))]))
+
+    def test_rejects_disconnected(self):
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery([x, y], [Atom("T", (x,)), Atom("U", (y,))])
+        with pytest.raises(NotHierarchicalError):
+            build_q_tree(query)
+
+
+class TestRandomHierarchicalQueries:
+    @given(st.integers(min_value=1, max_value=6))
+    def test_star_queries_admit_valid_q_trees(self, arms):
+        query = star_query(arms)
+        tree = build_q_tree(query)
+        validate_q_tree(tree)
+        compact = tree.compacted()
+        validate_q_tree(compact)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=3))
+    def test_telescope_queries(self, depth, extra_leaf_atoms):
+        """Nested-variable queries (deep q-trees) plus a few atoms repeated at the root."""
+        variables = [Variable(f"x{i}") for i in range(depth)]
+        atoms = [Atom(f"L{j}", tuple(variables[: j + 1])) for j in range(depth)]
+        for k in range(extra_leaf_atoms):
+            atoms.append(Atom(f"E{k}", (variables[0],)))
+        query = ConjunctiveQuery(variables, atoms, name="Tele")
+        assert is_hierarchical(query)
+        tree = build_q_tree(query)
+        validate_q_tree(tree)
+        validate_q_tree(tree.compacted())

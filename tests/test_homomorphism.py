@@ -1,0 +1,144 @@
+"""Tests for homomorphisms, t-homomorphisms and bag semantics (repro.cq.homomorphism)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.bag import Bag
+from repro.cq.database import Database
+from repro.cq.homomorphism import (
+    Homomorphism,
+    bag_semantics,
+    chaudhuri_vardi_semantics,
+    enumerate_homomorphisms,
+    enumerate_t_homomorphisms,
+    multiplicity_of_homomorphism,
+)
+from repro.cq.query import Atom, ConjunctiveQuery, Variable
+from repro.cq.schema import Tuple
+
+from helpers import QUERY_Q0, QUERY_Q2, SIGMA0, STREAM_S0, X, Y, star_query, star_schema
+
+
+def example_d0() -> Database:
+    return Database(SIGMA0, {i: STREAM_S0[i] for i in range(6)})
+
+
+class TestHomomorphism:
+    def test_apply_and_head_tuple(self):
+        hom = Homomorphism({X: 2, Y: 11})
+        assert hom.apply(Atom("S", (X, Y))) == Tuple("S", (2, 11))
+        assert hom.head_tuple(QUERY_Q0) == Tuple("Q0", (2, 11))
+
+    def test_equality_and_hash(self):
+        assert Homomorphism({X: 1}) == Homomorphism({X: 1})
+        assert hash(Homomorphism({X: 1})) == hash(Homomorphism({X: 1}))
+        assert Homomorphism({X: 1}) != Homomorphism({X: 2})
+
+
+class TestTHomomorphismEnumeration:
+    def test_paper_example_t_homomorphisms(self):
+        """The two t-homomorphisms η0, η1 from Section 4 are found (and only those
+        mapping Q0 into D0)."""
+        t_homs = list(enumerate_t_homomorphisms(QUERY_Q0, example_d0()))
+        assignments = {tuple(sorted(t.items())) for t in t_homs}
+        eta0 = ((0, 1), (1, 3), (2, 5))
+        eta1 = ((0, 1), (1, 0), (2, 5))
+        assert eta0 in assignments
+        assert eta1 in assignments
+        assert len(assignments) == 2
+
+    def test_each_t_homomorphism_has_consistent_homomorphism(self):
+        database = example_d0()
+        for t_hom in enumerate_t_homomorphisms(QUERY_Q0, database):
+            for atom_id, db_id in t_hom.items():
+                atom = QUERY_Q0.atom(atom_id)
+                assert t_hom.homomorphism.apply(atom) == database[db_id]
+
+    def test_constants_restrict_matches(self):
+        query = ConjunctiveQuery([Y], [Atom("S", (2, Y))])
+        database = example_d0()
+        t_homs = list(enumerate_t_homomorphisms(query, database))
+        assert {t[0] for t in t_homs} == {0, 3}
+
+    def test_self_join_query_can_reuse_and_split_tuples(self):
+        database = Database(
+            QUERY_Q2.infer_schema(),
+            {0: Tuple("R", (0, 1, 2)), 1: Tuple("R", (0, 1, 3)), 2: Tuple("U", (0, 1))},
+        )
+        t_homs = list(enumerate_t_homomorphisms(QUERY_Q2, database))
+        # Atoms 0 and 1 can each map to either R tuple independently: 2*2 = 4.
+        assert len(t_homs) == 4
+
+    def test_no_matches_when_relation_missing(self):
+        database = Database(SIGMA0, [Tuple("T", (1,))])
+        assert list(enumerate_t_homomorphisms(QUERY_Q0, database)) == []
+
+    def test_homomorphisms_deduplicate(self):
+        database = example_d0()
+        homs = list(enumerate_homomorphisms(QUERY_Q0, database))
+        assert len(homs) == len(set(homs))
+        # Two t-homomorphisms share a single homomorphism (the duplicate S tuple).
+        assert len(homs) == 1
+
+
+class TestBagSemantics:
+    def test_output_multiplicity_counts_duplicates(self):
+        output = bag_semantics(QUERY_Q0, example_d0())
+        assert output.multiplicity(Tuple("Q0", (2, 11))) == 2
+        assert len(output) == 2
+
+    def test_multiplicity_of_homomorphism(self):
+        hom = Homomorphism({X: 2, Y: 11})
+        assert multiplicity_of_homomorphism(QUERY_Q0, example_d0(), hom) == 2
+
+    def test_equivalence_with_chaudhuri_vardi_on_paper_example(self):
+        database = example_d0()
+        assert bag_semantics(QUERY_Q0, database) == chaudhuri_vardi_semantics(QUERY_Q0, database)
+
+    def test_equivalence_with_self_joins(self):
+        database = Database(
+            QUERY_Q2.infer_schema(),
+            {
+                0: Tuple("R", (0, 1, 2)),
+                1: Tuple("R", (0, 1, 2)),
+                2: Tuple("U", (0, 1)),
+                3: Tuple("R", (5, 5, 5)),
+            },
+        )
+        assert bag_semantics(QUERY_Q2, database) == chaudhuri_vardi_semantics(QUERY_Q2, database)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A1", "A2"]),
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+            ),
+            max_size=7,
+        )
+    )
+    def test_equivalence_on_random_star_databases(self, rows):
+        """Appendix B: the t-homomorphism semantics equals the Chaudhuri–Vardi semantics."""
+        query = star_query(2)
+        schema = star_schema(2)
+        database = Database(schema, [Tuple(rel, (a, b)) for rel, a, b in rows])
+        assert bag_semantics(query, database) == chaudhuri_vardi_semantics(query, database)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=1)),
+            max_size=6,
+        )
+    )
+    def test_equivalence_on_random_self_join_databases(self, rows):
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery([x, y], [Atom("E", (x, y)), Atom("E", (y, x))])
+        database = Database(
+            query.infer_schema(), [Tuple("E", (a, b)) for a, b in rows]
+        )
+        assert bag_semantics(query, database) == chaudhuri_vardi_semantics(query, database)
+
+    def test_output_identifiers_are_t_homomorphisms(self):
+        output = bag_semantics(QUERY_Q0, example_d0())
+        assert all(hasattr(identifier, "assignment") for identifier in output.identifiers())

@@ -1,0 +1,121 @@
+"""Integration tests: end-to-end scenarios across generators, translation, engines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.delta_join import DeltaJoinEngine
+from repro.baselines.naive import NaiveRecomputeEngine
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import check_unambiguous_on_stream
+from repro.cq.stream_semantics import cq_stream_new_outputs, cq_stream_output
+from repro.engine.compiler import compile_pattern
+from repro.engine.dsl import atom, conjunction, sequence
+from repro.streams.generators import (
+    HCQWorkloadGenerator,
+    SensorStreamGenerator,
+    StockStreamGenerator,
+)
+
+
+class TestScenarioStockMarket:
+    def test_streaming_equals_baselines_on_market_stream(self):
+        generator = StockStreamGenerator(symbols=4, news_probability=0.2, seed=11)
+        query = generator.query()
+        stream = generator.stream(80).materialise()
+        window = 25
+        streaming = StreamingEvaluator(hcq_to_pcea(query), window=window)
+        naive = NaiveRecomputeEngine(query, window=window)
+        delta = DeltaJoinEngine(query, window=window)
+        total = 0
+        for tup in stream:
+            a, b, c = set(streaming.process(tup)), set(naive.process(tup)), set(delta.process(tup))
+            assert a == b == c
+            total += len(a)
+        assert total > 0, "the scenario should produce at least one match"
+
+    def test_cumulative_outputs_equal_cq_semantics(self):
+        generator = StockStreamGenerator(symbols=3, news_probability=0.3, seed=5)
+        query = generator.query()
+        stream = generator.stream(40).materialise()
+        evaluator = StreamingEvaluator(hcq_to_pcea(query), window=len(stream) + 1)
+        cumulative = set()
+        for tup in stream:
+            cumulative |= set(evaluator.process(tup))
+        assert cumulative == cq_stream_output(query, stream, len(stream) - 1)
+
+
+class TestScenarioSensorNetwork:
+    def test_windowed_alert_detection(self):
+        generator = SensorStreamGenerator(sensors=3, alarm_probability=0.15, seed=3)
+        query = generator.query()
+        stream = generator.stream(120).materialise()
+        window = 15
+        evaluator = StreamingEvaluator(hcq_to_pcea(query), window=window)
+        reference = NaiveRecomputeEngine(query, window=window)
+        for position, tup in enumerate(stream):
+            assert set(evaluator.process(tup)) == set(reference.process(tup))
+
+    def test_unambiguity_holds_on_generated_streams(self):
+        generator = SensorStreamGenerator(sensors=2, alarm_probability=0.3, seed=8)
+        pcea = hcq_to_pcea(generator.query())
+        stream = generator.stream(25).materialise()
+        assert check_unambiguous_on_stream(pcea, stream) == []
+
+
+class TestScenarioStarWorkload:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=2, max_value=5))
+    def test_star_workload_engines_agree(self, arms, key_domain):
+        workload = HCQWorkloadGenerator(arms=arms, key_domain=key_domain, seed=arms * 10 + key_domain)
+        query = workload.query()
+        stream = workload.stream(40).materialise()
+        window = 12
+        streaming = StreamingEvaluator(hcq_to_pcea(query), window=window)
+        reference = DeltaJoinEngine(query, window=window)
+        for tup in stream:
+            assert set(streaming.process(tup)) == set(reference.process(tup))
+
+    def test_larger_window_never_loses_outputs(self):
+        workload = HCQWorkloadGenerator(arms=2, key_domain=3, seed=7)
+        query = workload.query()
+        stream = workload.stream(60).materialise()
+        small = StreamingEvaluator(hcq_to_pcea(query), window=5)
+        large = StreamingEvaluator(hcq_to_pcea(query), window=30)
+        for tup in stream:
+            small_out = set(small.process(tup))
+            large_out = set(large.process(tup))
+            assert small_out <= large_out
+
+
+class TestDSLScenario:
+    def test_news_then_trades_pattern(self):
+        """A sequenced CER pattern over the market stream: news, then a buy, then a sell."""
+        generator = StockStreamGenerator(symbols=3, news_probability=0.25, seed=21)
+        stream = generator.stream(100).materialise()
+        pattern = sequence(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+        pcea = compile_pattern(pattern)
+        evaluator = StreamingEvaluator(pcea, window=30)
+        total_sequence = sum(len(v) for v in evaluator.run(stream).values())
+
+        unordered = conjunction(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+        unordered_eval = StreamingEvaluator(compile_pattern(unordered), window=30)
+        total_conjunction = sum(len(v) for v in unordered_eval.run(stream).values())
+
+        # Sequencing is strictly more restrictive than unordered conjunction.
+        assert total_sequence <= total_conjunction
+
+    def test_sequence_outputs_are_subset_of_conjunction_outputs(self):
+        generator = StockStreamGenerator(symbols=2, news_probability=0.3, seed=2)
+        stream = generator.stream(60).materialise()
+        sequenced = compile_pattern(
+            sequence(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+        )
+        unordered = compile_pattern(
+            conjunction(atom("News", "s"), atom("Buy", "s", "p"), atom("Sell", "s", "q"))
+        )
+        seq_eval = StreamingEvaluator(sequenced, window=40)
+        con_eval = StreamingEvaluator(unordered, window=40)
+        for tup in stream:
+            seq_out = set(seq_eval.process(tup))
+            con_out = set(con_eval.process(tup))
+            assert seq_out <= con_out

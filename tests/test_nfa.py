@@ -1,0 +1,102 @@
+"""Tests for classical NFA/DFA (repro.automata.nfa)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.nfa import DFA, NFA
+
+
+def ends_with_ab() -> NFA:
+    """Words over {a, b} ending with 'ab'."""
+    return NFA(
+        states={0, 1, 2},
+        alphabet={"a", "b"},
+        transitions={
+            (0, "a", 0),
+            (0, "b", 0),
+            (0, "a", 1),
+            (1, "b", 2),
+        },
+        initial={0},
+        final={2},
+    )
+
+
+def random_nfa_strategy(max_states: int = 4) -> st.SearchStrategy[NFA]:
+    alphabet = ["a", "b"]
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_states))
+        states = list(range(n))
+        transitions = draw(
+            st.sets(
+                st.tuples(
+                    st.sampled_from(states),
+                    st.sampled_from(alphabet),
+                    st.sampled_from(states),
+                ),
+                max_size=2 * n * len(alphabet),
+            )
+        )
+        initial = draw(st.sets(st.sampled_from(states), min_size=1, max_size=n))
+        final = draw(st.sets(st.sampled_from(states), max_size=n))
+        return NFA(states, alphabet, transitions, initial, final)
+
+    return build()
+
+
+class TestNFA:
+    def test_accepts_examples(self):
+        nfa = ends_with_ab()
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["b", "b", "a", "b"])
+        assert not nfa.accepts(["a", "b", "a"])
+        assert not nfa.accepts([])
+
+    def test_runs_enumeration(self):
+        nfa = ends_with_ab()
+        runs = list(nfa.runs(["a", "b"]))
+        assert [0, 1, 2] in runs
+        assert all(run[0] in nfa.initial for run in runs)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {(0, "a", 1)}, {0}, set())
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, set(), {1}, set())
+        with pytest.raises(ValueError):
+            NFA({0}, {"a"}, {(0, "z", 0)}, {0}, set())
+
+    def test_size(self):
+        assert ends_with_ab().size() == 3 + 4
+
+
+class TestDeterminization:
+    def test_determinize_preserves_examples(self):
+        nfa = ends_with_ab()
+        dfa = nfa.determinize()
+        for word in (["a", "b"], ["b", "a"], ["a", "a", "b"], [], ["b"]):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_dfa_partial_transition(self):
+        dfa = DFA({0, 1}, {"a"}, {(0, "a"): 1}, 0, {1})
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts(["a", "a"])
+
+    def test_trim_removes_unreachable(self):
+        dfa = DFA({0, 1, 2}, {"a"}, {(0, "a"): 1, (2, "a"): 2}, 0, {1})
+        trimmed = dfa.trim()
+        assert 2 not in trimmed.states
+        assert trimmed.accepts(["a"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_nfa_strategy(), st.lists(st.sampled_from(["a", "b"]), max_size=6))
+    def test_determinization_language_equivalence(self, nfa, word):
+        assert nfa.determinize().accepts(word) == nfa.accepts(word)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_nfa_strategy())
+    def test_subset_construction_size_bound(self, nfa):
+        dfa = nfa.determinize()
+        assert len(dfa.states) <= 2 ** len(nfa.states)

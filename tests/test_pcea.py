@@ -1,0 +1,155 @@
+"""Tests for Parallelized Complex Event Automata (repro.core.pcea) — Section 3."""
+
+import pytest
+
+from repro.core.pcea import PCEA, PCEATransition, check_unambiguous_on_stream
+from repro.core.predicates import AtomJoinEquality, AtomUnaryPredicate, RelationPredicate, TrueEquality
+from repro.core.runtree import Configuration, RunTreeNode
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import Tuple
+from repro.valuation import Valuation
+
+from helpers import STREAM_S0, example_ccea_c0, example_pcea_p0
+
+X, Y = Variable("x"), Variable("y")
+
+
+class TestRunTreeNode:
+    def test_valuation_is_product_of_configurations(self):
+        leaf_a = RunTreeNode(Configuration("a", 0, {"l1"}))
+        leaf_b = RunTreeNode(Configuration("b", 1, {"l2"}))
+        root = RunTreeNode(Configuration("c", 2, {"l3"}), [leaf_a, leaf_b])
+        assert root.valuation == Valuation({"l1": {0}, "l2": {1}, "l3": {2}})
+        assert root.node_count() == 3
+        assert {leaf.state for leaf in root.leaves()} == {"a", "b"}
+
+    def test_is_simple(self):
+        leaf_a = RunTreeNode(Configuration("a", 0, {"l"}))
+        leaf_b = RunTreeNode(Configuration("b", 0, {"l"}))
+        root = RunTreeNode(Configuration("c", 1, {"m"}), [leaf_a, leaf_b])
+        assert not root.is_simple()
+        disjoint = RunTreeNode(
+            Configuration("c", 1, {"m"}),
+            [RunTreeNode(Configuration("a", 0, {"l1"})), RunTreeNode(Configuration("b", 0, {"l2"}))],
+        )
+        assert disjoint.is_simple()
+
+    def test_canonical_form_is_order_insensitive(self):
+        leaf_a = RunTreeNode(Configuration("a", 0, {"l1"}))
+        leaf_b = RunTreeNode(Configuration("b", 1, {"l2"}))
+        first = RunTreeNode(Configuration("c", 2, {"m"}), [leaf_a, leaf_b])
+        second = RunTreeNode(Configuration("c", 2, {"m"}), [leaf_b, leaf_a])
+        assert first.canonical_form() == second.canonical_form()
+
+
+class TestPCEAExampleP0:
+    def test_example_33_outputs_at_position_five(self):
+        """Example 3.3: both {1,3,5} and {0,1,5} are outputs of P0 at position 5."""
+        pcea = example_pcea_p0()
+        outputs = pcea.output_at(STREAM_S0, 5)
+        assert Valuation({"dot": {1, 3, 5}}) in outputs
+        assert Valuation({"dot": {0, 1, 5}}) in outputs
+        assert outputs == {
+            Valuation({"dot": {1, 3, 5}}),
+            Valuation({"dot": {0, 1, 5}}),
+        }
+
+    def test_strictly_more_expressive_than_ccea_on_s0(self):
+        """Proposition 3.4 (witness): the CCEA C0 misses the reordered match."""
+        ccea_outputs = example_ccea_c0().output_at(STREAM_S0, 5)
+        pcea_outputs = example_pcea_p0().output_at(STREAM_S0, 5)
+        assert ccea_outputs < pcea_outputs
+
+    def test_reordered_stream_only_matchable_by_pcea(self):
+        """On R(a,b), T(a), S(a,b) the chain automaton cannot join R's second attribute."""
+        stream = [Tuple("R", (0, 7)), Tuple("T", (0,)), Tuple("S", (0, 7))]
+        pcea_outputs = example_pcea_p0().output_at(stream, 2)
+        assert pcea_outputs == set()  # P0 needs R to arrive last
+        # but with R last it matches:
+        stream_last = [Tuple("T", (0,)), Tuple("S", (0, 7)), Tuple("R", (0, 7))]
+        assert example_pcea_p0().output_at(stream_last, 2) == {Valuation({"dot": {0, 1, 2}})}
+
+    def test_window_restricts_outputs(self):
+        pcea = example_pcea_p0()
+        assert pcea.output_at(STREAM_S0, 5, window=2) == set()
+        assert pcea.output_at(STREAM_S0, 5, window=5) == {
+            Valuation({"dot": {1, 3, 5}}),
+            Valuation({"dot": {0, 1, 5}}),
+        }
+
+    def test_example_p0_is_unambiguous_on_s0(self):
+        assert check_unambiguous_on_stream(example_pcea_p0(), STREAM_S0) == []
+
+    def test_outputs_upto_consistency(self):
+        pcea = example_pcea_p0()
+        per_position = pcea.outputs_upto(STREAM_S0, 7)
+        for position in range(8):
+            assert per_position[position] == pcea.output_at(STREAM_S0, position)
+
+
+class TestPCEAModel:
+    def test_transition_validation(self):
+        unary = RelationPredicate("T")
+        with pytest.raises(ValueError):
+            PCEATransition({"a"}, unary, {}, {"l"}, "b")  # missing binary for source a
+        with pytest.raises(ValueError):
+            PCEATransition(set(), unary, {"a": TrueEquality()}, {"l"}, "b")  # extra binary
+        with pytest.raises(ValueError):
+            PCEATransition(set(), unary, {}, set(), "b")  # empty labels
+
+    def test_pcea_validation(self):
+        unary = RelationPredicate("T")
+        transition = PCEATransition(set(), unary, {}, {"l"}, "a")
+        with pytest.raises(ValueError):
+            PCEA({"a"}, [transition], {"zz"})
+        with pytest.raises(ValueError):
+            PCEA({"b"}, [transition], set())
+
+    def test_size_definition(self):
+        pcea = example_pcea_p0()
+        # |Q| = 3; transitions: two initial (0 sources + 1 label) and one join (2 sources + 1 label).
+        assert pcea.size() == 3 + 1 + 1 + 3
+
+    def test_uses_only_equality_predicates(self):
+        assert example_pcea_p0().uses_only_equality_predicates()
+
+    def test_initial_transitions(self):
+        assert sum(1 for _ in example_pcea_p0().initial_transitions()) == 2
+
+    def test_naive_evaluation_guard(self):
+        pcea = example_pcea_p0()
+        hot_stream = [Tuple("T", (0,)), Tuple("S", (0, 0))] * 12 + [Tuple("R", (0, 0))] * 3
+        with pytest.raises(RuntimeError):
+            pcea.run_trees_upto(hot_stream, len(hot_stream) - 1, max_nodes=10)
+
+    def test_ambiguous_automaton_is_detected(self):
+        """Two initial transitions with the same label on the same tuple → duplicate valuations."""
+        unary = AtomUnaryPredicate(Atom("T", (X,)))
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), unary, {}, {"l"}, "a"),
+                PCEATransition(set(), unary, {}, {"l"}, "b"),
+            ],
+            final={"a", "b"},
+        )
+        violations = check_unambiguous_on_stream(pcea, [Tuple("T", (1,))])
+        assert violations
+
+    def test_non_simple_run_is_detected(self):
+        """A run marking the same position with the same label through two nodes is not simple."""
+        unary_t = AtomUnaryPredicate(Atom("T", (X,)))
+        unary_r = AtomUnaryPredicate(Atom("R", (X, Y)))
+        join = AtomJoinEquality(Atom("T", (X,)), Atom("R", (X, Y)))
+        pcea = PCEA(
+            states={"a", "b", "c"},
+            transitions=[
+                PCEATransition(set(), unary_t, {}, {"l"}, "a"),
+                PCEATransition(set(), unary_t, {}, {"l"}, "b"),
+                PCEATransition({"a", "b"}, unary_r, {"a": join, "b": join}, {"m"}, "c"),
+            ],
+            final={"c"},
+        )
+        stream = [Tuple("T", (1,)), Tuple("R", (1, 5))]
+        violations = check_unambiguous_on_stream(pcea, stream)
+        assert any("non-simple" in violation for violation in violations)

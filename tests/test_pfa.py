@@ -1,0 +1,136 @@
+"""Tests for Parallelized Finite Automata (repro.automata.pfa) — Section 3."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.pfa import PFA, determinize_pfa, pfa_language_sample
+
+
+def example_pfa_p0() -> PFA:
+    """The PFA of Example 3.1 / Figure 1 (left): a T and an S (in any order) before an R."""
+    sigma = {"T", "S", "R"}
+    loops = {(frozenset({s}), a, s) for s in (0, 1, 2, 3, 4) for a in sigma}
+    return PFA(
+        states={0, 1, 2, 3, 4},
+        alphabet=sigma,
+        transitions=loops
+        | {
+            (frozenset({0}), "T", 1),
+            (frozenset({2}), "S", 3),
+            (frozenset({1, 3}), "R", 4),
+        },
+        initial={0, 2},
+        final={4},
+    )
+
+
+def random_pfa_strategy(max_states: int = 4) -> st.SearchStrategy[PFA]:
+    alphabet = ["a", "b"]
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_states))
+        states = list(range(n))
+        subsets = st.frozensets(st.sampled_from(states), min_size=1, max_size=min(3, n))
+        transitions = draw(
+            st.sets(
+                st.tuples(subsets, st.sampled_from(alphabet), st.sampled_from(states)),
+                max_size=8,
+            )
+        )
+        initial = draw(st.sets(st.sampled_from(states), min_size=1, max_size=n))
+        final = draw(st.sets(st.sampled_from(states), max_size=n))
+        return PFA(states, alphabet, transitions, initial, final)
+
+    return build()
+
+
+class TestPFAExample:
+    def test_accepts_t_and_s_then_r(self):
+        pfa = example_pfa_p0()
+        assert pfa.accepts(["T", "S", "R"])
+        assert pfa.accepts(["S", "T", "R"])
+        assert pfa.accepts(["S", "S", "T", "R"])
+        assert pfa.accepts(["T", "S", "R", "S"])  # trailing events are absorbed by the loop on 4
+        assert not pfa.accepts(["T", "R"])
+        assert not pfa.accepts(["R", "T", "S"])
+        assert not pfa.accepts([])
+
+    def test_run_tree_semantics_agrees_on_example(self):
+        pfa = example_pfa_p0()
+        for word in (["T", "S", "R"], ["S", "T", "R"], ["T", "R"], ["R"]):
+            assert pfa.accepts(word) == pfa.accepts_by_run_tree(word)
+
+    def test_run_tree_witness(self):
+        pfa = example_pfa_p0()
+        trees = list(pfa.run_trees(["T", "S", "R"], limit=5))
+        assert trees, "an accepting run tree must exist"
+        tree = trees[0]
+        assert tree.state == 4
+        leaves = {leaf.state for leaf in tree.leaves()}
+        assert leaves <= pfa.initial
+
+    def test_empty_word_acceptance(self):
+        pfa = PFA({0}, {"a"}, set(), {0}, {0})
+        assert pfa.accepts([])
+        assert pfa.accepts_by_run_tree([])
+        assert list(pfa.run_trees([]))[0].state == 0
+
+    def test_size_definition(self):
+        pfa = PFA(
+            {0, 1, 2},
+            {"a"},
+            {(frozenset({0, 1}), "a", 2), (frozenset({0}), "a", 1)},
+            {0},
+            {2},
+        )
+        # |Q| + Σ (|P| + 1) = 3 + (2 + 1) + (1 + 1)
+        assert pfa.size() == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PFA({0}, {"a"}, {(frozenset({5}), "a", 0)}, {0}, {0})
+        with pytest.raises(ValueError):
+            PFA({0}, {"a"}, {(frozenset({0}), "z", 0)}, {0}, {0})
+
+
+class TestPFAProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_pfa_strategy(), st.lists(st.sampled_from(["a", "b"]), max_size=5))
+    def test_forward_simulation_equals_run_tree_semantics(self, pfa, word):
+        assert pfa.accepts(word) == pfa.accepts_by_run_tree(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_pfa_strategy(), st.lists(st.sampled_from(["a", "b"]), max_size=5))
+    def test_determinization_preserves_language(self, pfa, word):
+        dfa = determinize_pfa(pfa)
+        assert dfa.accepts(word) == pfa.accepts(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_pfa_strategy())
+    def test_determinization_state_bound(self, pfa):
+        """Proposition 3.2: the equivalent DFA needs at most 2^n states."""
+        dfa = determinize_pfa(pfa, trim=False)
+        assert len(dfa.states) <= 2 ** len(pfa.states)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_nfa_embedding_preserves_language(self, n):
+        nfa = NFA(
+            states=set(range(n + 1)),
+            alphabet={"a", "b"},
+            transitions={(i, "a", i + 1) for i in range(n)} | {(0, "b", 0)},
+            initial={0},
+            final={n},
+        )
+        pfa = PFA.from_nfa(nfa)
+        for word in (["a"] * n, ["b", "a"], ["a"] * (n + 1), ["b"] * 3 + ["a"] * n):
+            assert pfa.accepts(word) == nfa.accepts(word)
+
+    def test_language_sample(self):
+        pfa = example_pfa_p0()
+        sample = pfa_language_sample(pfa, 3)
+        assert ("T", "S", "R") in sample
+        assert ("S", "T", "R") in sample
+        assert ("T", "R") not in sample

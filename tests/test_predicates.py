@@ -1,0 +1,178 @@
+"""Tests for unary and binary predicates (repro.core.predicates)."""
+
+import pytest
+
+from repro.core.predicates import (
+    AtomJoinEquality,
+    AtomUnaryPredicate,
+    AttributeFilter,
+    LambdaBinaryPredicate,
+    LambdaUnaryPredicate,
+    ProjectionEquality,
+    RelationPredicate,
+    SelfJoinEquality,
+    SelfJoinUnaryPredicate,
+    TrueEquality,
+    TruePredicate,
+    VariableAtomEquality,
+    unify_self_join_atoms,
+)
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import Tuple
+
+X, Y, Z, V = Variable("x"), Variable("y"), Variable("z"), Variable("v")
+
+
+class TestUnaryPredicates:
+    def test_true_predicate(self):
+        assert TruePredicate().holds(Tuple("Anything", (1,)))
+
+    def test_relation_predicate(self):
+        pred = RelationPredicate("T")
+        assert pred.holds(Tuple("T", (1,)))
+        assert not pred.holds(Tuple("S", (1, 2)))
+        multi = RelationPredicate({"R", "S"})
+        assert multi.holds(Tuple("R", (1, 2)))
+        assert multi.holds(Tuple("S", (1, 2)))
+
+    def test_atom_unary_predicate(self):
+        pred = AtomUnaryPredicate(Atom("S", (X, X)))
+        assert pred.holds(Tuple("S", (3, 3)))
+        assert not pred.holds(Tuple("S", (3, 4)))
+        assert not pred.holds(Tuple("R", (3, 3)))
+
+    def test_atom_unary_predicate_with_constant(self):
+        pred = AtomUnaryPredicate(Atom("S", (2, Y)))
+        assert pred.holds(Tuple("S", (2, 9)))
+        assert not pred.holds(Tuple("S", (3, 9)))
+
+    def test_lambda_unary(self):
+        pred = LambdaUnaryPredicate(lambda t: t.value(0) > 5, "gt5")
+        assert pred.holds(Tuple("T", (6,)))
+        assert not pred.holds(Tuple("T", (5,)))
+        assert str(pred) == "gt5"
+
+    def test_combinators(self):
+        conj = RelationPredicate("T") & LambdaUnaryPredicate(lambda t: t.value(0) > 5)
+        assert conj.holds(Tuple("T", (6,)))
+        assert not conj.holds(Tuple("T", (3,)))
+        disj = RelationPredicate("T") | RelationPredicate("S")
+        assert disj.holds(Tuple("S", (1, 2)))
+
+    def test_attribute_filter(self):
+        pred = AttributeFilter("Buy", 1, ">", 100)
+        assert pred.holds(Tuple("Buy", (7, 150)))
+        assert not pred.holds(Tuple("Buy", (7, 50)))
+        assert not pred.holds(Tuple("Sell", (7, 150)))
+        assert not pred.holds(Tuple("Buy", (7,)))
+
+    def test_attribute_filter_type_mismatch_is_false(self):
+        pred = AttributeFilter("Buy", 0, "<", 10)
+        assert not pred.holds(Tuple("Buy", ("not-a-number", 1)))
+
+
+class TestEqualityPredicates:
+    def test_true_equality(self):
+        eq = TrueEquality()
+        assert eq.holds(Tuple("A", (1,)), Tuple("B", (2, 3)))
+        assert eq.left_key(Tuple("A", (1,))) == ()
+
+    def test_projection_equality(self):
+        eq = ProjectionEquality({"T": (0,)}, {"S": (0,)})
+        assert eq.holds(Tuple("T", (2,)), Tuple("S", (2, 11)))
+        assert not eq.holds(Tuple("T", (3,)), Tuple("S", (2, 11)))
+        assert eq.left_key(Tuple("S", (2, 11))) is None  # S is not a left relation
+        assert eq.right_key(Tuple("T", (2,))) is None
+
+    def test_projection_equality_out_of_range_positions(self):
+        eq = ProjectionEquality({"T": (5,)}, {"S": (0,)})
+        assert eq.left_key(Tuple("T", (2,))) is None
+
+    def test_atom_join_equality_shared_variables(self):
+        eq = AtomJoinEquality(Atom("S", (X, Y)), Atom("R", (X, Y)))
+        assert eq.holds(Tuple("S", (2, 11)), Tuple("R", (2, 11)))
+        assert not eq.holds(Tuple("S", (2, 11)), Tuple("R", (2, 12)))
+        assert not eq.holds(Tuple("S", (2, 11)), Tuple("S", (2, 11)))  # wrong relation on the right
+
+    def test_atom_join_equality_without_shared_variables(self):
+        eq = AtomJoinEquality(Atom("T", (X,)), Atom("U", (Y,)))
+        assert eq.holds(Tuple("T", (1,)), Tuple("U", (2,)))
+
+    def test_atom_join_equality_respects_left_atom_structure(self):
+        eq = AtomJoinEquality(Atom("S", (X, X)), Atom("R", (X, Y)))
+        assert not eq.holds(Tuple("S", (1, 2)), Tuple("R", (1, 5)))
+        assert eq.holds(Tuple("S", (1, 1)), Tuple("R", (1, 5)))
+
+    def test_variable_atom_equality(self):
+        # Atoms below the q-tree variable y of Q0: S(x,y) and R(x,y); target T(x).
+        eq = VariableAtomEquality([Atom("S", (X, Y)), Atom("R", (X, Y))], Atom("T", (X,)))
+        assert eq.holds(Tuple("S", (2, 11)), Tuple("T", (2,)))
+        assert eq.holds(Tuple("R", (2, 11)), Tuple("T", (2,)))
+        assert not eq.holds(Tuple("R", (3, 11)), Tuple("T", (2,)))
+        assert eq.left_key(Tuple("T", (2,))) is None
+
+    def test_variable_atom_equality_rejects_inconsistent_shared_sets(self):
+        with pytest.raises(ValueError):
+            VariableAtomEquality([Atom("S", (X, Y)), Atom("R", (Z, V))], Atom("T", (X,)))
+
+    def test_lambda_binary(self):
+        pred = LambdaBinaryPredicate(lambda a, b: a.value(0) < b.value(0))
+        assert pred.holds(Tuple("T", (1,)), Tuple("T", (2,)))
+        assert not pred.holds(Tuple("T", (2,)), Tuple("T", (1,)))
+
+
+class TestSelfJoinPredicates:
+    def test_unify_self_join_atoms_merges_classes(self):
+        unified = unify_self_join_atoms([Atom("R", (X, Y, Z)), Atom("R", (X, Y, V))])
+        # Positions 0 and 1 keep separate classes, position 2 is its own class.
+        tup_ok = Tuple("R", (1, 2, 3))
+        assert unified.matches(tup_ok)
+
+    def test_unify_repeated_variable_within_atom(self):
+        unified = unify_self_join_atoms([Atom("R", (X, X))])
+        assert unified.matches(Tuple("R", (4, 4)))
+        assert not unified.matches(Tuple("R", (4, 5)))
+
+    def test_unify_cross_atom_equalities(self):
+        # R(x, y) and R(y, x) force both positions equal.
+        unified = unify_self_join_atoms([Atom("R", (X, Y)), Atom("R", (Y, X))])
+        assert unified.matches(Tuple("R", (7, 7)))
+        assert not unified.matches(Tuple("R", (7, 8)))
+
+    def test_unify_with_constants(self):
+        unified = unify_self_join_atoms([Atom("R", (2, Y)), Atom("R", (X, 3))])
+        assert unified.matches(Tuple("R", (2, 3)))
+        assert not unified.matches(Tuple("R", (2, 4)))
+
+    def test_unify_with_conflicting_constants_is_unsatisfiable(self):
+        unified = unify_self_join_atoms([Atom("R", (2, Y)), Atom("R", (3, Y))])
+        assert not unified.matches(Tuple("R", (2, 5)))
+        assert not unified.matches(Tuple("R", (3, 5)))
+
+    def test_unify_requires_same_relation(self):
+        with pytest.raises(ValueError):
+            unify_self_join_atoms([Atom("R", (X,)), Atom("S", (X,))])
+        with pytest.raises(ValueError):
+            unify_self_join_atoms([])
+
+    def test_self_join_unary_predicate(self):
+        pred = SelfJoinUnaryPredicate([Atom("R", (X, Y, Z)), Atom("R", (X, Y, V))])
+        assert pred.holds(Tuple("R", (1, 2, 3)))
+        assert not pred.holds(Tuple("S", (1, 2, 3)))
+
+    def test_self_join_equality_on_shared_variables(self):
+        left = [Atom("R", (X, Y, Z))]
+        right = [Atom("U", (X, Y))]
+        eq = SelfJoinEquality(left, right)
+        assert eq.holds(Tuple("R", (1, 2, 9)), Tuple("U", (1, 2)))
+        assert not eq.holds(Tuple("R", (1, 2, 9)), Tuple("U", (1, 3)))
+
+    def test_self_join_equality_group_vs_group(self):
+        eq = SelfJoinEquality([Atom("R", (X, Y, Z)), Atom("R", (X, Y, V))], [Atom("U", (X, Y))])
+        assert eq.holds(Tuple("R", (1, 2, 3)), Tuple("U", (1, 2)))
+        assert not eq.holds(Tuple("R", (1, 2, 3)), Tuple("U", (2, 2)))
+
+    def test_self_join_equality_requires_matching_unified_atom(self):
+        eq = SelfJoinEquality([Atom("R", (X, X))], [Atom("U", (X,))])
+        assert eq.left_key(Tuple("R", (1, 2))) is None
+        assert eq.left_key(Tuple("R", (1, 1))) == (1,)

@@ -1,0 +1,167 @@
+"""Unit tests for conjunctive-query syntax and structure (repro.cq.query)."""
+
+import pytest
+
+from repro.cq.query import Atom, ConjunctiveQuery, Variable, is_variable, parse_query
+from repro.cq.schema import Schema, SchemaError, Tuple
+
+from helpers import QUERY_Q0, QUERY_Q1, QUERY_Q2, QUERY_STARDEEP, X, Y
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("S", (X, 2, Y, X))
+        assert atom.variables() == {X, Y}
+        assert atom.constants() == {2}
+        assert atom.arity == 4
+
+    def test_positions_of(self):
+        atom = Atom("S", (X, Y, X))
+        assert atom.positions_of(X) == (0, 2)
+        assert atom.positions_of(Y) == (1,)
+        assert atom.positions_of(Variable("z")) == ()
+
+    def test_matches_respects_relation_and_arity(self):
+        atom = Atom("S", (X, Y))
+        assert atom.matches(Tuple("S", (1, 2)))
+        assert not atom.matches(Tuple("R", (1, 2)))
+        assert not atom.matches(Tuple("S", (1, 2, 3)))
+
+    def test_matches_repeated_variables(self):
+        atom = Atom("S", (X, X))
+        assert atom.matches(Tuple("S", (7, 7)))
+        assert not atom.matches(Tuple("S", (7, 8)))
+
+    def test_matches_constants(self):
+        atom = Atom("S", (2, Y))
+        assert atom.matches(Tuple("S", (2, 5)))
+        assert not atom.matches(Tuple("S", (3, 5)))
+
+    def test_instantiate(self):
+        atom = Atom("S", (X, 2))
+        assert atom.instantiate({X: 7}) == Tuple("S", (7, 2))
+        with pytest.raises(KeyError):
+            Atom("S", (X, Y)).instantiate({X: 7})
+
+    def test_str(self):
+        assert str(Atom("S", (X, 2))) == "S(x, 2)"
+
+    def test_is_variable_helper(self):
+        assert is_variable(X)
+        assert not is_variable(3)
+
+
+class TestConjunctiveQuery:
+    def test_requires_at_least_one_atom(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([X], [])
+
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([X, Y], [Atom("T", (X,))])
+
+    def test_head_must_be_variables(self):
+        with pytest.raises(TypeError):
+            ConjunctiveQuery([X, 3], [Atom("S", (X,))])  # type: ignore[list-item]
+
+    def test_bag_of_atoms_keeps_duplicates(self):
+        bag = QUERY_Q1.as_bag()
+        assert len(bag) == 4
+        assert bag.multiplicity(Atom("T", (X,))) == 2
+
+    def test_atoms_with(self):
+        assert QUERY_Q0.atom_ids_with(X) == {0, 1, 2}
+        assert QUERY_Q0.atom_ids_with(Y) == {1, 2}
+        assert QUERY_Q1.atom_ids_with(X) == {0, 1, 3}
+
+    def test_is_full(self):
+        assert QUERY_Q0.is_full()
+        assert QUERY_Q2.is_full()
+        not_full = ConjunctiveQuery([X], [Atom("S", (X, Y))])
+        assert not not_full.is_full()
+
+    def test_has_self_joins(self):
+        assert not QUERY_Q0.has_self_joins()
+        assert QUERY_Q1.has_self_joins()
+        assert QUERY_Q2.has_self_joins()
+
+    def test_self_join_groups(self):
+        groups = QUERY_Q2.self_join_groups()
+        assert groups == {"R": (0, 1)}
+
+    def test_connectivity(self):
+        assert QUERY_Q0.is_connected_hierarchically()
+        assert QUERY_Q0.is_gaifman_connected()
+        disconnected = ConjunctiveQuery([X, Y], [Atom("T", (X,)), Atom("U", (Y,))])
+        assert not disconnected.is_connected_hierarchically()
+        assert not disconnected.is_gaifman_connected()
+
+    def test_gaifman_connected_but_no_common_variable(self):
+        query = ConjunctiveQuery(
+            [X, Y], [Atom("T", (X,)), Atom("S", (X, Y)), Atom("R", (Y,))]
+        )
+        assert query.is_gaifman_connected()
+        assert not query.is_connected_hierarchically()
+
+    def test_relations_and_variables(self):
+        assert QUERY_STARDEEP.relations() == {"R", "S", "T", "U"}
+        assert {v.name for v in QUERY_STARDEEP.variables()} == {"x", "y", "z", "v", "w"}
+
+    def test_infer_schema(self):
+        schema = QUERY_Q0.infer_schema()
+        assert schema.arity("T") == 1
+        assert schema.arity("S") == 2
+
+    def test_infer_schema_conflicting_arity(self):
+        query = ConjunctiveQuery([X, Y], [Atom("T", (X,)), Atom("T", (X, Y))])
+        with pytest.raises(SchemaError):
+            query.infer_schema()
+
+    def test_schema_validation_at_construction(self):
+        schema = Schema({"T": 1})
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery([X], [Atom("T", (X, X))], schema=schema)
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery([X], [Atom("U", (X,))], schema=schema)
+
+    def test_equality_and_hash(self):
+        again = ConjunctiveQuery(
+            [X, Y], [Atom("T", (X,)), Atom("S", (X, Y)), Atom("R", (X, Y))]
+        )
+        assert again == QUERY_Q0
+        assert hash(again) == hash(QUERY_Q0)
+
+    def test_str(self):
+        assert str(QUERY_Q0) == "Q0(x, y) <- T(x), S(x, y), R(x, y)"
+
+
+class TestParser:
+    def test_parse_simple_query(self):
+        query = parse_query("Q(x, y) <- T(x), S(x, y), R(x, y)")
+        assert query == QUERY_Q0
+        assert query.name == "Q"
+
+    def test_parse_constants(self):
+        query = parse_query("Q(y) <- S(2, y), N('msg', y)")
+        assert query.atom(0).constants() == {2}
+        assert query.atom(1).constants() == {"msg"}
+
+    def test_parse_negative_integers(self):
+        query = parse_query("Q(x) <- T(x), S(-3, x)")
+        assert query.atom(1).constants() == {-3}
+
+    def test_parse_rejects_missing_arrow(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(x) T(x)")
+
+    def test_parse_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(x) <- ")
+
+    def test_parse_rejects_constant_in_head(self):
+        with pytest.raises(ValueError):
+            parse_query("Q(3) <- T(x)")
+
+    def test_parse_roundtrip_str(self):
+        text = "Q(x, y) <- T(x), S(x, y), R(x, y)"
+        assert str(parse_query(text)) == text

@@ -1,0 +1,122 @@
+"""Unit tests for schemas, tuples and data values (repro.cq.schema)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cq.schema import Schema, SchemaError, Tuple, make_tuple, tuples_of, value_size
+
+
+class TestSchema:
+    def test_arity_lookup(self):
+        schema = Schema({"R": 2, "T": 1})
+        assert schema.arity("R") == 2
+        assert schema.arity("T") == 1
+
+    def test_unknown_relation_raises(self):
+        schema = Schema({"R": 2})
+        with pytest.raises(SchemaError):
+            schema.arity("S")
+
+    def test_relation_names(self):
+        schema = Schema({"R": 2, "S": 2, "T": 1})
+        assert schema.relation_names == {"R", "S", "T"}
+        assert "R" in schema
+        assert "X" not in schema
+        assert len(schema) == 3
+        assert set(schema) == {"R", "S", "T"}
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(SchemaError):
+            Schema({"": 1})
+
+    def test_invalid_arity(self):
+        with pytest.raises(SchemaError):
+            Schema({"R": -1})
+
+    def test_schema_is_hashable_and_comparable(self):
+        a = Schema({"R": 2, "T": 1})
+        b = Schema({"T": 1, "R": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_validate_accepts_conforming_tuple(self):
+        schema = Schema({"S": 2})
+        schema.validate(Tuple("S", (2, 11)))
+
+    def test_validate_rejects_wrong_relation(self):
+        schema = Schema({"S": 2})
+        with pytest.raises(SchemaError):
+            schema.validate(Tuple("R", (2, 11)))
+
+    def test_validate_rejects_wrong_arity(self):
+        schema = Schema({"S": 2})
+        with pytest.raises(SchemaError):
+            schema.validate(Tuple("S", (2,)))
+
+    def test_tuple_factory(self):
+        schema = Schema({"S": 2})
+        tup = schema.tuple("S", 2, 11)
+        assert tup == Tuple("S", (2, 11))
+
+    def test_tuples_of(self):
+        schema = Schema({"S": 2})
+        rows = tuples_of(schema, "S", [(1, 2), (3, 4)])
+        assert rows == [Tuple("S", (1, 2)), Tuple("S", (3, 4))]
+
+
+class TestTuple:
+    def test_basic_accessors(self):
+        tup = Tuple("S", (2, 11))
+        assert tup.relation == "S"
+        assert tup.values == (2, 11)
+        assert tup.arity == 2
+        assert tup.value(1) == 11
+
+    def test_equality_is_structural(self):
+        assert Tuple("S", (2, 11)) == Tuple("S", (2, 11))
+        assert Tuple("S", (2, 11)) != Tuple("S", (2, 12))
+        assert Tuple("S", (2, 11)) != Tuple("R", (2, 11))
+
+    def test_size_counts_values(self):
+        assert Tuple("T", (2,)).size == 2
+        assert Tuple("S", (2, 11)).size == 3
+
+    def test_size_with_strings(self):
+        assert Tuple("N", ("abc",)).size == 1 + 3
+        assert value_size("") == 1
+
+    def test_projection(self):
+        tup = Tuple("S", (2, 11, 7))
+        assert tup.project((2, 0)) == (7, 2)
+        assert tup.project(()) == ()
+
+    def test_str_rendering(self):
+        assert str(Tuple("S", (2, 11))) == "S(2, 11)"
+        assert str(Tuple("N", ("x",))) == "N('x')"
+
+    def test_make_tuple(self):
+        assert make_tuple("R", 1, 2) == Tuple("R", (1, 2))
+
+    def test_values_coerced_to_tuple(self):
+        tup = Tuple("S", [1, 2])  # type: ignore[arg-type]
+        assert tup.values == (1, 2)
+        assert hash(tup) == hash(Tuple("S", (1, 2)))
+
+    def test_ordering_is_total_on_same_types(self):
+        assert Tuple("R", (1, 2)) < Tuple("S", (0, 0))
+        assert Tuple("R", (1, 2)) < Tuple("R", (1, 3))
+
+    @given(st.lists(st.integers(), min_size=0, max_size=5))
+    def test_size_is_one_plus_arity_for_int_values(self, values):
+        tup = Tuple("R", tuple(values))
+        assert tup.size == 1 + len(values)
+
+    @given(
+        st.text(alphabet="RST", min_size=1, max_size=2),
+        st.lists(st.integers(min_value=0, max_value=5), max_size=4),
+    )
+    def test_tuple_hash_consistency(self, relation, values):
+        first = Tuple(relation, tuple(values))
+        second = Tuple(relation, tuple(values))
+        assert first == second
+        assert hash(first) == hash(second)

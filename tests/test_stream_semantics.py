@@ -1,0 +1,106 @@
+"""Tests for CQ semantics over streams (repro.cq.stream_semantics) and streams."""
+
+import pytest
+
+from repro.cq.stream_semantics import cq_stream_new_outputs, cq_stream_output
+from repro.cq.schema import Schema, Tuple
+from repro.streams.stream import Stream, lazy_stream, prefix_database, stream_from_rows
+from repro.valuation import Valuation
+
+from helpers import QUERY_Q0, QUERY_Q2, SIGMA0, STREAM_S0
+
+
+class TestStream:
+    def test_materialised_stream_basics(self):
+        stream = Stream(STREAM_S0, SIGMA0)
+        assert len(stream) == 8
+        assert stream[5] == Tuple("R", (2, 11))
+        assert list(stream)[:2] == STREAM_S0[:2]
+
+    def test_schema_validation(self):
+        with pytest.raises(Exception):
+            Stream([Tuple("T", (1, 2))], SIGMA0)
+
+    def test_prefix(self):
+        stream = Stream(STREAM_S0, SIGMA0)
+        assert len(stream.prefix(3)) == 3
+
+    def test_database_at_uses_positions_as_identifiers(self):
+        stream = Stream(STREAM_S0, SIGMA0)
+        database = stream.database_at(5)
+        assert database.identifiers() == set(range(6))
+        assert database[5] == Tuple("R", (2, 11))
+        assert prefix_database(stream, 2).identifiers() == {0, 1, 2}
+
+    def test_database_at_beyond_stream_raises(self):
+        stream = Stream(STREAM_S0[:2], SIGMA0)
+        with pytest.raises(IndexError):
+            stream.database_at(5)
+
+    def test_window_database(self):
+        stream = Stream(STREAM_S0, SIGMA0)
+        database = stream.window_database(position=5, window=2)
+        assert database.identifiers() == {3, 4, 5}
+
+    def test_lazy_stream_materialises_on_demand(self):
+        def generate():
+            for tup in STREAM_S0:
+                yield tup
+
+        stream = lazy_stream(generate, SIGMA0)
+        assert stream.materialise(3) == STREAM_S0[:3]
+        with pytest.raises(TypeError):
+            Stream(iter(STREAM_S0))[0]
+
+    def test_lazy_stream_iteration_materialises_fully(self):
+        stream = Stream(iter(STREAM_S0), SIGMA0)
+        assert list(stream) == STREAM_S0
+        assert len(stream) == len(STREAM_S0)
+
+    def test_stream_from_rows(self):
+        stream = stream_from_rows(SIGMA0, [("T", (1,)), ("S", (1, 2))])
+        assert len(stream) == 2
+
+
+class TestCQStreamSemantics:
+    def test_paper_outputs_at_position_five(self):
+        outputs = cq_stream_output(QUERY_Q0, STREAM_S0, 5)
+        expected = {
+            Valuation({0: {1}, 1: {3}, 2: {5}}),
+            Valuation({0: {1}, 1: {0}, 2: {5}}),
+        }
+        assert outputs == expected
+
+    def test_outputs_are_cumulative(self):
+        assert cq_stream_output(QUERY_Q0, STREAM_S0, 7) >= cq_stream_output(QUERY_Q0, STREAM_S0, 5)
+
+    def test_new_outputs_require_last_position(self):
+        new = cq_stream_new_outputs(QUERY_Q0, STREAM_S0, 5)
+        assert new == {
+            Valuation({0: {1}, 1: {3}, 2: {5}}),
+            Valuation({0: {1}, 1: {0}, 2: {5}}),
+        }
+        assert cq_stream_new_outputs(QUERY_Q0, STREAM_S0, 6) == set()
+
+    def test_window_restriction(self):
+        full = cq_stream_output(QUERY_Q0, STREAM_S0, 5)
+        windowed = cq_stream_output(QUERY_Q0, STREAM_S0, 5, window=2)
+        assert windowed == {Valuation({0: {1}, 1: {3}, 2: {5}})} or windowed <= full
+        # Window of size 5 keeps everything at position 5.
+        assert cq_stream_output(QUERY_Q0, STREAM_S0, 5, window=5) == full
+
+    def test_empty_prefix_has_no_outputs(self):
+        assert cq_stream_output(QUERY_Q0, STREAM_S0, 0) == set()
+
+    def test_accepts_stream_objects(self):
+        stream = Stream(STREAM_S0, SIGMA0)
+        assert cq_stream_output(QUERY_Q0, stream, 5) == cq_stream_output(QUERY_Q0, STREAM_S0, 5)
+
+    def test_self_join_outputs_can_share_positions(self):
+        stream = [Tuple("R", (0, 1, 2)), Tuple("U", (0, 1))]
+        outputs = cq_stream_new_outputs(QUERY_Q2, stream, 1)
+        assert Valuation({0: {0}, 1: {0}, 2: {1}}) in outputs
+
+    def test_labels_are_atom_identifiers(self):
+        for valuation in cq_stream_output(QUERY_Q0, STREAM_S0, 5):
+            assert valuation.labels() == {0, 1, 2}

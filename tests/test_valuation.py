@@ -1,0 +1,117 @@
+"""Tests for valuations and their algebra (repro.valuation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.valuation import Valuation, is_simple_product, product_of
+
+
+def small_valuations() -> st.SearchStrategy[Valuation]:
+    return st.builds(
+        Valuation,
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.sets(st.integers(min_value=0, max_value=6), max_size=3),
+            max_size=3,
+        ),
+    )
+
+
+class TestValuationBasics:
+    def test_singleton(self):
+        valuation = Valuation.singleton({"a", "b"}, 4)
+        assert valuation["a"] == frozenset({4})
+        assert valuation["b"] == frozenset({4})
+        assert valuation["c"] == frozenset()
+
+    def test_empty_sets_are_normalised_away(self):
+        valuation = Valuation({"a": set(), "b": {1}})
+        assert valuation.labels() == {"b"}
+        assert valuation == Valuation({"b": {1}})
+
+    def test_empty_valuation(self):
+        empty = Valuation.empty()
+        assert empty.is_empty()
+        assert not empty
+        assert empty.positions() == frozenset()
+        with pytest.raises(ValueError):
+            empty.min_position()
+        with pytest.raises(ValueError):
+            empty.max_position()
+
+    def test_min_max_and_positions(self):
+        valuation = Valuation({"a": {1, 5}, "b": {3}})
+        assert valuation.min_position() == 1
+        assert valuation.max_position() == 5
+        assert valuation.positions() == {1, 3, 5}
+
+    def test_size(self):
+        assert Valuation({"a": {1, 2}, "b": {2}}).size() == 3
+        assert Valuation.empty().size() == 0
+
+    def test_within_window(self):
+        valuation = Valuation({"a": {10}})
+        assert valuation.within_window(position=15, window=5)
+        assert not valuation.within_window(position=16, window=5)
+        assert Valuation.empty().within_window(100, 0)
+
+    def test_equality_and_hash(self):
+        assert Valuation({"a": {1}}) == Valuation({"a": {1}})
+        assert hash(Valuation({"a": {1}})) == hash(Valuation({"a": {1}}))
+        assert Valuation({"a": {1}}) != Valuation({"a": {2}})
+
+    def test_restrict_and_rename(self):
+        valuation = Valuation({"a": {1}, "b": {2}})
+        assert valuation.restrict_labels({"a"}) == Valuation({"a": {1}})
+        assert valuation.rename_labels({"a": "z"}) == Valuation({"z": {1}, "b": {2}})
+
+    def test_as_dict_is_a_copy(self):
+        valuation = Valuation({"a": {1}})
+        mapping = valuation.as_dict()
+        mapping["a"] = frozenset({9})
+        assert valuation["a"] == frozenset({1})
+
+
+class TestValuationAlgebra:
+    def test_product_unions_positions(self):
+        left = Valuation({"a": {1}})
+        right = Valuation({"a": {2}, "b": {3}})
+        assert left.product(right) == Valuation({"a": {1, 2}, "b": {3}})
+
+    def test_product_operator_alias(self):
+        assert (Valuation({"a": {1}}) | Valuation({"b": {2}})) == Valuation({"a": {1}, "b": {2}})
+
+    def test_simple_with(self):
+        assert Valuation({"a": {1}}).simple_with(Valuation({"a": {2}}))
+        assert not Valuation({"a": {1}}).simple_with(Valuation({"a": {1}}))
+        assert Valuation({"a": {1}}).simple_with(Valuation({"b": {1}}))
+
+    def test_product_of_empty_sequence(self):
+        assert product_of([]) == Valuation.empty()
+
+    def test_is_simple_product(self):
+        assert is_simple_product([Valuation({"a": {1}}), Valuation({"a": {2}})])
+        assert not is_simple_product([Valuation({"a": {1}}), Valuation({"a": {1}})])
+
+    @given(small_valuations(), small_valuations())
+    def test_product_is_commutative(self, left, right):
+        assert left.product(right) == right.product(left)
+
+    @given(small_valuations(), small_valuations(), small_valuations())
+    def test_product_is_associative(self, a, b, c):
+        assert a.product(b).product(c) == a.product(b.product(c))
+
+    @given(small_valuations())
+    def test_empty_is_identity(self, valuation):
+        assert valuation.product(Valuation.empty()) == valuation
+
+    @given(small_valuations(), small_valuations())
+    def test_product_positions_are_union(self, left, right):
+        assert left.product(right).positions() == left.positions() | right.positions()
+
+    @given(small_valuations(), small_valuations())
+    def test_simple_product_size_adds(self, left, right):
+        if left.simple_with(right):
+            assert left.product(right).size() == left.size() + right.size()
+        else:
+            assert left.product(right).size() < left.size() + right.size()
