@@ -1,0 +1,218 @@
+"""Benchmark — transition dispatch index, hash eviction, lean enumeration.
+
+Three experiments, written to ``BENCH_dispatch_index.json``:
+
+* **update time vs |Δ|** — a multi-pattern automaton (disjoint union of star
+  patterns over private relation alphabets) where any tuple can fire only one
+  group's transitions.  The *seed-mode* engine (``indexed=False``, no
+  eviction, unconditional statistics counting — exactly the seed evaluator's
+  per-tuple behaviour) scans all ``|Δ|`` transitions twice per tuple; the
+  indexed engine only visits the candidates, so its per-tuple update time
+  should stay flat as ``|Δ|`` grows.
+* **update time vs stream length** — fixed automaton, growing stream; both
+  engines should be flat per tuple (Theorem 5.1), this guards the indexed
+  engine against history effects.
+* **hash-table size over a long stream** — 50k tuples with a window two
+  orders of magnitude smaller; with expiry-driven eviction the table is
+  bounded by the active window, without it it grows linearly with the stream.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_dispatch_index.py``);
+``--tiny`` shrinks every dimension for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench.harness import (
+    collect_engine_counters,
+    measure_memory_profile,
+    write_benchmark_json,
+)
+from repro.core.evaluation import StreamingEvaluator
+
+from workloads import multi_star_workload
+
+
+def indexed_engine(pcea, window: int) -> StreamingEvaluator:
+    """The engine this PR builds: dispatch index + eviction, counters off."""
+    return StreamingEvaluator(pcea, window=window, collect_stats=False)
+
+
+def seed_mode_engine(pcea, window: int) -> StreamingEvaluator:
+    """The seed evaluator's per-tuple behaviour: full transition scans, no
+    hash eviction, unconditional statistics counting."""
+    return StreamingEvaluator(pcea, window=window, indexed=False, evict=False, collect_stats=True)
+
+
+def time_updates(engine: StreamingEvaluator, stream) -> float:
+    """Mean seconds per tuple for the update phase (enumeration excluded)."""
+    update = engine.update
+    start = time.perf_counter()
+    for tup in stream:
+        update(tup)
+    return (time.perf_counter() - start) / len(stream)
+
+
+def check_equivalence(pcea, stream, window: int) -> bool:
+    """Indexed and seed-mode engines must produce identical outputs per position."""
+    fast = indexed_engine(pcea, window)
+    seed = seed_mode_engine(pcea, window)
+    for tup in stream:
+        if set(fast.process(tup)) != set(seed.process(tup)):
+            return False
+    return True
+
+
+SELECTIVITY = 0.2  # fraction of events passing their pattern's local filter
+
+
+def sweep_transitions(groups_list: List[int], length: int, window: int) -> List[Dict]:
+    rows: List[Dict] = []
+    for groups in groups_list:
+        pcea, stream = multi_star_workload(groups, length=length, selectivity=SELECTIVITY)
+        info = pcea.dispatch_index().describe()
+        fast = indexed_engine(pcea, window)
+        seed = seed_mode_engine(pcea, window)
+        fast_per_tuple = time_updates(fast, stream)
+        seed_per_tuple = time_updates(seed, stream)
+        rows.append(
+            {
+                "groups": groups,
+                "transitions": len(pcea.transitions),
+                "mean_candidates_per_tuple": info["mean_candidates"],
+                "indexed_us_per_tuple": fast_per_tuple * 1e6,
+                "seed_us_per_tuple": seed_per_tuple * 1e6,
+                "speedup": seed_per_tuple / fast_per_tuple if fast_per_tuple else float("inf"),
+                "outputs_equal": check_equivalence(pcea, stream, window),
+            }
+        )
+        print(
+            f"  |Δ|={rows[-1]['transitions']:<4d} indexed={rows[-1]['indexed_us_per_tuple']:8.2f}µs  "
+            f"seed={rows[-1]['seed_us_per_tuple']:8.2f}µs  speedup={rows[-1]['speedup']:5.2f}x"
+        )
+    return rows
+
+
+def sweep_stream_length(lengths: List[int], groups: int, window: int) -> List[Dict]:
+    rows: List[Dict] = []
+    for length in lengths:
+        pcea, stream = multi_star_workload(groups, length=length, selectivity=SELECTIVITY)
+        fast_per_tuple = time_updates(indexed_engine(pcea, window), stream)
+        seed_per_tuple = time_updates(seed_mode_engine(pcea, window), stream)
+        rows.append(
+            {
+                "length": length,
+                "indexed_us_per_tuple": fast_per_tuple * 1e6,
+                "seed_us_per_tuple": seed_per_tuple * 1e6,
+            }
+        )
+        print(
+            f"  n={length:<7d} indexed={rows[-1]['indexed_us_per_tuple']:8.2f}µs  "
+            f"seed={rows[-1]['seed_us_per_tuple']:8.2f}µs"
+        )
+    return rows
+
+
+def memory_experiment(length: int, window: int, groups: int, sample_every: int) -> Dict:
+    # A wide key domain mimics high-cardinality join keys (user ids, order
+    # ids): almost every tuple registers a fresh hash entry, so without
+    # eviction the table grows linearly with the stream.
+    pcea, stream = multi_star_workload(groups, length=length, key_domain=1_000_000)
+    results: Dict[str, Dict] = {}
+    for name, evict in (("evicting", True), ("unbounded", False)):
+        engine = StreamingEvaluator(pcea, window=window, evict=evict, collect_stats=False)
+        series = measure_memory_profile(engine, stream, sample_every=sample_every)
+        samples = [[position, size] for position, size in series.as_rows()]
+        sizes = series.values
+        half = len(sizes) // 2
+        results[name] = {
+            "samples": samples,
+            "final_hash_table_size": engine.hash_table_size(),
+            "max_hash_table_size": max(sizes),
+            "evicted": engine.evicted,
+            # Flat = the second half of the stream never needs more entries
+            # than the engine had already reached in the first half.
+            "flat": max(sizes[half:]) <= max(sizes[:half]) if half else True,
+            "counters": collect_engine_counters(engine),
+        }
+        print(
+            f"  {name:<10s} final={results[name]['final_hash_table_size']:<8d} "
+            f"max={int(results[name]['max_hash_table_size']):<8d} "
+            f"evicted={results[name]['evicted']:<8d} flat={results[name]['flat']}"
+        )
+    return {
+        "stream_length": length,
+        "window": window,
+        "transitions": len(pcea.transitions),
+        "engines": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI smoke mode (small workloads)")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_dispatch_index.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        groups_list, sweep_len, window = [2, 4], 300, 64
+        lengths, fixed_groups = [300, 600], 4
+        mem_len, mem_window, sample_every = 2_000, 64, 100
+    else:
+        groups_list, sweep_len, window = [2, 4, 8, 16, 32], 4_000, 256
+        lengths, fixed_groups = [2_000, 4_000, 8_000, 16_000], 8
+        mem_len, mem_window, sample_every = 50_000, 256, 1_000
+
+    print(f"update time vs |Δ| (stream={sweep_len}, window={window})")
+    transitions_rows = sweep_transitions(groups_list, sweep_len, window)
+    print(f"update time vs stream length (groups={fixed_groups}, window={window})")
+    length_rows = sweep_stream_length(lengths, fixed_groups, window)
+    print(f"hash-table size over a long stream (n={mem_len}, window={mem_window})")
+    memory = memory_experiment(mem_len, mem_window, groups=4, sample_every=sample_every)
+
+    payload = {
+        "benchmark": "dispatch_index",
+        "tiny": args.tiny,
+        "selectivity": SELECTIVITY,
+        "python": sys.version.split()[0],
+        "update_time_vs_transitions": transitions_rows,
+        "update_time_vs_stream_length": length_rows,
+        "memory_bounded_hash_table": memory,
+        "summary": {
+            "max_speedup": max(row["speedup"] for row in transitions_rows),
+            "speedup_at_32_transitions": next(
+                (row["speedup"] for row in transitions_rows if row["transitions"] >= 32),
+                None,
+            ),
+            "all_outputs_equal": all(row["outputs_equal"] for row in transitions_rows),
+            "evicting_hash_table_flat": memory["engines"]["evicting"]["flat"],
+            "unbounded_hash_table_flat": memory["engines"]["unbounded"]["flat"],
+        },
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+    summary = payload["summary"]
+    print(
+        f"max speedup {summary['max_speedup']:.2f}x; outputs equal: {summary['all_outputs_equal']}; "
+        f"evicting table flat: {summary['evicting_hash_table_flat']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,16 @@ recorded in EXPERIMENTS.md easy to regenerate.
 
 from __future__ import annotations
 
-from typing import List
+import random
+from typing import List, Tuple as Tup
 
 from repro.core.evaluation import StreamingEvaluator
 from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import PCEA
 from repro.cq.query import ConjunctiveQuery
 from repro.cq.schema import Tuple
+from repro.engine.compiler import compile_pattern
+from repro.engine.dsl import atom, conjunction, disjunction
 from repro.streams.generators import HCQWorkloadGenerator
 
 
@@ -42,6 +46,53 @@ def hot_star_workload(
     """A star workload with a skewed key so many outputs fire per position."""
     generator = HCQWorkloadGenerator(arms=arms, key_domain=64, seed=seed)
     return generator.query(), generator.hot_key_stream(length, hot_fraction).materialise()
+
+
+PAYLOAD_DOMAIN = 1_000
+
+
+def multi_star_workload(
+    groups: int,
+    length: int,
+    arms: int = 2,
+    key_domain: int = 32,
+    selectivity: float = 1.0,
+    seed: int = 0,
+) -> Tup[PCEA, List[Tuple]]:
+    """A multi-pattern PCEA (disjoint union of ``groups`` star patterns) + stream.
+
+    Each group ``g`` is the star conjunction over its private relation
+    alphabet ``G<g>R1 ... G<g>R<arms>``, so the compiled automaton has
+    ``2·arms·groups`` transitions of which only one group's worth can fire on
+    any tuple — the workload where the transition dispatch index matters and
+    the seed engine's full per-tuple scan is pure overhead.
+
+    ``selectivity < 1`` adds a local payload filter ``y < selectivity·domain``
+    to every atom, the typical CER situation where most events fail their
+    pattern's local predicate and transitions rarely fire.
+
+    The stream draws a group, a relation within the group, a join key and a
+    payload uniformly at random.
+    """
+    threshold = int(PAYLOAD_DOMAIN * selectivity)
+    selective = selectivity < 1.0
+
+    def make_atom(g: int, j: int):
+        filters = [(f"y{j}", "<", threshold)] if selective else []
+        return atom(f"G{g}R{j}", "x", f"y{j}", filters=filters)
+
+    parts = [
+        conjunction(*(make_atom(g, j) for j in range(1, arms + 1))) for g in range(groups)
+    ]
+    pattern = disjunction(*parts) if groups > 1 else parts[0]
+    pcea = compile_pattern(pattern)
+    rng = random.Random(seed)
+    relations = [f"G{g}R{j}" for g in range(groups) for j in range(1, arms + 1)]
+    stream = [
+        Tuple(rng.choice(relations), (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN)))
+        for _ in range(length)
+    ]
+    return pcea, stream
 
 
 def streaming_engine(query: ConjunctiveQuery, window: int) -> StreamingEvaluator:

@@ -15,6 +15,8 @@ EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -116,6 +118,58 @@ def measure_enumeration_delays(engine, stream: Iterable[Tuple]) -> List[Tup[int,
         if count:
             measurements.append((size, elapsed))
     return measurements
+
+
+def measure_memory_profile(
+    engine, stream: Iterable[Tuple], sample_every: int = 100
+) -> MeasurementSeries:
+    """Hash-table size sampled along the stream (memory-boundedness evidence).
+
+    Processes the whole stream (outputs drained, not stored) and records
+    ``engine.hash_table_size()`` every ``sample_every`` tuples; the eviction
+    experiments plot these series for the evicting and non-evicting engines.
+    """
+    series = MeasurementSeries("hash_table_size")
+    for index, tup in enumerate(stream):
+        for _ in engine.process(tup):
+            pass
+        if index % sample_every == 0:
+            series.add(index, float(engine.hash_table_size()))
+    return series
+
+
+def collect_engine_counters(engine) -> Dict[str, float]:
+    """All machine-independent counters an engine exposes, as one flat dict.
+
+    Collects the :class:`~repro.core.evaluation.UpdateStatistics` fields, the
+    hash-table size, the eviction counter and the data-structure allocation
+    counters when present, so benchmark JSON reports stay uniform across
+    engine variants.
+    """
+    counters: Dict[str, float] = {}
+    stats = getattr(engine, "stats", None)
+    if stats is not None and dataclasses.is_dataclass(stats):
+        for field_info in dataclasses.fields(stats):
+            counters[field_info.name] = float(getattr(stats, field_info.name))
+    size = getattr(engine, "hash_table_size", None)
+    if callable(size):
+        counters["hash_table_size"] = float(size())
+    evicted = getattr(engine, "evicted", None)
+    if evicted is not None:
+        counters["evicted"] = float(evicted)
+    ds = getattr(engine, "ds", None)
+    if ds is not None:
+        counters["ds_nodes_created"] = float(getattr(ds, "nodes_created", 0))
+        counters["ds_union_calls"] = float(getattr(ds, "union_calls", 0))
+        counters["ds_union_copies"] = float(getattr(ds, "union_copies", 0))
+    return counters
+
+
+def write_benchmark_json(path: str, payload: Dict) -> None:
+    """Write one benchmark's results as pretty-printed, stable-order JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def summarize(times: Sequence[float]) -> Dict[str, float]:

@@ -82,6 +82,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--separator", default=",", help="value separator in the event file")
     parser.add_argument("--limit", type=int, default=None, help="stop after this many events")
     parser.add_argument("--quiet", action="store_true", help="print only the final summary")
+    parser.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the transition dispatch index (scan every transition per event)",
+    )
+    parser.add_argument(
+        "--no-evict",
+        action="store_true",
+        help="disable hash-table eviction (memory grows with the stream, not the window)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the engine's operation counters after the summary",
+    )
     return parser
 
 
@@ -105,7 +120,13 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    engine = StreamingEvaluator(pcea, window=args.window)
+    engine = StreamingEvaluator(
+        pcea,
+        window=args.window,
+        indexed=not args.no_index,
+        evict=not args.no_evict,
+        collect_stats=args.stats,
+    )
     matches = 0
     events_seen = 0
     start = time.perf_counter()
@@ -120,9 +141,26 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
     elapsed = time.perf_counter() - start
     rate = events_seen / elapsed if elapsed > 0 else float("inf")
     print(
-        f"# events={events_seen} matches={matches} seconds={elapsed:.3f} events/s={rate:.0f}",
+        f"# events={events_seen} matches={matches} seconds={elapsed:.3f} events/s={rate:.0f} "
+        f"hash_entries={engine.hash_table_size()} evicted={engine.evicted}",
         file=output,
     )
+    if args.stats:
+        stats = engine.stats
+        info = engine.dispatch_info()
+        print(
+            f"# scanned={stats.transitions_scanned} fired={stats.transitions_fired} "
+            f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
+            f"unions={stats.unions} nodes={stats.nodes_created} "
+            f"outputs={stats.outputs_enumerated}",
+            file=output,
+        )
+        print(
+            f"# dispatch: transitions={info['transitions']:.0f} relations={info['relations']:.0f} "
+            f"wildcards={info['wildcard_transitions']:.0f} "
+            f"mean_candidates={info['mean_candidates']:.2f}",
+            file=output,
+        )
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.core.runtree import Configuration, RunTreeNode
 from repro.core.pcea import PCEA, PCEATransition, check_unambiguous_on_stream
 from repro.core.hcq_to_pcea import hcq_to_pcea
 from repro.core.datastructure import DataStructure, Node, BOTTOM
+from repro.core.dispatch import CompiledTransition, TransitionDispatchIndex
 from repro.core.evaluation import StreamingEvaluator, evaluate_pcea
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "DataStructure",
     "Node",
     "BOTTOM",
+    "CompiledTransition",
+    "TransitionDispatchIndex",
     "StreamingEvaluator",
     "evaluate_pcea",
 ]

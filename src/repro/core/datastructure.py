@@ -217,25 +217,72 @@ class DataStructure:
                 stack.append(current.uleft)
 
     def _enumerate_prod(self, node: Node, position: int) -> Iterator[Valuation]:
-        base = Valuation.singleton(node.labels, node.position)
         if not node.prod:
             if position - node.position <= self.window:
-                yield base
+                yield Valuation.singleton(node.labels, node.position)
             return
-        children_iterables = [self.enumerate(child, position) for child in node.prod]
+        yield from self._product_combinations(node, position, windowed=True)
 
-        def combine(index: int, acc: Valuation) -> Iterator[Valuation]:
-            if index == len(node.prod):
-                yield acc
+    def _product_combinations(
+        self, node: Node, position: int, windowed: bool
+    ) -> Iterator[Valuation]:
+        """Cross product over the child enumerations, as an iterative odometer.
+
+        The paper presents the product as a recursive generator; implemented
+        literally, every prefix combination re-creates (and therefore re-runs)
+        the enumerations of all later children, and each output pays a chain
+        of suspended generator frames.  The odometer below enumerates each
+        child **once**, caching its valuations as they are produced, and only
+        recomputes the accumulated product from the digit that changed, so the
+        work between two consecutive outputs stays proportional to the output
+        size (the Theorem 5.2 delay bound) without the allocation storm.
+        """
+        base = Valuation.singleton(node.labels, node.position)
+        prod = node.prod
+        if windowed:
+            iterators = [self.enumerate(child, position) for child in prod]
+        else:
+            iterators = [self.enumerate_all(child) for child in prod]
+        k = len(prod)
+        if k == 1:
+            # Fast path: no odometer state needed for the common single-child case.
+            for valuation in iterators[0]:
+                yield base.product(valuation)
+            return
+        caches: List[List[Valuation]] = []
+        for iterator in iterators:
+            first = next(iterator, None)
+            if first is None:
+                return  # one child is empty -> the whole product is empty
+            caches.append([first])
+        indices = [0] * k
+        # prefixes[i] = base ⊕ caches[0][indices[0]] ⊕ ... ⊕ caches[i][indices[i]]
+        prefixes: List[Valuation] = [base] * k
+        rebuild_from = 0
+        while True:
+            acc = base if rebuild_from == 0 else prefixes[rebuild_from - 1]
+            for i in range(rebuild_from, k):
+                acc = acc.product(caches[i][indices[i]])
+                prefixes[i] = acc
+            yield acc
+            # Advance the odometer (last digit spins fastest), pulling at most
+            # one fresh valuation from one child iterator per step.
+            i = k - 1
+            while i >= 0:
+                indices[i] += 1
+                if indices[i] < len(caches[i]):
+                    break
+                iterator = iterators[i]
+                nxt = next(iterator, None) if iterator is not None else None
+                if nxt is not None:
+                    caches[i].append(nxt)
+                    break
+                iterators[i] = None  # exhausted; keep the cache for replays
+                indices[i] = 0
+                i -= 1
+            else:
                 return
-            for child_valuation in self.enumerate(node.prod[index], position):
-                yield from combine(index + 1, acc.product(child_valuation))
-
-        # ``children_iterables`` above is only used to keep the signature close
-        # to the paper's presentation; the recursion re-creates the iterators so
-        # that the cross product is complete.
-        del children_iterables
-        yield from combine(0, base)
+            rebuild_from = i
 
     def enumerate_all(self, node: Node) -> Iterator[Valuation]:
         """Enumerate ``⟦node⟧`` ignoring the window (used by tests)."""
@@ -251,16 +298,10 @@ class DataStructure:
                 stack.append(current.uleft)
 
     def _enumerate_prod_all(self, node: Node) -> Iterator[Valuation]:
-        base = Valuation.singleton(node.labels, node.position)
-
-        def combine(index: int, acc: Valuation) -> Iterator[Valuation]:
-            if index == len(node.prod):
-                yield acc
-                return
-            for child_valuation in self.enumerate_all(node.prod[index]):
-                yield from combine(index + 1, acc.product(child_valuation))
-
-        yield from combine(0, base)
+        if not node.prod:
+            yield Valuation.singleton(node.labels, node.position)
+            return
+        yield from self._product_combinations(node, position=0, windowed=False)
 
     # ------------------------------------------------------------- validation
     def check_simple(self, node: Node) -> bool:

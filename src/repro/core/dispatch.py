@@ -1,0 +1,194 @@
+"""Compile-once transition dispatch index for the streaming evaluator.
+
+Algorithm 1 as written visits *every* transition of the PCEA twice per tuple:
+once in FireTransitions (to test the unary predicate) and once in
+UpdateIndices (to look for source states that just received new runs).  Both
+scans are ``O(|Δ|)`` regardless of how many transitions are actually relevant
+to the incoming tuple.  This module precomputes, once per automaton, the
+indexes that remove those scans:
+
+* a **candidate index** grouping transitions by the relation names their unary
+  predicates can accept (``UnaryPredicate.dispatch_relations``).  Predicates
+  that cannot name their relations land in a *wildcard* group that is probed
+  for every tuple, so the index is a pure over-approximation — firing
+  behaviour is bit-for-bit identical to the full scan, only cheaper.
+* a **consumer index** mapping each state ``p`` to the transitions that read
+  from ``p`` (i.e. have ``p`` in their source set), so UpdateIndices only
+  touches the transitions that can consume the runs created this position.
+
+States are also **interned to dense integer ids** at compile time.  Automaton
+states produced by the HCQ / pattern compilers are nested tuples containing
+:class:`~repro.cq.query.Variable` objects, whose Python-level dataclass
+``__hash__`` would otherwise run on every hot-path dictionary operation; after
+interning, every per-tuple key (run-index hash table, new-node buckets,
+consumer lookups) is a plain integer.  Each transition additionally carries an
+``is_final`` flag so reaching a final state is a boolean check instead of a
+set-membership test on a composite state.
+
+The per-transition data (target, labels, join predicates ordered by source) is
+flattened into slot-based :class:`CompiledTransition` records so the per-tuple
+loop performs no mapping lookups on the transition itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pcea builds the index lazily)
+    from repro.core.pcea import PCEATransition
+
+
+State = Hashable
+
+
+class CompiledTransition:
+    """A transition flattened for the per-tuple hot loop.
+
+    ``joins`` fixes an iteration order over ``(source state, source id, binary
+    predicate)`` triples so FireTransitions does not re-derive it from the
+    transition's mapping on every tuple; ``relations`` is the dispatch key
+    (``None`` for wildcards).
+    """
+
+    __slots__ = (
+        "index",
+        "transition",
+        "unary",
+        "joins",
+        "labels",
+        "target",
+        "target_id",
+        "is_final",
+        "relations",
+    )
+
+    def __init__(self, index: int, transition: "PCEATransition") -> None:
+        self.index = index
+        self.transition = transition
+        self.unary = transition.unary
+        self.labels = transition.labels
+        self.target = transition.target
+        self.relations: Optional[frozenset] = transition.unary.dispatch_relations()
+        # Filled in by the index: interned ids and the final-state flag.
+        self.target_id = -1
+        self.is_final = False
+        self.joins: Tup[Tup[State, int, object], ...] = ()
+
+    def __repr__(self) -> str:
+        key = "*" if self.relations is None else "|".join(sorted(self.relations))
+        final = ", final" if self.is_final else ""
+        return f"CompiledTransition(#{self.index}, key={key}, -> {self.target!r}{final})"
+
+
+class TransitionDispatchIndex:
+    """The per-automaton dispatch indexes (built once, read per tuple).
+
+    Parameters
+    ----------
+    transitions:
+        The PCEA transition list, in automaton order (the order determines the
+        candidate iteration order and therefore matches the full-scan engine's
+        node-creation order exactly).
+    indexed:
+        With ``False`` the candidate index degenerates to the full transition
+        list for every tuple — the seed engine's scan behaviour, kept for
+        ablation benchmarks and differential tests.
+    final:
+        The automaton's final-state set; fired transitions into these states
+        carry ``is_final=True`` so the evaluator can collect output nodes
+        without hashing composite states.
+    """
+
+    def __init__(
+        self,
+        transitions: Sequence["PCEATransition"],
+        indexed: bool = True,
+        final: Iterable[State] = (),
+    ) -> None:
+        self.indexed = indexed
+        self.final = frozenset(final)
+        self.state_ids: Dict[State, int] = {}
+        compiled: List[CompiledTransition] = []
+        for i, transition in enumerate(transitions):
+            c = CompiledTransition(i, transition)
+            c.target_id = self._intern(transition.target)
+            c.is_final = transition.target in self.final
+            c.joins = tuple(
+                (source, self._intern(source), transition.binaries[source])
+                for source in sorted(transition.sources, key=str)
+            )
+            compiled.append(c)
+        self._all: Tup[CompiledTransition, ...] = tuple(compiled)
+        self._wildcard: Tup[CompiledTransition, ...] = tuple(
+            c for c in compiled if c.relations is None
+        )
+        relations: set = set()
+        for c in compiled:
+            if c.relations is not None:
+                relations.update(c.relations)
+        # Precompute the merged (wildcard + specific) candidate list per known
+        # relation, preserving transition order.  Unknown relations fall back
+        # to the wildcard list via ``candidates``.
+        self._by_relation: Dict[str, Tup[CompiledTransition, ...]] = {
+            relation: tuple(
+                c for c in compiled if c.relations is None or relation in c.relations
+            )
+            for relation in relations
+        }
+        consumers: Dict[int, List[Tup[CompiledTransition, int, object]]] = {}
+        for c in compiled:
+            for _, source_id, predicate in c.joins:
+                consumers.setdefault(source_id, []).append((c, source_id, predicate))
+        self._consumers: Dict[int, Tup[Tup[CompiledTransition, int, object], ...]] = {
+            source_id: tuple(entries) for source_id, entries in consumers.items()
+        }
+
+    def _intern(self, state: State) -> int:
+        state_id = self.state_ids.get(state)
+        if state_id is None:
+            state_id = self.state_ids[state] = len(self.state_ids)
+        return state_id
+
+    # ----------------------------------------------------------------- lookups
+    def candidates(self, relation: str) -> Tup[CompiledTransition, ...]:
+        """Transitions whose unary predicate may accept a tuple of ``relation``."""
+        if not self.indexed:
+            return self._all
+        return self._by_relation.get(relation, self._wildcard)
+
+    def consumers_by_id(self, state_id: int) -> Tup[Tup[CompiledTransition, int, object], ...]:
+        """``(compiled transition, source id, binary predicate)`` triples reading the state."""
+        return self._consumers.get(state_id, ())
+
+    def consumers(self, state: State) -> Tup[Tup[CompiledTransition, int, object], ...]:
+        """Like :meth:`consumers_by_id`, addressed by the original state."""
+        state_id = self.state_ids.get(state)
+        if state_id is None:
+            return ()
+        return self._consumers.get(state_id, ())
+
+    def all_transitions(self) -> Tup[CompiledTransition, ...]:
+        return self._all
+
+    # ------------------------------------------------------------ introspection
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics for benchmark / CLI reporting."""
+        sizes = [len(candidates) for candidates in self._by_relation.values()]
+        return {
+            "transitions": float(len(self._all)),
+            "relations": float(len(self._by_relation)),
+            "wildcard_transitions": float(len(self._wildcard)),
+            "max_candidates": float(max(sizes, default=len(self._wildcard))),
+            "mean_candidates": float(sum(sizes) / len(sizes)) if sizes else float(len(self._wildcard)),
+        }
+
+    def __repr__(self) -> str:
+        info = self.describe()
+        return (
+            f"TransitionDispatchIndex(|Δ|={int(info['transitions'])}, "
+            f"relations={int(info['relations'])}, "
+            f"wildcards={int(info['wildcard_transitions'])})"
+        )

@@ -16,16 +16,35 @@ With equality predicates and an unambiguous PCEA this achieves the
 ``O(|P|·|t| + |P|·log|P| + |P|·log w)`` update time and output-linear delay of
 Theorem 5.1.  The evaluator also exposes operation counters so benchmarks can
 report machine-independent costs.
+
+Engineering on top of the paper's pseudocode (the theorem charges none of
+these costs, so the implementation should not pay them either):
+
+* **Transition dispatch index** — FireTransitions and UpdateIndices only touch
+  *candidate* transitions for the incoming tuple, via the compile-once
+  :class:`~repro.core.dispatch.TransitionDispatchIndex` (grouped by relation
+  name extracted from the unary predicates, plus a reverse ``state ->
+  consuming transitions`` map).  ``indexed=False`` restores the seed engine's
+  full ``O(|Δ|)`` scans for ablation.
+* **Expiry-driven hash eviction** — entries of ``H`` whose node fell out of
+  the sliding window are dropped by a bucket-by-``max_start`` sweep, bounding
+  the table at ``O(active window)`` instead of ``O(stream length)`` on
+  long-running streams.  The ``evicted`` counter reports the reclaimed
+  entries; ``evict=False`` restores the unbounded seed behaviour.
+* **Optional statistics** — the per-tuple operation counters are skipped
+  entirely in fast mode (``collect_stats=False``, and by default inside
+  ``run(collect=False)``), so throughput benchmarks measure the algorithm,
+  not its instrumentation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as Tup
 
 from repro.core.datastructure import DataStructure, Node
-from repro.core.pcea import PCEA, PCEATransition
-from repro.core.predicates import EqualityPredicate
+from repro.core.dispatch import TransitionDispatchIndex
+from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
 from repro.valuation import Valuation
 
@@ -68,6 +87,20 @@ class StreamingEvaluator:
     audit:
         When ``True``, every enumeration additionally checks that no duplicate
         valuation is produced (debug mode; adds overhead).
+    dispatch:
+        Optional prebuilt :class:`~repro.core.dispatch.TransitionDispatchIndex`
+        (the compilers attach one to the PCEA; it is reused automatically).
+    indexed:
+        With ``False`` the evaluator scans the full transition list per tuple,
+        reproducing the seed engine's update cost (ablation / differential
+        testing).
+    evict:
+        With ``False`` hash-table entries are never reclaimed (the seed
+        behaviour); the default sweeps expired entries so memory is bounded by
+        the window, not the stream length.
+    collect_stats:
+        With ``False`` the per-tuple operation counters are skipped (fast
+        mode for throughput benchmarks).
 
     Examples
     --------
@@ -80,6 +113,10 @@ class StreamingEvaluator:
         window: int,
         datastructure: DataStructure | None = None,
         audit: bool = False,
+        dispatch: TransitionDispatchIndex | None = None,
+        indexed: bool = True,
+        evict: bool = True,
+        collect_stats: bool = True,
     ) -> None:
         if not pcea.uses_only_equality_predicates():
             raise NotEqualityPredicateError(
@@ -96,26 +133,65 @@ class StreamingEvaluator:
         # the union of all runs that reached that state with that join key.
         self._hash: Dict[Tup[int, State, Hashable], Node] = {}
         self.stats = UpdateStatistics()
-        self._transitions: Tup[PCEATransition, ...] = pcea.transitions
+        self._count_stats = collect_stats
+        if dispatch is not None:
+            if dispatch.final != frozenset(pcea.final):
+                raise ValueError(
+                    "the dispatch index was built for a different final-state set"
+                )
+            compiled = dispatch.all_transitions()
+            if len(compiled) != len(pcea.transitions) or any(
+                c.transition is not t for c, t in zip(compiled, pcea.transitions)
+            ):
+                raise ValueError(
+                    "the dispatch index was built for a different transition list"
+                )
+            self._dispatch = dispatch
+        elif indexed:
+            self._dispatch = pcea.dispatch_index()
+        else:
+            self._dispatch = TransitionDispatchIndex(
+                pcea.transitions, indexed=False, final=pcea.final
+            )
+        # Expiry-driven eviction of H: hash keys are bucketed by the
+        # ``max_start`` of the node they point to; at position i the bucket
+        # ``i - window - 1`` becomes expired and is swept.  ``evicted`` counts
+        # the entries reclaimed so far.
+        self._evict = evict
+        self._expiry_buckets: Dict[int, List[Tup[int, State, Hashable]]] = {}
+        self.evicted = 0
 
     # -------------------------------------------------------------- main loop
     def run(
-        self, stream: Iterable[Tuple], collect: bool = True
+        self,
+        stream: Iterable[Tuple],
+        collect: bool = True,
+        stats: bool | None = None,
     ) -> Dict[int, List[Valuation]]:
         """Process a whole (finite) stream, returning outputs per position.
 
         With ``collect=False`` outputs are enumerated but not stored, which is
-        what the throughput benchmarks use.
+        what the throughput benchmarks use; statistics counting is then also
+        disabled unless explicitly requested with ``stats=True`` (benchmarks
+        that want the counters opt in).
         """
-        results: Dict[int, List[Valuation]] = {}
-        for tup in stream:
-            outputs = self.process(tup)
-            if collect:
-                results[self.position] = list(outputs)
-            else:
-                for _ in outputs:
-                    pass
-        return results
+        previous = self._count_stats
+        if stats is None:
+            self._count_stats = previous and collect
+        else:
+            self._count_stats = bool(stats)
+        try:
+            results: Dict[int, List[Valuation]] = {}
+            for tup in stream:
+                outputs = self.process(tup)
+                if collect:
+                    results[self.position] = list(outputs)
+                else:
+                    for _ in outputs:
+                        pass
+            return results
+        finally:
+            self._count_stats = previous
 
     def process(self, tup: Tuple) -> List[Valuation]:
         """Process one tuple: update phase followed by eager enumeration."""
@@ -132,58 +208,101 @@ class StreamingEvaluator:
         # Reset.
         self.position += 1
         position = self.position
-        new_nodes: Dict[State, List[Node]] = {}
-        stats = self.stats
+        window = self.window
+        ds = self.ds
+        hash_table = self._hash
+        dispatch = self._dispatch
+        stats = self.stats if self._count_stats else None
+        # Keyed by interned state id (plain int) — composite automaton states
+        # never reach a hash table in the per-tuple loop.
+        new_nodes: Dict[int, List[Node]] = {}
+        final_nodes: List[Node] = []
 
-        # FireTransitions.
-        for index, transition in enumerate(self._transitions):
-            stats.transitions_scanned += 1
-            if not transition.unary.holds(tup):
+        # Evict: drop the hash entries whose node expired at this position.
+        # A key is registered (below) in the bucket of its node's max_start;
+        # since every stored node satisfies max_start >= position - window at
+        # storage time, sweeping the single bucket ``position - window - 1``
+        # per step reclaims every entry exactly when it expires.
+        if self._evict:
+            expired_keys = self._expiry_buckets.pop(position - window - 1, None)
+            if expired_keys:
+                evicted = 0
+                for key in expired_keys:
+                    node = hash_table.get(key)
+                    # The entry may have been superseded by a younger node
+                    # (re-registered in a later bucket) — only drop it if it
+                    # is genuinely out of the window now.
+                    if node is not None and position - node.max_start > window:
+                        del hash_table[key]
+                        evicted += 1
+                self.evicted += evicted
+
+        # FireTransitions, restricted to the candidate transitions for this
+        # tuple's relation (wildcard transitions are always candidates).
+        for compiled in dispatch.candidates(tup.relation):
+            if stats is not None:
+                stats.transitions_scanned += 1
+            if not compiled.unary.holds(tup):
                 continue
             children: List[Node] = []
             feasible = True
-            for source in transition.sources:
-                predicate = transition.binaries[source]
+            for _, source_id, predicate in compiled.joins:
                 key = predicate.right_key(tup)  # the current tuple is the later one
-                stats.hash_lookups += 1
+                if stats is not None:
+                    stats.hash_lookups += 1
                 if key is None:
                     feasible = False
                     break
-                node = self._hash.get((index, source, key))
-                if node is None or self.ds.expired(node, position):
+                node = hash_table.get((compiled.index, source_id, key))
+                # Inline of ``ds.expired``: stored nodes are never bottom.
+                if node is None or position - node.max_start > window:
                     feasible = False
                     break
                 children.append(node)
             if not feasible:
                 continue
-            stats.transitions_fired += 1
-            node = self.ds.extend(transition.labels, position, children)
-            stats.nodes_created += 1
-            new_nodes.setdefault(transition.target, []).append(node)
+            node = ds.extend(compiled.labels, position, children)
+            if stats is not None:
+                stats.transitions_fired += 1
+                stats.nodes_created += 1
+            bucket = new_nodes.get(compiled.target_id)
+            if bucket is None:
+                new_nodes[compiled.target_id] = [node]
+            else:
+                bucket.append(node)
+            if compiled.is_final:
+                final_nodes.append(node)
 
-        # UpdateIndices.
-        for index, transition in enumerate(self._transitions):
-            for source in transition.sources:
-                nodes = new_nodes.get(source)
-                if not nodes:
-                    continue
-                predicate = transition.binaries[source]
-                key = predicate.left_key(tup)  # the current tuple will be the earlier one
-                if key is None:
-                    continue
-                for node in nodes:
-                    stats.hash_updates += 1
-                    existing = self._hash.get((index, source, key))
-                    if existing is None:
-                        self._hash[(index, source, key)] = node
-                    else:
-                        stats.unions += 1
-                        self._hash[(index, source, key)] = self.ds.union(existing, node)
+        # UpdateIndices, restricted to the transitions that consume a state
+        # that actually received new runs this position.
+        if new_nodes:
+            buckets = self._expiry_buckets if self._evict else None
+            for state_id, nodes in new_nodes.items():
+                for compiled, source_id, predicate in dispatch.consumers_by_id(state_id):
+                    key = predicate.left_key(tup)  # the current tuple will be the earlier one
+                    if key is None:
+                        continue
+                    entry_key = (compiled.index, source_id, key)
+                    entry = hash_table.get(entry_key)
+                    for node in nodes:
+                        if stats is not None:
+                            stats.hash_updates += 1
+                        if entry is None:
+                            entry = node
+                        else:
+                            if stats is not None:
+                                stats.unions += 1
+                            entry = ds.union(entry, node)
+                    hash_table[entry_key] = entry
+                    if buckets is not None:
+                        expiry = buckets.get(entry.max_start)
+                        if expiry is None:
+                            buckets[entry.max_start] = [entry_key]
+                        else:
+                            expiry.append(entry_key)
 
-        # Collect the nodes at final states for the enumeration phase.
-        final_nodes: List[Node] = []
-        for state in self.pcea.final:
-            final_nodes.extend(new_nodes.get(state, []))
+        # ``final_nodes`` was collected at fire time (transitions know whether
+        # their target is final), ready for the enumeration phase.
         return final_nodes
 
     # ------------------------------------------------------- enumeration phase
@@ -195,9 +314,11 @@ class StreamingEvaluator:
         ``audit=True`` this is verified at runtime.
         """
         seen: Optional[Set[Valuation]] = set() if self.audit else None
+        count_stats = self._count_stats
         for node in final_nodes:
             for valuation in self.ds.enumerate(node, self.position):
-                self.stats.outputs_enumerated += 1
+                if count_stats:
+                    self.stats.outputs_enumerated += 1
                 if seen is not None:
                     if valuation in seen:
                         raise AssertionError(
@@ -211,6 +332,10 @@ class StreamingEvaluator:
     def hash_table_size(self) -> int:
         """Number of entries currently stored in ``H``."""
         return len(self._hash)
+
+    def dispatch_info(self) -> Dict[str, float]:
+        """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
+        return self._dispatch.describe()
 
     def reset_statistics(self) -> None:
         self.stats = UpdateStatistics()

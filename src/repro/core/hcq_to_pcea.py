@@ -336,9 +336,12 @@ def hcq_to_pcea(query: ConjunctiveQuery, force_general: bool = False) -> PCEA:
     if len(query.atoms) == 1:
         atom = query.atom(0)
         transition = PCEATransition(frozenset(), AtomUnaryPredicate(atom), {}, {0}, 0)
-        return PCEA({0}, [transition], {0}, labels=[0])
-
-    tree = build_structure_tree(query)
-    if query.has_self_joins() or force_general:
-        return _general_construction(query, tree)
-    return _simple_construction(query, tree)
+        pcea = PCEA({0}, [transition], {0}, labels=[0])
+    else:
+        tree = build_structure_tree(query)
+        if query.has_self_joins() or force_general:
+            pcea = _general_construction(query, tree)
+        else:
+            pcea = _simple_construction(query, tree)
+    pcea.dispatch_index()  # build the transition dispatch index at compile time
+    return pcea

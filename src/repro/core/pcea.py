@@ -123,6 +123,7 @@ class PCEA:
         for transition in self.transitions:
             inferred |= transition.labels
         self.labels: FrozenSet[Label] = frozenset(labels) if labels is not None else frozenset(inferred)
+        self._dispatch_index = None  # built lazily by ``dispatch_index``
         self._validate()
 
     def _validate(self) -> None:
@@ -145,6 +146,19 @@ class PCEA:
 
     def initial_transitions(self) -> Iterator[PCEATransition]:
         return (t for t in self.transitions if t.is_initial)
+
+    def dispatch_index(self):
+        """The compile-once transition dispatch index (cached on the automaton).
+
+        The HCQ compiler and the pattern compiler call this eagerly so the
+        index is paid for at compilation time; the streaming evaluator picks
+        it up for free.  See :mod:`repro.core.dispatch`.
+        """
+        if self._dispatch_index is None:
+            from repro.core.dispatch import TransitionDispatchIndex
+
+            self._dispatch_index = TransitionDispatchIndex(self.transitions, final=self.final)
+        return self._dispatch_index
 
     # ----------------------------------------------- naive (reference) semantics
     def run_trees_upto(

@@ -37,20 +37,44 @@ class UnaryPredicate:
     def holds(self, tup: Tuple) -> bool:
         raise NotImplementedError
 
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        """An over-approximation of the relation names this predicate accepts.
+
+        ``None`` means "unknown / any relation".  The contract is one-sided:
+        whenever ``holds(t)`` is true, ``t.relation`` must belong to the
+        returned set (when a set is returned at all).  The streaming engine's
+        transition dispatch index groups transitions by these keys so that a
+        tuple only visits candidate transitions; a predicate that cannot name
+        its relations simply lands in the wildcard group and is checked on
+        every tuple, preserving correctness.
+        """
+        return None
+
     def __call__(self, tup: Tuple) -> bool:
         return self.holds(tup)
 
     # Simple combinators keep the DSL compiler small.
     def __and__(self, other: "UnaryPredicate") -> "UnaryPredicate":
+        mine, theirs = self.dispatch_relations(), other.dispatch_relations()
+        if mine is None:
+            relations = theirs
+        elif theirs is None:
+            relations = mine
+        else:
+            relations = mine & theirs
         return LambdaUnaryPredicate(
             lambda tup: self.holds(tup) and other.holds(tup),
             description=f"({self} and {other})",
+            relations=relations,
         )
 
     def __or__(self, other: "UnaryPredicate") -> "UnaryPredicate":
+        mine, theirs = self.dispatch_relations(), other.dispatch_relations()
+        relations = mine | theirs if mine is not None and theirs is not None else None
         return LambdaUnaryPredicate(
             lambda tup: self.holds(tup) or other.holds(tup),
             description=f"({self} or {other})",
+            relations=relations,
         )
 
 
@@ -79,6 +103,9 @@ class RelationPredicate(UnaryPredicate):
     def holds(self, tup: Tuple) -> bool:
         return tup.relation in self.relations
 
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        return self.relations
+
     def __str__(self) -> str:
         return "|".join(sorted(self.relations))
 
@@ -95,6 +122,9 @@ class AtomUnaryPredicate(UnaryPredicate):
 
     def holds(self, tup: Tuple) -> bool:
         return self.atom.matches(tup)
+
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        return frozenset((self.atom.relation,))
 
     def __str__(self) -> str:
         return f"U[{self.atom}]"
@@ -119,19 +149,34 @@ class SelfJoinUnaryPredicate(UnaryPredicate):
     def holds(self, tup: Tuple) -> bool:
         return self.unified.matches(tup)
 
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        # ``unified`` carries an impossible relation name for unsatisfiable
+        # self joins; dispatching on it is still a correct over-approximation
+        # (the transition simply never becomes a candidate).
+        return frozenset((self.unified.relation,))
+
     def __str__(self) -> str:
         return f"U[{' & '.join(str(a) for a in self.atoms)}]"
 
 
 @dataclass(frozen=True)
 class LambdaUnaryPredicate(UnaryPredicate):
-    """A unary predicate given by an arbitrary callable (assumed linear time)."""
+    """A unary predicate given by an arbitrary callable (assumed linear time).
+
+    ``relations`` optionally declares the dispatch key (see
+    :meth:`UnaryPredicate.dispatch_relations`); without it the predicate is a
+    dispatch wildcard, checked on every tuple.
+    """
 
     func: Callable[[Tuple], bool]
     description: str = "λ"
+    relations: Optional[FrozenSet[str]] = None
 
     def holds(self, tup: Tuple) -> bool:
         return bool(self.func(tup))
+
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        return self.relations
 
     def __str__(self) -> str:
         return self.description
@@ -174,6 +219,9 @@ class AttributeFilter(UnaryPredicate):
             return self._OPS[self.operator](tup.value(self.position), self.constant)
         except TypeError:
             return False
+
+    def dispatch_relations(self) -> Optional[FrozenSet[str]]:
+        return frozenset((self.relation,))
 
     def __str__(self) -> str:
         return f"{self.relation}[{self.position}] {self.operator} {self.constant!r}"

@@ -60,6 +60,13 @@ class Atom:
     def __post_init__(self) -> None:
         if not isinstance(self.terms, tuple):
             object.__setattr__(self, "terms", tuple(self.terms))
+        # Precomputed fast-path flag for ``matches``: with pairwise-distinct
+        # variables and no constants, any tuple of the right relation and
+        # arity is a homomorphic image — no per-call assignment dict needed.
+        trivially_matched = len(set(self.terms)) == len(self.terms) and all(
+            isinstance(term, Variable) for term in self.terms
+        )
+        object.__setattr__(self, "_trivially_matched", trivially_matched)
 
     @property
     def arity(self) -> int:
@@ -86,6 +93,8 @@ class Atom:
         """
         if tup.relation != self.relation or tup.arity != self.arity:
             return False
+        if self._trivially_matched:
+            return True
         assignment: Dict[Variable, DataValue] = {}
         for term, value in zip(self.terms, tup.values):
             if isinstance(term, Variable):

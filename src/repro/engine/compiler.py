@@ -56,6 +56,17 @@ class _FilteredUnary(UnaryPredicate):
             return False
         return all(flt.holds(tup) for flt in self.filters)
 
+    def dispatch_relations(self):
+        # The conjunction only accepts tuples accepted by every conjunct, so
+        # the dispatch key is the intersection of the known relation sets.
+        result = self.base.dispatch_relations()
+        for flt in self.filters:
+            relations = flt.dispatch_relations()
+            if relations is None:
+                continue
+            result = relations if result is None else result & relations
+        return result
+
     def __str__(self) -> str:
         if not self.filters:
             return str(self.base)
@@ -247,4 +258,6 @@ def compile_pattern(pattern: Pattern) -> PCEA:
         raise PatternCompilationError("pattern has no atoms")
     labels = list(range(len(atom_patterns)))
     fragment = _compile(pattern, labels, ())
-    return PCEA(fragment.states, fragment.transitions, fragment.final, labels=labels)
+    pcea = PCEA(fragment.states, fragment.transitions, fragment.final, labels=labels)
+    pcea.dispatch_index()  # build the transition dispatch index at compile time
+    return pcea

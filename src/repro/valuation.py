@@ -10,6 +10,12 @@ output type shared by:
 Valuations are immutable and hashable, labels mapped to the empty set are
 normalised away, and the product ``⊕`` together with the *simple* check mirror
 the definitions used by the enumeration data structure.
+
+Because the streaming engine constructs one valuation per enumerated output
+(and ``within_window`` is consulted on every node visited during enumeration),
+the extreme positions ``min(ν)`` / ``max(ν)`` are computed once at construction
+and cached, and the hot constructors (:meth:`Valuation.singleton` and
+:meth:`Valuation.product`) bypass the normalising ``__init__``.
 """
 
 from __future__ import annotations
@@ -34,23 +40,50 @@ class Valuation:
     >>> (v ⊕ Valuation({"dot": {7}})) if False else None  # doctest: +SKIP
     """
 
-    __slots__ = ("_mapping", "_hash")
+    __slots__ = ("_mapping", "_hash", "_min", "_max")
 
     def __init__(self, mapping: Mapping[Label, Iterable[int]] | None = None) -> None:
         normalised: Dict[Label, PositionSet] = {}
+        lo: int | None = None
+        hi: int | None = None
         if mapping:
             for label, positions in mapping.items():
                 frozen = frozenset(positions)
                 if frozen:
                     normalised[label] = frozen
+                    for position in frozen:
+                        if lo is None or position < lo:
+                            lo = position
+                        if hi is None or position > hi:
+                            hi = position
         self._mapping: Dict[Label, PositionSet] = normalised
         self._hash: int | None = None
+        self._min: int | None = lo
+        self._max: int | None = hi
+
+    @classmethod
+    def _from_parts(
+        cls, mapping: Dict[Label, PositionSet], lo: int | None, hi: int | None
+    ) -> "Valuation":
+        """Internal fast constructor: ``mapping`` must already be normalised
+        (non-empty frozensets only) and ``lo``/``hi`` must be its extreme
+        positions."""
+        self = object.__new__(cls)
+        self._mapping = mapping
+        self._hash = None
+        self._min = lo
+        self._max = hi
+        return self
 
     # ------------------------------------------------------------ constructors
     @classmethod
     def singleton(cls, labels: Iterable[Label], position: int) -> "Valuation":
         """The valuation ``ν_{L,i}`` mapping every label of ``labels`` to ``{i}``."""
-        return cls({label: {position} for label in labels})
+        positions = frozenset((position,))
+        mapping = dict.fromkeys(labels, positions)
+        if not mapping:
+            return cls._from_parts({}, None, None)
+        return cls._from_parts(mapping, position, position)
 
     @classmethod
     def empty(cls) -> "Valuation":
@@ -79,22 +112,20 @@ class Valuation:
         return frozenset(result)
 
     def min_position(self) -> int:
-        """``min(ν)``: the smallest position appearing in the valuation.
+        """``min(ν)``: the smallest position appearing in the valuation (cached).
 
         Raises :class:`ValueError` for the empty valuation, mirroring the fact
         that the paper only applies ``min`` to outputs of accepting runs.
         """
-        positions = self.positions()
-        if not positions:
+        if self._min is None:
             raise ValueError("min() of an empty valuation")
-        return min(positions)
+        return self._min
 
     def max_position(self) -> int:
-        """``max`` over all positions appearing in the valuation."""
-        positions = self.positions()
-        if not positions:
+        """``max`` over all positions appearing in the valuation (cached)."""
+        if self._max is None:
             raise ValueError("max() of an empty valuation")
-        return max(positions)
+        return self._max
 
     def size(self) -> int:
         """``|ν|``: total number of (label, position) pairs."""
@@ -105,17 +136,30 @@ class Valuation:
 
     def within_window(self, position: int, window: int) -> bool:
         """Whether ``|position - min(ν)| <= window`` (sliding-window condition)."""
-        if self.is_empty():
+        if self._min is None:
             return True
-        return position - self.min_position() <= window
+        return position - self._min <= window
 
     # ---------------------------------------------------------------- algebra
     def product(self, other: "Valuation") -> "Valuation":
-        """The product ``ν ⊕ ν'`` (label-wise union of position sets)."""
-        merged: Dict[Label, set[int]] = {label: set(positions) for label, positions in self.items()}
-        for label, positions in other.items():
-            merged.setdefault(label, set()).update(positions)
-        return Valuation(merged)
+        """The product ``ν ⊕ ν'`` (label-wise union of position sets).
+
+        Returns one of the operands unchanged when the other is empty
+        (valuations are immutable, so sharing is safe), and avoids rebuilding
+        position sets for labels occurring on only one side — the common case
+        in the enumeration data structure, whose products are *simple*.
+        """
+        if not other._mapping:
+            return self
+        if not self._mapping:
+            return other
+        merged: Dict[Label, PositionSet] = dict(self._mapping)
+        for label, positions in other._mapping.items():
+            existing = merged.get(label)
+            merged[label] = positions if existing is None else existing | positions
+        lo = self._min if self._min <= other._min else other._min  # type: ignore[operator]
+        hi = self._max if self._max >= other._max else other._max  # type: ignore[operator]
+        return Valuation._from_parts(merged, lo, hi)
 
     __or__ = product
 

@@ -1,0 +1,321 @@
+"""Tests for the transition dispatch index and the indexed streaming engine.
+
+Covers the compile-once index itself (`repro.core.dispatch`), the predicate
+dispatch keys, the differential equivalence of the indexed engine against the
+full-scan engine and the naive PCEA reference, the hash-table eviction bound,
+and the optional-statistics fast mode.
+"""
+
+import pytest
+
+from repro.core.dispatch import TransitionDispatchIndex
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import PCEA, PCEATransition
+from repro.core.predicates import (
+    AtomUnaryPredicate,
+    AttributeFilter,
+    LambdaUnaryPredicate,
+    RelationPredicate,
+    TruePredicate,
+    TrueEquality,
+)
+from repro.cq.query import Atom, Variable
+from repro.cq.schema import Tuple
+from repro.engine.compiler import compile_pattern
+from repro.engine.dsl import atom, conjunction, sequence
+from repro.streams.generators import HCQWorkloadGenerator, random_stream
+
+from helpers import QUERY_Q0, SIGMA0, STREAM_S0, example_pcea_p0, star_query
+
+X, Y = Variable("x"), Variable("y")
+
+
+def two_relation_pcea():
+    """states a->b; a fed by T tuples, b fed by S tuples joined trivially."""
+    return PCEA(
+        states={"a", "b"},
+        transitions=[
+            PCEATransition(set(), RelationPredicate("T"), {}, {"t"}, "a"),
+            PCEATransition({"a"}, RelationPredicate("S"), {"a": TrueEquality()}, {"s"}, "b"),
+            PCEATransition(set(), TruePredicate(), {}, {"w"}, "a"),
+        ],
+        final={"b"},
+    )
+
+
+class TestDispatchRelations:
+    def test_relation_predicate(self):
+        assert RelationPredicate({"T", "S"}).dispatch_relations() == {"T", "S"}
+
+    def test_atom_predicate(self):
+        assert AtomUnaryPredicate(Atom("R", (X, Y))).dispatch_relations() == {"R"}
+
+    def test_attribute_filter(self):
+        assert AttributeFilter("R", 0, ">", 5).dispatch_relations() == {"R"}
+
+    def test_true_and_lambda_are_wildcards(self):
+        assert TruePredicate().dispatch_relations() is None
+        assert LambdaUnaryPredicate(lambda t: True).dispatch_relations() is None
+
+    def test_lambda_with_declared_relations(self):
+        pred = LambdaUnaryPredicate(lambda t: True, relations=frozenset({"T"}))
+        assert pred.dispatch_relations() == {"T"}
+
+    def test_conjunction_intersects(self):
+        pred = RelationPredicate({"T", "S"}) & RelationPredicate({"S", "R"})
+        assert pred.dispatch_relations() == {"S"}
+        assert (RelationPredicate("T") & TruePredicate()).dispatch_relations() == {"T"}
+
+    def test_disjunction_unions(self):
+        pred = RelationPredicate("T") | RelationPredicate("S")
+        assert pred.dispatch_relations() == {"T", "S"}
+        assert (RelationPredicate("T") | TruePredicate()).dispatch_relations() is None
+
+    def test_compiled_pattern_filters_keep_dispatch_key(self):
+        pattern = sequence(
+            atom("Buy", "s", "p", filters=[("p", ">", 10)]),
+            atom("Sell", "s", "q"),
+        )
+        pcea = compile_pattern(pattern)
+        index = pcea.dispatch_index()
+        assert index.describe()["wildcard_transitions"] == 0
+        assert {c.transition.unary.dispatch_relations() == frozenset({"Buy"}) or
+                c.transition.unary.dispatch_relations() == frozenset({"Sell"})
+                for c in index.all_transitions()} == {True}
+
+
+class TestTransitionDispatchIndex:
+    def test_candidates_grouped_by_relation(self):
+        pcea = two_relation_pcea()
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        t_candidates = [c.index for c in index.candidates("T")]
+        s_candidates = [c.index for c in index.candidates("S")]
+        assert t_candidates == [0, 2]  # the T transition plus the wildcard
+        assert s_candidates == [1, 2]
+
+    def test_unknown_relation_gets_only_wildcards(self):
+        pcea = two_relation_pcea()
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        assert [c.index for c in index.candidates("Unknown")] == [2]
+
+    def test_unindexed_mode_returns_all(self):
+        pcea = two_relation_pcea()
+        index = TransitionDispatchIndex(pcea.transitions, indexed=False, final=pcea.final)
+        assert [c.index for c in index.candidates("T")] == [0, 1, 2]
+
+    def test_consumers_reverse_map(self):
+        pcea = two_relation_pcea()
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        consumers = index.consumers("a")
+        assert len(consumers) == 1
+        compiled, source_id, predicate = consumers[0]
+        assert compiled.index == 1
+        assert source_id == index.state_ids["a"]
+        assert isinstance(predicate, TrueEquality)
+        assert index.consumers("b") == ()
+        assert index.consumers("missing") == ()
+
+    def test_final_flags_and_state_interning(self):
+        pcea = two_relation_pcea()
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        by_index = {c.index: c for c in index.all_transitions()}
+        assert not by_index[0].is_final and not by_index[2].is_final
+        assert by_index[1].is_final
+        # Ids are dense ints covering exactly the states touched by transitions.
+        assert sorted(index.state_ids.values()) == list(range(len(index.state_ids)))
+
+    def test_describe(self):
+        pcea = two_relation_pcea()
+        info = TransitionDispatchIndex(pcea.transitions, final=pcea.final).describe()
+        assert info["transitions"] == 3
+        assert info["relations"] == 2
+        assert info["wildcard_transitions"] == 1
+        assert info["max_candidates"] == 2
+
+    def test_compilers_prebuild_the_index(self):
+        assert hcq_to_pcea(QUERY_Q0)._dispatch_index is not None
+        assert compile_pattern(conjunction(atom("T", "x"), atom("S", "x", "y")))._dispatch_index is not None
+
+    def test_mismatched_dispatch_final_rejected(self):
+        pcea = two_relation_pcea()
+        foreign = TransitionDispatchIndex(pcea.transitions, final=set())
+        with pytest.raises(ValueError):
+            StreamingEvaluator(pcea, window=5, dispatch=foreign)
+
+    def test_dispatch_from_other_automaton_rejected(self):
+        # Same final-state set, different transition objects: still refused.
+        foreign = TransitionDispatchIndex(two_relation_pcea().transitions, final={"b"})
+        with pytest.raises(ValueError):
+            StreamingEvaluator(two_relation_pcea(), window=5, dispatch=foreign)
+
+    def test_own_dispatch_accepted(self):
+        pcea = two_relation_pcea()
+        evaluator = StreamingEvaluator(pcea, window=5, dispatch=pcea.dispatch_index())
+        assert evaluator.process(Tuple("T", (1,))) == []
+
+
+class TestIndexedEngineDifferential:
+    """The indexed engine, the full-scan engine and the naive reference agree."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("window", [2, 5, 30])
+    def test_q0_random_streams(self, seed, window):
+        pcea = hcq_to_pcea(QUERY_Q0)
+        stream = random_stream(SIGMA0, length=28, domain_size=3, seed=seed).materialise()
+        naive = pcea.outputs_upto(stream, len(stream) - 1, window=window)
+        indexed = StreamingEvaluator(pcea, window=window)
+        full_scan = StreamingEvaluator(pcea, window=window, indexed=False, evict=False)
+        for position, tup in enumerate(stream):
+            expected = naive[position]
+            assert set(indexed.process(tup)) == expected
+            assert set(full_scan.process(tup)) == expected
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_star_workload_streams(self, seed):
+        workload = HCQWorkloadGenerator(arms=2, key_domain=3, seed=seed)
+        pcea = hcq_to_pcea(workload.query())
+        stream = workload.stream(26).materialise()
+        window = 8
+        naive = pcea.outputs_upto(stream, len(stream) - 1, window=window)
+        indexed = StreamingEvaluator(pcea, window=window)
+        for position, tup in enumerate(stream):
+            assert set(indexed.process(tup)) == naive[position]
+
+    def test_example_p0_indexed_vs_full_scan(self):
+        pcea = example_pcea_p0()
+        indexed = StreamingEvaluator(pcea, window=4)
+        full_scan = StreamingEvaluator(pcea, window=4, indexed=False, evict=False)
+        for tup in STREAM_S0:
+            assert set(indexed.process(tup)) == set(full_scan.process(tup))
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_against_naive_ccea_reference(self, seed):
+        from helpers import example_ccea_c0
+
+        ccea = example_ccea_c0()
+        pcea = ccea.to_pcea()
+        stream = random_stream(SIGMA0, length=24, domain_size=3, seed=seed).materialise()
+        naive = ccea.outputs_upto(stream, len(stream) - 1)
+        indexed = StreamingEvaluator(pcea, window=len(stream) + 1)
+        for position, tup in enumerate(stream):
+            assert set(indexed.process(tup)) == naive[position]
+
+
+class TestHashEviction:
+    def test_long_stream_small_window_is_bounded(self):
+        workload = HCQWorkloadGenerator(arms=2, key_domain=5_000, seed=3)
+        pcea = hcq_to_pcea(workload.query())
+        stream = workload.stream(2_500).materialise()
+        window = 32
+        evicting = StreamingEvaluator(pcea, window=window)
+        unbounded = StreamingEvaluator(pcea, window=window, evict=False)
+        max_evicting = 0
+        for tup in stream:
+            assert set(evicting.process(tup)) == set(unbounded.process(tup))
+            max_evicting = max(max_evicting, evicting.hash_table_size())
+        # High-cardinality keys: without eviction the table keeps one entry
+        # per key ever seen; with eviction it tracks the active window only.
+        assert unbounded.hash_table_size() > 1_000
+        assert max_evicting <= 4 * (window + 1)
+        assert evicting.evicted > 1_000
+        assert unbounded.evicted == 0
+
+    def test_eviction_does_not_lose_live_entries(self):
+        # A match whose parts are exactly window-apart must still be found.
+        pcea = hcq_to_pcea(star_query(2))
+        window = 3
+        evaluator = StreamingEvaluator(pcea, window=window)
+        evaluator.process(Tuple("A1", (7, 0)))
+        for position in range(1, window):
+            evaluator.process(Tuple("A1", (99, position)))  # unrelated filler
+        outputs = evaluator.process(Tuple("A2", (7, 1)))
+        assert len(outputs) == 1
+
+    def test_expired_entries_are_dropped_next_position(self):
+        pcea = hcq_to_pcea(star_query(2))
+        window = 2
+        evaluator = StreamingEvaluator(pcea, window=window)
+        evaluator.process(Tuple("A1", (1, 0)))
+        size_after_insert = evaluator.hash_table_size()
+        assert size_after_insert > 0
+        for position in range(window + 2):
+            evaluator.process(Tuple("B", (0,)))  # relation unknown to the PCEA
+        assert evaluator.evicted >= size_after_insert
+        assert evaluator.hash_table_size() == 0
+
+
+class TestOptionalStatistics:
+    def test_fast_mode_skips_counters_but_not_outputs(self):
+        pcea = example_pcea_p0()
+        counting = StreamingEvaluator(pcea, window=10)
+        fast = StreamingEvaluator(pcea, window=10, collect_stats=False)
+        for tup in STREAM_S0:
+            assert set(counting.process(tup)) == set(fast.process(tup))
+        assert counting.stats.transitions_scanned > 0
+        assert fast.stats.transitions_scanned == 0
+        assert fast.stats.outputs_enumerated == 0
+
+    def test_run_without_collection_disables_counting(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        evaluator.run(STREAM_S0, collect=False)
+        assert evaluator.stats.transitions_scanned == 0
+        # The flag is restored afterwards: explicit updates count again.
+        evaluator.update(Tuple("T", (9,)))
+        assert evaluator.stats.transitions_scanned > 0
+
+    def test_run_without_collection_can_opt_back_in(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        evaluator.run(STREAM_S0, collect=False, stats=True)
+        assert evaluator.stats.transitions_scanned > 0
+
+    def test_dispatch_info_exposed(self):
+        evaluator = StreamingEvaluator(example_pcea_p0(), window=10)
+        info = evaluator.dispatch_info()
+        assert info["transitions"] == 3
+        assert info["relations"] == 3
+
+
+class TestOdometerEnumeration:
+    """The iterative cross-product odometer matches a brute-force reference."""
+
+    def test_multi_child_product_equivalence(self):
+        import itertools
+
+        from repro.core.datastructure import DataStructure
+
+        ds = DataStructure(window=100)
+        # Three children, each a union of several leaves, under one product node.
+        children = []
+        for child_id in range(3):
+            leaves = [
+                ds.extend([f"c{child_id}"], 1 + child_id * 3 + k, []) for k in range(3)
+            ]
+            union = leaves[0]
+            for leaf in leaves[1:]:
+                union = ds.union(union, leaf)
+            children.append(union)
+        root = ds.extend(["root"], 50, children)
+        got = set(ds.enumerate(root, 50))
+        child_sets = [set(ds.enumerate(child, 50)) for child in children]
+        expected = set()
+        from repro.valuation import Valuation, product_of
+
+        base = Valuation.singleton(["root"], 50)
+        for combo in itertools.product(*child_sets):
+            expected.add(product_of([base, *combo]))
+        assert got == expected
+        assert len(got) == 27
+
+    def test_window_pruning_in_product(self):
+        from repro.core.datastructure import DataStructure
+
+        ds = DataStructure(window=10)
+        old_leaf = ds.extend(["a"], 0, [])
+        new_leaf = ds.extend(["a"], 20, [])
+        union = ds.union(old_leaf, new_leaf)
+        root = ds.extend(["root"], 25, [union])
+        # Only the combination through the fresh leaf is inside the window.
+        outputs = list(ds.enumerate(root, 25))
+        assert len(outputs) == 1
+        assert outputs[0].min_position() == 20

@@ -115,3 +115,54 @@ class TestValuationAlgebra:
             assert left.product(right).size() == left.size() + right.size()
         else:
             assert left.product(right).size() < left.size() + right.size()
+
+
+class TestCachedExtremesAndFastPaths:
+    """The cached min/max and the fast singleton/product constructors agree
+    with the normalising ``__init__`` (they feed the hot enumeration path)."""
+
+    @given(small_valuations(), small_valuations())
+    def test_product_caches_match_recomputation(self, left, right):
+        result = left.product(right)
+        rebuilt = Valuation(result.as_dict())
+        assert result == rebuilt
+        assert hash(result) == hash(rebuilt)
+        if not result.is_empty():
+            assert result.min_position() == min(rebuilt.positions())
+            assert result.max_position() == max(rebuilt.positions())
+
+    def test_singleton_caches(self):
+        valuation = Valuation.singleton(["a", "b"], 7)
+        assert valuation.min_position() == 7
+        assert valuation.max_position() == 7
+        assert valuation == Valuation({"a": {7}, "b": {7}})
+        assert hash(valuation) == hash(Valuation({"a": {7}, "b": {7}}))
+
+    def test_singleton_without_labels_is_empty(self):
+        valuation = Valuation.singleton([], 4)
+        assert valuation.is_empty()
+        with pytest.raises(ValueError):
+            valuation.min_position()
+        assert valuation.within_window(100, 0)
+
+    @given(small_valuations(), st.integers(0, 12), st.integers(0, 6))
+    def test_within_window_uses_cached_min(self, valuation, position, window):
+        expected = (
+            True
+            if valuation.is_empty()
+            else position - min(valuation.positions()) <= window
+        )
+        assert valuation.within_window(position, window) == expected
+
+    def test_product_shares_identical_operand_when_other_empty(self):
+        valuation = Valuation({"a": {1, 2}})
+        assert valuation.product(Valuation.empty()) is valuation
+        assert Valuation.empty().product(valuation) is valuation
+
+    def test_product_with_overlapping_labels_unions(self):
+        left = Valuation({"a": {1}})
+        right = Valuation({"a": {3}, "b": {2}})
+        result = left.product(right)
+        assert result["a"] == {1, 3}
+        assert result.min_position() == 1
+        assert result.max_position() == 3
