@@ -95,6 +95,95 @@ def multi_star_workload(
     return pcea, stream
 
 
+def shared_star_queries(
+    num_queries: int,
+    length: int,
+    arms: int = 3,
+    groups: int = 4,
+    key_domain: int = 32,
+    selectivity: float = 0.2,
+    seed: int = 0,
+) -> Tup[List[PCEA], List[Tuple]]:
+    """``num_queries`` star patterns clustered into ``groups`` relation alphabets.
+
+    The production shape — many users registering variations of common
+    patterns over a shared event stream — has two kinds of redundancy that
+    one-engine-per-query pays for and the multi-query engine shares:
+
+    * **cross-group irrelevance**: query ``q`` lives in group ``q % groups``
+      with the private alphabet ``G<g>R1 ... G<g>R<arms>``; a tuple of one
+      group's relation is irrelevant to every other group's queries, yet each
+      independent engine still pays its full per-tuple overhead (call,
+      eviction sweep, dispatch lookup) to find that out.  The merged index
+      answers it with the one shared lookup.
+    * **within-group structural overlap**: queries in the same group share the
+      filtered arms ``R2 ... R<arms>`` (identical thresholds → structurally
+      identical unary predicates, memoised once per tuple across the whole
+      group) and differ in their private payload filter on ``R1``.
+
+    ``selectivity`` is the fraction of events passing the arm filters; the
+    stream draws a group, a relation, a join key and a payload uniformly.
+    """
+    groups = max(1, min(groups, num_queries))
+    base_threshold = int(PAYLOAD_DOMAIN * selectivity)
+
+    def build_query(q: int) -> PCEA:
+        g = q % groups
+        # Private filter threshold on arm 1 (structurally distinct per query);
+        # arms 2.. share one threshold within the group (memoised across the
+        # group's queries).
+        parts = [atom(f"G{g}R1", "x", "y1", filters=[("y1", "<", base_threshold + q)])]
+        parts.extend(
+            atom(f"G{g}R{j}", "x", f"y{j}", filters=[(f"y{j}", "<", base_threshold)])
+            for j in range(2, arms + 1)
+        )
+        return compile_pattern(conjunction(*parts))
+
+    queries = [build_query(q) for q in range(num_queries)]
+    rng = random.Random(seed)
+    relations = [f"G{g}R{j}" for g in range(groups) for j in range(1, arms + 1)]
+    stream = [
+        Tuple(rng.choice(relations), (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN)))
+        for _ in range(length)
+    ]
+    return queries, stream
+
+
+def guarded_disjunction_workload(
+    branches: int,
+    length: int,
+    hot_fraction: float = 0.8,
+    hot_values: int = 2,
+    seed: int = 0,
+) -> Tup[PCEA, List[Tuple]]:
+    """A disjunction of constant-guarded branches over one relation + skewed stream.
+
+    Branch ``b`` matches ``E(t, y)`` with the local filter ``t == b`` — a
+    highly selective constant guard.  Every ``E`` tuple is a relation-dispatch
+    candidate for *all* ``branches`` transitions, but at most one guard can
+    match, so the constant-guard index reduces the candidate fan-out from
+    ``branches`` to ``≤ 1`` before any ``unary.holds`` runs.
+
+    The stream is skewed: a ``hot_fraction`` of events carry one of
+    ``hot_values`` hot type values (all within the branch range), the rest are
+    uniform over the branch range — the workload where a full candidate scan
+    wastes the most work per tuple.
+    """
+    pattern = disjunction(
+        *(atom("E", "t", "y", filters=[("t", "==", b)]) for b in range(branches))
+    )
+    pcea = compile_pattern(pattern)
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(length):
+        if rng.random() < hot_fraction:
+            value = rng.randrange(min(hot_values, branches))
+        else:
+            value = rng.randrange(branches)
+        stream.append(Tuple("E", (value, rng.randrange(PAYLOAD_DOMAIN))))
+    return pcea, stream
+
+
 def streaming_engine(query: ConjunctiveQuery, window: int) -> StreamingEvaluator:
     return StreamingEvaluator(hcq_to_pcea(query), window=window)
 

@@ -165,8 +165,41 @@ def collect_engine_counters(engine) -> Dict[str, float]:
     return counters
 
 
+def validate_benchmark_payload(payload: Dict) -> None:
+    """Validate the shared schema every checked-in ``BENCH_*.json`` follows.
+
+    The contract keeping benchmark files comparable across PRs: the payload is
+    a JSON-serialisable mapping with string keys, a non-empty string
+    ``benchmark`` name, and a ``summary`` mapping holding the headline numbers
+    a reviewer (or a regression check) reads first.  Raises ``ValueError``
+    with a precise message on violation.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"benchmark payload must be a mapping, got {type(payload).__name__}"
+        )
+    for key in payload:
+        if not isinstance(key, str):
+            raise ValueError(f"benchmark payload keys must be strings, got {key!r}")
+    name = payload.get("benchmark")
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            "benchmark payload must carry a non-empty string 'benchmark' name"
+        )
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError(
+            "benchmark payload must carry a 'summary' mapping with the headline numbers"
+        )
+    try:
+        json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"benchmark payload is not JSON-serialisable: {exc}") from exc
+
+
 def write_benchmark_json(path: str, payload: Dict) -> None:
-    """Write one benchmark's results as pretty-printed, stable-order JSON."""
+    """Validate and write one benchmark's results as pretty, stable-order JSON."""
+    validate_benchmark_payload(payload)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,10 +1,18 @@
-"""Command-line interface: evaluate a hierarchical CQ or a chain pattern over a
-CSV event stream.
+"""Command-line interface: evaluate hierarchical CQs over a CSV event stream.
 
 The CLI is a thin veneer over the library, intended for quick experiments::
 
     repro-cer --query "Q(x, y) <- T(x), S(x, y), R(x, y)" --window 100 events.csv
     python -m repro.cli --query "..." --window 50 --limit 10000 events.csv
+    python -m repro.cli multi --query "Q1(x) <- A(x), B(x)" \\
+        --query "Q2(x, y) <- A(x), C(x, y)" --window 100 events.csv
+
+The ``multi`` subcommand registers every ``--query`` with the shared
+:class:`~repro.multi.engine.MultiQueryEngine` (one dispatch lookup and one
+predicate evaluation per structurally distinct predicate per event, instead of
+one engine per query); matches are prefixed with the query name.  Both modes
+accept ``--batch-size`` to feed events through the batched ``process_many``
+ingestion path.
 
 Input format: one event per line, ``relation,value,value,...``.  Values are
 parsed as integers when possible and kept as strings otherwise.  Matches are
@@ -17,9 +25,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from itertools import islice
 from typing import Iterable, Iterator, List, Optional, Sequence, TextIO
 
-from repro.core.evaluation import StreamingEvaluator
+from repro.core.evaluation import NotEqualityPredicateError, StreamingEvaluator
 from repro.core.hcq_to_pcea import hcq_to_pcea
 from repro.cq.hierarchical import NotHierarchicalError, is_hierarchical
 from repro.cq.query import parse_query
@@ -66,7 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cer",
         description="Evaluate a hierarchical conjunctive query over a CSV event stream "
-        "with the streaming PCEA engine (logarithmic update time, output-linear delay).",
+        "with the streaming PCEA engine (logarithmic update time, output-linear delay). "
+        "The literal first argument 'multi' selects the multi-query subcommand "
+        "(several --query patterns, one shared engine); for an event file actually "
+        "named 'multi', pass it as './multi'.",
     )
     parser.add_argument(
         "stream",
@@ -96,6 +108,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="also print the engine's operation counters after the summary",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="feed events through the batched process_many path, N events per batch "
+        "(0 = per-event processing)",
+    )
+    return parser
+
+
+def build_multi_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cer multi",
+        description="Evaluate several hierarchical conjunctive queries over one CSV "
+        "event stream with the shared multi-query engine (merged dispatch index, "
+        "memoised predicates, per-query windows).",
+    )
+    parser.add_argument(
+        "stream",
+        nargs="?",
+        help="path to the CSV event file (defaults to standard input)",
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        required=True,
+        dest="queries",
+        metavar="QUERY",
+        help="a query to register (repeatable), e.g. \"Q(x, y) <- T(x), S(x, y)\"",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        action="append",
+        dest="windows",
+        metavar="W",
+        help="sliding window size; give once for all queries or once per query "
+        "(default 1000)",
+    )
+    parser.add_argument("--separator", default=",", help="value separator in the event file")
+    parser.add_argument("--limit", type=int, default=None, help="stop after this many events")
+    parser.add_argument("--quiet", action="store_true", help="print only the final summary")
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        metavar="N",
+        help="feed events through the batched process_many path, N events per batch "
+        "(0 = per-event processing)",
+    )
+    parser.add_argument(
+        "--no-memoise",
+        action="store_true",
+        help="disable shared unary-predicate memoisation (evaluate once per query)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the shared engine's counters and merged-index statistics",
     )
     return parser
 
@@ -127,22 +200,32 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         evict=not args.no_evict,
         collect_stats=args.stats,
     )
+    batch_size = getattr(args, "batch_size", 0) or 0
     matches = 0
     events_seen = 0
     start = time.perf_counter()
-    for event in events:
-        if args.limit is not None and events_seen >= args.limit:
-            break
-        events_seen += 1
-        for valuation in engine.process(event):
-            matches += 1
-            if not args.quiet:
-                print(format_match(engine.position, valuation), file=output)
+    if batch_size > 0:
+        for batch in _batched(islice(events, args.limit), batch_size):
+            events_seen += len(batch)
+            base_position = engine.position + 1
+            for offset, valuations in enumerate(engine.process_many(batch)):
+                for valuation in valuations:
+                    matches += 1
+                    if not args.quiet:
+                        print(format_match(base_position + offset, valuation), file=output)
+    else:
+        for event in islice(events, args.limit):
+            events_seen += 1
+            for valuation in engine.process(event):
+                matches += 1
+                if not args.quiet:
+                    print(format_match(engine.position, valuation), file=output)
     elapsed = time.perf_counter() - start
     rate = events_seen / elapsed if elapsed > 0 else float("inf")
+    batched = f" batch_size={batch_size}" if batch_size > 0 else ""
     print(
         f"# events={events_seen} matches={matches} seconds={elapsed:.3f} events/s={rate:.0f} "
-        f"hash_entries={engine.hash_table_size()} evicted={engine.evicted}",
+        f"hash_entries={engine.hash_table_size()} evicted={engine.evicted}{batched}",
         file=output,
     )
     if args.stats:
@@ -158,21 +241,124 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         print(
             f"# dispatch: transitions={info['transitions']:.0f} relations={info['relations']:.0f} "
             f"wildcards={info['wildcard_transitions']:.0f} "
-            f"mean_candidates={info['mean_candidates']:.2f}",
+            f"mean_candidates={info['mean_candidates']:.2f} "
+            f"guarded={info['guarded_transitions']:.0f}",
+            file=output,
+        )
+    return 0
+
+
+def _batched(events: Iterable[Tuple], size: int) -> Iterator[List[Tuple]]:
+    batch: List[Tuple] = []
+    for event in events:
+        batch.append(event)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> int:
+    """Register every ``--query`` with a shared engine and evaluate the stream."""
+    from repro.multi import MultiQueryEngine
+
+    windows = args.windows or [1000]
+    if len(windows) not in (1, len(args.queries)):
+        print(
+            f"error: give --window once (shared) or once per query "
+            f"(got {len(windows)} windows for {len(args.queries)} queries)",
+            file=sys.stderr,
+        )
+        return 2
+    if len(windows) == 1:
+        windows = windows * len(args.queries)
+
+    engine = MultiQueryEngine(
+        memoise=not args.no_memoise, collect_stats=args.stats
+    )
+    names = {}
+    try:
+        for index, (query, window) in enumerate(zip(args.queries, windows)):
+            parsed = parse_query(query)
+            handle = engine.register(parsed, window=window, name=parsed.name or f"q{index}")
+            names[handle.id] = handle.name
+    except (ValueError, NotHierarchicalError, NotEqualityPredicateError) as exc:
+        print(f"error: cannot register query: {exc}", file=sys.stderr)
+        return 2
+
+    batch_size = getattr(args, "batch_size", 0) or 0
+    matches = {qid: 0 for qid in names}
+    events_seen = 0
+    start = time.perf_counter()
+
+    def emit(position: int, outputs) -> None:
+        for qid, valuations in outputs.items():
+            matches[qid] += len(valuations)
+            if not args.quiet:
+                for valuation in valuations:
+                    print(f"{names[qid]}\t{format_match(position, valuation)}", file=output)
+
+    if batch_size > 0:
+        for batch in _batched(islice(events, args.limit), batch_size):
+            events_seen += len(batch)
+            base_position = engine.position + 1
+            for offset, outputs in enumerate(engine.process_many(batch)):
+                emit(base_position + offset, outputs)
+    else:
+        for event in islice(events, args.limit):
+            events_seen += 1
+            emit(engine.position + 1, engine.process(event))
+    elapsed = time.perf_counter() - start
+    rate = events_seen / elapsed if elapsed > 0 else float("inf")
+    total = sum(matches.values())
+    per_query = " ".join(
+        f"{names[qid]}={matches[qid]}" for qid in sorted(matches)
+    )
+    batched = f" batch_size={batch_size}" if batch_size > 0 else ""
+    print(
+        f"# events={events_seen} queries={len(names)} matches={total} ({per_query}) "
+        f"seconds={elapsed:.3f} events/s={rate:.0f} "
+        f"hash_entries={engine.hash_table_size()} evicted={engine.evicted}{batched}",
+        file=output,
+    )
+    if args.stats:
+        stats = engine.stats
+        info = engine.dispatch_info()
+        print(
+            f"# scanned={stats.candidates_scanned} pred_evals={stats.predicate_evaluations} "
+            f"pred_cache_hits={stats.predicate_cache_hits} fired={stats.transitions_fired} "
+            f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
+            f"nodes={stats.nodes_created} outputs={stats.outputs_enumerated}",
+            file=output,
+        )
+        print(
+            f"# dispatch: queries={info['queries']:.0f} transitions={info['transitions']:.0f} "
+            f"relations={info['relations']:.0f} "
+            f"predicate_groups={info['predicate_groups']:.0f} "
+            f"shared_predicate_groups={info['shared_predicate_groups']:.0f} "
+            f"mean_candidates={info['mean_candidates']:.2f} "
+            f"guarded={info['guarded_transitions']:.0f}",
             file=output,
         )
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "multi":
+        parser, runner = build_multi_parser(), run_multi
+        argv = argv[1:]
+    else:
+        parser, runner = build_parser(), run
     args = parser.parse_args(argv)
     if args.stream:
         with open(args.stream, "r", encoding="utf-8") as handle:
             events = list(read_events(handle, args.separator))
     else:
         events = read_events(sys.stdin, args.separator)
-    return run(args, events, sys.stdout)
+    return runner(args, events, sys.stdout)
 
 
 if __name__ == "__main__":

@@ -41,6 +41,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pcea builds the inde
 State = Hashable
 
 
+def _transition_order(compiled: "CompiledTransition") -> int:
+    return compiled.index
+
+
+def build_guard_buckets(members: Sequence):
+    """Split one relation's candidates into unguarded + per-guard-value buckets.
+
+    ``members`` are candidate records exposing a ``guard`` attribute
+    (``None`` or ``(position, value)``) — either :class:`CompiledTransition`
+    or the multi-query engine's merged entries.  Returns ``None`` when no
+    member is guarded (the caller then keeps plain relation dispatch), else
+    ``(unguarded, ((position, {value: members}), ...))`` with member order
+    preserved inside every bucket.
+    """
+    if not any(member.guard is not None for member in members):
+        return None
+    unguarded = tuple(member for member in members if member.guard is None)
+    groups: Dict[int, Dict[Hashable, List]] = {}
+    for member in members:
+        if member.guard is None:
+            continue
+        position, value = member.guard
+        groups.setdefault(position, {}).setdefault(value, []).append(member)
+    frozen = tuple(
+        (position, {value: tuple(bucket) for value, bucket in by_value.items()})
+        for position, by_value in sorted(groups.items())
+    )
+    return (unguarded, frozen)
+
+
+def probe_guard_buckets(entry, tup, order_key):
+    """Look one tuple up in a :func:`build_guard_buckets` structure.
+
+    Returns the unguarded candidates plus every guarded bucket whose value
+    matches the tuple's attribute (guards at positions beyond the tuple's
+    arity cannot hold and are skipped), re-sorted by ``order_key`` so the
+    result preserves the original candidate order.
+    """
+    unguarded, groups = entry
+    result = list(unguarded)
+    arity = tup.arity
+    for position, by_value in groups:
+        if position < arity:
+            matched = by_value.get(tup.value(position))
+            if matched:
+                result.extend(matched)
+    if len(result) > 1:
+        result.sort(key=order_key)
+    return result
+
+
 class CompiledTransition:
     """A transition flattened for the per-tuple hot loop.
 
@@ -60,6 +111,8 @@ class CompiledTransition:
         "target_id",
         "is_final",
         "relations",
+        "guard",
+        "pred_key",
     )
 
     def __init__(self, index: int, transition: "PCEATransition") -> None:
@@ -69,6 +122,17 @@ class CompiledTransition:
         self.labels = transition.labels
         self.target = transition.target
         self.relations: Optional[frozenset] = transition.unary.dispatch_relations()
+        # A ``(position, value)`` equality implied by the unary predicate, so
+        # the index can key this transition by its guard value; the canonical
+        # key lets the multi-query engine share one ``unary.holds`` verdict
+        # across structurally identical predicates.  Both default soundly for
+        # predicate objects predating the protocol.
+        guard = getattr(transition.unary, "constant_guard", None)
+        self.guard: Optional[Tup[int, object]] = guard() if guard is not None else None
+        canonical = getattr(transition.unary, "canonical_key", None)
+        self.pred_key: Hashable = (
+            canonical() if canonical is not None else ("id", id(transition.unary))
+        )
         # Filled in by the index: interned ids and the final-state flag.
         self.target_id = -1
         self.is_final = False
@@ -97,6 +161,13 @@ class TransitionDispatchIndex:
         The automaton's final-state set; fired transitions into these states
         carry ``is_final=True`` so the evaluator can collect output nodes
         without hashing composite states.
+    guards:
+        With ``True`` (the default), candidates carrying a constant equality
+        guard (``UnaryPredicate.constant_guard``) are additionally keyed by
+        ``(relation, guard value)``; :meth:`candidates_for` then prunes
+        guarded transitions whose value does not match the tuple before their
+        ``unary.holds`` ever runs.  ``False`` restores pure relation-name
+        dispatch (ablation).
     """
 
     def __init__(
@@ -104,8 +175,10 @@ class TransitionDispatchIndex:
         transitions: Sequence["PCEATransition"],
         indexed: bool = True,
         final: Iterable[State] = (),
+        guards: bool = True,
     ) -> None:
         self.indexed = indexed
+        self.guards = guards
         self.final = frozenset(final)
         self.state_ids: Dict[State, int] = {}
         compiled: List[CompiledTransition] = []
@@ -135,6 +208,25 @@ class TransitionDispatchIndex:
             )
             for relation in relations
         }
+        # Constant-guard index: within a relation whose candidates carry
+        # ``(position, value)`` equality guards, bucket those candidates by
+        # guard value so a lookup probes ``value(position)`` instead of
+        # running every guarded ``unary.holds``.  Relations without any
+        # guarded candidate are omitted — ``candidates_for`` then falls back
+        # to the plain per-relation list, so the guard index costs nothing
+        # where it cannot help.
+        self._guarded: Dict[
+            str,
+            Tup[
+                Tup[CompiledTransition, ...],
+                Tup[Tup[int, Dict[Hashable, Tup[CompiledTransition, ...]]], ...],
+            ],
+        ] = {}
+        if guards:
+            for relation, members in self._by_relation.items():
+                buckets = build_guard_buckets(members)
+                if buckets is not None:
+                    self._guarded[relation] = buckets
         consumers: Dict[int, List[Tup[CompiledTransition, int, object]]] = {}
         for c in compiled:
             for _, source_id, predicate in c.joins:
@@ -155,6 +247,21 @@ class TransitionDispatchIndex:
         if not self.indexed:
             return self._all
         return self._by_relation.get(relation, self._wildcard)
+
+    def candidates_for(self, tup) -> Sequence[CompiledTransition]:
+        """Candidates for a concrete tuple: relation dispatch plus guard pruning.
+
+        A pure refinement of :meth:`candidates`: guarded transitions whose
+        guard value differs from the tuple's are dropped (their ``holds`` is
+        necessarily false), everything else is returned in transition order so
+        firing behaviour matches the unguarded engine exactly.
+        """
+        if not self.indexed:
+            return self._all
+        entry = self._guarded.get(tup.relation)
+        if entry is None:
+            return self._by_relation.get(tup.relation, self._wildcard)
+        return probe_guard_buckets(entry, tup, _transition_order)
 
     def consumers_by_id(self, state_id: int) -> Tup[Tup[CompiledTransition, int, object], ...]:
         """``(compiled transition, source id, binary predicate)`` triples reading the state."""
@@ -177,12 +284,20 @@ class TransitionDispatchIndex:
     def describe(self) -> Dict[str, float]:
         """Summary statistics for benchmark / CLI reporting."""
         sizes = [len(candidates) for candidates in self._by_relation.values()]
+        guarded = sum(1 for c in self._all if c.guard is not None)
+        guard_values = sum(
+            len(by_value)
+            for _, groups in self._guarded.values()
+            for _, by_value in groups
+        )
         return {
             "transitions": float(len(self._all)),
             "relations": float(len(self._by_relation)),
             "wildcard_transitions": float(len(self._wildcard)),
             "max_candidates": float(max(sizes, default=len(self._wildcard))),
             "mean_candidates": float(sum(sizes) / len(sizes)) if sizes else float(len(self._wildcard)),
+            "guarded_transitions": float(guarded if self.guards else 0),
+            "guard_values": float(guard_values),
         }
 
     def __repr__(self) -> str:

@@ -159,6 +159,9 @@ class StreamingEvaluator:
         # the entries reclaimed so far.
         self._evict = evict
         self._expiry_buckets: Dict[int, List[Tup[int, State, Hashable]]] = {}
+        # Highest bucket position already swept; lets the batched sweep pop
+        # the dense range of newly due buckets instead of scanning every key.
+        self._swept_upto = -window - 2
         self.evicted = 0
 
     # -------------------------------------------------------------- main loop
@@ -198,12 +201,82 @@ class StreamingEvaluator:
         final_nodes = self.update(tup)
         return list(self.enumerate_outputs(final_nodes))
 
+    def process_many(self, tuples: Sequence[Tuple]) -> List[List[Valuation]]:
+        """Batched ingestion: process ``tuples``, returning outputs per tuple.
+
+        Produces exactly what ``[self.process(t) for t in tuples]`` would,
+        but amortises the per-tuple Python overhead: method lookups are
+        hoisted out of the loop, the eviction sweep runs once per batch (at
+        the end, over every bucket that expired during the batch — harmless
+        for correctness because expiry is re-checked at every hash lookup),
+        and the enumeration counter is flushed to the statistics once per
+        batch.
+        """
+        if self.audit:
+            # Audit mode verifies duplicate-freeness through the slow
+            # enumeration path; batching stays semantically identical.
+            return [self.process(tup) for tup in tuples]
+        update = self.update
+        ds_enumerate = self.ds.enumerate
+        results: List[List[Valuation]] = []
+        append = results.append
+        enumerated = 0
+        for tup in tuples:
+            final_nodes = update(tup, sweep=False)
+            if final_nodes:
+                position = self.position
+                outputs: List[Valuation] = []
+                extend = outputs.extend
+                for node in final_nodes:
+                    extend(ds_enumerate(node, position))
+                enumerated += len(outputs)
+                append(outputs)
+            else:
+                append([])
+        if self._evict:
+            self._sweep_expired_upto(self.position)
+        if self._count_stats and enumerated:
+            self.stats.outputs_enumerated += enumerated
+        return results
+
+    def _sweep_expired_upto(self, position: int) -> None:
+        """Evict every hash entry whose expiry bucket is due at ``position``.
+
+        Covers all buckets up to ``position - window - 1`` in one pass — the
+        batched counterpart of the single-bucket sweep in :meth:`update`.
+        Buckets are popped over the dense range of positions not yet swept
+        (entries are always registered in future buckets, so nothing lands
+        behind ``_swept_upto``), keeping the sweep O(positions advanced), not
+        O(live buckets).
+        """
+        threshold = position - self.window - 1
+        if threshold <= self._swept_upto:
+            return
+        buckets = self._expiry_buckets
+        hash_table = self._hash
+        window = self.window
+        evicted = 0
+        for bucket in range(self._swept_upto + 1, threshold + 1):
+            expired_keys = buckets.pop(bucket, None)
+            if not expired_keys:
+                continue
+            for key in expired_keys:
+                node = hash_table.get(key)
+                if node is not None and position - node.max_start > window:
+                    del hash_table[key]
+                    evicted += 1
+        self._swept_upto = threshold
+        self.evicted += evicted
+
     # ------------------------------------------------------------ update phase
-    def update(self, tup: Tuple) -> List[Node]:
+    def update(self, tup: Tuple, sweep: bool = True) -> List[Node]:
         """The update phase (Reset + FireTransitions + UpdateIndices).
 
         Returns the nodes that reached a final state at the current position;
         feeding them to :meth:`enumerate_outputs` yields the new outputs.
+        ``sweep=False`` skips the per-tuple eviction sweep (expiry bucket
+        registration still happens); :meth:`process_many` uses it to run one
+        batched sweep instead of one per tuple.
         """
         # Reset.
         self.position += 1
@@ -223,23 +296,33 @@ class StreamingEvaluator:
         # since every stored node satisfies max_start >= position - window at
         # storage time, sweeping the single bucket ``position - window - 1``
         # per step reclaims every entry exactly when it expires.
-        if self._evict:
-            expired_keys = self._expiry_buckets.pop(position - window - 1, None)
-            if expired_keys:
-                evicted = 0
-                for key in expired_keys:
-                    node = hash_table.get(key)
-                    # The entry may have been superseded by a younger node
-                    # (re-registered in a later bucket) — only drop it if it
-                    # is genuinely out of the window now.
-                    if node is not None and position - node.max_start > window:
-                        del hash_table[key]
-                        evicted += 1
-                self.evicted += evicted
+        if self._evict and sweep:
+            threshold = position - window - 1
+            if threshold == self._swept_upto + 1:
+                # Steady state: exactly one new bucket became due.
+                self._swept_upto = threshold
+                expired_keys = self._expiry_buckets.pop(threshold, None)
+                if expired_keys:
+                    evicted = 0
+                    for key in expired_keys:
+                        node = hash_table.get(key)
+                        # The entry may have been superseded by a younger node
+                        # (re-registered in a later bucket) — only drop it if
+                        # it is genuinely out of the window now.
+                        if node is not None and position - node.max_start > window:
+                            del hash_table[key]
+                            evicted += 1
+                    self.evicted += evicted
+            elif threshold > self._swept_upto:
+                # Earlier updates ran with sweep=False and no batch sweep
+                # followed: cover the whole overdue range so no bucket is
+                # marked swept without being popped.
+                self._sweep_expired_upto(position)
 
         # FireTransitions, restricted to the candidate transitions for this
-        # tuple's relation (wildcard transitions are always candidates).
-        for compiled in dispatch.candidates(tup.relation):
+        # tuple's relation and constant guards (wildcard transitions are
+        # always candidates).
+        for compiled in dispatch.candidates_for(tup):
             if stats is not None:
                 stats.transitions_scanned += 1
             if not compiled.unary.holds(tup):

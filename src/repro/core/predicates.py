@@ -50,6 +50,30 @@ class UnaryPredicate:
         """
         return None
 
+    def canonical_key(self) -> Key:
+        """A hashable key identifying this predicate's *extension*.
+
+        Two predicates with equal canonical keys must satisfy ``holds(t)`` on
+        exactly the same tuples, so the multi-query engine can evaluate one
+        representative per key per tuple and share the verdict across every
+        query using a structurally identical predicate.  The default is
+        identity-based (no sharing beyond the same object), which is always
+        sound; structural subclasses override it.
+        """
+        return ("id", id(self))
+
+    def constant_guard(self) -> Optional[Tup[int, DataValue]]:
+        """An optional ``(position, value)`` equality guard implied by ``holds``.
+
+        When a pair is returned, every tuple accepted by the predicate carries
+        ``value`` at attribute ``position`` (and has arity ``> position``).
+        The dispatch index uses the guard to key candidates by
+        ``(relation, guard value)`` so highly selective constant filters prune
+        transitions before ``holds`` runs.  ``None`` means no such guard is
+        known; returning ``None`` is always sound.
+        """
+        return None
+
     def __call__(self, tup: Tuple) -> bool:
         return self.holds(tup)
 
@@ -85,6 +109,9 @@ class TruePredicate(UnaryPredicate):
     def holds(self, tup: Tuple) -> bool:
         return True
 
+    def canonical_key(self) -> Key:
+        return ("true",)
+
     def __str__(self) -> str:
         return "true"
 
@@ -106,6 +133,9 @@ class RelationPredicate(UnaryPredicate):
     def dispatch_relations(self) -> Optional[FrozenSet[str]]:
         return self.relations
 
+    def canonical_key(self) -> Key:
+        return ("rel", self.relations)
+
     def __str__(self) -> str:
         return "|".join(sorted(self.relations))
 
@@ -125,6 +155,12 @@ class AtomUnaryPredicate(UnaryPredicate):
 
     def dispatch_relations(self) -> Optional[FrozenSet[str]]:
         return frozenset((self.atom.relation,))
+
+    def canonical_key(self) -> Key:
+        return ("atom", self.atom)
+
+    def constant_guard(self) -> Optional[Tup[int, DataValue]]:
+        return _atom_constant_guard(self.atom)
 
     def __str__(self) -> str:
         return f"U[{self.atom}]"
@@ -155,6 +191,12 @@ class SelfJoinUnaryPredicate(UnaryPredicate):
         # (the transition simply never becomes a candidate).
         return frozenset((self.unified.relation,))
 
+    def canonical_key(self) -> Key:
+        return ("selfjoin", self.unified)
+
+    def constant_guard(self) -> Optional[Tup[int, DataValue]]:
+        return _atom_constant_guard(self.unified)
+
     def __str__(self) -> str:
         return f"U[{' & '.join(str(a) for a in self.atoms)}]"
 
@@ -177,6 +219,10 @@ class LambdaUnaryPredicate(UnaryPredicate):
 
     def dispatch_relations(self) -> Optional[FrozenSet[str]]:
         return self.relations
+
+    def canonical_key(self) -> Key:
+        # Two wrappers around the same callable decide identically.
+        return ("lambda", id(self.func))
 
     def __str__(self) -> str:
         return self.description
@@ -223,8 +269,28 @@ class AttributeFilter(UnaryPredicate):
     def dispatch_relations(self) -> Optional[FrozenSet[str]]:
         return frozenset((self.relation,))
 
+    def canonical_key(self) -> Key:
+        return ("attr", self.relation, self.position, self.operator, self.constant)
+
+    def constant_guard(self) -> Optional[Tup[int, DataValue]]:
+        if self.operator == "==":
+            return (self.position, self.constant)
+        return None
+
     def __str__(self) -> str:
         return f"{self.relation}[{self.position}] {self.operator} {self.constant!r}"
+
+
+def _atom_constant_guard(atom: Atom) -> Optional[Tup[int, DataValue]]:
+    """The first ``(position, constant)`` pinned by an atom's constant terms.
+
+    Any tuple matched by the atom carries the constant at that position, so the
+    pair satisfies the :meth:`UnaryPredicate.constant_guard` contract.
+    """
+    for position, term in enumerate(atom.terms):
+        if not is_variable(term):
+            return (position, term)
+    return None
 
 
 # -------------------------------------------------------------------------- binary

@@ -67,6 +67,24 @@ class _FilteredUnary(UnaryPredicate):
             result = relations if result is None else result & relations
         return result
 
+    def canonical_key(self):
+        return (
+            "filtered",
+            self.base.canonical_key(),
+            tuple(flt.canonical_key() for flt in self.filters),
+        )
+
+    def constant_guard(self):
+        # Any conjunct's guard is a guard of the conjunction.
+        guard = self.base.constant_guard()
+        if guard is not None:
+            return guard
+        for flt in self.filters:
+            guard = flt.constant_guard()
+            if guard is not None:
+                return guard
+        return None
+
     def __str__(self) -> str:
         if not self.filters:
             return str(self.base)

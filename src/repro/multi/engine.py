@@ -1,0 +1,383 @@
+"""The multi-query streaming engine: many patterns, one pass per tuple.
+
+:class:`MultiQueryEngine` evaluates every registered query with Algorithm 1
+semantics — each query keeps its *own* run-index hash table, enumeration
+structure (``DS_w``) and sliding window, so outputs are bit-for-bit identical
+to running one :class:`~repro.core.evaluation.StreamingEvaluator` per query —
+but the per-tuple work is shared three ways:
+
+* **one dispatch lookup** through the
+  :class:`~repro.multi.merged_index.MergedDispatchIndex` returns the candidate
+  transitions of all queries at once;
+* **one unary-predicate evaluation per canonical key** — structurally
+  identical predicates across queries are evaluated once per tuple and the
+  verdict is memoised (sound because equal canonical keys imply equal
+  extensions);
+* **one eviction sweep** over a shared expiry-bucket map keyed by the global
+  position at which an entry expires (``max_start + window_q + 1``), covering
+  every query's hash table in a single bucket pop per tuple (or one batched
+  pop per :meth:`MultiQueryEngine.process_many` call).
+
+Positions are global to the engine's stream: a query registered at position
+``p`` behaves exactly like an independent evaluator that started observing
+the stream at ``p`` (its valuations carry global stream positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
+
+from repro.core.datastructure import DataStructure, Node
+from repro.cq.schema import Tuple
+from repro.multi.merged_index import MergedDispatchIndex
+from repro.multi.registry import QueryHandle, QueryRegistry, QuerySpec
+from repro.valuation import Valuation
+
+
+_MISS = object()  # memo-cache sentinel (verdicts are booleans, None won't do)
+
+
+@dataclass
+class MultiQueryStatistics:
+    """Operation counters for the shared per-tuple loop (instrumentation)."""
+
+    tuples_processed: int = 0
+    candidates_scanned: int = 0
+    predicate_evaluations: int = 0
+    predicate_cache_hits: int = 0
+    transitions_fired: int = 0
+    hash_lookups: int = 0
+    hash_updates: int = 0
+    nodes_created: int = 0
+    outputs_enumerated: int = 0
+
+
+class _QueryLane:
+    """Per-query runtime state: isolated tables, shared per-tuple loop."""
+
+    __slots__ = ("handle", "pcea", "dispatch", "window", "ds", "hash", "active")
+
+    def __init__(self, handle: QueryHandle, pcea) -> None:
+        self.handle = handle
+        self.pcea = pcea
+        self.dispatch = pcea.dispatch_index()
+        self.window = handle.window
+        self.ds = DataStructure(handle.window)
+        # (transition index, source state id, join key) -> node, exactly the
+        # single-query evaluator's H — isolation keeps Theorem 5.1's
+        # unambiguity reasoning per query untouched.
+        self.hash: Dict[Tup[int, int, Hashable], Node] = {}
+        self.active = True
+
+    def __repr__(self) -> str:
+        return f"_QueryLane({self.handle}, |H|={len(self.hash)})"
+
+
+class MultiQueryEngine:
+    """Evaluate many registered patterns over one stream in a single pass.
+
+    Parameters
+    ----------
+    registry:
+        Optional externally owned :class:`QueryRegistry`; by default the
+        engine creates its own.  Queries already present in a supplied
+        registry are picked up at construction time.
+    memoise:
+        With ``True`` (default), unary predicates are evaluated once per
+        canonical key per tuple and shared across queries; ``False`` restores
+        one evaluation per candidate (ablation / differential testing).
+    guards:
+        Passed to the merged index: prune constant-guarded candidates by
+        value before their predicate runs.
+    collect_stats:
+        With ``True``, the shared loop maintains
+        :class:`MultiQueryStatistics`; off by default (production mode).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[QueryRegistry] = None,
+        memoise: bool = True,
+        guards: bool = True,
+        collect_stats: bool = False,
+    ) -> None:
+        self.registry = registry if registry is not None else QueryRegistry()
+        self.position = -1
+        self.memoise = memoise
+        self._guards = guards
+        self._count_stats = collect_stats
+        self.stats = MultiQueryStatistics()
+        self.evicted = 0
+        self._lanes: Dict[int, _QueryLane] = {}
+        # Shared eviction buckets: expiry position -> [(lane, hash key)].
+        # An entry stored with node n under lane q expires exactly at global
+        # position n.max_start + q.window + 1, so one bucket pop per position
+        # sweeps every lane's table.
+        self._expiry_buckets: Dict[int, List[Tup[_QueryLane, Tup[int, int, Hashable]]]] = {}
+        # Highest expiry position already swept (entries always register in
+        # strictly future buckets, so the batched sweep can pop the dense
+        # range of newly due positions instead of scanning every bucket key).
+        self._swept_upto = -1
+        self._merged = MergedDispatchIndex((), guards=guards)
+        for entry in self.registry.entries():
+            self._lanes[entry.handle.id] = _QueryLane(entry.handle, entry.pcea)
+        self._rebuild()
+
+    # ----------------------------------------------------------- registration
+    def register(
+        self, query: QuerySpec, window: int, name: Optional[str] = None
+    ) -> QueryHandle:
+        """Register a query mid-stream; it starts observing at the next tuple."""
+        handle = self.registry.register(query, window, name)
+        self._lanes[handle.id] = _QueryLane(handle, self.registry.get(handle).pcea)
+        self._rebuild()
+        return handle
+
+    def unregister(self, handle: QueryHandle) -> None:
+        """Drop a query; its state is discarded and outputs stop immediately."""
+        self.registry.unregister(handle)
+        lane = self._lanes.pop(handle.id)
+        # Stale expiry-bucket entries still reference the lane; the sweep
+        # skips inactive lanes instead of scrubbing every bucket eagerly.
+        # Dropping the lane's state here (not at bucket expiry, up to a full
+        # window later) releases the query's enumeration structure and
+        # automaton immediately.
+        lane.active = False
+        lane.hash.clear()
+        lane.ds = None
+        lane.dispatch = None
+        lane.pcea = None
+        self._rebuild()
+
+    def handles(self) -> List[QueryHandle]:
+        """Handles of the registered queries, in registration order."""
+        return [entry.handle for entry in self.registry.entries()]
+
+    def _rebuild(self) -> None:
+        lanes = [self._lanes[qid] for qid in sorted(self._lanes)]
+        self._merged = MergedDispatchIndex(
+            [(lane, lane.dispatch) for lane in lanes], guards=self._guards
+        )
+
+    # -------------------------------------------------------------- main loop
+    def run(
+        self, stream: Iterable[Tuple], collect: bool = True
+    ) -> Dict[int, Dict[int, List[Valuation]]]:
+        """Process a finite stream; with ``collect`` return outputs per position."""
+        results: Dict[int, Dict[int, List[Valuation]]] = {}
+        for tup in stream:
+            outputs = self.process(tup)
+            if collect and outputs:
+                results[self.position] = outputs
+        return results
+
+    def process(self, tup: Tuple) -> Dict[int, List[Valuation]]:
+        """Process one tuple for every registered query.
+
+        Returns ``{query id: [valuations]}`` containing only the queries that
+        produced output at this position (route with
+        :meth:`QueryHandle.id <QueryHandle>` keys).
+        """
+        return self._process(tup, sweep=True)
+
+    def process_many(
+        self, tuples: Sequence[Tuple]
+    ) -> List[Dict[int, List[Valuation]]]:
+        """Batched ingestion: one eviction sweep for the whole batch.
+
+        Semantically identical to ``[self.process(t) for t in tuples]`` —
+        expiry is re-checked at every hash lookup, so deferring the sweep to
+        the end of the batch only delays memory reclamation, never changes
+        outputs.
+        """
+        process = self._process
+        results = [process(tup, sweep=False) for tup in tuples]
+        self._sweep_expired_upto(self.position)
+        return results
+
+    def _process(self, tup: Tuple, sweep: bool) -> Dict[int, List[Valuation]]:
+        self.position += 1
+        position = self.position
+        stats = self.stats if self._count_stats else None
+        if stats is not None:
+            stats.tuples_processed += 1
+
+        if sweep:
+            if position == self._swept_upto + 1:
+                # Steady state: exactly one new bucket became due.
+                self._swept_upto = position
+                expired = self._expiry_buckets.pop(position, None)
+                if expired:
+                    evicted = 0
+                    for lane, key in expired:
+                        if not lane.active:
+                            continue
+                        node = lane.hash.get(key)
+                        if node is not None and position - node.max_start > lane.window:
+                            del lane.hash[key]
+                            evicted += 1
+                    self.evicted += evicted
+            elif position > self._swept_upto:
+                # A gap (batch processed without its final sweep): cover the
+                # whole overdue range so no bucket is skipped for good.
+                self._sweep_expired_upto(position)
+
+        # FireTransitions over the union of all queries' candidates — one
+        # merged lookup, one memoised predicate evaluation per canonical key.
+        # The bookkeeping dicts are allocated lazily: on most tuples nothing
+        # fires, and the whole per-tuple cost is the candidate loop itself.
+        memoise = self.memoise
+        verdicts: Dict[Hashable, bool] = {}
+        verdicts_get = verdicts.get
+        new_nodes: Optional[Dict[_QueryLane, Dict[int, List[Node]]]] = None
+        final_by_lane: Optional[Dict[_QueryLane, List[Node]]] = None
+        for entry in self._merged.candidates_for(tup):
+            if stats is not None:
+                stats.candidates_scanned += 1
+            if memoise:
+                held = verdicts_get(entry.pred_key, _MISS)
+                if held is _MISS:
+                    held = entry.unary.holds(tup)
+                    verdicts[entry.pred_key] = held
+                    if stats is not None:
+                        stats.predicate_evaluations += 1
+                elif stats is not None:
+                    stats.predicate_cache_hits += 1
+            else:
+                held = entry.unary.holds(tup)
+                if stats is not None:
+                    stats.predicate_evaluations += 1
+            if not held:
+                continue
+            lane = entry.owner
+            compiled = entry.compiled
+            hash_table = lane.hash
+            window = lane.window
+            children: List[Node] = []
+            feasible = True
+            for _, source_id, predicate in compiled.joins:
+                key = predicate.right_key(tup)  # the current tuple is the later one
+                if stats is not None:
+                    stats.hash_lookups += 1
+                if key is None:
+                    feasible = False
+                    break
+                node = hash_table.get((compiled.index, source_id, key))
+                if node is None or position - node.max_start > window:
+                    feasible = False
+                    break
+                children.append(node)
+            if not feasible:
+                continue
+            node = lane.ds.extend(compiled.labels, position, children)
+            if stats is not None:
+                stats.transitions_fired += 1
+                stats.nodes_created += 1
+            if new_nodes is None:
+                new_nodes = {}
+            lane_nodes = new_nodes.get(lane)
+            if lane_nodes is None:
+                lane_nodes = new_nodes[lane] = {}
+            bucket = lane_nodes.get(compiled.target_id)
+            if bucket is None:
+                lane_nodes[compiled.target_id] = [node]
+            else:
+                bucket.append(node)
+            if compiled.is_final:
+                if final_by_lane is None:
+                    final_by_lane = {}
+                finals = final_by_lane.get(lane)
+                if finals is None:
+                    final_by_lane[lane] = [node]
+                else:
+                    finals.append(node)
+
+        # UpdateIndices per query that received new runs, registering every
+        # stored entry in the shared expiry-bucket map.
+        if new_nodes is not None:
+            buckets = self._expiry_buckets
+            for lane, lane_nodes in new_nodes.items():
+                hash_table = lane.hash
+                ds = lane.ds
+                window = lane.window
+                consumers_by_id = lane.dispatch.consumers_by_id
+                for state_id, nodes in lane_nodes.items():
+                    for compiled, source_id, predicate in consumers_by_id(state_id):
+                        key = predicate.left_key(tup)  # this tuple will be the earlier one
+                        if key is None:
+                            continue
+                        entry_key = (compiled.index, source_id, key)
+                        entry_node = hash_table.get(entry_key)
+                        for node in nodes:
+                            if stats is not None:
+                                stats.hash_updates += 1
+                            if entry_node is None:
+                                entry_node = node
+                            else:
+                                entry_node = ds.union(entry_node, node)
+                        hash_table[entry_key] = entry_node
+                        expiry_position = entry_node.max_start + window + 1
+                        expiry = buckets.get(expiry_position)
+                        if expiry is None:
+                            buckets[expiry_position] = [(lane, entry_key)]
+                        else:
+                            expiry.append((lane, entry_key))
+
+        # Enumeration per query, window-restricted by the query's own DS_w.
+        if final_by_lane is None:
+            return {}
+        outputs: Dict[int, List[Valuation]] = {}
+        for lane, finals in final_by_lane.items():
+            enumerate_node = lane.ds.enumerate
+            valuations: List[Valuation] = []
+            extend = valuations.extend
+            for node in finals:
+                extend(enumerate_node(node, position))
+            if valuations:
+                outputs[lane.handle.id] = valuations
+                if stats is not None:
+                    stats.outputs_enumerated += len(valuations)
+        return outputs
+
+    def _sweep_expired_upto(self, position: int) -> None:
+        """Pop every expiry bucket due at or before ``position`` (batch sweep).
+
+        Iterates the dense range of positions not yet swept, so the cost is
+        O(positions advanced since the last sweep), not O(live buckets).
+        """
+        if position <= self._swept_upto:
+            return
+        buckets = self._expiry_buckets
+        evicted = 0
+        for bucket in range(self._swept_upto + 1, position + 1):
+            expired = buckets.pop(bucket, None)
+            if not expired:
+                continue
+            for lane, key in expired:
+                if not lane.active:
+                    continue
+                node = lane.hash.get(key)
+                if node is not None and position - node.max_start > lane.window:
+                    del lane.hash[key]
+                    evicted += 1
+        self._swept_upto = position
+        self.evicted += evicted
+
+    # ------------------------------------------------------------ introspection
+    def hash_table_size(self) -> int:
+        """Total entries across every registered query's hash table."""
+        return sum(len(lane.hash) for lane in self._lanes.values())
+
+    def dispatch_info(self) -> Dict[str, float]:
+        """Merged-index statistics (see ``MergedDispatchIndex.describe``)."""
+        return self._merged.describe()
+
+    def reset_statistics(self) -> None:
+        self.stats = MultiQueryStatistics()
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiQueryEngine({len(self._lanes)} queries, position={self.position}, "
+            f"|H|={self.hash_table_size()})"
+        )

@@ -1,0 +1,188 @@
+"""The merged transition dispatch index shared by all registered queries.
+
+One :class:`~repro.core.dispatch.TransitionDispatchIndex` serves one automaton;
+with a million registered patterns the engine would perform a million
+candidate lookups per tuple, one per automaton, even though most lookups
+return nothing.  :class:`MergedDispatchIndex` unions the per-PCEA candidate
+indexes into a single structure keyed by relation name (and, like the
+per-automaton index, optionally by constant-guard value), tagging every
+compiled transition with its owning query, so the multi-query engine performs
+**one** lookup per tuple and receives the candidate transitions of *all*
+registered queries at once.
+
+Each merged entry also carries the canonical key of its unary predicate
+(:meth:`~repro.core.predicates.UnaryPredicate.canonical_key`).  Entries with
+equal keys accept exactly the same tuples, so the engine evaluates one
+representative per key per tuple and shares the verdict — the *shared
+unary-predicate memoisation* that makes per-tuple cost scale with the number
+of distinct predicates instead of the number of registered queries.
+
+The index is rebuilt on registration changes (rebuild cost is linear in the
+total transition count — compare the per-tuple savings it buys); incremental
+patching is a ROADMAP follow-on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple as Tup
+
+from repro.core.dispatch import (
+    CompiledTransition,
+    TransitionDispatchIndex,
+    build_guard_buckets,
+    probe_guard_buckets,
+)
+
+
+class MergedEntry:
+    """One candidate transition of the merged index, tagged with its owner.
+
+    ``owner`` is whatever the engine registered the member index under (the
+    per-query lane); ``pred_key`` is the *interned* canonical key of the
+    transition's unary predicate — a dense integer id shared across queries
+    with structurally identical predicates, so the per-tuple memoisation cache
+    hashes a plain int instead of a nested canonical-key tuple; ``order``
+    fixes the global iteration order (registration order, then transition
+    order within a query).
+    """
+
+    __slots__ = ("owner", "compiled", "unary", "pred_key", "guard", "order")
+
+    def __init__(
+        self, owner: object, compiled: CompiledTransition, pred_key: int, order: int
+    ) -> None:
+        self.owner = owner
+        self.compiled = compiled
+        self.unary = compiled.unary
+        self.pred_key = pred_key
+        self.guard: Optional[Tup[int, object]] = compiled.guard
+        self.order = order
+
+    def __repr__(self) -> str:
+        return f"MergedEntry(owner={self.owner!r}, {self.compiled!r})"
+
+
+def _entry_order(entry: MergedEntry) -> int:
+    return entry.order
+
+
+class MergedDispatchIndex:
+    """The union of several per-automaton dispatch indexes.
+
+    Parameters
+    ----------
+    members:
+        ``(owner, dispatch index)`` pairs in registration order.  The owner
+        object is attached to every entry produced from that index so the
+        engine can route fired transitions to the right query lane.
+    guards:
+        As for :class:`~repro.core.dispatch.TransitionDispatchIndex`: with
+        ``True``, guarded candidates are additionally bucketed by their
+        constant-guard value and pruned by value before ``unary.holds`` runs.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Tup[object, TransitionDispatchIndex]],
+        guards: bool = True,
+    ) -> None:
+        self.guards = guards
+        self._members = tuple(members)
+        # Intern canonical predicate keys to dense ids: structurally identical
+        # predicates across queries share one id, and the engine's per-tuple
+        # verdict cache hashes ints instead of composite canonical keys.
+        self._pred_key_ids: Dict[Hashable, int] = {}
+        entries: List[MergedEntry] = []
+        for owner, index in self._members:
+            for compiled in index.all_transitions():
+                canonical = compiled.pred_key
+                pred_id = self._pred_key_ids.get(canonical)
+                if pred_id is None:
+                    pred_id = self._pred_key_ids[canonical] = len(self._pred_key_ids)
+                entries.append(MergedEntry(owner, compiled, pred_id, len(entries)))
+        self._all: Tup[MergedEntry, ...] = tuple(entries)
+        self._wildcard: Tup[MergedEntry, ...] = tuple(
+            e for e in entries if e.compiled.relations is None
+        )
+        # One pass over the entries (the rebuild cost claimed by the module
+        # docstring): each entry is appended to its own relations' lists, then
+        # wildcards are merged in by global order.
+        specific: Dict[str, List[MergedEntry]] = {}
+        for e in entries:
+            if e.compiled.relations is not None:
+                for relation in e.compiled.relations:
+                    specific.setdefault(relation, []).append(e)
+        self._by_relation: Dict[str, Tup[MergedEntry, ...]] = {
+            relation: tuple(
+                sorted(members + list(self._wildcard), key=_entry_order)
+                if self._wildcard
+                else members
+            )
+            for relation, members in specific.items()
+        }
+        # Constant-guard buckets, shared with TransitionDispatchIndex.
+        self._guarded: Dict[
+            str,
+            Tup[
+                Tup[MergedEntry, ...],
+                Tup[Tup[int, Dict[Hashable, Tup[MergedEntry, ...]]], ...],
+            ],
+        ] = {}
+        if guards:
+            for relation, members_of in self._by_relation.items():
+                buckets = build_guard_buckets(members_of)
+                if buckets is not None:
+                    self._guarded[relation] = buckets
+
+    # ----------------------------------------------------------------- lookups
+    def candidates_for(self, tup) -> Sequence[MergedEntry]:
+        """All registered queries' candidate transitions for one tuple."""
+        entry = self._guarded.get(tup.relation)
+        if entry is None:
+            return self._by_relation.get(tup.relation, self._wildcard)
+        return probe_guard_buckets(entry, tup, _entry_order)
+
+    def all_entries(self) -> Tup[MergedEntry, ...]:
+        return self._all
+
+    # ------------------------------------------------------------ introspection
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def describe(self) -> Dict[str, float]:
+        """Merged-index statistics for CLI ``--stats`` / benchmark reporting.
+
+        ``predicate_groups`` counts distinct canonical predicate keys across
+        all registered transitions; ``shared_predicate_groups`` counts the
+        keys used by two or more transitions (the groups where memoisation
+        actually saves evaluations).  ``mean_candidates`` / ``max_candidates``
+        report the per-relation candidate fan-out a tuple lookup returns.
+        """
+        sizes = [len(members) for members in self._by_relation.values()]
+        key_counts: Dict[Hashable, int] = {}
+        for e in self._all:
+            key_counts[e.pred_key] = key_counts.get(e.pred_key, 0) + 1
+        guarded = sum(1 for e in self._all if e.guard is not None)
+        return {
+            "queries": float(len(self._members)),
+            "transitions": float(len(self._all)),
+            "relations": float(len(self._by_relation)),
+            "wildcard_transitions": float(len(self._wildcard)),
+            "max_candidates": float(max(sizes, default=len(self._wildcard))),
+            "mean_candidates": (
+                float(sum(sizes) / len(sizes)) if sizes else float(len(self._wildcard))
+            ),
+            "predicate_groups": float(len(key_counts)),
+            "shared_predicate_groups": float(
+                sum(1 for count in key_counts.values() if count > 1)
+            ),
+            "guarded_transitions": float(guarded if self.guards else 0),
+        }
+
+    def __repr__(self) -> str:
+        info = self.describe()
+        return (
+            f"MergedDispatchIndex(queries={int(info['queries'])}, "
+            f"|Δ|={int(info['transitions'])}, relations={int(info['relations'])}, "
+            f"shared_groups={int(info['shared_predicate_groups'])})"
+        )

@@ -1,0 +1,139 @@
+"""Query registry: the front end of the multi-query subsystem.
+
+A :class:`QueryRegistry` normalises the many ways a client can express a
+pattern — a compiled :class:`~repro.core.pcea.PCEA`, a CER pattern from the
+DSL, a :class:`~repro.cq.query.ConjunctiveQuery`, or a query string — into a
+registered entry with its own sliding window, and issues an opaque
+:class:`QueryHandle` for later unregistration and output routing.  The
+registry is pure bookkeeping; the runtime state (hash tables, enumeration
+structures, merged dispatch index) lives in
+:class:`~repro.multi.engine.MultiQueryEngine`, which owns a registry and
+rebuilds its merged index on every registration change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.evaluation import NotEqualityPredicateError
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.pcea import PCEA
+from repro.cq.hierarchical import NotHierarchicalError, is_hierarchical
+from repro.cq.query import ConjunctiveQuery, parse_query
+from repro.engine.compiler import compile_pattern
+from repro.engine.dsl import Pattern
+
+
+QuerySpec = Union[PCEA, Pattern, ConjunctiveQuery, str]
+
+
+@dataclass(frozen=True)
+class QueryHandle:
+    """An opaque handle naming one registered query.
+
+    ``id`` is unique for the lifetime of the registry (ids are never reused,
+    so a stale handle can be detected); ``name`` is a client-facing label used
+    in CLI output and diagnostics; ``window`` is the query's sliding-window
+    size.
+    """
+
+    id: int
+    name: str
+    window: int
+
+    def __str__(self) -> str:
+        return f"{self.name}#{self.id}"
+
+
+@dataclass
+class RegisteredQuery:
+    """One registry entry: the handle and its compiled automaton."""
+
+    handle: QueryHandle
+    pcea: PCEA
+
+
+def compile_query(query: QuerySpec) -> PCEA:
+    """Normalise any supported query specification into a PCEA.
+
+    Strings are parsed as conjunctive queries; conjunctive queries must be
+    hierarchical (Theorem 4.1's hypothesis); DSL patterns go through the
+    pattern compiler.  Raises ``ValueError`` subclasses on malformed input and
+    :class:`~repro.core.evaluation.NotEqualityPredicateError` when the result
+    cannot be evaluated by Algorithm 1.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    if isinstance(query, ConjunctiveQuery):
+        if not is_hierarchical(query):
+            raise NotHierarchicalError(
+                f"query {query.name} is not hierarchical; only hierarchical CQs admit "
+                "the streaming evaluation of the paper"
+            )
+        pcea = hcq_to_pcea(query)
+    elif isinstance(query, Pattern):
+        pcea = compile_pattern(query)
+    elif isinstance(query, PCEA):
+        pcea = query
+    else:
+        raise TypeError(
+            f"cannot register a {type(query).__name__}; expected a PCEA, a CER "
+            "pattern, a ConjunctiveQuery, or a query string"
+        )
+    if not pcea.uses_only_equality_predicates():
+        raise NotEqualityPredicateError(
+            "registered queries must compile to equality-predicate PCEA "
+            "(Algorithm 1's hypothesis)"
+        )
+    return pcea
+
+
+class QueryRegistry:
+    """Dynamic registration of queries, each with its own sliding window."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, RegisteredQuery] = {}
+        self._next_id = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on every registration change (consumers cache against it)."""
+        return self._version
+
+    def register(
+        self, query: QuerySpec, window: int, name: Optional[str] = None
+    ) -> QueryHandle:
+        """Compile and register ``query`` under a ``window``-sized sliding window."""
+        if window < 0:
+            raise ValueError("window size must be non-negative")
+        pcea = compile_query(query)
+        handle = QueryHandle(self._next_id, name or f"q{self._next_id}", window)
+        self._next_id += 1
+        self._entries[handle.id] = RegisteredQuery(handle, pcea)
+        self._version += 1
+        return handle
+
+    def unregister(self, handle: QueryHandle) -> None:
+        """Drop a registered query; raises ``KeyError`` for unknown/stale handles."""
+        if handle.id not in self._entries:
+            raise KeyError(f"no registered query with handle {handle}")
+        del self._entries[handle.id]
+        self._version += 1
+
+    def entries(self) -> List[RegisteredQuery]:
+        """Registered queries in registration order."""
+        return [self._entries[qid] for qid in sorted(self._entries)]
+
+    def get(self, handle: QueryHandle) -> RegisteredQuery:
+        return self._entries[handle.id]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, handle: QueryHandle) -> bool:
+        return isinstance(handle, QueryHandle) and handle.id in self._entries
+
+    def __repr__(self) -> str:
+        return f"QueryRegistry({len(self._entries)} queries, version={self._version})"

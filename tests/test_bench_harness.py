@@ -84,3 +84,72 @@ class TestMeasurementHelpers:
     def test_format_table_empty_rows(self):
         text = format_table(["col"], [])
         assert "col" in text
+
+
+class TestBenchmarkJsonSchema:
+    """write_benchmark_json validates the shared BENCH_*.json schema."""
+
+    VALID = {"benchmark": "example", "summary": {"speedup": 2.0}, "rows": [1, 2]}
+
+    def test_valid_payload_written(self, tmp_path):
+        import json
+
+        from repro.bench.harness import write_benchmark_json
+
+        path = tmp_path / "bench.json"
+        write_benchmark_json(str(path), self.VALID)
+        assert json.loads(path.read_text())["benchmark"] == "example"
+
+    def test_missing_benchmark_name_rejected(self, tmp_path):
+        import pytest
+
+        from repro.bench.harness import validate_benchmark_payload, write_benchmark_json
+
+        for broken in (
+            {"summary": {}},
+            {"benchmark": "", "summary": {}},
+            {"benchmark": 7, "summary": {}},
+        ):
+            with pytest.raises(ValueError):
+                validate_benchmark_payload(broken)
+            with pytest.raises(ValueError):
+                write_benchmark_json(str(tmp_path / "x.json"), broken)
+            assert not (tmp_path / "x.json").exists()
+
+    def test_missing_summary_rejected(self):
+        import pytest
+
+        from repro.bench.harness import validate_benchmark_payload
+
+        with pytest.raises(ValueError):
+            validate_benchmark_payload({"benchmark": "b"})
+        with pytest.raises(ValueError):
+            validate_benchmark_payload({"benchmark": "b", "summary": [1]})
+
+    def test_non_serialisable_and_non_mapping_rejected(self):
+        import pytest
+
+        from repro.bench.harness import validate_benchmark_payload
+
+        with pytest.raises(ValueError):
+            validate_benchmark_payload([("benchmark", "b")])
+        with pytest.raises(ValueError):
+            validate_benchmark_payload(
+                {"benchmark": "b", "summary": {}, "bad": object()}
+            )
+        with pytest.raises(ValueError):
+            validate_benchmark_payload({"benchmark": "b", "summary": {}, 3: "x"})
+
+    def test_checked_in_benchmarks_pass_validation(self):
+        import glob
+        import json
+        import os
+
+        from repro.bench.harness import validate_benchmark_payload
+
+        root = os.path.join(os.path.dirname(__file__), os.pardir)
+        paths = glob.glob(os.path.join(root, "BENCH_*.json"))
+        assert paths, "expected checked-in BENCH_*.json files"
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                validate_benchmark_payload(json.load(handle))

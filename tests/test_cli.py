@@ -102,3 +102,102 @@ class TestRun:
         assert code == 0
         captured = capsys.readouterr()
         assert "matches=2" in captured.out
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 100])
+    def test_batched_ingestion_matches_per_event(self, batch_size):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        argv = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"]
+        _, per_event = self._run(argv, events)
+        code, batched = self._run(argv + ["--batch-size", str(batch_size)], events)
+        assert code == 0
+        per_event_matches = sorted(
+            line for line in per_event.splitlines() if not line.startswith("#")
+        )
+        batched_matches = sorted(
+            line for line in batched.splitlines() if not line.startswith("#")
+        )
+        assert batched_matches == per_event_matches
+        assert f"batch_size={batch_size}" in batched
+
+
+class TestRunMulti:
+    def _run(self, argv, events):
+        from repro.cli import build_multi_parser, run_multi
+
+        parser = build_multi_parser()
+        args = parser.parse_args(argv)
+        output = io.StringIO()
+        code = run_multi(args, events, output)
+        return code, output.getvalue()
+
+    QUERIES = [
+        "--query", "Q(x, y) <- T(x), S(x, y), R(x, y)",
+        "--query", "Q2(x, y) <- T(x), S(x, y)",
+    ]
+
+    def test_multi_end_to_end(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(self.QUERIES + ["--window", "100"], events)
+        assert code == 0
+        match_lines = [line for line in output.splitlines() if not line.startswith("#")]
+        # Q has its two matches at position 5; Q2 matches at positions 1 and 3.
+        assert sum(1 for line in match_lines if line.startswith("Q\t5\t")) == 2
+        assert sum(1 for line in match_lines if line.startswith("Q2\t")) == 2
+        assert "matches=4" in output and "queries=2" in output
+
+    def test_multi_matches_single_engine_per_query(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, multi_output = self._run(self.QUERIES + ["--window", "100"], events)
+        assert code == 0
+        parser = build_parser()
+        for name in ("Q", "Q2"):
+            query = next(q for q in self.QUERIES if q.startswith(f"{name}("))
+            args = parser.parse_args(["--query", query, "--window", "100"])
+            single_output = io.StringIO()
+            assert run(args, events, single_output) == 0
+            single_matches = sorted(
+                line
+                for line in single_output.getvalue().splitlines()
+                if not line.startswith("#")
+            )
+            multi_matches = sorted(
+                line[len(name) + 1 :]
+                for line in multi_output.splitlines()
+                if line.startswith(f"{name}\t")
+            )
+            assert multi_matches == single_matches
+
+    def test_multi_batched_and_stats(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            self.QUERIES + ["--window", "100", "--batch-size", "2", "--stats"], events
+        )
+        assert code == 0
+        assert "matches=4" in output and "batch_size=2" in output
+        assert "shared_predicate_groups=" in output and "pred_cache_hits=" in output
+
+    def test_multi_per_query_windows(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            self.QUERIES + ["--window", "100", "--window", "1"], events
+        )
+        assert code == 0
+        # Q2 needs span 2 at least once; window 1 kills one of its matches.
+        assert "Q2=1" in output
+
+    def test_multi_window_count_mismatch_rejected(self):
+        code, _ = self._run(
+            self.QUERIES + ["--window", "1", "--window", "2", "--window", "3"], []
+        )
+        assert code == 2
+
+    def test_multi_rejects_bad_query(self):
+        code, _ = self._run(["--query", "not a query"], [])
+        assert code == 2
+
+    def test_main_routes_multi_subcommand(self, tmp_path, capsys):
+        path = tmp_path / "events.csv"
+        path.write_text(EVENTS_CSV)
+        code = main(["multi", *self.QUERIES, "--window", "100", str(path)])
+        assert code == 0
+        assert "queries=2" in capsys.readouterr().out

@@ -155,6 +155,91 @@ class TestTransitionDispatchIndex:
         assert evaluator.process(Tuple("T", (1,))) == []
 
 
+def guarded_branches_pcea(branches):
+    """A disjunction of single-atom branches, branch ``b`` guarded by ``t == b``."""
+    from repro.engine.dsl import disjunction
+
+    return compile_pattern(
+        disjunction(*(atom("E", "t", "y", filters=[("t", "==", b)]) for b in range(branches)))
+    )
+
+
+class TestConstantGuardDispatch:
+    def test_guarded_candidates_pruned_by_value(self):
+        pcea = guarded_branches_pcea(4)
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        for value in range(4):
+            candidates = index.candidates_for(Tuple("E", (value, 9)))
+            assert len(candidates) == 1
+            assert candidates[0].guard == (0, value)
+        assert list(index.candidates_for(Tuple("E", (99, 9)))) == []
+        # Relation-only dispatch still returns every branch.
+        assert len(index.candidates("E")) == 4
+
+    def test_guards_disabled_restores_relation_dispatch(self):
+        pcea = guarded_branches_pcea(4)
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final, guards=False)
+        assert len(index.candidates_for(Tuple("E", (1, 9)))) == 4
+        assert index.describe()["guarded_transitions"] == 0
+
+    def test_short_tuples_skip_guard_buckets(self):
+        # A tuple without the guarded attribute cannot satisfy any guarded
+        # candidate; the lookup must not raise and must return none of them.
+        pcea = guarded_branches_pcea(3)
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        assert list(index.candidates_for(Tuple("E", ()))) == []
+
+    def test_mixed_guarded_and_unguarded_preserve_order(self):
+        from repro.engine.dsl import disjunction
+
+        pcea = compile_pattern(
+            disjunction(
+                atom("E", "t", "y", filters=[("t", "==", 1)]),
+                atom("E", "t", "y"),
+                atom("E", "t", "y", filters=[("t", "==", 2)]),
+            )
+        )
+        index = TransitionDispatchIndex(pcea.transitions, final=pcea.final)
+        assert [c.index for c in index.candidates_for(Tuple("E", (1, 0)))] == [0, 1]
+        assert [c.index for c in index.candidates_for(Tuple("E", (2, 0)))] == [1, 2]
+        assert [c.index for c in index.candidates_for(Tuple("E", (9, 0)))] == [1]
+
+    def test_describe_reports_guard_statistics(self):
+        pcea = guarded_branches_pcea(5)
+        info = TransitionDispatchIndex(pcea.transitions, final=pcea.final).describe()
+        assert info["guarded_transitions"] == 5
+        assert info["guard_values"] == 5
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_guarded_engine_differential(self, seed):
+        import random
+
+        pcea = guarded_branches_pcea(6)
+        rng = random.Random(seed)
+        stream = [Tuple("E", (rng.randrange(8), rng.randrange(4))) for _ in range(120)]
+        guarded = StreamingEvaluator(pcea, window=10)
+        unguarded = StreamingEvaluator(
+            pcea,
+            window=10,
+            dispatch=TransitionDispatchIndex(pcea.transitions, final=pcea.final, guards=False),
+        )
+        for tup in stream:
+            assert set(guarded.process(tup)) == set(unguarded.process(tup))
+
+    def test_atom_constants_provide_guards(self):
+        # A query atom with a constant term guards its transition.
+        pcea = hcq_to_pcea(
+            __import__("repro.cq.query", fromlist=["ConjunctiveQuery"]).ConjunctiveQuery(
+                [Y], [Atom("S", (2, Y))], name="Const"
+            )
+        )
+        index = pcea.dispatch_index()
+        guarded = [c for c in index.all_transitions() if c.guard is not None]
+        assert guarded and all(c.guard == (0, 2) for c in guarded)
+        assert list(index.candidates_for(Tuple("S", (3, 1)))) == []
+        assert len(index.candidates_for(Tuple("S", (2, 1)))) == len(index)
+
+
 class TestIndexedEngineDifferential:
     """The indexed engine, the full-scan engine and the naive reference agree."""
 

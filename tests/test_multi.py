@@ -1,0 +1,381 @@
+"""Tests for the multi-query subsystem (repro.multi).
+
+The load-bearing property: a :class:`MultiQueryEngine` with K registered
+patterns produces, per query, exactly the outputs of K independent
+:class:`StreamingEvaluator` instances over the same stream — including under
+mid-stream registration/unregistration, per-query windows, hash-table
+eviction, batched ingestion, and with predicate memoisation on or off.
+"""
+
+import pytest
+
+from repro.core.evaluation import NotEqualityPredicateError, StreamingEvaluator
+from repro.cq.hierarchical import NotHierarchicalError
+from repro.cq.schema import Tuple
+from repro.engine.dsl import atom, conjunction, sequence
+from repro.multi import (
+    MergedDispatchIndex,
+    MultiQueryEngine,
+    QueryHandle,
+    QueryRegistry,
+    compile_query,
+)
+from repro.streams.generators import random_stream
+
+from helpers import QUERY_Q0, SIGMA0
+
+
+#: A varied bundle of registerable queries over the σ0 relations (T/1, S/2, R/2).
+QUERY_SPECS = [
+    ("conj3", "Q1(x, y) <- T(x), S(x, y), R(x, y)"),
+    ("conj2", "Q2(x, y) <- S(x, y), R(x, y)"),
+    ("single", "Q3(x) <- T(x)"),
+    ("seq", sequence(atom("T", "x"), atom("S", "x", "y"))),
+    (
+        "filtered",
+        conjunction(
+            atom("S", "x", "y", filters=[("y", ">", 0)]), atom("R", "x", "y")
+        ),
+    ),
+]
+
+
+def sigma0_stream(length, seed, domain_size=3):
+    return random_stream(SIGMA0, length=length, domain_size=domain_size, seed=seed).materialise()
+
+
+def reference_evaluator(query, window, start_position=0):
+    """An independent evaluator aligned to global stream positions."""
+    evaluator = StreamingEvaluator(compile_query(query), window=window, collect_stats=False)
+    evaluator.position = start_position - 1
+    return evaluator
+
+
+class TestQueryRegistry:
+    def test_register_all_query_forms(self):
+        registry = QueryRegistry()
+        handles = [
+            registry.register("Q(x, y) <- T(x), S(x, y)", window=10),
+            registry.register(QUERY_Q0, window=20),
+            registry.register(sequence(atom("T", "x"), atom("S", "x", "y")), window=30),
+            registry.register(compile_query(QUERY_Q0), window=40),
+        ]
+        assert len(registry) == 4
+        assert [h.id for h in handles] == [0, 1, 2, 3]
+        assert [e.handle for e in registry.entries()] == handles
+        assert handles[1].window == 20
+
+    def test_handles_are_never_reused(self):
+        registry = QueryRegistry()
+        first = registry.register(QUERY_Q0, window=5)
+        registry.unregister(first)
+        second = registry.register(QUERY_Q0, window=5)
+        assert second.id != first.id
+        assert first not in registry and second in registry
+
+    def test_unregister_unknown_handle_raises(self):
+        registry = QueryRegistry()
+        handle = registry.register(QUERY_Q0, window=5)
+        registry.unregister(handle)
+        with pytest.raises(KeyError):
+            registry.unregister(handle)
+
+    def test_rejects_non_hierarchical_and_garbage(self):
+        registry = QueryRegistry()
+        with pytest.raises(NotHierarchicalError):
+            registry.register("Q(x, y) <- A(x), B(y), C(x, y)", window=5)
+        with pytest.raises(ValueError):
+            registry.register("not a query", window=5)
+        with pytest.raises(TypeError):
+            registry.register(42, window=5)
+        with pytest.raises(ValueError):
+            registry.register(QUERY_Q0, window=-1)
+
+    def test_rejects_non_equality_pcea(self):
+        from repro.core.pcea import PCEA, PCEATransition
+        from repro.core.predicates import LambdaBinaryPredicate, RelationPredicate
+
+        pcea = PCEA(
+            states={"a", "b"},
+            transitions=[
+                PCEATransition(set(), RelationPredicate("T"), {}, {0}, "a"),
+                PCEATransition(
+                    {"a"},
+                    RelationPredicate("S"),
+                    {"a": LambdaBinaryPredicate(lambda t1, t2: True)},
+                    {1},
+                    "b",
+                ),
+            ],
+            final={"b"},
+        )
+        with pytest.raises(NotEqualityPredicateError):
+            QueryRegistry().register(pcea, window=5)
+
+    def test_version_bumps_on_change(self):
+        registry = QueryRegistry()
+        v0 = registry.version
+        handle = registry.register(QUERY_Q0, window=5)
+        assert registry.version > v0
+        registry.unregister(handle)
+        assert registry.version > v0 + 1
+
+
+class TestMergedDispatchIndex:
+    def test_entries_tagged_and_ordered(self):
+        p1 = compile_query("Q1(x, y) <- T(x), S(x, y)")
+        p2 = compile_query("Q2(x, y) <- S(x, y), R(x, y)")
+        merged = MergedDispatchIndex(
+            [("one", p1.dispatch_index()), ("two", p2.dispatch_index())]
+        )
+        assert len(merged) == len(p1.transitions) + len(p2.transitions)
+        owners = [e.owner for e in merged.all_entries()]
+        assert owners == ["one"] * len(p1.transitions) + ["two"] * len(p2.transitions)
+        orders = [e.order for e in merged.all_entries()]
+        assert orders == sorted(orders)
+
+    def test_candidates_union_across_queries(self):
+        p1 = compile_query("Q1(x, y) <- T(x), S(x, y)")
+        p2 = compile_query("Q2(x, y) <- S(x, y), R(x, y)")
+        merged = MergedDispatchIndex(
+            [("one", p1.dispatch_index()), ("two", p2.dispatch_index())]
+        )
+        s_owners = {e.owner for e in merged.candidates_for(Tuple("S", (1, 2)))}
+        assert s_owners == {"one", "two"}
+        t_owners = {e.owner for e in merged.candidates_for(Tuple("T", (1,)))}
+        assert t_owners == {"one"}
+        assert merged.candidates_for(Tuple("Unknown", (1,))) == ()
+
+    def test_structurally_identical_predicates_share_a_key(self):
+        p1 = compile_query("Q1(x, y) <- T(x), S(x, y)")
+        p2 = compile_query("Q2(x, y) <- T(x), S(x, y)")
+        merged = MergedDispatchIndex(
+            [("one", p1.dispatch_index()), ("two", p2.dispatch_index())]
+        )
+        keys_by_owner = {}
+        for e in merged.all_entries():
+            keys_by_owner.setdefault(e.owner, []).append(e.pred_key)
+        assert keys_by_owner["one"] == keys_by_owner["two"]
+        info = merged.describe()
+        assert info["queries"] == 2
+        assert info["shared_predicate_groups"] == info["predicate_groups"]
+
+    def test_describe_reports_fanout_and_groups(self):
+        p1 = compile_query(QUERY_Q0)
+        merged = MergedDispatchIndex([("only", p1.dispatch_index())])
+        info = merged.describe()
+        assert info["queries"] == 1
+        assert info["transitions"] == len(p1.transitions)
+        # Even one automaton may reuse a predicate across transitions, so the
+        # shared-group count is bounded by, not equal to, the group count.
+        assert 0 <= info["shared_predicate_groups"] <= info["predicate_groups"]
+        assert info["max_candidates"] >= info["mean_candidates"] > 0
+
+    def test_guard_buckets_prune_by_value(self):
+        branch = lambda b: atom("E", "t", "y", filters=[("t", "==", b)])
+        pcea = compile_query(conjunction(branch(0)))
+        other = compile_query(conjunction(branch(1)))
+        merged = MergedDispatchIndex(
+            [("zero", pcea.dispatch_index()), ("one", other.dispatch_index())]
+        )
+        assert [e.owner for e in merged.candidates_for(Tuple("E", (0, 5)))] == ["zero"]
+        assert [e.owner for e in merged.candidates_for(Tuple("E", (1, 5)))] == ["one"]
+        assert list(merged.candidates_for(Tuple("E", (7, 5)))) == []
+
+
+class TestMultiDifferential:
+    """K registered patterns == K independent evaluators, per query."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("memoise", [True, False])
+    def test_mixed_queries_random_streams(self, seed, memoise):
+        windows = [4, 7, 3, 9, 5]
+        engine = MultiQueryEngine(memoise=memoise)
+        handles, references = [], []
+        for (name, query), window in zip(QUERY_SPECS, windows):
+            handles.append(engine.register(query, window=window, name=name))
+            references.append(reference_evaluator(query, window))
+        for tup in sigma0_stream(60, seed):
+            outputs = engine.process(tup)
+            for handle, reference in zip(handles, references):
+                assert set(outputs.get(handle.id, [])) == set(reference.process(tup)), (
+                    f"query {handle} diverged at position {engine.position}"
+                )
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_register_mid_stream(self, seed):
+        stream = sigma0_stream(50, seed)
+        split = 20
+        engine = MultiQueryEngine()
+        base_query = QUERY_SPECS[0][1]
+        base = engine.register(base_query, window=6)
+        base_reference = reference_evaluator(base_query, 6)
+        for tup in stream[:split]:
+            outputs = engine.process(tup)
+            assert set(outputs.get(base.id, [])) == set(base_reference.process(tup))
+        # The late query observes only the suffix, at global positions.
+        late_query = QUERY_SPECS[1][1]
+        late = engine.register(late_query, window=5)
+        late_reference = reference_evaluator(late_query, 5, start_position=split)
+        for tup in stream[split:]:
+            outputs = engine.process(tup)
+            assert set(outputs.get(base.id, [])) == set(base_reference.process(tup))
+            assert set(outputs.get(late.id, [])) == set(late_reference.process(tup))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_unregister_mid_stream(self, seed):
+        stream = sigma0_stream(50, seed)
+        split = 25
+        engine = MultiQueryEngine()
+        keep_query, drop_query = QUERY_SPECS[0][1], QUERY_SPECS[1][1]
+        keep = engine.register(keep_query, window=6)
+        drop = engine.register(drop_query, window=4)
+        keep_reference = reference_evaluator(keep_query, 6)
+        drop_reference = reference_evaluator(drop_query, 4)
+        for tup in stream[:split]:
+            outputs = engine.process(tup)
+            assert set(outputs.get(keep.id, [])) == set(keep_reference.process(tup))
+            assert set(outputs.get(drop.id, [])) == set(drop_reference.process(tup))
+        engine.unregister(drop)
+        assert drop not in engine.registry
+        for tup in stream[split:]:
+            outputs = engine.process(tup)
+            assert drop.id not in outputs
+            assert set(outputs.get(keep.id, [])) == set(keep_reference.process(tup))
+
+    def test_window_expiry_per_query(self):
+        # Two copies of the same pattern with different windows: the tight
+        # window must drop exactly the matches whose span exceeds it.
+        engine = MultiQueryEngine()
+        query = "Q(x, y) <- T(x), S(x, y)"
+        tight = engine.register(query, window=1)
+        loose = engine.register(query, window=10)
+        stream = [
+            Tuple("T", (1,)),       # 0
+            Tuple("R", (9, 9)),     # 1 (filler)
+            Tuple("S", (1, 5)),     # 2: span 2 > tight window, within loose
+        ]
+        results = [engine.process(tup) for tup in stream]
+        assert results[2].get(tight.id) is None
+        assert len(results[2][loose.id]) == 1
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 50])
+    def test_process_many_matches_per_tuple(self, batch_size):
+        stream = sigma0_stream(60, seed=5)
+        windows = [4, 7, 3, 9, 5]
+        batched_engine = MultiQueryEngine()
+        stepwise_engine = MultiQueryEngine()
+        batched_handles, stepwise_handles = [], []
+        for (name, query), window in zip(QUERY_SPECS, windows):
+            batched_handles.append(batched_engine.register(query, window=window))
+            stepwise_handles.append(stepwise_engine.register(query, window=window))
+        batched_results = []
+        for begin in range(0, len(stream), batch_size):
+            batched_results.extend(batched_engine.process_many(stream[begin : begin + batch_size]))
+        stepwise_results = [stepwise_engine.process(tup) for tup in stream]
+        for batched, stepwise in zip(batched_results, stepwise_results):
+            for bh, sh in zip(batched_handles, stepwise_handles):
+                assert set(batched.get(bh.id, [])) == set(stepwise.get(sh.id, []))
+        # Batched eviction reclaims the same entries by the end of the stream.
+        assert batched_engine.hash_table_size() == stepwise_engine.hash_table_size()
+
+
+class TestSharedEvictionSweep:
+    def test_hash_tables_stay_window_bounded(self):
+        engine = MultiQueryEngine()
+        engine.register("Q1(x, y) <- S(x, y), R(x, y)", window=8)
+        engine.register("Q2(x, y) <- T(x), S(x, y)", window=4)
+        # High-cardinality keys: without eviction the tables would grow with
+        # the stream; the shared sweep must keep them bounded by the windows.
+        stream = sigma0_stream(800, seed=2, domain_size=500)
+        max_size = 0
+        for tup in stream:
+            engine.process(tup)
+            max_size = max(max_size, engine.hash_table_size())
+        assert engine.evicted > 100
+        assert max_size <= 8 * (8 + 1) + 8 * (4 + 1)
+
+    def test_unregistered_lane_entries_are_skipped(self):
+        engine = MultiQueryEngine()
+        handle = engine.register("Q(x, y) <- T(x), S(x, y)", window=3)
+        engine.process(Tuple("T", (1,)))
+        engine.unregister(handle)
+        # The expiry bucket still references the dropped lane; sweeping past
+        # its expiry position must not fail or resurrect it.
+        for _ in range(6):
+            engine.process(Tuple("R", (0, 0)))
+        assert engine.hash_table_size() == 0
+
+
+class TestPredicateMemoisation:
+    """Property: memoisation never changes outputs, only evaluation counts."""
+
+    @pytest.mark.parametrize("seed", list(range(6)))
+    def test_memoised_equals_unmemoised(self, seed):
+        stream = sigma0_stream(40, seed)
+        engines = {
+            flag: MultiQueryEngine(memoise=flag, collect_stats=True)
+            for flag in (True, False)
+        }
+        handle_pairs = []
+        for name, query in QUERY_SPECS:
+            pair = [engines[flag].register(query, window=5) for flag in (True, False)]
+            handle_pairs.append(pair)
+        for tup in stream:
+            memoised = engines[True].process(tup)
+            plain = engines[False].process(tup)
+            for with_memo, without_memo in handle_pairs:
+                assert set(memoised.get(with_memo.id, [])) == set(
+                    plain.get(without_memo.id, [])
+                )
+        assert (
+            engines[True].stats.predicate_evaluations
+            < engines[False].stats.predicate_evaluations
+        )
+        assert engines[False].stats.predicate_cache_hits == 0
+
+    def test_duplicate_queries_evaluate_predicates_once(self):
+        engine = MultiQueryEngine(collect_stats=True)
+        query = "Q(x, y) <- T(x), S(x, y), R(x, y)"
+        first = engine.register(query, window=10)
+        second = engine.register(query, window=10)
+        outputs = {}
+        for tup in [Tuple("T", (1,)), Tuple("S", (1, 2)), Tuple("R", (1, 2))]:
+            outputs = engine.process(tup)
+        # Identical queries, identical outputs — but each tuple evaluated each
+        # distinct predicate exactly once for both queries together.
+        assert set(outputs[first.id]) == set(outputs[second.id])
+        assert engine.stats.predicate_cache_hits > 0
+        info = engine.dispatch_info()
+        assert info["queries"] == 2
+        assert info["shared_predicate_groups"] == info["predicate_groups"] > 0
+
+
+class TestEngineIntrospection:
+    def test_dispatch_info_tracks_registration(self):
+        engine = MultiQueryEngine()
+        assert engine.dispatch_info()["queries"] == 0
+        handle = engine.register(QUERY_Q0, window=5)
+        assert engine.dispatch_info()["queries"] == 1
+        engine.unregister(handle)
+        assert engine.dispatch_info()["queries"] == 0
+
+    def test_handles_and_run(self):
+        engine = MultiQueryEngine()
+        h1 = engine.register("Q1(x) <- T(x)", window=5, name="mine")
+        assert engine.handles() == [h1]
+        assert h1.name == "mine"
+        results = engine.run([Tuple("T", (1,)), Tuple("S", (1, 2))])
+        assert set(results[0][h1.id]) == set(
+            StreamingEvaluator(compile_query("Q1(x) <- T(x)"), window=5).process(
+                Tuple("T", (1,))
+            )
+        )
+
+    def test_stats_off_by_default(self):
+        engine = MultiQueryEngine()
+        engine.register(QUERY_Q0, window=5)
+        for tup in sigma0_stream(20, seed=1):
+            engine.process(tup)
+        assert engine.stats.tuples_processed == 0
+        assert engine.stats.predicate_evaluations == 0

@@ -176,3 +176,110 @@ class TestSelfJoinPredicates:
         eq = SelfJoinEquality([Atom("R", (X, X))], [Atom("U", (X,))])
         assert eq.left_key(Tuple("R", (1, 2))) is None
         assert eq.left_key(Tuple("R", (1, 1))) == (1,)
+
+
+class TestCanonicalKeys:
+    """Equal canonical keys must imply equal extensions (memoisation soundness)."""
+
+    def test_structural_predicates_share_keys(self):
+        assert TruePredicate().canonical_key() == TruePredicate().canonical_key()
+        assert (
+            RelationPredicate({"T", "S"}).canonical_key()
+            == RelationPredicate({"S", "T"}).canonical_key()
+        )
+        assert (
+            AtomUnaryPredicate(Atom("S", (X, Y))).canonical_key()
+            == AtomUnaryPredicate(Atom("S", (X, Y))).canonical_key()
+        )
+        assert (
+            AttributeFilter("R", 0, ">", 5).canonical_key()
+            == AttributeFilter("R", 0, ">", 5).canonical_key()
+        )
+
+    def test_distinct_predicates_get_distinct_keys(self):
+        assert (
+            AttributeFilter("R", 0, ">", 5).canonical_key()
+            != AttributeFilter("R", 0, ">", 6).canonical_key()
+        )
+        assert (
+            AttributeFilter("R", 0, ">", 5).canonical_key()
+            != AttributeFilter("R", 0, ">=", 5).canonical_key()
+        )
+        assert (
+            AtomUnaryPredicate(Atom("S", (X, Y))).canonical_key()
+            != AtomUnaryPredicate(Atom("S", (X, X))).canonical_key()
+        )
+
+    def test_lambda_shares_only_same_callable(self):
+        func = lambda t: True  # noqa: E731
+        assert (
+            LambdaUnaryPredicate(func).canonical_key()
+            == LambdaUnaryPredicate(func, description="other").canonical_key()
+        )
+        assert (
+            LambdaUnaryPredicate(func).canonical_key()
+            != LambdaUnaryPredicate(lambda t: True).canonical_key()
+        )
+
+    def test_default_key_is_identity_based(self):
+        class Opaque(TruePredicate):
+            def canonical_key(self):
+                return super(TruePredicate, self).canonical_key()
+
+        a, b = Opaque(), Opaque()
+        assert a.canonical_key() == a.canonical_key()
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_compiled_filtered_unary_keys(self):
+        from repro.engine.compiler import compile_pattern
+        from repro.engine.dsl import atom, conjunction
+
+        def transitions(threshold):
+            pattern = conjunction(
+                atom("S", "x", "y", filters=[("y", "<", threshold)]),
+                atom("R", "x", "y"),
+            )
+            return compile_pattern(pattern).dispatch_index().all_transitions()
+
+        same = {c.pred_key for c in transitions(5)} & {c.pred_key for c in transitions(5)}
+        assert same  # shared groups across two compilations of the same pattern
+        # The filtered S-transitions differ between thresholds.
+        filtered_5 = [c for c in transitions(5) if "<" in str(c.unary)]
+        filtered_6 = [c for c in transitions(6) if "<" in str(c.unary)]
+        assert filtered_5 and filtered_6
+        assert {c.pred_key for c in filtered_5}.isdisjoint(
+            {c.pred_key for c in filtered_6}
+        )
+
+
+class TestConstantGuards:
+    def test_equality_filter_guards(self):
+        assert AttributeFilter("R", 1, "==", 7).constant_guard() == (1, 7)
+        assert AttributeFilter("R", 1, ">", 7).constant_guard() is None
+        assert AttributeFilter("R", 1, "!=", 7).constant_guard() is None
+
+    def test_atom_constants_guard(self):
+        assert AtomUnaryPredicate(Atom("S", (2, Y))).constant_guard() == (0, 2)
+        assert AtomUnaryPredicate(Atom("S", (X, Y))).constant_guard() is None
+        assert AtomUnaryPredicate(Atom("S", (X, 9))).constant_guard() == (1, 9)
+
+    def test_self_join_unified_constants_guard(self):
+        predicate = SelfJoinUnaryPredicate([Atom("R", (2, X)), Atom("R", (Y, X))])
+        assert predicate.constant_guard() == (0, 2)
+
+    def test_guard_contract_holds(self):
+        # Whenever the predicate accepts a tuple, the guard value matches.
+        predicates = [
+            AttributeFilter("R", 0, "==", 3),
+            AtomUnaryPredicate(Atom("R", (3, Y))),
+        ]
+        for predicate in predicates:
+            position, value = predicate.constant_guard()
+            for candidate in [Tuple("R", (3, 1)), Tuple("R", (4, 1)), Tuple("R", ())]:
+                if predicate.holds(candidate):
+                    assert candidate.value(position) == value
+
+    def test_base_predicates_have_no_guard(self):
+        assert TruePredicate().constant_guard() is None
+        assert RelationPredicate("T").constant_guard() is None
+        assert LambdaUnaryPredicate(lambda t: True).constant_guard() is None
