@@ -1,0 +1,243 @@
+"""Benchmark — arena-backed ``DS_w``: memory boundedness and update speedup.
+
+Two experiments, written to ``BENCH_arena_memory.json``:
+
+* **enumeration-structure memory over a long stream** — both representations
+  process the same hot-key stream.  The key domain is small enough that every
+  join key recurs well inside the window (recurrence interval ``relations ×
+  key_domain`` ≪ ``window``), so run-index entries stay hot forever and union
+  trees accumulate history.
+  The object structure retains every node reachable from a surviving hash
+  entry — the heap condition hangs the entire expired history below the live
+  tops, so reachable nodes grow linearly with the stream.  The arena releases
+  expired slabs wholesale, so its live node count stays flat at ``O(window)``.
+  The two engines run side by side over the full stream and their outputs are
+  compared position by position (the differential guarantee the speedup claim
+  rests on).
+* **per-tuple update speedup** — workloads whose update cost is dominated by
+  data-structure operations (``relation_star_workload``,
+  ``fanout_star_workload``; both with ``|Δ| >= 32``): best-of-``repeats``
+  update-only timing of the arena engine vs the identical engine with
+  ``arena=False``, under :func:`~repro.bench.harness.gc_controlled` so the
+  cyclic collector neither pays for the object version's allocations inside
+  the timed region nor fires at arbitrary points.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_arena_memory.py``);
+``--tiny`` shrinks every dimension for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench.harness import gc_controlled, write_benchmark_json
+from repro.core.evaluation import StreamingEvaluator
+
+from workloads import fanout_star_workload, relation_star_workload
+
+
+def object_reachable_nodes(engine: StreamingEvaluator) -> int:
+    """Nodes reachable from the surviving hash entries (object engine).
+
+    This is what Python's GC cannot reclaim for the object representation:
+    the heap condition keeps expired subtrees hanging below live union tops.
+    Traversal is by ``id()`` so no recursive dataclass hashing happens.
+    """
+    seen = set()
+    stack = [pair[0] for pair in engine._hash.values()]
+    count = 0
+    while stack:
+        node = stack.pop()
+        marker = id(node)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        count += 1
+        if node.uleft is not None:
+            stack.append(node.uleft)
+        if node.uright is not None:
+            stack.append(node.uright)
+        stack.extend(node.prod)
+    return count
+
+
+def memory_experiment(length: int, window: int, groups: int, key_domain: int, samples: int) -> Dict:
+    pcea, stream = relation_star_workload(
+        groups, length=length, arms=2, key_domain=key_domain
+    )
+    arena_engine = StreamingEvaluator(pcea, window=window, arena=True, collect_stats=False)
+    object_engine = StreamingEvaluator(pcea, window=window, arena=False, collect_stats=False)
+    sample_every = max(1, length // samples)
+    arena_samples: List[List[int]] = []
+    object_samples: List[List[int]] = []
+    outputs_equal = True
+    arena_process = arena_engine.process
+    object_process = object_engine.process
+    with gc_controlled():  # keep the payload's gc_enabled=False honest here too
+        start = time.perf_counter()
+        for index, tup in enumerate(stream):
+            if arena_process(tup) != object_process(tup):
+                outputs_equal = False
+            if index % sample_every == 0 or index == length - 1:
+                arena_samples.append([index, arena_engine.ds.live_node_count()])
+                object_samples.append([index, object_reachable_nodes(object_engine)])
+        elapsed = time.perf_counter() - start
+    arena_values = [value for _, value in arena_samples]
+    object_values = [value for _, value in object_samples]
+    half = len(arena_values) // 2
+    arena_flat = max(arena_values[half:]) <= 2 * max(arena_values[:half]) if half else True
+    growth = object_values[-1] / object_values[1] if len(object_values) > 1 and object_values[1] else float("inf")
+    stats = arena_engine.ds.memory_stats()
+    result = {
+        "stream_length": length,
+        "window": window,
+        "transitions": len(pcea.transitions),
+        "key_domain": key_domain,
+        "outputs_equal_full_stream": outputs_equal,
+        "seconds_both_engines": elapsed,
+        "arena_live_nodes_samples": arena_samples,
+        "object_reachable_nodes_samples": object_samples,
+        "arena_flat": arena_flat,
+        "arena_peak_live_nodes": max(arena_values),
+        "arena_slabs_final": stats["slabs"],
+        "arena_released_slabs": stats["released_slabs"],
+        "arena_released_nodes": stats["released_nodes"],
+        "arena_nodes_created": stats["nodes_created"],
+        "object_final_reachable_nodes": object_values[-1],
+        "object_growth_ratio": growth,
+        "object_nodes_created": object_engine.ds.nodes_created,
+    }
+    print(
+        f"  n={length} window={window}: arena peak live={result['arena_peak_live_nodes']} "
+        f"(flat={arena_flat}, {stats['released_slabs']} slabs released), "
+        f"object reachable={object_values[-1]} (growth x{growth:.1f}), "
+        f"outputs equal={outputs_equal}"
+    )
+    return result
+
+
+def time_updates(engine: StreamingEvaluator, stream) -> float:
+    update = engine.update
+    start = time.perf_counter()
+    for tup in stream:
+        update(tup)
+    return (time.perf_counter() - start) / len(stream)
+
+
+def check_equivalence(pcea, stream, window: int) -> bool:
+    fast = StreamingEvaluator(pcea, window=window, arena=True)
+    oracle = StreamingEvaluator(pcea, window=window, arena=False)
+    return all(fast.process(tup) == oracle.process(tup) for tup in stream)
+
+
+def speedup_experiment(length: int, window: int, repeats: int) -> List[Dict]:
+    workloads = [
+        (
+            "relation_star",
+            *relation_star_workload(16, length=length, arms=2, key_domain=2),
+        ),
+        (
+            "fanout_star",
+            *fanout_star_workload(4, length=length, fan=7, key_domain=2, arm_fraction=0.8),
+        ),
+    ]
+    rows: List[Dict] = []
+    for name, pcea, stream in workloads:
+        best_arena = best_object = float("inf")
+        with gc_controlled():
+            for _ in range(repeats):
+                arena_engine = StreamingEvaluator(
+                    pcea, window=window, arena=True, collect_stats=False
+                )
+                object_engine = StreamingEvaluator(
+                    pcea, window=window, arena=False, collect_stats=False
+                )
+                best_arena = min(best_arena, time_updates(arena_engine, stream))
+                best_object = min(best_object, time_updates(object_engine, stream))
+        equal = check_equivalence(pcea, stream, window)
+        rows.append(
+            {
+                "workload": name,
+                "transitions": len(pcea.transitions),
+                "stream_length": len(stream),
+                "window": window,
+                "arena_us_per_tuple": best_arena * 1e6,
+                "object_us_per_tuple": best_object * 1e6,
+                "speedup": best_object / best_arena if best_arena else float("inf"),
+                "nodes_per_tuple": object_engine.ds.nodes_created / len(stream),
+                "outputs_equal": equal,
+            }
+        )
+        print(
+            f"  {name:<14s} |Δ|={rows[-1]['transitions']:<3d} "
+            f"arena={rows[-1]['arena_us_per_tuple']:6.2f}µs  "
+            f"object={rows[-1]['object_us_per_tuple']:6.2f}µs  "
+            f"speedup={rows[-1]['speedup']:.2f}x  equal={equal}"
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true", help="CI smoke mode (small workloads)")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_arena_memory.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        mem_len, mem_window, mem_kd, mem_samples = 20_000, 256, 2, 10
+        speed_len, speed_window, repeats = 3_000, 512, 2
+    else:
+        mem_len, mem_window, mem_kd, mem_samples = 1_000_000, 2048, 4, 10
+        speed_len, speed_window, repeats = 20_000, 1024, 9
+
+    print(f"enumeration-structure memory over a long stream (n={mem_len}, window={mem_window})")
+    memory = memory_experiment(mem_len, mem_window, groups=16, key_domain=mem_kd, samples=mem_samples)
+    print(f"per-tuple update speedup, gc-controlled (n={speed_len}, window={speed_window})")
+    speedups = speedup_experiment(speed_len, speed_window, repeats)
+
+    payload = {
+        "benchmark": "arena_memory",
+        "tiny": args.tiny,
+        "python": sys.version.split()[0],
+        "gc_enabled": False,  # timed sections run under gc_controlled()
+        "memory_bounded_enumeration_structure": memory,
+        "update_speedup": speedups,
+        "summary": {
+            "arena_live_nodes_flat": memory["arena_flat"],
+            "arena_peak_live_nodes": memory["arena_peak_live_nodes"],
+            "object_growth_ratio": memory["object_growth_ratio"],
+            "outputs_equal_full_stream": memory["outputs_equal_full_stream"],
+            "max_speedup": max(row["speedup"] for row in speedups),
+            "min_speedup": min(row["speedup"] for row in speedups),
+            "all_speedup_outputs_equal": all(row["outputs_equal"] for row in speedups),
+        },
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+    summary = payload["summary"]
+    print(
+        f"arena flat: {summary['arena_live_nodes_flat']} "
+        f"(peak {summary['arena_peak_live_nodes']} live nodes vs object growth "
+        f"x{summary['object_growth_ratio']:.1f}); speedups "
+        f"{summary['min_speedup']:.2f}-{summary['max_speedup']:.2f}x; "
+        f"outputs equal: {summary['outputs_equal_full_stream']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,11 +31,12 @@ def _bucket(measurements):
     return {key: statistics.fmean(values) for key, values in sorted(buckets.items())}
 
 
-def test_enumeration_is_output_linear(benchmark):
+@pytest.mark.parametrize("arena", [True, False], ids=["arena", "object"])
+def test_enumeration_is_output_linear(benchmark, arena):
     query, stream = hot_star_workload(2_500, hot_fraction=0.5)
 
     def run():
-        engine = streaming_engine(query, WINDOW)
+        engine = streaming_engine(query, WINDOW, arena=arena)
         return measure_enumeration_delays(engine, stream)
 
     measurements = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -20,25 +20,31 @@ LENGTHS = [1_000, 2_000, 4_000, 8_000]
 WINDOW = 512
 
 
+@pytest.mark.parametrize("arena", [True, False], ids=["arena", "object"])
 @pytest.mark.parametrize("length", LENGTHS)
-def test_total_update_time_scales_linearly(benchmark, length):
-    """Total update time should scale linearly with the stream length."""
+def test_total_update_time_scales_linearly(benchmark, length, arena):
+    """Total update time should scale linearly with the stream length.
+
+    Parametrised over the enumeration-structure representation so the
+    arena-vs-object update-time delta is visible in the benchmark table.
+    """
     query, stream = star_workload(length)
 
     def run():
-        engine = streaming_engine(query, WINDOW)
+        engine = streaming_engine(query, WINDOW, arena=arena)
         update_only(engine, stream)
 
     benchmark(run)
 
 
-def test_per_tuple_update_time_is_stable_over_time(benchmark):
+@pytest.mark.parametrize("arena", [True, False], ids=["arena", "object"])
+def test_per_tuple_update_time_is_stable_over_time(benchmark, arena):
     """Per-tuple update time in the last quarter ≈ first quarter (no history effect)."""
     query, stream = star_workload(6_000)
 
     def run():
-        engine = streaming_engine(query, WINDOW)
-        return measure_update_times(engine, stream)
+        engine = streaming_engine(query, WINDOW, arena=arena)
+        return measure_update_times(engine, stream, gc_control=True)
 
     times = benchmark.pedantic(run, rounds=1, iterations=1)
     quarter = len(times) // 4

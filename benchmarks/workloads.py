@@ -149,6 +149,134 @@ def shared_star_queries(
     return queries, stream
 
 
+def relation_star_workload(
+    groups: int,
+    length: int,
+    arms: int = 2,
+    key_domain: int = 8,
+    seed: int = 0,
+) -> Tup[PCEA, List[Tuple]]:
+    """Star patterns in the raw automaton model: relation-gated transitions.
+
+    Each group ``g`` watches its private relations ``G<g>R1 .. G<g>R<arms>``:
+    the first ``arms - 1`` relations start partial runs, the last one closes
+    the star, joining every pending arm on attribute 0 (``ProjectionEquality``).
+    Unary predicates are plain :class:`RelationPredicate`s, so once the
+    dispatch index has routed a tuple, firing costs almost nothing beyond the
+    data-structure operations themselves — this is the workload that isolates
+    the enumeration-structure (``DS_w``) share of the update time, which the
+    arena representation accelerates.
+
+    The stream draws a relation, a join key and a payload uniformly.
+    """
+    from repro.core.pcea import PCEATransition
+    from repro.core.predicates import ProjectionEquality, RelationPredicate
+
+    states = set()
+    transitions = []
+    final = set()
+    for g in range(groups):
+        relations = [f"G{g}R{j}" for j in range(1, arms + 1)]
+        closing = relations[-1]
+        sources = set()
+        binaries = {}
+        for j, relation in enumerate(relations[:-1], start=1):
+            state = ("q", g, j)
+            states.add(state)
+            sources.add(state)
+            binaries[state] = ProjectionEquality({relation: (0,)}, {closing: (0,)})
+            transitions.append(
+                PCEATransition(
+                    frozenset(),
+                    RelationPredicate(relation),
+                    {},
+                    {f"g{g}a{j}"},
+                    state,
+                )
+            )
+        accept = ("f", g)
+        states.add(accept)
+        final.add(accept)
+        transitions.append(
+            PCEATransition(
+                frozenset(sources),
+                RelationPredicate(closing),
+                binaries,
+                {f"g{g}a{arms}"},
+                accept,
+            )
+        )
+    pcea = PCEA(states=states, transitions=transitions, final=final)
+    rng = random.Random(seed)
+    all_relations = [f"G{g}R{j}" for g in range(groups) for j in range(1, arms + 1)]
+    stream = [
+        Tuple(rng.choice(all_relations), (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN)))
+        for _ in range(length)
+    ]
+    return pcea, stream
+
+
+def fanout_star_workload(
+    groups: int,
+    length: int,
+    fan: int = 7,
+    key_domain: int = 2,
+    arm_fraction: float = 0.8,
+    seed: int = 0,
+) -> Tup[PCEA, List[Tuple]]:
+    """Arm state consumed by ``fan`` closing transitions: store-heavy updates.
+
+    Group ``g`` has one arm relation ``G<g>A`` whose runs are consumed by
+    ``fan`` distinct closing relations ``G<g>C0 .. G<g>C<fan-1>`` (all joining
+    on attribute 0), so every arm tuple is unioned into ``fan`` hash entries —
+    the workload with the highest data-structure work per tuple relative to
+    dispatch/predicate overhead, which is where the arena representation's
+    cheap node allocation shows up most directly.  ``arm_fraction`` skews the
+    stream toward arm tuples.
+    """
+    from repro.core.pcea import PCEATransition
+    from repro.core.predicates import ProjectionEquality, RelationPredicate
+
+    states = set()
+    transitions = []
+    final = set()
+    for g in range(groups):
+        arm_relation = f"G{g}A"
+        state = ("q", g)
+        states.add(state)
+        transitions.append(
+            PCEATransition(
+                frozenset(), RelationPredicate(arm_relation), {}, {f"g{g}arm"}, state
+            )
+        )
+        for m in range(fan):
+            closing = f"G{g}C{m}"
+            accept = ("f", g, m)
+            states.add(accept)
+            final.add(accept)
+            transitions.append(
+                PCEATransition(
+                    frozenset({state}),
+                    RelationPredicate(closing),
+                    {state: ProjectionEquality({arm_relation: (0,)}, {closing: (0,)})},
+                    {f"g{g}c{m}"},
+                    accept,
+                )
+            )
+    pcea = PCEA(states=states, transitions=transitions, final=final)
+    rng = random.Random(seed)
+    arm_relations = [f"G{g}A" for g in range(groups)]
+    closing_relations = [f"G{g}C{m}" for g in range(groups) for m in range(fan)]
+    stream = []
+    for _ in range(length):
+        if rng.random() < arm_fraction:
+            relation = rng.choice(arm_relations)
+        else:
+            relation = rng.choice(closing_relations)
+        stream.append(Tuple(relation, (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN))))
+    return pcea, stream
+
+
 def guarded_disjunction_workload(
     branches: int,
     length: int,
@@ -184,8 +312,10 @@ def guarded_disjunction_workload(
     return pcea, stream
 
 
-def streaming_engine(query: ConjunctiveQuery, window: int) -> StreamingEvaluator:
-    return StreamingEvaluator(hcq_to_pcea(query), window=window)
+def streaming_engine(
+    query: ConjunctiveQuery, window: int, arena: bool = True
+) -> StreamingEvaluator:
+    return StreamingEvaluator(hcq_to_pcea(query), window=window, arena=arena)
 
 
 def drain(engine, stream) -> int:

@@ -50,6 +50,7 @@ from repro.core.predicates import (
 from repro.core.ccea import CCEA, CCEATransition, chain_ccea
 from repro.core.pcea import PCEA, PCEATransition, check_unambiguous_on_stream
 from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.arena import ArenaDataStructure, BOTTOM_ID
 from repro.core.datastructure import BOTTOM, DataStructure, LinkedListUnionStructure, Node
 from repro.core.evaluation import StreamingEvaluator, evaluate_pcea
 from repro.streams.stream import Stream, stream_from_rows
@@ -120,7 +121,9 @@ __all__ = [
     "PCEATransition",
     "check_unambiguous_on_stream",
     "hcq_to_pcea",
+    "ArenaDataStructure",
     "BOTTOM",
+    "BOTTOM_ID",
     "DataStructure",
     "LinkedListUnionStructure",
     "Node",

@@ -16,11 +16,13 @@ EXPERIMENTS.md records.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import statistics
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple as Tup
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple as Tup
 
 from repro.cq.schema import Tuple
 from repro.valuation import Valuation
@@ -49,6 +51,33 @@ class MeasurementSeries:
         return list(zip(self.parameters, self.values))
 
 
+@contextmanager
+def gc_controlled(collect_before: bool = True, disable: bool = True) -> Iterator[bool]:
+    """Control the cyclic garbage collector around a timed section.
+
+    Arena-vs-object comparisons are exactly the kind of measurement collector
+    noise distorts: the object structure creates millions of GC-tracked nodes
+    (so collections fire *during* its timed sections), the arena creates
+    almost none.  ``gc.collect()`` before the section starts both variants
+    from an empty collector, and ``disable=True`` keeps generational
+    collections from firing mid-measurement (reference counting still frees
+    acyclic garbage).  Yields the ``gc_enabled`` flag that benchmark payloads
+    record, and restores the collector's previous state on exit.
+    """
+    was_enabled = gc.isenabled()
+    if collect_before:
+        gc.collect()
+    if disable:
+        gc.disable()
+    try:
+        yield gc.isenabled()
+    finally:
+        if was_enabled:
+            gc.enable()
+        else:
+            gc.disable()
+
+
 def measure_engine_run(engine, stream: Iterable[Tuple]) -> Dict[str, float]:
     """Run ``engine`` over ``stream`` measuring totals.
 
@@ -71,14 +100,21 @@ def measure_engine_run(engine, stream: Iterable[Tuple]) -> Dict[str, float]:
 
 
 def measure_update_times(
-    engine, stream: Iterable[Tuple], warmup: int = 0
+    engine, stream: Iterable[Tuple], warmup: int = 0, gc_control: bool = False
 ) -> List[float]:
     """Per-tuple *update-phase* times (enumeration excluded when supported).
 
     For the streaming evaluator the update phase is measured in isolation via
     ``engine.update``; for baselines (which interleave matching and output
-    production) the whole ``process`` call is measured instead.
+    production) the whole ``process`` call is measured instead.  With
+    ``gc_control=True`` the whole measurement runs under
+    :func:`gc_controlled` (collect first, generational collector off), so
+    per-tuple times are not punctuated by collections triggered by earlier
+    allocations.
     """
+    if gc_control:
+        with gc_controlled():
+            return measure_update_times(engine, stream, warmup=warmup, gc_control=False)
     times: List[float] = []
     update = getattr(engine, "update", None)
     for index, tup in enumerate(stream):
@@ -162,6 +198,10 @@ def collect_engine_counters(engine) -> Dict[str, float]:
         counters["ds_nodes_created"] = float(getattr(ds, "nodes_created", 0))
         counters["ds_union_calls"] = float(getattr(ds, "union_calls", 0))
         counters["ds_union_copies"] = float(getattr(ds, "union_copies", 0))
+    memory_info = getattr(engine, "memory_info", None)
+    if callable(memory_info):
+        for key, value in memory_info().items():
+            counters[f"arena_{key}" if not key.startswith("arena") else key] = float(value)
     return counters
 
 
@@ -190,6 +230,11 @@ def validate_benchmark_payload(payload: Dict) -> None:
     if not isinstance(summary, dict):
         raise ValueError(
             "benchmark payload must carry a 'summary' mapping with the headline numbers"
+        )
+    if "gc_enabled" in payload and not isinstance(payload["gc_enabled"], bool):
+        raise ValueError(
+            "benchmark payload 'gc_enabled' must be a bool (whether the cyclic "
+            "collector ran during timed sections)"
         )
     try:
         json.dumps(payload, sort_keys=True)

@@ -12,7 +12,10 @@ The ``multi`` subcommand registers every ``--query`` with the shared
 predicate evaluation per structurally distinct predicate per event, instead of
 one engine per query); matches are prefixed with the query name.  Both modes
 accept ``--batch-size`` to feed events through the batched ``process_many``
-ingestion path.
+ingestion path, ``--no-arena`` to swap the arena-backed enumeration structure
+for the object-graph ablation, and ``--stats`` to print operation counters
+plus a memory section (``arena_slabs`` / ``arena_live_nodes`` /
+``arena_released``) mirroring ``hash_entries``/``evicted``.
 
 Input format: one event per line, ``relation,value,value,...``.  Values are
 parsed as integers when possible and kept as strings otherwise.  Matches are
@@ -105,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable hash-table eviction (memory grows with the stream, not the window)",
     )
     parser.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="use the object-graph enumeration structure instead of the arena "
+        "(ablation; no slab reclamation)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="also print the engine's operation counters after the summary",
@@ -166,6 +175,12 @@ def build_multi_parser() -> argparse.ArgumentParser:
         help="disable shared unary-predicate memoisation (evaluate once per query)",
     )
     parser.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="use object-graph enumeration structures instead of per-query arenas "
+        "(ablation; no slab reclamation)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="also print the shared engine's counters and merged-index statistics",
@@ -199,6 +214,7 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         indexed=not args.no_index,
         evict=not args.no_evict,
         collect_stats=args.stats,
+        arena=not args.no_arena,
     )
     batch_size = getattr(args, "batch_size", 0) or 0
     matches = 0
@@ -245,7 +261,18 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
             f"guarded={info['guarded_transitions']:.0f}",
             file=output,
         )
+        print(_format_memory_line(engine.memory_info()), file=output)
     return 0
+
+
+def _format_memory_line(memory: dict) -> str:
+    """The ``--stats`` memory section (mirrors ``hash_entries``/``evicted``)."""
+    return (
+        f"# memory: arena_slabs={memory['slabs']} "
+        f"arena_live_nodes={memory['live_nodes']} "
+        f"arena_released={memory['released_nodes']} "
+        f"nodes_created={memory['nodes_created']}"
+    )
 
 
 def _batched(events: Iterable[Tuple], size: int) -> Iterator[List[Tuple]]:
@@ -275,7 +302,9 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
         windows = windows * len(args.queries)
 
     engine = MultiQueryEngine(
-        memoise=not args.no_memoise, collect_stats=args.stats
+        memoise=not args.no_memoise,
+        collect_stats=args.stats,
+        arena=not args.no_arena,
     )
     names = {}
     try:
@@ -341,6 +370,7 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
             f"guarded={info['guarded_transitions']:.0f}",
             file=output,
         )
+        print(_format_memory_line(engine.memory_info()), file=output)
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.core.ccea import CCEA, CCEATransition
 from repro.core.runtree import Configuration, RunTreeNode
 from repro.core.pcea import PCEA, PCEATransition, check_unambiguous_on_stream
 from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.core.arena import ArenaDataStructure, BOTTOM_ID
 from repro.core.datastructure import DataStructure, Node, BOTTOM
 from repro.core.dispatch import CompiledTransition, TransitionDispatchIndex
 from repro.core.evaluation import StreamingEvaluator, evaluate_pcea
@@ -48,6 +49,8 @@ __all__ = [
     "PCEATransition",
     "check_unambiguous_on_stream",
     "hcq_to_pcea",
+    "ArenaDataStructure",
+    "BOTTOM_ID",
     "DataStructure",
     "Node",
     "BOTTOM",

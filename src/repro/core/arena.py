@@ -1,0 +1,612 @@
+"""Arena-backed ``DS_w``: flat-array node storage with window-bounded reclamation.
+
+:class:`ArenaDataStructure` implements the same interface and the *exact same
+semantics* (including enumeration order) as the object-graph
+:class:`~repro.core.datastructure.DataStructure`, but represents nodes as dense
+integer ids instead of GC-tracked frozen dataclass instances.
+
+Arena layout
+------------
+A node id encodes ``(slab index, offset)`` as ``id = base + offset`` with
+``base = slab_index << slab_bits``.  Each slab holds parallel flat lists, one
+entry per node:
+
+* ``pos``  — the node's stream position ``i(n)``;
+* ``ms``   — ``max_start(n) = max{min(ν) | ν ∈ ⟦n⟧_prod}``;
+* ``ul`` / ``ur`` — union links as node ids (``0`` = no link / ``⊥``);
+* ``lab``  — an interned label-set id (the distinct label sets come from the
+  compiled transitions, so interning makes ``extend`` free of per-call
+  ``frozenset`` construction);
+* ``dirn`` — the union-balancing direction bit;
+* ``prod`` — the node's product children as a tuple of node ids.  The tuple is
+  allocated once per ``extend`` and *shared* by every union path copy of the
+  node (copies never re-materialise their child list), so union cost stays a
+  constant number of list appends per copied level; a live copy keeps the
+  originating slab alive transitively through the expiry argument below, never
+  through refcounts.
+
+Node id ``0`` is the bottom node ``⊥`` (empty bag): it never carries links or
+children and every traversal treats it as expired.
+
+Slab lifecycle
+--------------
+Nodes are allocated by a pointer bump into the newest ("current") slab; a full
+slab is *sealed* and a fresh one started, so slabs are generations bucketed by
+allocation time and — because ``max_start`` of any allocatable node is within
+one window of its allocation position — effectively bucketed by ``max_start``
+too.  Each slab tracks ``max_ms``, the largest ``max_start`` it contains.  A
+sealed slab is *released wholesale* (its arrays dropped in one dict deletion,
+O(1) amortised, no graph traversal) once
+
+1. it has **expired**: ``position - max_ms > window``, i.e. every node in it
+   enumerates nothing and is pruned by every union, forever (positions only
+   grow); and
+2. its **external-reference count is zero**: no surviving run-index hash entry
+   points into it.  The count is maintained by the evaluator's existing
+   eviction sweep — incremented when an entry is registered in an expiry
+   bucket, decremented when that bucket is popped — so by the time a slab
+   expires, the sweep (which pops the bucket of the same ``max_start`` at the
+   same threshold) has already dropped every count it will ever drop.
+
+Slabs are released strictly in allocation order; because ``max_ms`` across
+slabs can lag the allocation position by at most one window, an expired slab
+waits at most ``O(window)`` positions behind a blocked predecessor, keeping
+total retained storage ``O(active window)``.
+
+The external-reference invariant
+--------------------------------
+References *into* a slab come from three places, each handled differently:
+
+* **product children of live nodes** — always safe without counting: a product
+  node's ``max_start`` is ≤ every child's ``max_start``, so a live (non-expired)
+  node implies live children, which implies their slabs have not expired and
+  therefore have not been released;
+* **union links of live nodes** — may legitimately point at expired nodes (the
+  heap condition only bounds ``max_start`` from above).  Traversals read one
+  level into such a subtree purely to observe "expired, prune".  These reads
+  are guarded at dereference time: a missing slab *means* expired, so the
+  lookup ``slabs.get(id >> bits)`` returning ``None`` takes exactly the branch
+  the pruning check would have taken.  Counting these references instead would
+  chain-pin the entire history (every union top links to the previous top), so
+  they are deliberately *not* counted;
+* **run-index hash entries** — counted (``ext_refs`` above), so an entry that
+  survives in ``H`` never dangles; the count reaches zero exactly when the
+  sweep retires the entry's expiry bucket.
+
+Everything the evaluator consumes (``extend`` / ``union`` / ``enumerate`` /
+``expired`` / the validation helpers) takes and returns plain ``int`` ids; the
+recursive ``_union`` of the object structure becomes an iterative
+descend-then-rebuild loop over the arrays, and enumeration pushes ids on an
+explicit stack, mirroring the object traversal order exactly so that the two
+representations are interchangeable output-for-output (the differential tests
+in ``tests/test_arena.py`` rely on this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
+
+from repro.core.datastructure import product_odometer
+from repro.valuation import Valuation
+
+
+Label = Hashable
+
+#: ``max_start`` of the bottom node: expired relative to every position/window.
+_NEVER = -(1 << 62)
+
+#: The bottom node ``⊥`` as an id (shared by every arena).
+BOTTOM_ID = 0
+
+
+class _Slab:
+    """One generation of nodes: parallel flat arrays plus release accounting."""
+
+    __slots__ = (
+        "base",
+        "pos",
+        "ms",
+        "ul",
+        "ur",
+        "lab",
+        "dirn",
+        "prod",
+        "count",
+        "max_ms",
+        "ext_refs",
+    )
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        self.pos: List[int] = []
+        self.ms: List[int] = []
+        self.ul: List[int] = []
+        self.ur: List[int] = []
+        self.lab: List[int] = []
+        self.dirn: List[bool] = []
+        self.prod: List[Tup[int, ...]] = []
+        self.count = 0
+        self.max_ms = _NEVER
+        self.ext_refs = 0
+
+
+class ArenaDataStructure:
+    """``DS_w`` over flat arrays with O(1) amortised window-bounded reclamation.
+
+    Drop-in replacement for :class:`~repro.core.datastructure.DataStructure`
+    in which nodes are integer ids (see the module docstring for the layout
+    and the release protocol).  The public surface mirrors the object
+    structure: :meth:`extend`, :meth:`union`, :meth:`enumerate`,
+    :meth:`enumerate_all`, :meth:`expired`, the validation helpers and the
+    ``nodes_created`` / ``union_calls`` / ``union_copies`` counters, plus the
+    reclamation hooks the streaming evaluators call (:meth:`add_ref`,
+    :meth:`drop_ref`, :meth:`release_expired`) and the memory introspection
+    used by ``--stats`` and the benchmarks (:meth:`memory_stats`).
+
+    Parameters
+    ----------
+    window:
+        The sliding-window size ``w``.
+    slab_capacity:
+        Nodes per slab (rounded up to a power of two, clamped to
+        ``[64, 4096]``).  Defaults to ``min(4096, max(64, window + 1))`` so
+        reclamation granularity tracks the window.
+    """
+
+    def __init__(self, window: int, slab_capacity: Optional[int] = None) -> None:
+        if window < 0:
+            raise ValueError("window size must be non-negative")
+        self.window = window
+        if slab_capacity is None:
+            slab_capacity = min(4096, max(64, window + 1))
+        slab_capacity = max(64, min(4096, slab_capacity))
+        self._bits = (slab_capacity - 1).bit_length()
+        self._cap = 1 << self._bits
+        self._mask = self._cap - 1
+        self._slabs: Dict[int, _Slab] = {}
+        self._next_slab = 0
+        self._release_cursor = 0
+        self._cur = self._new_slab()
+        # Reserve id 0 for bottom: a sentinel that always reads as expired.
+        self._append(self._cur, -1, _NEVER, 0, 0, 0, False, ())
+        self._allocated = 0  # real nodes (the bottom sentinel is not counted)
+        # Label-set interning: distinct label sets come from the compiled
+        # transitions, so this table stays tiny.
+        self._label_ids: Dict[frozenset, int] = {}
+        self._labels: List[frozenset] = []
+        # Counters mirroring DataStructure (benchmark instrumentation).
+        self.nodes_created = 0
+        self.union_calls = 0
+        self.union_copies = 0
+        self.released_slabs = 0
+        self.released_nodes = 0
+
+    # ---------------------------------------------------------------- slabs
+    def _new_slab(self) -> _Slab:
+        index = self._next_slab
+        self._next_slab = index + 1
+        slab = _Slab(index << self._bits)
+        self._slabs[index] = slab
+        self._cur = slab
+        return slab
+
+    @staticmethod
+    def _append(
+        slab: _Slab,
+        position: int,
+        max_start: int,
+        uleft: int,
+        uright: int,
+        label_id: int,
+        direction: bool,
+        children: Tup[int, ...],
+    ) -> int:
+        offset = slab.count
+        slab.pos.append(position)
+        slab.ms.append(max_start)
+        slab.ul.append(uleft)
+        slab.ur.append(uright)
+        slab.lab.append(label_id)
+        slab.dirn.append(direction)
+        slab.prod.append(children)
+        slab.count = offset + 1
+        if max_start > slab.max_ms:
+            slab.max_ms = max_start
+        return slab.base + offset
+
+    # ---------------------------------------------------------------- access
+    def max_start_of(self, node: int) -> int:
+        """``max_start`` of ``node`` (``_NEVER`` for ⊥ / released ids)."""
+        slab = self._slabs.get(node >> self._bits)
+        if slab is None:
+            return _NEVER
+        return slab.ms[node & self._mask]
+
+    def position_of(self, node: int) -> int:
+        slab = self._slabs.get(node >> self._bits)
+        if slab is None:
+            return -1
+        return slab.pos[node & self._mask]
+
+    def labels_of(self, node: int) -> frozenset:
+        slab = self._slabs.get(node >> self._bits)
+        if slab is None:
+            return frozenset()
+        return self._labels[slab.lab[node & self._mask]]
+
+    def expired(self, node: int, position: int) -> bool:
+        """Whether every valuation of ``⟦node⟧`` is out of the window at ``position``.
+
+        A released slab certifies expiry (slabs are only released once every
+        node in them has expired), so the missing-slab branch is semantically
+        the same pruning decision, not an error.
+        """
+        if not node:
+            return True
+        slab = self._slabs.get(node >> self._bits)
+        if slab is None:
+            return True
+        return position - slab.ms[node & self._mask] > self.window
+
+    # ----------------------------------------------------------------- nodes
+    def extend(self, labels: Iterable[Label], position: int, children: Sequence[int]) -> int:
+        """``extend(L, i, N)``: a fresh product node (mirrors the object version).
+
+        Allocation is inlined (no helper-call chain): one append per column is
+        the entire cost, which is what buys the per-tuple speedup over the
+        frozen-dataclass construction of the object structure.
+        """
+        if not isinstance(labels, frozenset):
+            labels = frozenset(labels)
+        label_id = self._label_ids.get(labels)
+        if label_id is None:
+            label_id = len(self._labels)
+            self._labels.append(labels)
+            self._label_ids[labels] = label_id
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        max_start = position
+        for child in children:
+            slab = None if not child else slabs.get(child >> bits)
+            if slab is None:
+                raise ValueError("product children must not be the bottom node")
+            index = child & mask
+            if slab.pos[index] >= position:
+                raise ValueError("product children must have strictly smaller positions")
+            child_ms = slab.ms[index]
+            if child_ms < max_start:
+                max_start = child_ms
+        # Inline allocation — one append per column; keep the three
+        # allocation sites (here and the two in ``union``) in sync with
+        # ``_append``.
+        slab = self._cur
+        offset = slab.count
+        if offset >= self._cap:
+            slab = self._new_slab()
+            offset = 0
+        slab.pos.append(position)
+        slab.ms.append(max_start)
+        slab.ul.append(0)
+        slab.ur.append(0)
+        slab.lab.append(label_id)
+        slab.dirn.append(False)
+        slab.prod.append(tuple(children))
+        slab.count = offset + 1
+        if max_start > slab.max_ms:
+            slab.max_ms = max_start
+        self.nodes_created += 1
+        self._allocated += 1
+        return slab.base + offset
+
+    def union(self, left: int, fresh: int) -> int:
+        """``union(n1, n2)``: persistent union, iterative path copy.
+
+        Same algorithm as ``DataStructure._union`` — expired-subtree pruning,
+        fresh-on-top when its ``max_start`` dominates, direction-bit balancing
+        — as a descend-then-rebuild loop instead of recursion, so union chains
+        of any depth cannot overflow the interpreter stack.
+        """
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        fresh_slab = slabs.get(fresh >> bits) if fresh else None
+        if fresh_slab is None:
+            raise ValueError("the second argument of union must be a live product node")
+        fresh_index = fresh & mask
+        if fresh_slab.ul[fresh_index] or fresh_slab.ur[fresh_index]:
+            raise ValueError("the second argument of union must be a fresh product node")
+        self.union_calls += 1
+        position = fresh_slab.pos[fresh_index]
+        fresh_ms = fresh_slab.ms[fresh_index]
+        window = self.window
+        cap = self._cap
+        # Descend: copy-path of (slab, index, went_left) frames.
+        path: List[Tup[_Slab, int, bool]] = []
+        current = left
+        copies = 0
+        new: int
+        while True:
+            slab = slabs.get(current >> bits) if current else None
+            if slab is None:
+                # Bottom, or a released slab: everything below is expired.
+                new = fresh
+                break
+            index = current & mask
+            if position - slab.ms[index] > window:
+                # Expired subtree: prune it (positions only grow).
+                new = fresh
+                break
+            copies += 1
+            if fresh_ms >= slab.ms[index]:
+                # Fresh dominates: it becomes the new top, old tree below; the
+                # copy shares fresh's children tuple (no re-materialisation).
+                # Allocation inlined, as in ``extend``.
+                target = self._cur
+                offset = target.count
+                if offset >= cap:
+                    target = self._new_slab()
+                    offset = 0
+                target.pos.append(position)
+                target.ms.append(fresh_ms)
+                target.ul.append(current)
+                target.ur.append(0)
+                target.lab.append(fresh_slab.lab[fresh_index])
+                target.dirn.append(not slab.dirn[index])
+                target.prod.append(fresh_slab.prod[fresh_index])
+                target.count = offset + 1
+                if fresh_ms > target.max_ms:
+                    target.max_ms = fresh_ms
+                new = target.base + offset
+                break
+            if slab.dirn[index]:
+                path.append((slab, index, True))
+                current = slab.ul[index]
+            else:
+                path.append((slab, index, False))
+                current = slab.ur[index]
+        # Rebuild the copied path bottom-up (path copying keeps persistence).
+        for slab, index, went_left in reversed(path):
+            node_ms = slab.ms[index]
+            target = self._cur
+            offset = target.count
+            if offset >= cap:
+                target = self._new_slab()
+                offset = 0
+            target.pos.append(slab.pos[index])
+            target.ms.append(node_ms)
+            if went_left:
+                target.ul.append(new)
+                target.ur.append(slab.ur[index])
+                target.dirn.append(False)
+            else:
+                target.ul.append(slab.ul[index])
+                target.ur.append(new)
+                target.dirn.append(True)
+            target.lab.append(slab.lab[index])
+            target.prod.append(slab.prod[index])
+            target.count = offset + 1
+            if node_ms > target.max_ms:
+                target.max_ms = node_ms
+            new = target.base + offset
+        if copies:
+            # One allocation per live level visited: the rebuilt path frames
+            # plus the fresh-on-top copy when dominance broke the descent.
+            self.union_copies += copies
+            self.nodes_created += copies
+            self._allocated += copies
+        return new
+
+    # ------------------------------------------------------------ reclamation
+    def add_ref(self, node: int) -> None:
+        """Count one external (hash-entry) reference into ``node``'s slab."""
+        slab = self._slabs.get(node >> self._bits)
+        if slab is not None:
+            slab.ext_refs += 1
+
+    def drop_ref(self, node: int) -> None:
+        """Drop one external reference (the eviction sweep calls this once per
+        popped expiry-bucket registration, balancing :meth:`add_ref`)."""
+        slab = self._slabs.get(node >> self._bits)
+        if slab is not None:
+            slab.ext_refs -= 1
+
+    def release_expired(self, position: int) -> int:
+        """Release every leading sealed slab that expired and is unreferenced.
+
+        Returns the number of slabs released.  O(1) per call when nothing is
+        releasable; releasing is a dict deletion per slab (pointer bump undo),
+        never a graph traversal.
+        """
+        slabs = self._slabs
+        cursor = self._release_cursor
+        newest = self._next_slab - 1
+        window = self.window
+        released = 0
+        while cursor < newest:
+            slab = slabs[cursor]
+            if position - slab.max_ms <= window or slab.ext_refs > 0:
+                break
+            del slabs[cursor]
+            self.released_slabs += 1
+            # Slab 0 holds the bottom sentinel, which _allocated never counted.
+            self.released_nodes += slab.count - 1 if cursor == 0 else slab.count
+            released += 1
+            cursor += 1
+        self._release_cursor = cursor
+        return released
+
+    # ---------------------------------------------------------- introspection
+    def live_node_count(self) -> int:
+        """Nodes currently held in retained slabs (the memory bound metric)."""
+        return self._allocated - self.released_nodes
+
+    def slab_count(self) -> int:
+        return len(self._slabs)
+
+    def memory_stats(self) -> Dict[str, int]:
+        """Arena occupancy, shaped for the CLI ``--stats`` memory section."""
+        return {
+            "arena": 1,
+            "slabs": len(self._slabs),
+            "slab_capacity": self._cap,
+            "live_nodes": self.live_node_count(),
+            "released_slabs": self.released_slabs,
+            "released_nodes": self.released_nodes,
+            "nodes_created": self.nodes_created,
+        }
+
+    # ------------------------------------------------------------ enumeration
+    def enumerate(self, node: int, position: int) -> Iterator[Valuation]:
+        """Enumerate ``⟦node⟧^w_position`` — same pruning and order as the
+        object structure's :meth:`~repro.core.datastructure.DataStructure.enumerate`."""
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        window = self.window
+        stack: List[int] = [node] if node else []
+        while stack:
+            current = stack.pop()
+            if not current:
+                continue
+            slab = slabs.get(current >> bits)
+            if slab is None:
+                continue
+            index = current & mask
+            if position - slab.ms[index] > window:
+                continue
+            if slab.prod[index]:
+                yield from self._product_combinations(slab, index, position, windowed=True)
+            elif position - slab.pos[index] <= window:
+                yield Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
+            uright = slab.ur[index]
+            uleft = slab.ul[index]
+            if uright:
+                stack.append(uright)
+            if uleft:
+                stack.append(uleft)
+
+    def enumerate_all(self, node: int) -> Iterator[Valuation]:
+        """Enumerate ``⟦node⟧`` ignoring the window (tests; only meaningful
+        while nothing reachable from ``node`` has been released)."""
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        stack: List[int] = [node] if node else []
+        while stack:
+            current = stack.pop()
+            if not current:
+                continue
+            slab = slabs.get(current >> bits)
+            if slab is None:
+                continue
+            index = current & mask
+            if slab.prod[index]:
+                yield from self._product_combinations(slab, index, position=0, windowed=False)
+            else:
+                yield Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
+            uright = slab.ur[index]
+            uleft = slab.ul[index]
+            if uright:
+                stack.append(uright)
+            if uleft:
+                stack.append(uleft)
+
+    def _product_combinations(
+        self, slab: _Slab, index: int, position: int, windowed: bool
+    ) -> Iterator[Valuation]:
+        """Cross product over the child enumerations — the shared
+        :func:`~repro.core.datastructure.product_odometer` over id-based child
+        iterators, so the two representations cannot drift apart."""
+        base = Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
+        prod = slab.prod[index]
+        if windowed:
+            iterators = [self.enumerate(child, position) for child in prod]
+        else:
+            iterators = [self.enumerate_all(child) for child in prod]
+        yield from product_odometer(base, iterators)
+
+    # ------------------------------------------------------------- validation
+    def check_heap_condition(self, node: int) -> bool:
+        """Condition (‡) below ``node``, iteratively (deep chains are fine)."""
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        stack: List[int] = [node] if node else []
+        while stack:
+            current = stack.pop()
+            slab = slabs.get(current >> bits)
+            if slab is None:
+                continue
+            index = current & mask
+            current_ms = slab.ms[index]
+            for link in (slab.ul[index], slab.ur[index]):
+                if not link:
+                    continue
+                link_slab = slabs.get(link >> bits)
+                if link_slab is None:
+                    continue
+                if link_slab.ms[link & mask] > current_ms:
+                    return False
+                stack.append(link)
+            stack.extend(slab.prod[index])
+        return True
+
+    def check_simple(self, node: int) -> bool:
+        """Whether the bag rooted at ``node`` is *simple* (no overlapping products).
+
+        Exponential in general; tests/debug only, iterative like the object
+        version.  Only meaningful while nothing reachable from ``node`` has
+        been released.
+        """
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        worklist: List[int] = [node] if node else []
+        while worklist:
+            current = worklist.pop()
+            slab = slabs.get(current >> bits)
+            if slab is None:
+                continue
+            index = current & mask
+            base = Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
+            partials: List[Valuation] = [base]
+            for child in slab.prod[index]:
+                new_partials: List[Valuation] = []
+                for partial in partials:
+                    for child_valuation in self.enumerate_all(child):
+                        if not partial.simple_with(child_valuation):
+                            return False
+                        new_partials.append(partial.product(child_valuation))
+                partials = new_partials
+            worklist.extend(slab.prod[index])
+            for link in (slab.ul[index], slab.ur[index]):
+                if link:
+                    worklist.append(link)
+        return True
+
+    def union_depth(self, node: int) -> int:
+        """Depth of the union tree hanging at ``node`` (instrumentation)."""
+        slabs = self._slabs
+        bits = self._bits
+        mask = self._mask
+        best = 0
+        stack: List[Tup[int, int]] = [(node, 1)] if node else []
+        while stack:
+            current, depth = stack.pop()
+            slab = slabs.get(current >> bits)
+            if slab is None:
+                continue
+            if depth > best:
+                best = depth
+            index = current & mask
+            for link in (slab.ul[index], slab.ur[index]):
+                if link:
+                    stack.append((link, depth + 1))
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"ArenaDataStructure(window={self.window}, slabs={len(self._slabs)}, "
+            f"live={self.live_node_count()}, released={self.released_nodes})"
+        )

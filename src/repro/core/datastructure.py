@@ -25,6 +25,23 @@ Two node-producing operations are provided, mirroring the paper:
 An intentionally naive variant (:class:`LinkedListUnionStructure`) implements
 ``union`` as a linked list; it exists only for the ablation benchmark
 (experiment E8) that shows why the balanced persistent structure matters.
+
+This object-graph representation is the *oracle*: one heap-allocated frozen
+dataclass per node, fully persistent, nothing ever reclaimed explicitly.  The
+production default is the arena-backed :class:`~repro.core.arena.ArenaDataStructure`
+(``arena=True`` on the evaluators), which stores nodes as dense integer ids in
+flat per-slab arrays and releases whole expired slabs in O(1) — see
+``repro/core/arena.py`` for the slab lifecycle and the external-reference
+invariant.  Both structures implement the same surface (``extend`` / ``union``
+/ ``enumerate`` / ``expired`` / the validation helpers), plus the small hook
+set the evaluators use to stay representation-agnostic: ``max_start_of`` (node
+-> ``max_start``, an attribute read here, a slab-array read in the arena) and
+the reclamation hooks ``add_ref`` / ``drop_ref`` / ``release_expired``, which
+are no-ops here because the object graph relies on Python's GC.  The
+validation helpers (:meth:`DataStructure.check_heap_condition`,
+:meth:`DataStructure.check_simple`, :meth:`DataStructure.union_depth`) are
+iterative: deep union chains (e.g. the linked-list ablation at a few thousand
+tuples) must not overflow the interpreter stack.
 """
 
 from __future__ import annotations
@@ -72,6 +89,59 @@ class Node:
 BOTTOM = Node(frozenset(), -1, (), None, None, -1)
 
 
+def product_odometer(base: Valuation, iterators: List[Iterator[Valuation]]) -> Iterator[Valuation]:
+    """Cross product over child enumerations, as an iterative odometer.
+
+    Representation-independent core shared by the object and arena ``DS_w``:
+    the caller supplies the node's own valuation ``base`` and one enumeration
+    iterator per product child.  Each child is enumerated **once**, its
+    valuations cached as they are produced, and the accumulated product is
+    recomputed only from the digit that changed, so the work between two
+    consecutive outputs stays proportional to the output size (the Theorem 5.2
+    delay bound) without the allocation storm of the naive recursive product.
+    """
+    k = len(iterators)
+    if k == 1:
+        # Fast path: no odometer state needed for the common single-child case.
+        for valuation in iterators[0]:
+            yield base.product(valuation)
+        return
+    caches: List[List[Valuation]] = []
+    for iterator in iterators:
+        first = next(iterator, None)
+        if first is None:
+            return  # one child is empty -> the whole product is empty
+        caches.append([first])
+    indices = [0] * k
+    # prefixes[i] = base ⊕ caches[0][indices[0]] ⊕ ... ⊕ caches[i][indices[i]]
+    prefixes: List[Valuation] = [base] * k
+    rebuild_from = 0
+    while True:
+        acc = base if rebuild_from == 0 else prefixes[rebuild_from - 1]
+        for i in range(rebuild_from, k):
+            acc = acc.product(caches[i][indices[i]])
+            prefixes[i] = acc
+        yield acc
+        # Advance the odometer (last digit spins fastest), pulling at most
+        # one fresh valuation from one child iterator per step.
+        i = k - 1
+        while i >= 0:
+            indices[i] += 1
+            if indices[i] < len(caches[i]):
+                break
+            iterator = iterators[i]
+            nxt = next(iterator, None) if iterator is not None else None
+            if nxt is not None:
+                caches[i].append(nxt)
+                break
+            iterators[i] = None  # exhausted; keep the cache for replays
+            indices[i] = 0
+            i -= 1
+        else:
+            return
+        rebuild_from = i
+
+
 class DataStructure:
     """The data structure ``DS_w`` with window size ``w``.
 
@@ -109,6 +179,37 @@ class DataStructure:
     ) -> Node:
         self.nodes_created += 1
         return Node(labels, position, prod, uleft, uright, max_start, direction)
+
+    # Representation-agnostic hooks shared with the arena structure, so
+    # callers can stay oblivious to whether nodes are objects or integer ids
+    # (the evaluators hoist the reclamation hooks once; ``max_start_of`` is
+    # for introspection/tests — the hot loops read the max_start they cache
+    # in the hash-table pairs instead).
+    def max_start_of(self, node: Node) -> int:
+        """``max_start`` of ``node`` (attribute read; array read in the arena)."""
+        return node.max_start
+
+    def add_ref(self, node: Node) -> None:
+        """No-op: the object graph is reclaimed by Python's GC."""
+
+    def drop_ref(self, node: Node) -> None:
+        """No-op counterpart of :meth:`add_ref`."""
+
+    def release_expired(self, position: int) -> int:
+        """No-op: nothing to release explicitly (returns 0 slabs released)."""
+        return 0
+
+    def memory_stats(self) -> dict:
+        """Occupancy counters, shaped like the arena's (zeros where N/A)."""
+        return {
+            "arena": 0,
+            "slabs": 0,
+            "slab_capacity": 0,
+            "live_nodes": 0,
+            "released_slabs": 0,
+            "released_nodes": 0,
+            "nodes_created": self.nodes_created,
+        }
 
     def expired(self, node: Node, position: int) -> bool:
         """Whether every valuation of ``⟦node⟧`` is out of the window at ``position``.
@@ -226,16 +327,12 @@ class DataStructure:
     def _product_combinations(
         self, node: Node, position: int, windowed: bool
     ) -> Iterator[Valuation]:
-        """Cross product over the child enumerations, as an iterative odometer.
+        """Cross product over the child enumerations (see :func:`product_odometer`).
 
         The paper presents the product as a recursive generator; implemented
         literally, every prefix combination re-creates (and therefore re-runs)
         the enumerations of all later children, and each output pays a chain
-        of suspended generator frames.  The odometer below enumerates each
-        child **once**, caching its valuations as they are produced, and only
-        recomputes the accumulated product from the digit that changed, so the
-        work between two consecutive outputs stays proportional to the output
-        size (the Theorem 5.2 delay bound) without the allocation storm.
+        of suspended generator frames.  The shared odometer avoids both.
         """
         base = Valuation.singleton(node.labels, node.position)
         prod = node.prod
@@ -243,46 +340,7 @@ class DataStructure:
             iterators = [self.enumerate(child, position) for child in prod]
         else:
             iterators = [self.enumerate_all(child) for child in prod]
-        k = len(prod)
-        if k == 1:
-            # Fast path: no odometer state needed for the common single-child case.
-            for valuation in iterators[0]:
-                yield base.product(valuation)
-            return
-        caches: List[List[Valuation]] = []
-        for iterator in iterators:
-            first = next(iterator, None)
-            if first is None:
-                return  # one child is empty -> the whole product is empty
-            caches.append([first])
-        indices = [0] * k
-        # prefixes[i] = base ⊕ caches[0][indices[0]] ⊕ ... ⊕ caches[i][indices[i]]
-        prefixes: List[Valuation] = [base] * k
-        rebuild_from = 0
-        while True:
-            acc = base if rebuild_from == 0 else prefixes[rebuild_from - 1]
-            for i in range(rebuild_from, k):
-                acc = acc.product(caches[i][indices[i]])
-                prefixes[i] = acc
-            yield acc
-            # Advance the odometer (last digit spins fastest), pulling at most
-            # one fresh valuation from one child iterator per step.
-            i = k - 1
-            while i >= 0:
-                indices[i] += 1
-                if indices[i] < len(caches[i]):
-                    break
-                iterator = iterators[i]
-                nxt = next(iterator, None) if iterator is not None else None
-                if nxt is not None:
-                    caches[i].append(nxt)
-                    break
-                iterators[i] = None  # exhausted; keep the cache for replays
-                indices[i] = 0
-                i -= 1
-            else:
-                return
-            rebuild_from = i
+        yield from product_odometer(base, iterators)
 
     def enumerate_all(self, node: Node) -> Iterator[Valuation]:
         """Enumerate ``⟦node⟧`` ignoring the window (used by tests)."""
@@ -307,39 +365,51 @@ class DataStructure:
     def check_simple(self, node: Node) -> bool:
         """Whether the bag rooted at ``node`` is *simple* (no overlapping products).
 
-        Exponential in general; used only by tests and the engine's debug mode.
+        Exponential in general; used only by tests and the engine's debug
+        mode.  Iterative over an explicit worklist: long single-relation
+        streams produce union chains as deep as the stream, which the previous
+        recursive formulation could not traverse without overflowing the
+        interpreter stack.
         """
-        if node is None or node.is_bottom():
-            return True
-        base = Valuation.singleton(node.labels, node.position)
-        partials: List[Valuation] = [base]
-        for child in node.prod:
-            new_partials: List[Valuation] = []
-            for partial in partials:
-                for child_valuation in self.enumerate_all(child):
-                    if not partial.simple_with(child_valuation):
-                        return False
-                    new_partials.append(partial.product(child_valuation))
-            partials = new_partials
-        for child in node.prod:
-            if not self.check_simple(child):
-                return False
-        for link in (node.uleft, node.uright):
-            if link is not None and not self.check_simple(link):
-                return False
+        worklist: List[Node] = [node] if node is not None else []
+        while worklist:
+            current = worklist.pop()
+            if current is None or current.is_bottom():
+                continue
+            base = Valuation.singleton(current.labels, current.position)
+            partials: List[Valuation] = [base]
+            for child in current.prod:
+                new_partials: List[Valuation] = []
+                for partial in partials:
+                    for child_valuation in self.enumerate_all(child):
+                        if not partial.simple_with(child_valuation):
+                            return False
+                        new_partials.append(partial.product(child_valuation))
+                partials = new_partials
+            worklist.extend(current.prod)
+            for link in (current.uleft, current.uright):
+                if link is not None:
+                    worklist.append(link)
         return True
 
     def check_heap_condition(self, node: Node) -> bool:
-        """Whether condition (‡) holds everywhere below ``node``."""
-        if node is None or node.is_bottom():
-            return True
-        for link in (node.uleft, node.uright):
-            if link is not None and not link.is_bottom():
-                if link.max_start > node.max_start:
-                    return False
-                if not self.check_heap_condition(link):
-                    return False
-        return all(self.check_heap_condition(child) for child in node.prod)
+        """Whether condition (‡) holds everywhere below ``node``.
+
+        Iterative for the same reason as :meth:`check_simple`: union chains
+        (especially the linked-list ablation's) can be as deep as the stream.
+        """
+        worklist: List[Node] = [node] if node is not None else []
+        while worklist:
+            current = worklist.pop()
+            if current is None or current.is_bottom():
+                continue
+            for link in (current.uleft, current.uright):
+                if link is not None and not link.is_bottom():
+                    if link.max_start > current.max_start:
+                        return False
+                    worklist.append(link)
+            worklist.extend(current.prod)
+        return True
 
     def union_depth(self, node: Node) -> int:
         """Depth of the union tree hanging at ``node`` (benchmark instrumentation)."""

@@ -35,13 +35,22 @@ these costs, so the implementation should not pay them either):
   entirely in fast mode (``collect_stats=False``, and by default inside
   ``run(collect=False)``), so throughput benchmarks measure the algorithm,
   not its instrumentation.
+* **Arena-backed enumeration structure** — nodes of ``DS_w`` are dense
+  integer ids into the flat per-slab arrays of
+  :class:`~repro.core.arena.ArenaDataStructure` (the default; ``arena=False``
+  restores the object graph).  The hash table stores ``(node, max_start)``
+  pairs so expiry checks never dereference a node, and the eviction sweep
+  doubles as the arena's reclamation driver: popping an expiry bucket drops
+  the per-slab external references, after which whole expired slabs are
+  released in O(1), bounding enumeration memory by the active window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as Tup
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as Tup, Union
 
+from repro.core.arena import ArenaDataStructure
 from repro.core.datastructure import DataStructure, Node
 from repro.core.dispatch import TransitionDispatchIndex
 from repro.core.pcea import PCEA
@@ -50,6 +59,10 @@ from repro.valuation import Valuation
 
 
 State = Hashable
+
+#: A ``DS_w`` node reference: a :class:`Node` object (``arena=False``) or a
+#: dense integer id into the arena's flat arrays (``arena=True``).
+NodeRef = Union[Node, int]
 
 
 class NotEqualityPredicateError(TypeError):
@@ -82,8 +95,18 @@ class StreamingEvaluator:
         The sliding-window size ``w``: at position ``i`` only valuations ``ν``
         with ``i - min(ν) <= w`` are reported.
     datastructure:
-        Optional :class:`~repro.core.datastructure.DataStructure` instance,
-        injectable so the ablation benchmark can swap in the naive variant.
+        Optional data-structure instance (object or arena flavoured),
+        injectable so the ablation benchmark can swap in the naive variant;
+        when given it overrides ``arena``.
+    arena:
+        With ``True`` (default) the enumeration structure is the arena-backed
+        :class:`~repro.core.arena.ArenaDataStructure` — flat-array node
+        storage whose expired slabs are released wholesale by the eviction
+        sweep, bounding enumeration memory by the active window.  ``False``
+        restores the persistent object-graph ``DS_w`` (the ablation baseline
+        and differential-test oracle).  With ``evict=False`` the arena never
+        reclaims either (no sweep runs), reproducing the unbounded seed
+        behaviour in both representations.
     audit:
         When ``True``, every enumeration additionally checks that no duplicate
         valuation is produced (debug mode; adds overhead).
@@ -117,6 +140,7 @@ class StreamingEvaluator:
         indexed: bool = True,
         evict: bool = True,
         collect_stats: bool = True,
+        arena: bool = True,
     ) -> None:
         if not pcea.uses_only_equality_predicates():
             raise NotEqualityPredicateError(
@@ -124,14 +148,29 @@ class StreamingEvaluator:
             )
         self.pcea = pcea
         self.window = window
-        self.ds = datastructure if datastructure is not None else DataStructure(window)
+        if datastructure is not None:
+            self.ds = datastructure
+        elif arena:
+            self.ds = ArenaDataStructure(window)
+        else:
+            self.ds = DataStructure(window)
         if self.ds.window != window:
             raise ValueError("data structure window must match the evaluator window")
+        # Representation-agnostic reclamation hooks, hoisted once: node
+        # references are Node objects or arena ids depending on the
+        # structure, and only the structure knows how to maintain slab
+        # refcounts (no-ops for the object graph).
+        self._add_ref = self.ds.add_ref
+        self._drop_ref = self.ds.drop_ref
+        self._release = self.ds.release_expired
         self.audit = audit
         self.position = -1
-        # H maps (transition index, source state, key) to the node representing
-        # the union of all runs that reached that state with that join key.
-        self._hash: Dict[Tup[int, State, Hashable], Node] = {}
+        # H maps (transition index, source state, key) to ``(node, max_start)``
+        # where the node represents the union of all runs that reached that
+        # state with that join key.  max_start is cached in the pair so the
+        # hot expiry checks never re-read it through the data structure (an
+        # attribute read for object nodes, a slab-array read for arena ids).
+        self._hash: Dict[Tup[int, State, Hashable], Tup[NodeRef, int]] = {}
         self.stats = UpdateStatistics()
         self._count_stats = collect_stats
         if dispatch is not None:
@@ -155,10 +194,12 @@ class StreamingEvaluator:
             )
         # Expiry-driven eviction of H: hash keys are bucketed by the
         # ``max_start`` of the node they point to; at position i the bucket
-        # ``i - window - 1`` becomes expired and is swept.  ``evicted`` counts
-        # the entries reclaimed so far.
+        # ``i - window - 1`` becomes expired and is swept.  Each registration
+        # keeps the node it registered so the sweep can release the arena's
+        # per-slab external reference exactly once.  ``evicted`` counts the
+        # entries reclaimed so far.
         self._evict = evict
-        self._expiry_buckets: Dict[int, List[Tup[int, State, Hashable]]] = {}
+        self._expiry_buckets: Dict[int, List[Tup[Tup[int, State, Hashable], NodeRef]]] = {}
         # Highest bucket position already swept; lets the batched sweep pop
         # the dense range of newly due buckets instead of scanning every key.
         self._swept_upto = -window - 2
@@ -255,21 +296,24 @@ class StreamingEvaluator:
         buckets = self._expiry_buckets
         hash_table = self._hash
         window = self.window
+        drop_ref = self._drop_ref
         evicted = 0
         for bucket in range(self._swept_upto + 1, threshold + 1):
             expired_keys = buckets.pop(bucket, None)
             if not expired_keys:
                 continue
-            for key in expired_keys:
-                node = hash_table.get(key)
-                if node is not None and position - node.max_start > window:
+            for key, registered in expired_keys:
+                drop_ref(registered)
+                pair = hash_table.get(key)
+                if pair is not None and position - pair[1] > window:
                     del hash_table[key]
                     evicted += 1
         self._swept_upto = threshold
         self.evicted += evicted
+        self._release(position)
 
     # ------------------------------------------------------------ update phase
-    def update(self, tup: Tuple, sweep: bool = True) -> List[Node]:
+    def update(self, tup: Tuple, sweep: bool = True) -> List[NodeRef]:
         """The update phase (Reset + FireTransitions + UpdateIndices).
 
         Returns the nodes that reached a final state at the current position;
@@ -287,15 +331,22 @@ class StreamingEvaluator:
         dispatch = self._dispatch
         stats = self.stats if self._count_stats else None
         # Keyed by interned state id (plain int) — composite automaton states
-        # never reach a hash table in the per-tuple loop.
-        new_nodes: Dict[int, List[Node]] = {}
-        final_nodes: List[Node] = []
+        # never reach a hash table in the per-tuple loop.  Values are
+        # ``(node, max_start)`` pairs: max_start is threaded through from the
+        # children's cached values (extend takes the min, union the max — both
+        # exact by construction / the heap condition), so the loop never reads
+        # it back through the data structure.
+        new_nodes: Dict[int, List[Tup[NodeRef, int]]] = {}
+        final_nodes: List[NodeRef] = []
 
         # Evict: drop the hash entries whose node expired at this position.
         # A key is registered (below) in the bucket of its node's max_start;
         # since every stored node satisfies max_start >= position - window at
         # storage time, sweeping the single bucket ``position - window - 1``
-        # per step reclaims every entry exactly when it expires.
+        # per step reclaims every entry exactly when it expires.  The sweep is
+        # also when arena slabs are released: a slab's last external reference
+        # is dropped no later than the bucket of its largest max_start, which
+        # is due exactly when the slab expires.
         if self._evict and sweep:
             threshold = position - window - 1
             if threshold == self._swept_upto + 1:
@@ -303,16 +354,19 @@ class StreamingEvaluator:
                 self._swept_upto = threshold
                 expired_keys = self._expiry_buckets.pop(threshold, None)
                 if expired_keys:
+                    drop_ref = self._drop_ref
                     evicted = 0
-                    for key in expired_keys:
-                        node = hash_table.get(key)
+                    for key, registered in expired_keys:
+                        drop_ref(registered)
+                        pair = hash_table.get(key)
                         # The entry may have been superseded by a younger node
                         # (re-registered in a later bucket) — only drop it if
                         # it is genuinely out of the window now.
-                        if node is not None and position - node.max_start > window:
+                        if pair is not None and position - pair[1] > window:
                             del hash_table[key]
                             evicted += 1
                     self.evicted += evicted
+                self._release(position)
             elif threshold > self._swept_upto:
                 # Earlier updates ran with sweep=False and no batch sweep
                 # followed: cover the whole overdue range so no bucket is
@@ -327,7 +381,8 @@ class StreamingEvaluator:
                 stats.transitions_scanned += 1
             if not compiled.unary.holds(tup):
                 continue
-            children: List[Node] = []
+            children: List[NodeRef] = []
+            node_ms = position
             feasible = True
             for _, source_id, predicate in compiled.joins:
                 key = predicate.right_key(tup)  # the current tuple is the later one
@@ -336,23 +391,29 @@ class StreamingEvaluator:
                 if key is None:
                     feasible = False
                     break
-                node = hash_table.get((compiled.index, source_id, key))
-                # Inline of ``ds.expired``: stored nodes are never bottom.
-                if node is None or position - node.max_start > window:
+                pair = hash_table.get((compiled.index, source_id, key))
+                # ``ds.expired`` with the cached max_start: stored nodes are
+                # never bottom, and an expired (possibly released) node simply
+                # fails the window check.
+                if pair is None or position - pair[1] > window:
                     feasible = False
                     break
-                children.append(node)
+                children.append(pair[0])
+                if pair[1] < node_ms:
+                    node_ms = pair[1]
             if not feasible:
                 continue
+            # node_ms == min(position, min child max_start) — exactly the
+            # max_start ``extend`` computes for the new node.
             node = ds.extend(compiled.labels, position, children)
             if stats is not None:
                 stats.transitions_fired += 1
                 stats.nodes_created += 1
             bucket = new_nodes.get(compiled.target_id)
             if bucket is None:
-                new_nodes[compiled.target_id] = [node]
+                new_nodes[compiled.target_id] = [(node, node_ms)]
             else:
-                bucket.append(node)
+                bucket.append((node, node_ms))
             if compiled.is_final:
                 final_nodes.append(node)
 
@@ -360,36 +421,49 @@ class StreamingEvaluator:
         # that actually received new runs this position.
         if new_nodes:
             buckets = self._expiry_buckets if self._evict else None
+            add_ref = self._add_ref
             for state_id, nodes in new_nodes.items():
                 for compiled, source_id, predicate in dispatch.consumers_by_id(state_id):
                     key = predicate.left_key(tup)  # the current tuple will be the earlier one
                     if key is None:
                         continue
                     entry_key = (compiled.index, source_id, key)
-                    entry = hash_table.get(entry_key)
-                    for node in nodes:
+                    pair = hash_table.get(entry_key)
+                    if pair is None:
+                        entry = None
+                        entry_ms = -1
+                    else:
+                        entry, entry_ms = pair
+                    for node, node_ms in nodes:
                         if stats is not None:
                             stats.hash_updates += 1
                         if entry is None:
                             entry = node
+                            entry_ms = node_ms
                         else:
                             if stats is not None:
                                 stats.unions += 1
                             entry = ds.union(entry, node)
-                    hash_table[entry_key] = entry
+                            # Heap condition: the union's max_start is the max
+                            # of the two sides (expired sides are pruned, and
+                            # a pruned side is always the smaller one).
+                            if node_ms > entry_ms:
+                                entry_ms = node_ms
+                    hash_table[entry_key] = (entry, entry_ms)
                     if buckets is not None:
-                        expiry = buckets.get(entry.max_start)
+                        expiry = buckets.get(entry_ms)
                         if expiry is None:
-                            buckets[entry.max_start] = [entry_key]
+                            buckets[entry_ms] = [(entry_key, entry)]
                         else:
-                            expiry.append(entry_key)
+                            expiry.append((entry_key, entry))
+                        add_ref(entry)
 
         # ``final_nodes`` was collected at fire time (transitions know whether
         # their target is final), ready for the enumeration phase.
         return final_nodes
 
     # ------------------------------------------------------- enumeration phase
-    def enumerate_outputs(self, final_nodes: Sequence[Node]) -> Iterator[Valuation]:
+    def enumerate_outputs(self, final_nodes: Sequence[NodeRef]) -> Iterator[Valuation]:
         """Enumerate the outputs represented by the final-state nodes.
 
         Unambiguity guarantees that distinct nodes represent disjoint output
@@ -415,6 +489,10 @@ class StreamingEvaluator:
     def hash_table_size(self) -> int:
         """Number of entries currently stored in ``H``."""
         return len(self._hash)
+
+    def memory_info(self) -> Dict[str, int]:
+        """Enumeration-structure occupancy (arena slabs / live nodes / released)."""
+        return self.ds.memory_stats()
 
     def dispatch_info(self) -> Dict[str, float]:
         """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""

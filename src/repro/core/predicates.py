@@ -405,18 +405,39 @@ class ProjectionEquality(EqualityPredicate):
         object.__setattr__(
             self, "right_spec", {rel: tuple(pos) for rel, pos in right_spec.items()}
         )
+        # Key extraction runs once per hash operation in the evaluator's
+        # per-tuple loop, so the per-relation arity requirement and the
+        # single-position fast path (the overwhelmingly common key shape) are
+        # precomputed instead of re-derived with generator expressions.
+        object.__setattr__(self, "_left_fast", _projection_fast_table(self.left_spec))
+        object.__setattr__(self, "_right_fast", _projection_fast_table(self.right_spec))
 
+    # left_key/right_key are deliberately twin bodies over the two fast
+    # tables (a shared helper would put one more call on the evaluator's
+    # hottest path); edit both together.
     def left_key(self, tup: Tuple) -> Optional[Key]:
-        positions = self.left_spec.get(tup.relation)
-        if positions is None or any(p >= tup.arity for p in positions):
+        entry = self._left_fast.get(tup.relation)
+        if entry is None:
             return None
-        return tup.project(positions)
+        max_position, single, positions = entry
+        values = tup.values
+        if max_position >= len(values):
+            return None
+        if single is not None:
+            return (values[single],)
+        return tuple(values[i] for i in positions)
 
     def right_key(self, tup: Tuple) -> Optional[Key]:
-        positions = self.right_spec.get(tup.relation)
-        if positions is None or any(p >= tup.arity for p in positions):
+        entry = self._right_fast.get(tup.relation)
+        if entry is None:
             return None
-        return tup.project(positions)
+        max_position, single, positions = entry
+        values = tup.values
+        if max_position >= len(values):
+            return None
+        if single is not None:
+            return (values[single],)
+        return tuple(values[i] for i in positions)
 
     def __str__(self) -> str:
         def fmt(spec: Mapping[str, Tup[int, ...]]) -> str:
@@ -439,6 +460,21 @@ class ProjectionEquality(EqualityPredicate):
                 and dict(self.right_spec) == dict(other.right_spec)
             )
         return NotImplemented
+
+
+def _projection_fast_table(spec: Mapping[str, Tup[int, ...]]):
+    """Per-relation ``(max position, single position or None, positions)``.
+
+    ``max position`` turns the per-call arity scan into one comparison;
+    ``single`` marks one-attribute keys so they are built with a tuple display
+    instead of a generator expression.
+    """
+    table = {}
+    for relation, positions in spec.items():
+        max_position = max(positions) if positions else -1
+        single = positions[0] if len(positions) == 1 else None
+        table[relation] = (max_position, single, positions)
+    return table
 
 
 def _shared_variable_key(atom: Atom, shared: Sequence[Variable], tup: Tuple) -> Optional[Key]:

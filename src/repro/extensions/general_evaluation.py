@@ -21,7 +21,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple as Tup
 
-from repro.core.datastructure import DataStructure, Node
+from repro.core.arena import ArenaDataStructure
+from repro.core.datastructure import DataStructure
+from repro.core.evaluation import NodeRef
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
 from repro.valuation import Valuation
@@ -40,6 +42,12 @@ class GeneralStreamingEvaluator:
         ``holds(earlier, later)`` interface.
     window:
         Sliding-window size ``w``; outputs ``ν`` satisfy ``i - min(ν) <= w``.
+    arena:
+        With ``True`` (default) partial runs live in the arena-backed
+        :class:`~repro.core.arena.ArenaDataStructure`; the per-position
+        eviction additionally releases expired slabs, so the enumeration
+        structure is window-bounded here too.  ``False`` restores the
+        object-graph ``DS_w``.
 
     Notes
     -----
@@ -48,14 +56,17 @@ class GeneralStreamingEvaluator:
     a run whose newest tuple is older than ``w`` can never contribute an
     in-window output again, because outputs are constrained through
     ``min(ν) >= i - w`` and ``min(ν) <=`` every position of the run.
+    The update scan re-checks ``ds.expired`` before touching a stored node, so
+    entries whose slab was already released read as expired and are skipped —
+    no external-reference counting is needed for the scan lists.
     """
 
-    def __init__(self, pcea: PCEA, window: int) -> None:
+    def __init__(self, pcea: PCEA, window: int, arena: bool = True) -> None:
         self.pcea = pcea
         self.window = window
-        self.ds = DataStructure(window)
+        self.ds = ArenaDataStructure(window) if arena else DataStructure(window)
         self.position = -1
-        self._live: Dict[State, Deque[Tup[int, Tuple, Node]]] = {
+        self._live: Dict[State, Deque[Tup[int, Tuple, NodeRef]]] = {
             state: deque() for state in pcea.states
         }
         self.nodes_scanned = 0
@@ -74,11 +85,11 @@ class GeneralStreamingEvaluator:
         return results
 
     # ------------------------------------------------------------ update phase
-    def update(self, tup: Tuple) -> List[Node]:
+    def update(self, tup: Tuple) -> List[NodeRef]:
         self.position += 1
         position = self.position
         self._evict(position)
-        created: List[Tup[State, Node]] = []
+        created: List[Tup[State, NodeRef]] = []
         for transition in self.pcea.transitions:
             if not transition.unary.holds(tup):
                 continue
@@ -86,11 +97,11 @@ class GeneralStreamingEvaluator:
                 node = self.ds.extend(transition.labels, position, [])
                 created.append((transition.target, node))
                 continue
-            per_source: List[List[Node]] = []
+            per_source: List[List[NodeRef]] = []
             feasible = True
             for source in sorted(transition.sources, key=str):
                 predicate = transition.binaries[source]
-                compatible: List[Node] = []
+                compatible: List[NodeRef] = []
                 for stored_position, stored_tuple, node in self._live[source]:
                     self.nodes_scanned += 1
                     if self.ds.expired(node, position):
@@ -107,7 +118,7 @@ class GeneralStreamingEvaluator:
             # the product — the same factorisation as Algorithm 1, built per
             # tuple instead of maintained per key.  Every stored node is a
             # product node (no union links), so ``DataStructure.union`` applies.
-            children: List[Node] = []
+            children: List[NodeRef] = []
             for compatible in per_source:
                 union_node = compatible[0]
                 for node in compatible[1:]:
@@ -116,7 +127,7 @@ class GeneralStreamingEvaluator:
             node = self.ds.extend(transition.labels, position, children)
             created.append((transition.target, node))
 
-        final_nodes: List[Node] = []
+        final_nodes: List[NodeRef] = []
         for state, node in created:
             self._live[state].append((position, tup, node))
             if state in self.pcea.final:
@@ -124,7 +135,7 @@ class GeneralStreamingEvaluator:
         return final_nodes
 
     # ------------------------------------------------------- enumeration phase
-    def enumerate_outputs(self, final_nodes: Sequence[Node]) -> Iterator[Valuation]:
+    def enumerate_outputs(self, final_nodes: Sequence[NodeRef]) -> Iterator[Valuation]:
         for node in final_nodes:
             yield from self.ds.enumerate(node, self.position)
 
@@ -134,6 +145,9 @@ class GeneralStreamingEvaluator:
         for entries in self._live.values():
             while entries and entries[0][0] < low:
                 entries.popleft()
+        # Arena reclamation rides on the same per-position eviction; a no-op
+        # for the object structure.
+        self.ds.release_expired(position)
 
     def live_run_count(self) -> int:
         """Number of live partial runs currently stored (benchmark instrumentation)."""

@@ -16,7 +16,11 @@ but the per-tuple work is shared three ways:
 * **one eviction sweep** over a shared expiry-bucket map keyed by the global
   position at which an entry expires (``max_start + window_q + 1``), covering
   every query's hash table in a single bucket pop per tuple (or one batched
-  pop per :meth:`MultiQueryEngine.process_many` call).
+  pop per :meth:`MultiQueryEngine.process_many` call).  The same sweep drives
+  each lane's arena reclamation: per-query enumeration structures default to
+  the arena-backed :class:`~repro.core.arena.ArenaDataStructure`
+  (``arena=False`` for the object-graph ablation), and a popped bucket drops
+  the per-slab external references that gate wholesale slab release.
 
 Positions are global to the engine's stream: a query registered at position
 ``p`` behaves exactly like an independent evaluator that started observing
@@ -28,7 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
 
-from repro.core.datastructure import DataStructure, Node
+from repro.core.arena import ArenaDataStructure
+from repro.core.datastructure import DataStructure
+from repro.core.evaluation import NodeRef
 from repro.cq.schema import Tuple
 from repro.multi.merged_index import MergedDispatchIndex
 from repro.multi.registry import QueryHandle, QueryRegistry, QuerySpec
@@ -36,6 +42,10 @@ from repro.valuation import Valuation
 
 
 _MISS = object()  # memo-cache sentinel (verdicts are booleans, None won't do)
+
+#: Positions between full arena-release passes over every lane (see
+#: :meth:`MultiQueryEngine._release_lanes`).
+_RELEASE_PASS_INTERVAL = 256
 
 
 @dataclass
@@ -56,18 +66,36 @@ class MultiQueryStatistics:
 class _QueryLane:
     """Per-query runtime state: isolated tables, shared per-tuple loop."""
 
-    __slots__ = ("handle", "pcea", "dispatch", "window", "ds", "hash", "active")
+    __slots__ = (
+        "handle",
+        "pcea",
+        "dispatch",
+        "window",
+        "ds",
+        "hash",
+        "active",
+        "add_ref",
+        "drop_ref",
+        "release",
+    )
 
-    def __init__(self, handle: QueryHandle, pcea) -> None:
+    def __init__(self, handle: QueryHandle, pcea, arena: bool = True) -> None:
         self.handle = handle
         self.pcea = pcea
         self.dispatch = pcea.dispatch_index()
         self.window = handle.window
-        self.ds = DataStructure(handle.window)
-        # (transition index, source state id, join key) -> node, exactly the
-        # single-query evaluator's H — isolation keeps Theorem 5.1's
-        # unambiguity reasoning per query untouched.
-        self.hash: Dict[Tup[int, int, Hashable], Node] = {}
+        self.ds = ArenaDataStructure(handle.window) if arena else DataStructure(handle.window)
+        # Representation-agnostic reclamation hooks (see StreamingEvaluator):
+        # bound once so the shared per-tuple loop never branches on the node
+        # representation (no-ops for the object graph).
+        self.add_ref = self.ds.add_ref
+        self.drop_ref = self.ds.drop_ref
+        self.release = self.ds.release_expired
+        # (transition index, source state id, join key) -> (node, max_start),
+        # exactly the single-query evaluator's H (max_start cached in the
+        # pair) — isolation keeps Theorem 5.1's unambiguity reasoning per
+        # query untouched.
+        self.hash: Dict[Tup[int, int, Hashable], Tup[NodeRef, int]] = {}
         self.active = True
 
     def __repr__(self) -> str:
@@ -93,6 +121,12 @@ class MultiQueryEngine:
     collect_stats:
         With ``True``, the shared loop maintains
         :class:`MultiQueryStatistics`; off by default (production mode).
+    arena:
+        With ``True`` (default) each lane's enumeration structure is the
+        arena-backed :class:`~repro.core.arena.ArenaDataStructure`, whose
+        expired slabs the shared eviction sweep releases wholesale; ``False``
+        restores the object-graph ``DS_w`` per lane (ablation / differential
+        testing).
     """
 
     def __init__(
@@ -101,27 +135,35 @@ class MultiQueryEngine:
         memoise: bool = True,
         guards: bool = True,
         collect_stats: bool = False,
+        arena: bool = True,
     ) -> None:
         self.registry = registry if registry is not None else QueryRegistry()
         self.position = -1
         self.memoise = memoise
         self._guards = guards
+        self._arena = arena
         self._count_stats = collect_stats
         self.stats = MultiQueryStatistics()
         self.evicted = 0
         self._lanes: Dict[int, _QueryLane] = {}
-        # Shared eviction buckets: expiry position -> [(lane, hash key)].
+        # Shared eviction buckets: expiry position -> [(lane, hash key, node)].
         # An entry stored with node n under lane q expires exactly at global
-        # position n.max_start + q.window + 1, so one bucket pop per position
-        # sweeps every lane's table.
-        self._expiry_buckets: Dict[int, List[Tup[_QueryLane, Tup[int, int, Hashable]]]] = {}
+        # position max_start(n) + q.window + 1, so one bucket pop per position
+        # sweeps every lane's table; the registered node rides along so the
+        # sweep can drop the arena's per-slab external reference exactly once.
+        self._expiry_buckets: Dict[
+            int, List[Tup[_QueryLane, Tup[int, int, Hashable], NodeRef]]
+        ] = {}
         # Highest expiry position already swept (entries always register in
         # strictly future buckets, so the batched sweep can pop the dense
         # range of newly due positions instead of scanning every bucket key).
         self._swept_upto = -1
+        # Next position at which the sweep runs a full arena-release pass
+        # over every lane (bucket pops only release the lanes they touch).
+        self._next_release_pass = 0
         self._merged = MergedDispatchIndex((), guards=guards)
         for entry in self.registry.entries():
-            self._lanes[entry.handle.id] = _QueryLane(entry.handle, entry.pcea)
+            self._lanes[entry.handle.id] = _QueryLane(entry.handle, entry.pcea, arena)
         self._rebuild()
 
     # ----------------------------------------------------------- registration
@@ -130,7 +172,9 @@ class MultiQueryEngine:
     ) -> QueryHandle:
         """Register a query mid-stream; it starts observing at the next tuple."""
         handle = self.registry.register(query, window, name)
-        self._lanes[handle.id] = _QueryLane(handle, self.registry.get(handle).pcea)
+        self._lanes[handle.id] = _QueryLane(
+            handle, self.registry.get(handle).pcea, self._arena
+        )
         self._rebuild()
         return handle
 
@@ -148,6 +192,11 @@ class MultiQueryEngine:
         lane.ds = None
         lane.dispatch = None
         lane.pcea = None
+        # The hooks are bound methods and would otherwise pin the lane's
+        # enumeration structure until its last expiry bucket is popped.
+        lane.add_ref = None
+        lane.drop_ref = None
+        lane.release = None
         self._rebuild()
 
     def handles(self) -> List[QueryHandle]:
@@ -210,14 +259,21 @@ class MultiQueryEngine:
                 expired = self._expiry_buckets.pop(position, None)
                 if expired:
                     evicted = 0
-                    for lane, key in expired:
+                    touched = set()
+                    for lane, key, registered in expired:
                         if not lane.active:
                             continue
-                        node = lane.hash.get(key)
-                        if node is not None and position - node.max_start > lane.window:
+                        lane.drop_ref(registered)
+                        touched.add(lane)
+                        pair = lane.hash.get(key)
+                        if pair is not None and position - pair[1] > lane.window:
                             del lane.hash[key]
                             evicted += 1
                     self.evicted += evicted
+                    for lane in touched:
+                        lane.release(position)
+                if position >= self._next_release_pass:
+                    self._release_lanes(position)
             elif position > self._swept_upto:
                 # A gap (batch processed without its final sweep): cover the
                 # whole overdue range so no bucket is skipped for good.
@@ -230,8 +286,12 @@ class MultiQueryEngine:
         memoise = self.memoise
         verdicts: Dict[Hashable, bool] = {}
         verdicts_get = verdicts.get
-        new_nodes: Optional[Dict[_QueryLane, Dict[int, List[Node]]]] = None
-        final_by_lane: Optional[Dict[_QueryLane, List[Node]]] = None
+        # new_nodes buckets hold (node, max_start) pairs: max_start is
+        # threaded from the children's cached values (min for extend, max for
+        # union — exact by construction / the heap condition), so the shared
+        # loop never reads it back through a lane's data structure.
+        new_nodes: Optional[Dict[_QueryLane, Dict[int, List[Tup[NodeRef, int]]]]] = None
+        final_by_lane: Optional[Dict[_QueryLane, List[NodeRef]]] = None
         for entry in self._merged.candidates_for(tup):
             if stats is not None:
                 stats.candidates_scanned += 1
@@ -254,7 +314,8 @@ class MultiQueryEngine:
             compiled = entry.compiled
             hash_table = lane.hash
             window = lane.window
-            children: List[Node] = []
+            children: List[NodeRef] = []
+            node_ms = position
             feasible = True
             for _, source_id, predicate in compiled.joins:
                 key = predicate.right_key(tup)  # the current tuple is the later one
@@ -263,11 +324,13 @@ class MultiQueryEngine:
                 if key is None:
                     feasible = False
                     break
-                node = hash_table.get((compiled.index, source_id, key))
-                if node is None or position - node.max_start > window:
+                pair = hash_table.get((compiled.index, source_id, key))
+                if pair is None or position - pair[1] > window:
                     feasible = False
                     break
-                children.append(node)
+                children.append(pair[0])
+                if pair[1] < node_ms:
+                    node_ms = pair[1]
             if not feasible:
                 continue
             node = lane.ds.extend(compiled.labels, position, children)
@@ -281,9 +344,9 @@ class MultiQueryEngine:
                 lane_nodes = new_nodes[lane] = {}
             bucket = lane_nodes.get(compiled.target_id)
             if bucket is None:
-                lane_nodes[compiled.target_id] = [node]
+                lane_nodes[compiled.target_id] = [(node, node_ms)]
             else:
-                bucket.append(node)
+                bucket.append((node, node_ms))
             if compiled.is_final:
                 if final_by_lane is None:
                     final_by_lane = {}
@@ -301,6 +364,7 @@ class MultiQueryEngine:
                 hash_table = lane.hash
                 ds = lane.ds
                 window = lane.window
+                add_ref = lane.add_ref
                 consumers_by_id = lane.dispatch.consumers_by_id
                 for state_id, nodes in lane_nodes.items():
                     for compiled, source_id, predicate in consumers_by_id(state_id):
@@ -308,21 +372,30 @@ class MultiQueryEngine:
                         if key is None:
                             continue
                         entry_key = (compiled.index, source_id, key)
-                        entry_node = hash_table.get(entry_key)
-                        for node in nodes:
+                        pair = hash_table.get(entry_key)
+                        if pair is None:
+                            entry_node = None
+                            entry_ms = -1
+                        else:
+                            entry_node, entry_ms = pair
+                        for node, node_ms in nodes:
                             if stats is not None:
                                 stats.hash_updates += 1
                             if entry_node is None:
                                 entry_node = node
+                                entry_ms = node_ms
                             else:
                                 entry_node = ds.union(entry_node, node)
-                        hash_table[entry_key] = entry_node
-                        expiry_position = entry_node.max_start + window + 1
+                                if node_ms > entry_ms:
+                                    entry_ms = node_ms
+                        hash_table[entry_key] = (entry_node, entry_ms)
+                        expiry_position = entry_ms + window + 1
                         expiry = buckets.get(expiry_position)
                         if expiry is None:
-                            buckets[expiry_position] = [(lane, entry_key)]
+                            buckets[expiry_position] = [(lane, entry_key, entry_node)]
                         else:
-                            expiry.append((lane, entry_key))
+                            expiry.append((lane, entry_key, entry_node))
+                        add_ref(entry_node)
 
         # Enumeration per query, window-restricted by the query's own DS_w.
         if final_by_lane is None:
@@ -350,24 +423,65 @@ class MultiQueryEngine:
             return
         buckets = self._expiry_buckets
         evicted = 0
+        touched = set()
         for bucket in range(self._swept_upto + 1, position + 1):
             expired = buckets.pop(bucket, None)
             if not expired:
                 continue
-            for lane, key in expired:
+            for lane, key, registered in expired:
                 if not lane.active:
                     continue
-                node = lane.hash.get(key)
-                if node is not None and position - node.max_start > lane.window:
+                lane.drop_ref(registered)
+                touched.add(lane)
+                pair = lane.hash.get(key)
+                if pair is not None and position - pair[1] > lane.window:
                     del lane.hash[key]
                     evicted += 1
         self._swept_upto = position
         self.evicted += evicted
+        for lane in touched:
+            lane.release(position)
+        if position >= self._next_release_pass:
+            self._release_lanes(position)
+
+    def _release_lanes(self, position: int) -> None:
+        """Release expired arena slabs in every active lane.
+
+        Bucket pops release the lanes they touch immediately; this periodic
+        full pass (every ``_RELEASE_PASS_INTERVAL`` positions, O(lanes)
+        amortised O(lanes/interval) per tuple) covers lanes that stopped
+        registering hash entries — without it an idle lane would retain its
+        last ``O(window)`` of expired slabs indefinitely.
+        """
+        self._next_release_pass = position + _RELEASE_PASS_INTERVAL
+        for lane in self._lanes.values():
+            if lane.active:
+                lane.release(position)
 
     # ------------------------------------------------------------ introspection
     def hash_table_size(self) -> int:
         """Total entries across every registered query's hash table."""
         return sum(len(lane.hash) for lane in self._lanes.values())
+
+    def memory_info(self) -> Dict[str, int]:
+        """Enumeration-structure occupancy summed across the active lanes."""
+        total = {
+            "arena": 1 if self._arena else 0,
+            "slabs": 0,
+            "slab_capacity": 0,
+            "live_nodes": 0,
+            "released_slabs": 0,
+            "released_nodes": 0,
+            "nodes_created": 0,
+        }
+        for lane in self._lanes.values():
+            if lane.ds is None:
+                continue
+            stats = lane.ds.memory_stats()
+            for key in ("slabs", "live_nodes", "released_slabs", "released_nodes", "nodes_created"):
+                total[key] += stats[key]
+            total["slab_capacity"] = max(total["slab_capacity"], stats["slab_capacity"])
+        return total
 
     def dispatch_info(self) -> Dict[str, float]:
         """Merged-index statistics (see ``MergedDispatchIndex.describe``)."""

@@ -1,13 +1,20 @@
 """Tests for the measurement harness (repro.bench.harness)."""
 
+import gc
+
+import pytest
+
 from repro.bench.harness import (
     MeasurementSeries,
+    collect_engine_counters,
     format_table,
+    gc_controlled,
     geometric_sweep,
     measure_engine_run,
     measure_enumeration_delays,
     measure_update_times,
     summarize,
+    validate_benchmark_payload,
 )
 from repro.core.evaluation import StreamingEvaluator
 from repro.core.hcq_to_pcea import hcq_to_pcea
@@ -54,6 +61,48 @@ class TestMeasurementHelpers:
         engine = NaiveRecomputeEngine(query, window=10)
         times = measure_update_times(engine, stream)
         assert len(times) == len(stream)
+
+    def test_measure_update_times_gc_controlled(self):
+        query, stream = small_workload()
+        engine = StreamingEvaluator(hcq_to_pcea(query), window=10)
+        assert gc.isenabled()
+        times = measure_update_times(engine, stream, gc_control=True)
+        assert len(times) == len(stream)
+        assert gc.isenabled()  # restored after the measurement
+
+    def test_collect_engine_counters_includes_arena_memory(self):
+        query, stream = small_workload()
+        engine = StreamingEvaluator(hcq_to_pcea(query), window=10)
+        for tup in stream:
+            engine.process(tup)
+        counters = collect_engine_counters(engine)
+        assert counters["arena"] == 1.0
+        assert counters["arena_live_nodes"] >= 0
+        assert counters["arena_slabs"] >= 1.0
+
+
+class TestGcControlled:
+    def test_disables_and_restores(self):
+        assert gc.isenabled()
+        with gc_controlled() as enabled:
+            assert not enabled
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_collect_only_keeps_collector_on(self):
+        with gc_controlled(disable=False) as enabled:
+            assert enabled
+            assert gc.isenabled()
+        assert gc.isenabled()
+
+    def test_restores_disabled_state(self):
+        gc.disable()
+        try:
+            with gc_controlled():
+                pass
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
 
     def test_measure_enumeration_delays(self):
         query, stream = small_workload()
@@ -139,6 +188,13 @@ class TestBenchmarkJsonSchema:
             )
         with pytest.raises(ValueError):
             validate_benchmark_payload({"benchmark": "b", "summary": {}, 3: "x"})
+
+    def test_gc_enabled_must_be_bool(self):
+        payload = {"benchmark": "x", "summary": {}, "gc_enabled": "no"}
+        with pytest.raises(ValueError, match="gc_enabled"):
+            validate_benchmark_payload(payload)
+        payload["gc_enabled"] = False
+        validate_benchmark_payload(payload)
 
     def test_checked_in_benchmarks_pass_validation(self):
         import glob

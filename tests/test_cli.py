@@ -103,6 +103,29 @@ class TestRun:
         captured = capsys.readouterr()
         assert "matches=2" in captured.out
 
+    def test_stats_prints_memory_section(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(
+            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100", "--stats"],
+            events,
+        )
+        assert code == 0
+        assert "arena_slabs=" in output
+        assert "arena_live_nodes=" in output
+        assert "arena_released=" in output
+
+    def test_no_arena_matches_arena(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        argv = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"]
+        _, arena_output = self._run(argv, events)
+        _, object_output = self._run(argv + ["--no-arena"], events)
+        arena_matches = [l for l in arena_output.splitlines() if not l.startswith("#")]
+        object_matches = [l for l in object_output.splitlines() if not l.startswith("#")]
+        assert arena_matches == object_matches
+        # The object ablation reports an empty arena in the memory section.
+        _, stats_output = self._run(argv + ["--no-arena", "--stats"], events)
+        assert "arena_slabs=0" in stats_output
+
     @pytest.mark.parametrize("batch_size", [1, 2, 100])
     def test_batched_ingestion_matches_per_event(self, batch_size):
         events = list(read_events(EVENTS_CSV.splitlines()))
@@ -175,6 +198,20 @@ class TestRunMulti:
         assert code == 0
         assert "matches=4" in output and "batch_size=2" in output
         assert "shared_predicate_groups=" in output and "pred_cache_hits=" in output
+
+    def test_multi_stats_memory_section_and_no_arena(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        code, output = self._run(self.QUERIES + ["--window", "100", "--stats"], events)
+        assert code == 0
+        assert "arena_slabs=" in output and "arena_live_nodes=" in output
+        code, object_output = self._run(
+            self.QUERIES + ["--window", "100", "--no-arena", "--stats"], events
+        )
+        assert code == 0
+        assert "arena_slabs=0" in object_output
+        arena_matches = [l for l in output.splitlines() if not l.startswith("#")]
+        object_matches = [l for l in object_output.splitlines() if not l.startswith("#")]
+        assert arena_matches == object_matches
 
     def test_multi_per_query_windows(self):
         events = list(read_events(EVENTS_CSV.splitlines()))

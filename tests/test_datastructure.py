@@ -194,6 +194,39 @@ class TestWindowedEnumeration:
         assert not ds.check_simple(overlapping)
 
 
+class TestDeepChains:
+    """The validation helpers must be iterative: long single-relation streams
+    (especially through the linked-list ablation) build union chains as deep
+    as the stream, which the recursive formulations overflowed at ~1k tuples."""
+
+    COUNT = 1_500  # > CPython's default recursion limit of 1000
+
+    def _deep_chain(self, ds):
+        accumulator = ds.extend({"a"}, 0, [])
+        for position in range(1, self.COUNT):
+            accumulator = ds.union(accumulator, ds.extend({"a"}, position, []))
+        return accumulator
+
+    def test_linked_list_chain_validations_do_not_overflow(self):
+        ds = LinkedListUnionStructure(window=10 * self.COUNT)
+        accumulator = self._deep_chain(ds)
+        assert ds.union_depth(accumulator) >= self.COUNT // 2
+        assert ds.check_heap_condition(accumulator)
+        assert ds.check_simple(accumulator)
+
+    def test_balanced_descending_chain_validations_do_not_overflow(self):
+        """Strictly decreasing max_start forces every union to descend, so the
+        union tree is as deep as balancing allows; the helpers must still cope
+        with thousands of unions."""
+        ds = DataStructure(window=10 * self.COUNT)
+        anchors = [ds.extend({"z"}, 10_000 - k, []) for k in range(self.COUNT)]
+        accumulator = ds.extend({"a"}, 20_000, [anchors[0]])
+        for k in range(1, self.COUNT):
+            fresh = ds.extend({"a"}, 20_000 + k, [anchors[k]])
+            accumulator = ds.union(accumulator, fresh)
+        assert ds.check_heap_condition(accumulator)
+
+
 class TestAgainstBruteForce:
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=12), st.integers(min_value=0, max_value=8))
