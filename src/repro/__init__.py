@@ -7,6 +7,8 @@ The package provides:
 * classical and parallelized finite automata (:mod:`repro.automata`),
 * the paper's contribution — CCEA, PCEA, the HCQ→PCEA translation and the
   streaming evaluation algorithm with output-linear delay (:mod:`repro.core`),
+* the shared streaming runtime behind all three evaluators — eviction
+  sweep, arena release, batching, statistics (:mod:`repro.runtime`),
 * baseline engines used for comparison (:mod:`repro.baselines`),
 * stream abstractions and synthetic workload generators (:mod:`repro.streams`),
 * a small CER pattern DSL compiled to PCEA (:mod:`repro.engine`), and
@@ -53,6 +55,7 @@ from repro.core.hcq_to_pcea import hcq_to_pcea
 from repro.core.arena import ArenaDataStructure, BOTTOM_ID
 from repro.core.datastructure import BOTTOM, DataStructure, LinkedListUnionStructure, Node
 from repro.core.evaluation import StreamingEvaluator, evaluate_pcea
+from repro.runtime import EngineStatistics, EvictionLane, StreamRuntime
 from repro.streams.stream import Stream, stream_from_rows
 from repro.streams.generators import (
     HCQWorkloadGenerator,
@@ -129,6 +132,9 @@ __all__ = [
     "Node",
     "StreamingEvaluator",
     "evaluate_pcea",
+    "EngineStatistics",
+    "EvictionLane",
+    "StreamRuntime",
     "Stream",
     "stream_from_rows",
     "HCQWorkloadGenerator",

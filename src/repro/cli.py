@@ -10,12 +10,17 @@ The CLI is a thin veneer over the library, intended for quick experiments::
 The ``multi`` subcommand registers every ``--query`` with the shared
 :class:`~repro.multi.engine.MultiQueryEngine` (one dispatch lookup and one
 predicate evaluation per structurally distinct predicate per event, instead of
-one engine per query); matches are prefixed with the query name.  Both modes
+one engine per query); matches are prefixed with the query name.  The
+``--general`` flag on the single-query mode evaluates through the
+:class:`~repro.extensions.general_evaluation.GeneralStreamingEvaluator` (live
+runs scanned per transition — the engine that also accepts non-equality
+predicates), producing identical matches on equality queries.  All modes
 accept ``--batch-size`` to feed events through the batched ``process_many``
 ingestion path, ``--no-arena`` to swap the arena-backed enumeration structure
-for the object-graph ablation, and ``--stats`` to print operation counters
-plus a memory section (``arena_slabs`` / ``arena_live_nodes`` /
-``arena_released``) mirroring ``hash_entries``/``evicted``.
+for the object-graph ablation, and ``--stats`` to print an identical
+three-line report — unified operation counters, dispatch-index summary, and a
+memory section (``arena_slabs`` / ``arena_live_nodes`` / ``arena_released``)
+mirroring ``hash_entries``/``evicted`` — regardless of the engine mode.
 
 Input format: one event per line, ``relation,value,value,...``.  Values are
 parsed as integers when possible and kept as strings otherwise.  Matches are
@@ -33,6 +38,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, TextIO
 
 from repro.core.evaluation import NotEqualityPredicateError, StreamingEvaluator
 from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.extensions.general_evaluation import GeneralStreamingEvaluator
 from repro.cq.hierarchical import NotHierarchicalError, is_hierarchical
 from repro.cq.query import parse_query
 from repro.cq.schema import Tuple
@@ -112,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the object-graph enumeration structure instead of the arena "
         "(ablation; no slab reclamation)",
+    )
+    parser.add_argument(
+        "--general",
+        action="store_true",
+        help="evaluate with the general (non-hashed) engine that scans live "
+        "runs per transition; identical matches, linear-in-data update cost",
     )
     parser.add_argument(
         "--stats",
@@ -208,14 +220,29 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    engine = StreamingEvaluator(
-        pcea,
-        window=args.window,
-        indexed=not args.no_index,
-        evict=not args.no_evict,
-        collect_stats=args.stats,
-        arena=not args.no_arena,
-    )
+    if getattr(args, "general", False):
+        if args.no_evict:
+            print(
+                "warning: --no-evict has no effect in --general mode (the general "
+                "engine always evicts expired runs)",
+                file=sys.stderr,
+            )
+        engine = GeneralStreamingEvaluator(
+            pcea,
+            window=args.window,
+            indexed=not args.no_index,
+            arena=not args.no_arena,
+            collect_stats=args.stats,
+        )
+    else:
+        engine = StreamingEvaluator(
+            pcea,
+            window=args.window,
+            indexed=not args.no_index,
+            evict=not args.no_evict,
+            collect_stats=args.stats,
+            arena=not args.no_arena,
+        )
     batch_size = getattr(args, "batch_size", 0) or 0
     matches = 0
     events_seen = 0
@@ -245,24 +272,38 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         file=output,
     )
     if args.stats:
-        stats = engine.stats
-        info = engine.dispatch_info()
-        print(
-            f"# scanned={stats.transitions_scanned} fired={stats.transitions_fired} "
-            f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
-            f"unions={stats.unions} nodes={stats.nodes_created} "
-            f"outputs={stats.outputs_enumerated}",
-            file=output,
-        )
-        print(
-            f"# dispatch: transitions={info['transitions']:.0f} relations={info['relations']:.0f} "
-            f"wildcards={info['wildcard_transitions']:.0f} "
-            f"mean_candidates={info['mean_candidates']:.2f} "
-            f"guarded={info['guarded_transitions']:.0f}",
-            file=output,
-        )
-        print(_format_memory_line(engine.memory_info()), file=output)
+        _print_stats(engine, output)
     return 0
+
+
+def _print_stats(engine, output: TextIO) -> None:
+    """The ``--stats`` report, identical in shape across all three engine
+    modes (single / general / multi): one unified-counter line, one
+    dispatch-index line, one memory line."""
+    stats = engine.stats
+    info = engine.dispatch_info()
+    print(
+        f"# scanned={stats.transitions_scanned} "
+        f"pred_evals={stats.predicate_evaluations} "
+        f"pred_cache_hits={stats.predicate_cache_hits} "
+        f"fired={stats.transitions_fired} "
+        f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
+        f"unions={stats.unions} nodes={stats.nodes_created} "
+        f"outputs={stats.outputs_enumerated}",
+        file=output,
+    )
+    print(
+        f"# dispatch: queries={info['queries']:.0f} "
+        f"transitions={info['transitions']:.0f} "
+        f"relations={info['relations']:.0f} "
+        f"wildcards={info['wildcard_transitions']:.0f} "
+        f"predicate_groups={info['predicate_groups']:.0f} "
+        f"shared_predicate_groups={info['shared_predicate_groups']:.0f} "
+        f"mean_candidates={info['mean_candidates']:.2f} "
+        f"guarded={info['guarded_transitions']:.0f}",
+        file=output,
+    )
+    print(_format_memory_line(engine.memory_info()), file=output)
 
 
 def _format_memory_line(memory: dict) -> str:
@@ -352,25 +393,7 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
         file=output,
     )
     if args.stats:
-        stats = engine.stats
-        info = engine.dispatch_info()
-        print(
-            f"# scanned={stats.candidates_scanned} pred_evals={stats.predicate_evaluations} "
-            f"pred_cache_hits={stats.predicate_cache_hits} fired={stats.transitions_fired} "
-            f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
-            f"nodes={stats.nodes_created} outputs={stats.outputs_enumerated}",
-            file=output,
-        )
-        print(
-            f"# dispatch: queries={info['queries']:.0f} transitions={info['transitions']:.0f} "
-            f"relations={info['relations']:.0f} "
-            f"predicate_groups={info['predicate_groups']:.0f} "
-            f"shared_predicate_groups={info['shared_predicate_groups']:.0f} "
-            f"mean_candidates={info['mean_candidates']:.2f} "
-            f"guarded={info['guarded_transitions']:.0f}",
-            file=output,
-        )
-        print(_format_memory_line(engine.memory_info()), file=output)
+        _print_stats(engine, output)
     return 0
 
 

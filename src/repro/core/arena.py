@@ -7,9 +7,12 @@ integer ids instead of GC-tracked frozen dataclass instances.
 
 Arena layout
 ------------
-A node id encodes ``(slab index, offset)`` as ``id = base + offset`` with
-``base = slab_index << slab_bits``.  Each slab holds parallel flat lists, one
-entry per node:
+Node ids are allocated from one global id space carved into fixed 64-node
+*slots* (``slot = id >> 6``).  A slab owns a contiguous range of slots —
+``capacity / 64`` of them — and every owned slot maps to the slab in the
+slab table, so id-to-slab resolution is one dict lookup regardless of slab
+size and the node's offset is ``id - slab.base``.  Each slab holds parallel
+flat lists, one entry per node:
 
 * ``pos``  — the node's stream position ``i(n)``;
 * ``ms``   — ``max_start(n) = max{min(ν) | ν ∈ ⟦n⟧_prod}``;
@@ -28,6 +31,19 @@ entry per node:
 Node id ``0`` is the bottom node ``⊥`` (empty bag): it never carries links or
 children and every traversal treats it as expired.
 
+Adaptive slab sizing
+--------------------
+Slab capacity adapts to the observed allocation rate.  When a slab seals, the
+arena projects how many nodes one window's worth of stream positions
+allocates (``capacity / positions-the-slab-lasted × (window + 1)``) and sizes
+the next slab so that about :data:`TARGET_SLABS_PER_WINDOW` slabs cover a
+window — keeping the retained-slab count O(1) per window on bursty streams
+(a burst doubles capacity per seal until slabs last ``~window/8`` positions;
+a lull shrinks back toward the 64-node minimum so reclamation granularity
+stays tight).  An explicit ``slab_capacity`` disables adaptation (fixed-size
+slabs, the pre-adaptive behaviour the unit tests pin down); capacities are
+powers of two in ``[64, 65536]``.
+
 Slab lifecycle
 --------------
 Nodes are allocated by a pointer bump into the newest ("current") slab; a full
@@ -35,8 +51,8 @@ slab is *sealed* and a fresh one started, so slabs are generations bucketed by
 allocation time and — because ``max_start`` of any allocatable node is within
 one window of its allocation position — effectively bucketed by ``max_start``
 too.  Each slab tracks ``max_ms``, the largest ``max_start`` it contains.  A
-sealed slab is *released wholesale* (its arrays dropped in one dict deletion,
-O(1) amortised, no graph traversal) once
+sealed slab is *released wholesale* (its arrays dropped in one dict deletion
+per owned slot, O(1) amortised, no graph traversal) once
 
 1. it has **expired**: ``position - max_ms > window``, i.e. every node in it
    enumerates nothing and is pruned by every union, forever (positions only
@@ -65,7 +81,7 @@ References *into* a slab come from three places, each handled differently:
   heap condition only bounds ``max_start`` from above).  Traversals read one
   level into such a subtree purely to observe "expired, prune".  These reads
   are guarded at dereference time: a missing slab *means* expired, so the
-  lookup ``slabs.get(id >> bits)`` returning ``None`` takes exactly the branch
+  lookup ``slabs.get(id >> 6)`` returning ``None`` takes exactly the branch
   the pruning check would have taken.  Counting these references instead would
   chain-pin the entire history (every union top links to the previous top), so
   they are deliberately *not* counted;
@@ -98,12 +114,24 @@ _NEVER = -(1 << 62)
 #: The bottom node ``⊥`` as an id (shared by every arena).
 BOTTOM_ID = 0
 
+#: Fixed slot granularity of the id space: ids map to slabs via ``id >> 6``.
+_SLOT_BITS = 6
+
+#: Slab capacities are powers of two within these bounds.
+MIN_SLAB_CAPACITY = 1 << _SLOT_BITS
+MAX_SLAB_CAPACITY = 1 << 16
+
+#: Adaptive sizing aims for about this many slabs per window, balancing
+#: reclamation granularity (more, smaller slabs) against slab-table overhead.
+TARGET_SLABS_PER_WINDOW = 8
+
 
 class _Slab:
     """One generation of nodes: parallel flat arrays plus release accounting."""
 
     __slots__ = (
         "base",
+        "span",
         "pos",
         "ms",
         "ul",
@@ -116,8 +144,9 @@ class _Slab:
         "ext_refs",
     )
 
-    def __init__(self, base: int) -> None:
+    def __init__(self, base: int, span: int) -> None:
         self.base = base
+        self.span = span  # owned 64-node slots (capacity == span << 6)
         self.pos: List[int] = []
         self.ms: List[int] = []
         self.ul: List[int] = []
@@ -128,6 +157,14 @@ class _Slab:
         self.count = 0
         self.max_ms = _NEVER
         self.ext_refs = 0
+
+
+def _round_capacity(value: float) -> int:
+    """The smallest valid power-of-two capacity covering ``value``."""
+    capacity = MIN_SLAB_CAPACITY
+    while capacity < value and capacity < MAX_SLAB_CAPACITY:
+        capacity <<= 1
+    return capacity
 
 
 class ArenaDataStructure:
@@ -148,24 +185,39 @@ class ArenaDataStructure:
     window:
         The sliding-window size ``w``.
     slab_capacity:
-        Nodes per slab (rounded up to a power of two, clamped to
-        ``[64, 4096]``).  Defaults to ``min(4096, max(64, window + 1))`` so
-        reclamation granularity tracks the window.
+        Nodes per slab (rounded up to a power of two within
+        ``[64, 65536]``).  Giving it pins the capacity for the arena's
+        lifetime (adaptation off unless ``adaptive=True`` is passed
+        explicitly); by default the initial capacity tracks the window
+        (``min(4096, max(64, window + 1))`` rounded up) and then adapts to
+        the observed allocation volume.
+    adaptive:
+        Whether slab capacity follows the observed per-window allocation
+        volume (see the module docstring).  Defaults to ``True`` when
+        ``slab_capacity`` is not given, ``False`` when it is.
     """
 
-    def __init__(self, window: int, slab_capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        window: int,
+        slab_capacity: Optional[int] = None,
+        adaptive: Optional[bool] = None,
+    ) -> None:
         if window < 0:
             raise ValueError("window size must be non-negative")
         self.window = window
+        if adaptive is None:
+            adaptive = slab_capacity is None
+        self._adaptive = adaptive
         if slab_capacity is None:
-            slab_capacity = min(4096, max(64, window + 1))
-        slab_capacity = max(64, min(4096, slab_capacity))
-        self._bits = (slab_capacity - 1).bit_length()
-        self._cap = 1 << self._bits
-        self._mask = self._cap - 1
+            slab_capacity = min(4096, max(MIN_SLAB_CAPACITY, window + 1))
+        self._cap = _round_capacity(slab_capacity)
+        self._bits = _SLOT_BITS
         self._slabs: Dict[int, _Slab] = {}
-        self._next_slab = 0
+        self._slab_count = 0
+        self._next_slot = 0
         self._release_cursor = 0
+        self._slab_start: Optional[int] = None
         self._cur = self._new_slab()
         # Reserve id 0 for bottom: a sentinel that always reads as expired.
         self._append(self._cur, -1, _NEVER, 0, 0, 0, False, ())
@@ -182,12 +234,41 @@ class ArenaDataStructure:
         self.released_nodes = 0
 
     # ---------------------------------------------------------------- slabs
-    def _new_slab(self) -> _Slab:
-        index = self._next_slab
-        self._next_slab = index + 1
-        slab = _Slab(index << self._bits)
-        self._slabs[index] = slab
+    def _new_slab(self, position: Optional[int] = None) -> _Slab:
+        """Seal the current slab and start a fresh one (adapting capacity).
+
+        ``position`` is the stream position of the allocation that triggered
+        the seal; with adaptive sizing it dates the sealed slab's fill time,
+        from which the next capacity is projected.
+        """
+        if position is not None and self._adaptive and self._slab_start is not None:
+            elapsed = max(1, position - self._slab_start)
+            # Nodes one window's worth of positions allocates at the sealed
+            # slab's observed rate, spread over the target slab count.  The
+            # sealed slab's actual fill (not its capacity) is what matters:
+            # a time-sealed slab (see ``_seal_deadline``) is partially full,
+            # and its low fill is exactly the signal to shrink.
+            per_window = self._cur.count * (self.window + 1) / elapsed
+            self._cap = _round_capacity(per_window / TARGET_SLABS_PER_WINDOW)
+        slot = self._next_slot
+        span = self._cap >> _SLOT_BITS
+        self._next_slot = slot + span
+        slab = _Slab(slot << _SLOT_BITS, span)
+        slabs = self._slabs
+        for owned in range(slot, slot + span):
+            slabs[owned] = slab
+        self._slab_count += 1
         self._cur = slab
+        self._slab_start = position
+        # Time-based seal: an adaptive slab still open after a full window of
+        # positions seals at the next allocation, so a post-burst lull both
+        # shrinks the capacity and keeps reclamation granularity within the
+        # window (a slab can otherwise pin up to ``capacity`` nodes while it
+        # slowly fills).  Non-adaptive arenas never time-seal.
+        if self._adaptive and position is not None:
+            self._seal_deadline = position + self.window + 1
+        else:
+            self._seal_deadline = 1 << 62
         return slab
 
     @staticmethod
@@ -217,22 +298,22 @@ class ArenaDataStructure:
     # ---------------------------------------------------------------- access
     def max_start_of(self, node: int) -> int:
         """``max_start`` of ``node`` (``_NEVER`` for ⊥ / released ids)."""
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return _NEVER
-        return slab.ms[node & self._mask]
+        return slab.ms[node - slab.base]
 
     def position_of(self, node: int) -> int:
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return -1
-        return slab.pos[node & self._mask]
+        return slab.pos[node - slab.base]
 
     def labels_of(self, node: int) -> frozenset:
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return frozenset()
-        return self._labels[slab.lab[node & self._mask]]
+        return self._labels[slab.lab[node - slab.base]]
 
     def expired(self, node: int, position: int) -> bool:
         """Whether every valuation of ``⟦node⟧`` is out of the window at ``position``.
@@ -243,10 +324,10 @@ class ArenaDataStructure:
         """
         if not node:
             return True
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return True
-        return position - slab.ms[node & self._mask] > self.window
+        return position - slab.ms[node - slab.base] > self.window
 
     # ----------------------------------------------------------------- nodes
     def extend(self, labels: Iterable[Label], position: int, children: Sequence[int]) -> int:
@@ -264,14 +345,12 @@ class ArenaDataStructure:
             self._labels.append(labels)
             self._label_ids[labels] = label_id
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         max_start = position
         for child in children:
-            slab = None if not child else slabs.get(child >> bits)
+            slab = None if not child else slabs.get(child >> _SLOT_BITS)
             if slab is None:
                 raise ValueError("product children must not be the bottom node")
-            index = child & mask
+            index = child - slab.base
             if slab.pos[index] >= position:
                 raise ValueError("product children must have strictly smaller positions")
             child_ms = slab.ms[index]
@@ -282,8 +361,8 @@ class ArenaDataStructure:
         # ``_append``.
         slab = self._cur
         offset = slab.count
-        if offset >= self._cap:
-            slab = self._new_slab()
+        if offset >= self._cap or (offset and position > self._seal_deadline):
+            slab = self._new_slab(position)
             offset = 0
         slab.pos.append(position)
         slab.ms.append(max_start)
@@ -308,31 +387,28 @@ class ArenaDataStructure:
         of any depth cannot overflow the interpreter stack.
         """
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
-        fresh_slab = slabs.get(fresh >> bits) if fresh else None
+        fresh_slab = slabs.get(fresh >> _SLOT_BITS) if fresh else None
         if fresh_slab is None:
             raise ValueError("the second argument of union must be a live product node")
-        fresh_index = fresh & mask
+        fresh_index = fresh - fresh_slab.base
         if fresh_slab.ul[fresh_index] or fresh_slab.ur[fresh_index]:
             raise ValueError("the second argument of union must be a fresh product node")
         self.union_calls += 1
         position = fresh_slab.pos[fresh_index]
         fresh_ms = fresh_slab.ms[fresh_index]
         window = self.window
-        cap = self._cap
         # Descend: copy-path of (slab, index, went_left) frames.
         path: List[Tup[_Slab, int, bool]] = []
         current = left
         copies = 0
         new: int
         while True:
-            slab = slabs.get(current >> bits) if current else None
+            slab = slabs.get(current >> _SLOT_BITS) if current else None
             if slab is None:
                 # Bottom, or a released slab: everything below is expired.
                 new = fresh
                 break
-            index = current & mask
+            index = current - slab.base
             if position - slab.ms[index] > window:
                 # Expired subtree: prune it (positions only grow).
                 new = fresh
@@ -344,8 +420,8 @@ class ArenaDataStructure:
                 # Allocation inlined, as in ``extend``.
                 target = self._cur
                 offset = target.count
-                if offset >= cap:
-                    target = self._new_slab()
+                if offset >= self._cap or (offset and position > self._seal_deadline):
+                    target = self._new_slab(position)
                     offset = 0
                 target.pos.append(position)
                 target.ms.append(fresh_ms)
@@ -370,8 +446,8 @@ class ArenaDataStructure:
             node_ms = slab.ms[index]
             target = self._cur
             offset = target.count
-            if offset >= cap:
-                target = self._new_slab()
+            if offset >= self._cap or (offset and position > self._seal_deadline):
+                target = self._new_slab(position)
                 offset = 0
             target.pos.append(slab.pos[index])
             target.ms.append(node_ms)
@@ -400,14 +476,14 @@ class ArenaDataStructure:
     # ------------------------------------------------------------ reclamation
     def add_ref(self, node: int) -> None:
         """Count one external (hash-entry) reference into ``node``'s slab."""
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is not None:
             slab.ext_refs += 1
 
     def drop_ref(self, node: int) -> None:
         """Drop one external reference (the eviction sweep calls this once per
         popped expiry-bucket registration, balancing :meth:`add_ref`)."""
-        slab = self._slabs.get(node >> self._bits)
+        slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is not None:
             slab.ext_refs -= 1
 
@@ -415,24 +491,28 @@ class ArenaDataStructure:
         """Release every leading sealed slab that expired and is unreferenced.
 
         Returns the number of slabs released.  O(1) per call when nothing is
-        releasable; releasing is a dict deletion per slab (pointer bump undo),
-        never a graph traversal.
+        releasable; releasing is one dict deletion per owned slot (pointer
+        bump undo), never a graph traversal.
         """
         slabs = self._slabs
         cursor = self._release_cursor
-        newest = self._next_slab - 1
+        current = self._cur
         window = self.window
         released = 0
-        while cursor < newest:
-            slab = slabs[cursor]
+        while True:
+            slab = slabs.get(cursor)
+            if slab is None or slab is current:
+                break  # never release the unsealed current slab
             if position - slab.max_ms <= window or slab.ext_refs > 0:
                 break
-            del slabs[cursor]
+            for owned in range(cursor, cursor + slab.span):
+                del slabs[owned]
+            self._slab_count -= 1
             self.released_slabs += 1
             # Slab 0 holds the bottom sentinel, which _allocated never counted.
-            self.released_nodes += slab.count - 1 if cursor == 0 else slab.count
+            self.released_nodes += slab.count - 1 if slab.base == 0 else slab.count
             released += 1
-            cursor += 1
+            cursor += slab.span
         self._release_cursor = cursor
         return released
 
@@ -442,13 +522,17 @@ class ArenaDataStructure:
         return self._allocated - self.released_nodes
 
     def slab_count(self) -> int:
-        return len(self._slabs)
+        return self._slab_count
+
+    def slab_capacity(self) -> int:
+        """The current slab's capacity (adapts with the allocation volume)."""
+        return self._cap
 
     def memory_stats(self) -> Dict[str, int]:
         """Arena occupancy, shaped for the CLI ``--stats`` memory section."""
         return {
             "arena": 1,
-            "slabs": len(self._slabs),
+            "slabs": self._slab_count,
             "slab_capacity": self._cap,
             "live_nodes": self.live_node_count(),
             "released_slabs": self.released_slabs,
@@ -461,18 +545,16 @@ class ArenaDataStructure:
         """Enumerate ``⟦node⟧^w_position`` — same pruning and order as the
         object structure's :meth:`~repro.core.datastructure.DataStructure.enumerate`."""
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         window = self.window
         stack: List[int] = [node] if node else []
         while stack:
             current = stack.pop()
             if not current:
                 continue
-            slab = slabs.get(current >> bits)
+            slab = slabs.get(current >> _SLOT_BITS)
             if slab is None:
                 continue
-            index = current & mask
+            index = current - slab.base
             if position - slab.ms[index] > window:
                 continue
             if slab.prod[index]:
@@ -490,17 +572,15 @@ class ArenaDataStructure:
         """Enumerate ``⟦node⟧`` ignoring the window (tests; only meaningful
         while nothing reachable from ``node`` has been released)."""
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         stack: List[int] = [node] if node else []
         while stack:
             current = stack.pop()
             if not current:
                 continue
-            slab = slabs.get(current >> bits)
+            slab = slabs.get(current >> _SLOT_BITS)
             if slab is None:
                 continue
-            index = current & mask
+            index = current - slab.base
             if slab.prod[index]:
                 yield from self._product_combinations(slab, index, position=0, windowed=False)
             else:
@@ -530,23 +610,21 @@ class ArenaDataStructure:
     def check_heap_condition(self, node: int) -> bool:
         """Condition (‡) below ``node``, iteratively (deep chains are fine)."""
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         stack: List[int] = [node] if node else []
         while stack:
             current = stack.pop()
-            slab = slabs.get(current >> bits)
+            slab = slabs.get(current >> _SLOT_BITS)
             if slab is None:
                 continue
-            index = current & mask
+            index = current - slab.base
             current_ms = slab.ms[index]
             for link in (slab.ul[index], slab.ur[index]):
                 if not link:
                     continue
-                link_slab = slabs.get(link >> bits)
+                link_slab = slabs.get(link >> _SLOT_BITS)
                 if link_slab is None:
                     continue
-                if link_slab.ms[link & mask] > current_ms:
+                if link_slab.ms[link - link_slab.base] > current_ms:
                     return False
                 stack.append(link)
             stack.extend(slab.prod[index])
@@ -560,15 +638,13 @@ class ArenaDataStructure:
         been released.
         """
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         worklist: List[int] = [node] if node else []
         while worklist:
             current = worklist.pop()
-            slab = slabs.get(current >> bits)
+            slab = slabs.get(current >> _SLOT_BITS)
             if slab is None:
                 continue
-            index = current & mask
+            index = current - slab.base
             base = Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
             partials: List[Valuation] = [base]
             for child in slab.prod[index]:
@@ -588,18 +664,16 @@ class ArenaDataStructure:
     def union_depth(self, node: int) -> int:
         """Depth of the union tree hanging at ``node`` (instrumentation)."""
         slabs = self._slabs
-        bits = self._bits
-        mask = self._mask
         best = 0
         stack: List[Tup[int, int]] = [(node, 1)] if node else []
         while stack:
             current, depth = stack.pop()
-            slab = slabs.get(current >> bits)
+            slab = slabs.get(current >> _SLOT_BITS)
             if slab is None:
                 continue
             if depth > best:
                 best = depth
-            index = current & mask
+            index = current - slab.base
             for link in (slab.ul[index], slab.ur[index]):
                 if link:
                     stack.append((link, depth + 1))
@@ -607,6 +681,7 @@ class ArenaDataStructure:
 
     def __repr__(self) -> str:
         return (
-            f"ArenaDataStructure(window={self.window}, slabs={len(self._slabs)}, "
-            f"live={self.live_node_count()}, released={self.released_nodes})"
+            f"ArenaDataStructure(window={self.window}, slabs={self._slab_count}, "
+            f"cap={self._cap}, live={self.live_node_count()}, "
+            f"released={self.released_nodes})"
         )

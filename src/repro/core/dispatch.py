@@ -282,7 +282,13 @@ class TransitionDispatchIndex:
         return len(self._all)
 
     def describe(self) -> Dict[str, float]:
-        """Summary statistics for benchmark / CLI reporting."""
+        """Summary statistics for benchmark / CLI reporting.
+
+        The key set matches ``MergedDispatchIndex.describe`` (``queries`` is
+        always 1 here; ``predicate_groups`` count distinct canonical unary
+        keys within the automaton) so the CLI ``--stats`` dispatch line is
+        identical across engine modes.
+        """
         sizes = [len(candidates) for candidates in self._by_relation.values()]
         guarded = sum(1 for c in self._all if c.guard is not None)
         guard_values = sum(
@@ -290,8 +296,16 @@ class TransitionDispatchIndex:
             for _, groups in self._guarded.values()
             for _, by_value in groups
         )
+        key_counts: Dict[Hashable, int] = {}
+        for c in self._all:
+            key_counts[c.pred_key] = key_counts.get(c.pred_key, 0) + 1
         return {
+            "queries": 1.0,
             "transitions": float(len(self._all)),
+            "predicate_groups": float(len(key_counts)),
+            "shared_predicate_groups": float(
+                sum(1 for count in key_counts.values() if count > 1)
+            ),
             "relations": float(len(self._by_relation)),
             "wildcard_transitions": float(len(self._wildcard)),
             "max_candidates": float(max(sizes, default=len(self._wildcard))),

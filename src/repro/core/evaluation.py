@@ -26,11 +26,16 @@ these costs, so the implementation should not pay them either):
   name extracted from the unary predicates, plus a reverse ``state ->
   consuming transitions`` map).  ``indexed=False`` restores the seed engine's
   full ``O(|Δ|)`` scans for ablation.
-* **Expiry-driven hash eviction** — entries of ``H`` whose node fell out of
-  the sliding window are dropped by a bucket-by-``max_start`` sweep, bounding
-  the table at ``O(active window)`` instead of ``O(stream length)`` on
-  long-running streams.  The ``evicted`` counter reports the reclaimed
-  entries; ``evict=False`` restores the unbounded seed behaviour.
+* **Shared runtime core** — the stream position, the expiry-driven eviction
+  sweep, the arena release protocol, batched ingestion and the statistics /
+  memory introspection surface live in :mod:`repro.runtime`
+  (:class:`~repro.runtime.StreamRuntime`), shared verbatim with the
+  multi-query and general evaluators; this evaluator is the K=1 lane of that
+  runtime.  Entries of ``H`` whose node fell out of the sliding window are
+  dropped by a bucket-by-expiry-position sweep, bounding the table at
+  ``O(active window)`` instead of ``O(stream length)``; the ``evicted``
+  counter reports the reclaimed entries, ``evict=False`` restores the
+  unbounded seed behaviour.
 * **Optional statistics** — the per-tuple operation counters are skipped
   entirely in fast mode (``collect_stats=False``, and by default inside
   ``run(collect=False)``), so throughput benchmarks measure the algorithm,
@@ -47,7 +52,6 @@ these costs, so the implementation should not pay them either):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as Tup, Union
 
 from repro.core.arena import ArenaDataStructure
@@ -55,6 +59,7 @@ from repro.core.datastructure import DataStructure, Node
 from repro.core.dispatch import TransitionDispatchIndex
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
+from repro.runtime import EngineStatistics, EvictionLane, RuntimeBackedEngine, StreamRuntime
 from repro.valuation import Valuation
 
 
@@ -64,25 +69,16 @@ State = Hashable
 #: dense integer id into the arena's flat arrays (``arena=True``).
 NodeRef = Union[Node, int]
 
+#: Backwards-compatible name: the per-engine statistics dataclasses were
+#: unified into :class:`repro.runtime.EngineStatistics`.
+UpdateStatistics = EngineStatistics
+
 
 class NotEqualityPredicateError(TypeError):
     """Raised when Algorithm 1 is instantiated on a PCEA with non-equality joins."""
 
 
-@dataclass
-class UpdateStatistics:
-    """Operation counters for one ``process`` call (benchmark instrumentation)."""
-
-    transitions_scanned: int = 0
-    transitions_fired: int = 0
-    hash_lookups: int = 0
-    hash_updates: int = 0
-    unions: int = 0
-    nodes_created: int = 0
-    outputs_enumerated: int = 0
-
-
-class StreamingEvaluator:
+class StreamingEvaluator(RuntimeBackedEngine):
     """Algorithm 1: streaming evaluation of a PCEA under a sliding window.
 
     Parameters
@@ -156,22 +152,19 @@ class StreamingEvaluator:
             self.ds = DataStructure(window)
         if self.ds.window != window:
             raise ValueError("data structure window must match the evaluator window")
-        # Representation-agnostic reclamation hooks, hoisted once: node
-        # references are Node objects or arena ids depending on the
-        # structure, and only the structure knows how to maintain slab
-        # refcounts (no-ops for the object graph).
-        self._add_ref = self.ds.add_ref
-        self._drop_ref = self.ds.drop_ref
-        self._release = self.ds.release_expired
-        self.audit = audit
-        self.position = -1
+        # The shared runtime core (position, expiry buckets, eviction sweep,
+        # arena release passes, batching, statistics): this evaluator is the
+        # K=1 lane of the same machinery the multi-query engine runs per
+        # registered query.
+        self._runtime = StreamRuntime()
+        self._lane = self._runtime.add_lane(EvictionLane(window, self.ds))
         # H maps (transition index, source state, key) to ``(node, max_start)``
         # where the node represents the union of all runs that reached that
         # state with that join key.  max_start is cached in the pair so the
         # hot expiry checks never re-read it through the data structure (an
         # attribute read for object nodes, a slab-array read for arena ids).
-        self._hash: Dict[Tup[int, State, Hashable], Tup[NodeRef, int]] = {}
-        self.stats = UpdateStatistics()
+        self._hash: Dict[Tup[int, State, Hashable], Tup[NodeRef, int]] = self._lane.hash
+        self.audit = audit
         self._count_stats = collect_stats
         if dispatch is not None:
             if dispatch.final != frozenset(pcea.final):
@@ -192,18 +185,7 @@ class StreamingEvaluator:
             self._dispatch = TransitionDispatchIndex(
                 pcea.transitions, indexed=False, final=pcea.final
             )
-        # Expiry-driven eviction of H: hash keys are bucketed by the
-        # ``max_start`` of the node they point to; at position i the bucket
-        # ``i - window - 1`` becomes expired and is swept.  Each registration
-        # keeps the node it registered so the sweep can release the arena's
-        # per-slab external reference exactly once.  ``evicted`` counts the
-        # entries reclaimed so far.
         self._evict = evict
-        self._expiry_buckets: Dict[int, List[Tup[Tup[int, State, Hashable], NodeRef]]] = {}
-        # Highest bucket position already swept; lets the batched sweep pop
-        # the dense range of newly due buckets instead of scanning every key.
-        self._swept_upto = -window - 2
-        self.evicted = 0
 
     # -------------------------------------------------------------- main loop
     def run(
@@ -247,70 +229,22 @@ class StreamingEvaluator:
 
         Produces exactly what ``[self.process(t) for t in tuples]`` would,
         but amortises the per-tuple Python overhead: method lookups are
-        hoisted out of the loop, the eviction sweep runs once per batch (at
-        the end, over every bucket that expired during the batch — harmless
-        for correctness because expiry is re-checked at every hash lookup),
-        and the enumeration counter is flushed to the statistics once per
-        batch.
+        hoisted out of the loop, the eviction sweep runs once per batch
+        (deferred-sweep correctness is the runtime's
+        :meth:`~repro.runtime.StreamRuntime.drive_batch` contract), and the
+        enumeration counter is flushed to the statistics once per batch.
         """
         if self.audit:
             # Audit mode verifies duplicate-freeness through the slow
             # enumeration path; batching stays semantically identical.
             return [self.process(tup) for tup in tuples]
-        update = self.update
-        ds_enumerate = self.ds.enumerate
-        results: List[List[Valuation]] = []
-        append = results.append
-        enumerated = 0
-        for tup in tuples:
-            final_nodes = update(tup, sweep=False)
-            if final_nodes:
-                position = self.position
-                outputs: List[Valuation] = []
-                extend = outputs.extend
-                for node in final_nodes:
-                    extend(ds_enumerate(node, position))
-                enumerated += len(outputs)
-                append(outputs)
-            else:
-                append([])
-        if self._evict:
-            self._sweep_expired_upto(self.position)
+        runtime = self._runtime
+        results, enumerated = runtime.drive_enumerating_batch(
+            tuples, self.update, self.ds.enumerate, sweep=self._evict
+        )
         if self._count_stats and enumerated:
-            self.stats.outputs_enumerated += enumerated
+            runtime.stats.outputs_enumerated += enumerated
         return results
-
-    def _sweep_expired_upto(self, position: int) -> None:
-        """Evict every hash entry whose expiry bucket is due at ``position``.
-
-        Covers all buckets up to ``position - window - 1`` in one pass — the
-        batched counterpart of the single-bucket sweep in :meth:`update`.
-        Buckets are popped over the dense range of positions not yet swept
-        (entries are always registered in future buckets, so nothing lands
-        behind ``_swept_upto``), keeping the sweep O(positions advanced), not
-        O(live buckets).
-        """
-        threshold = position - self.window - 1
-        if threshold <= self._swept_upto:
-            return
-        buckets = self._expiry_buckets
-        hash_table = self._hash
-        window = self.window
-        drop_ref = self._drop_ref
-        evicted = 0
-        for bucket in range(self._swept_upto + 1, threshold + 1):
-            expired_keys = buckets.pop(bucket, None)
-            if not expired_keys:
-                continue
-            for key, registered in expired_keys:
-                drop_ref(registered)
-                pair = hash_table.get(key)
-                if pair is not None and position - pair[1] > window:
-                    del hash_table[key]
-                    evicted += 1
-        self._swept_upto = threshold
-        self.evicted += evicted
-        self._release(position)
 
     # ------------------------------------------------------------ update phase
     def update(self, tup: Tuple, sweep: bool = True) -> List[NodeRef]:
@@ -323,13 +257,16 @@ class StreamingEvaluator:
         batched sweep instead of one per tuple.
         """
         # Reset.
-        self.position += 1
-        position = self.position
+        runtime = self._runtime
+        position = runtime.advance()
         window = self.window
         ds = self.ds
+        lane = self._lane
         hash_table = self._hash
         dispatch = self._dispatch
-        stats = self.stats if self._count_stats else None
+        stats = runtime.stats if self._count_stats else None
+        if stats is not None:
+            stats.tuples_processed += 1
         # Keyed by interned state id (plain int) — composite automaton states
         # never reach a hash table in the per-tuple loop.  Values are
         # ``(node, max_start)`` pairs: max_start is threaded through from the
@@ -339,39 +276,16 @@ class StreamingEvaluator:
         new_nodes: Dict[int, List[Tup[NodeRef, int]]] = {}
         final_nodes: List[NodeRef] = []
 
-        # Evict: drop the hash entries whose node expired at this position.
-        # A key is registered (below) in the bucket of its node's max_start;
-        # since every stored node satisfies max_start >= position - window at
-        # storage time, sweeping the single bucket ``position - window - 1``
-        # per step reclaims every entry exactly when it expires.  The sweep is
-        # also when arena slabs are released: a slab's last external reference
-        # is dropped no later than the bucket of its largest max_start, which
-        # is due exactly when the slab expires.
+        # Evict: one shared-runtime sweep.  A key is registered (below) in the
+        # bucket of its expiry position ``max_start + window + 1``; since
+        # every stored node satisfies max_start >= position - window at
+        # storage time, popping the single bucket of the current position
+        # reclaims every entry exactly when it expires.  The sweep is also
+        # when arena slabs are released: a slab's last external reference is
+        # dropped no later than the bucket of its largest max_start, which is
+        # due exactly when the slab expires.
         if self._evict and sweep:
-            threshold = position - window - 1
-            if threshold == self._swept_upto + 1:
-                # Steady state: exactly one new bucket became due.
-                self._swept_upto = threshold
-                expired_keys = self._expiry_buckets.pop(threshold, None)
-                if expired_keys:
-                    drop_ref = self._drop_ref
-                    evicted = 0
-                    for key, registered in expired_keys:
-                        drop_ref(registered)
-                        pair = hash_table.get(key)
-                        # The entry may have been superseded by a younger node
-                        # (re-registered in a later bucket) — only drop it if
-                        # it is genuinely out of the window now.
-                        if pair is not None and position - pair[1] > window:
-                            del hash_table[key]
-                            evicted += 1
-                    self.evicted += evicted
-                self._release(position)
-            elif threshold > self._swept_upto:
-                # Earlier updates ran with sweep=False and no batch sweep
-                # followed: cover the whole overdue range so no bucket is
-                # marked swept without being popped.
-                self._sweep_expired_upto(position)
+            runtime.sweep(position)
 
         # FireTransitions, restricted to the candidate transitions for this
         # tuple's relation and constant guards (wildcard transitions are
@@ -379,6 +293,7 @@ class StreamingEvaluator:
         for compiled in dispatch.candidates_for(tup):
             if stats is not None:
                 stats.transitions_scanned += 1
+                stats.predicate_evaluations += 1
             if not compiled.unary.holds(tup):
                 continue
             children: List[NodeRef] = []
@@ -420,8 +335,8 @@ class StreamingEvaluator:
         # UpdateIndices, restricted to the transitions that consume a state
         # that actually received new runs this position.
         if new_nodes:
-            buckets = self._expiry_buckets if self._evict else None
-            add_ref = self._add_ref
+            buckets = runtime.buckets if self._evict else None
+            add_ref = lane.add_ref
             for state_id, nodes in new_nodes.items():
                 for compiled, source_id, predicate in dispatch.consumers_by_id(state_id):
                     key = predicate.left_key(tup)  # the current tuple will be the earlier one
@@ -451,11 +366,12 @@ class StreamingEvaluator:
                                 entry_ms = node_ms
                     hash_table[entry_key] = (entry, entry_ms)
                     if buckets is not None:
-                        expiry = buckets.get(entry_ms)
+                        expiry_position = entry_ms + window + 1
+                        expiry = buckets.get(expiry_position)
                         if expiry is None:
-                            buckets[entry_ms] = [(entry_key, entry)]
+                            buckets[expiry_position] = [(lane, entry_key, entry)]
                         else:
-                            expiry.append((entry_key, entry))
+                            expiry.append((lane, entry_key, entry))
                         add_ref(entry)
 
         # ``final_nodes`` was collected at fire time (transitions know whether
@@ -472,34 +388,29 @@ class StreamingEvaluator:
         """
         seen: Optional[Set[Valuation]] = set() if self.audit else None
         count_stats = self._count_stats
+        stats = self._runtime.stats
+        position = self.position
         for node in final_nodes:
-            for valuation in self.ds.enumerate(node, self.position):
+            for valuation in self.ds.enumerate(node, position):
                 if count_stats:
-                    self.stats.outputs_enumerated += 1
+                    stats.outputs_enumerated += 1
                 if seen is not None:
                     if valuation in seen:
                         raise AssertionError(
-                            f"duplicate output {valuation} at position {self.position}; "
+                            f"duplicate output {valuation} at position {position}; "
                             "the PCEA is not unambiguous"
                         )
                     seen.add(valuation)
                 yield valuation
 
     # ------------------------------------------------------------ introspection
-    def hash_table_size(self) -> int:
-        """Number of entries currently stored in ``H``."""
-        return len(self._hash)
-
-    def memory_info(self) -> Dict[str, int]:
-        """Enumeration-structure occupancy (arena slabs / live nodes / released)."""
-        return self.ds.memory_stats()
-
+    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
     def dispatch_info(self) -> Dict[str, float]:
         """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
         return self._dispatch.describe()
 
     def reset_statistics(self) -> None:
-        self.stats = UpdateStatistics()
+        self._runtime.reset_statistics()
         self.ds.nodes_created = 0
         self.ds.union_calls = 0
         self.ds.union_copies = 0

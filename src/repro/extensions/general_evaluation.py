@@ -10,29 +10,58 @@ open (Section 6).
 factorised run representation (the ``DS_w`` nodes of Section 5, so the
 enumeration phase is still output-linear), but during the update phase it scans
 the live nodes of every source state and filters them with the binary
-predicate.  Its update time is therefore ``O(|Δ| · live_nodes)`` — matching the
-"update time linear in the data" behaviour of the θ-join engines discussed in
-the related work — while producing exactly the same outputs as Algorithm 1
-whenever both apply.
+predicate.  Its update time is therefore ``O(candidates · live_nodes)`` —
+matching the "update time linear in the data" behaviour of the θ-join engines
+discussed in the related work — while producing exactly the same outputs as
+Algorithm 1 whenever both apply.
+
+Runtime parity
+--------------
+This evaluator runs on the same :class:`~repro.runtime.StreamRuntime` core as
+the hashed engines (it is a single :class:`~repro.runtime.EvictionLane`, like
+:class:`~repro.core.evaluation.StreamingEvaluator`):
+
+* **dispatch** — transitions are probed through the compile-once
+  :class:`~repro.core.dispatch.TransitionDispatchIndex` (``indexed=False``
+  restores the full per-tuple scan), so tuples of irrelevant relations cost
+  one dict lookup instead of ``O(|Δ|)`` predicate evaluations;
+* **eviction** — live runs are stored in the lane's table keyed by
+  ``(source state id, sequence number)`` with the run's newest position as
+  the expiry anchor, and reclaimed by the runtime's shared bucket sweep: a
+  run whose newest tuple is older than ``w`` can never contribute an
+  in-window output again, because outputs are constrained through
+  ``min(ν) >= i - w`` and ``min(ν) <=`` every position of the run.  The scan
+  re-checks ``ds.expired`` before touching a stored node, so entries whose
+  arena slab was already released read as expired and are skipped;
+* **batching / statistics / memory** — ``process_many`` rides the runtime's
+  batch driver, and ``collect_stats`` / ``memory_info`` / ``dispatch_info``
+  mirror the other engines (the CLI ``--stats`` output is identical across
+  all three modes).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple as Tup
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
 from repro.core.datastructure import DataStructure
+from repro.core.dispatch import TransitionDispatchIndex
 from repro.core.evaluation import NodeRef
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
+from repro.runtime import EvictionLane, RuntimeBackedEngine, StreamRuntime
 from repro.valuation import Valuation
 
 
 State = Hashable
 
+#: Positions between compactions of the per-state sequence lists (dead
+#: sequence numbers — whose hash entry the shared sweep already reclaimed —
+#: are dropped; amortised O(live / interval) per tuple).
+_COMPACT_INTERVAL = 256
 
-class GeneralStreamingEvaluator:
+
+class GeneralStreamingEvaluator(RuntimeBackedEngine):
     """Sliding-window evaluation of a PCEA whose predicates may be arbitrary.
 
     Parameters
@@ -44,31 +73,50 @@ class GeneralStreamingEvaluator:
         Sliding-window size ``w``; outputs ``ν`` satisfy ``i - min(ν) <= w``.
     arena:
         With ``True`` (default) partial runs live in the arena-backed
-        :class:`~repro.core.arena.ArenaDataStructure`; the per-position
-        eviction additionally releases expired slabs, so the enumeration
+        :class:`~repro.core.arena.ArenaDataStructure`; the shared eviction
+        sweep additionally releases expired slabs, so the enumeration
         structure is window-bounded here too.  ``False`` restores the
         object-graph ``DS_w``.
-
-    Notes
-    -----
-    Live partial runs are stored per state as ``(position, tuple, node)``
-    entries and evicted once their *newest* position falls out of the window —
-    a run whose newest tuple is older than ``w`` can never contribute an
-    in-window output again, because outputs are constrained through
-    ``min(ν) >= i - w`` and ``min(ν) <=`` every position of the run.
-    The update scan re-checks ``ds.expired`` before touching a stored node, so
-    entries whose slab was already released read as expired and are skipped —
-    no external-reference counting is needed for the scan lists.
+    indexed:
+        With ``False`` every transition is probed for every tuple (the
+        pre-dispatch behaviour, kept for ablation / differential testing).
+    collect_stats:
+        With ``False`` the per-tuple operation counters are skipped.  The
+        ``nodes_scanned`` attribute (the engine's signature linear-in-data
+        cost) is maintained regardless, as it always was.
     """
 
-    def __init__(self, pcea: PCEA, window: int, arena: bool = True) -> None:
+    def __init__(
+        self,
+        pcea: PCEA,
+        window: int,
+        arena: bool = True,
+        indexed: bool = True,
+        collect_stats: bool = True,
+    ) -> None:
         self.pcea = pcea
         self.window = window
         self.ds = ArenaDataStructure(window) if arena else DataStructure(window)
-        self.position = -1
-        self._live: Dict[State, Deque[Tup[int, Tuple, NodeRef]]] = {
-            state: deque() for state in pcea.states
-        }
+        self._runtime = StreamRuntime()
+        self._lane = self._runtime.add_lane(EvictionLane(window, self.ds))
+        # The lane table maps (source state id, sequence number) to
+        # ``((stored tuple, node), stored position)`` — the pair's second
+        # element is the expiry anchor the shared sweep checks, so a run is
+        # reclaimed exactly when its newest position leaves the window.
+        self._hash: Dict[Tup[int, int], Tup[Tup[Tuple, NodeRef], int]] = self._lane.hash
+        if indexed:
+            self._dispatch = pcea.dispatch_index()
+        else:
+            self._dispatch = TransitionDispatchIndex(
+                pcea.transitions, indexed=False, final=pcea.final
+            )
+        # Per-state insertion-ordered sequence numbers into the lane table.
+        # Entries the sweep reclaimed read as misses and are skipped by the
+        # scan; the periodic compaction drops them from the lists.
+        self._state_seqs: Dict[int, List[int]] = {}
+        self._next_seq = 0
+        self._next_compact = _COMPACT_INTERVAL
+        self._count_stats = collect_stats
         self.nodes_scanned = 0
 
     # -------------------------------------------------------------- main loop
@@ -84,30 +132,69 @@ class GeneralStreamingEvaluator:
                 results[self.position] = outputs
         return results
 
+    def process_many(self, tuples: Sequence[Tuple]) -> List[List[Valuation]]:
+        """Batched ingestion: one shared-runtime sweep per batch.
+
+        Semantically identical to ``[self.process(t) for t in tuples]`` (the
+        scan re-checks expiry per stored run, so deferring the sweep only
+        delays reclamation); the one-sweep-per-batch policy is the runtime's
+        :meth:`~repro.runtime.StreamRuntime.drive_batch`.
+        """
+        runtime = self._runtime
+        results, enumerated = runtime.drive_enumerating_batch(
+            tuples, self.update, self.ds.enumerate
+        )
+        if self._count_stats and enumerated:
+            runtime.stats.outputs_enumerated += enumerated
+        return results
+
     # ------------------------------------------------------------ update phase
-    def update(self, tup: Tuple) -> List[NodeRef]:
-        self.position += 1
-        position = self.position
-        self._evict(position)
-        created: List[Tup[State, NodeRef]] = []
-        for transition in self.pcea.transitions:
-            if not transition.unary.holds(tup):
+    def update(self, tup: Tuple, sweep: bool = True) -> List[NodeRef]:
+        runtime = self._runtime
+        position = runtime.advance()
+        if sweep:
+            runtime.sweep(position)
+        if position >= self._next_compact:
+            self._compact(position)
+        ds = self.ds
+        ds_expired = ds.expired
+        hash_table = self._hash
+        state_seqs = self._state_seqs
+        stats = runtime.stats if self._count_stats else None
+        if stats is not None:
+            stats.tuples_processed += 1
+        created: List[Tup[int, bool, NodeRef]] = []
+        scanned = 0
+        for compiled in self._dispatch.candidates_for(tup):
+            if stats is not None:
+                stats.transitions_scanned += 1
+                stats.predicate_evaluations += 1
+            if not compiled.unary.holds(tup):
                 continue
-            if transition.is_initial:
-                node = self.ds.extend(transition.labels, position, [])
-                created.append((transition.target, node))
+            if not compiled.joins:  # initial transition: no sources to join
+                node = ds.extend(compiled.labels, position, [])
+                if stats is not None:
+                    stats.transitions_fired += 1
+                    stats.nodes_created += 1
+                created.append((compiled.target_id, compiled.is_final, node))
                 continue
             per_source: List[List[NodeRef]] = []
             feasible = True
-            for source in sorted(transition.sources, key=str):
-                predicate = transition.binaries[source]
+            for _, source_id, predicate in compiled.joins:
                 compatible: List[NodeRef] = []
-                for stored_position, stored_tuple, node in self._live[source]:
-                    self.nodes_scanned += 1
-                    if self.ds.expired(node, position):
-                        continue
-                    if predicate.holds(stored_tuple, tup):
-                        compatible.append(node)
+                seqs = state_seqs.get(source_id)
+                if seqs:
+                    holds = predicate.holds
+                    for seq in seqs:
+                        pair = hash_table.get((source_id, seq))
+                        if pair is None:
+                            continue  # reclaimed by the sweep; compaction pending
+                        stored_tuple, node = pair[0]
+                        scanned += 1
+                        if ds_expired(node, position):
+                            continue
+                        if holds(stored_tuple, tup):
+                            compatible.append(node)
                 if not compatible:
                     feasible = False
                     break
@@ -117,38 +204,90 @@ class GeneralStreamingEvaluator:
             # Union the compatible runs of each source into one node, then take
             # the product — the same factorisation as Algorithm 1, built per
             # tuple instead of maintained per key.  Every stored node is a
-            # product node (no union links), so ``DataStructure.union`` applies.
+            # product node (no union links), so ``DS_w.union`` applies.
             children: List[NodeRef] = []
             for compatible in per_source:
                 union_node = compatible[0]
                 for node in compatible[1:]:
-                    union_node = self.ds.union(union_node, node)
+                    union_node = ds.union(union_node, node)
+                    if stats is not None:
+                        stats.unions += 1
                 children.append(union_node)
-            node = self.ds.extend(transition.labels, position, children)
-            created.append((transition.target, node))
+            node = ds.extend(compiled.labels, position, children)
+            if stats is not None:
+                stats.transitions_fired += 1
+                stats.nodes_created += 1
+            created.append((compiled.target_id, compiled.is_final, node))
 
+        self.nodes_scanned += scanned
+        if stats is not None:
+            stats.hash_lookups += scanned
+
+        # Store the new runs: lane table + per-state sequence list + one
+        # shared expiry-bucket registration each (newest position anchors the
+        # expiry, exactly the old deque eviction's timing).
         final_nodes: List[NodeRef] = []
-        for state, node in created:
-            self._live[state].append((position, tup, node))
-            if state in self.pcea.final:
-                final_nodes.append(node)
+        if created:
+            lane = self._lane
+            buckets = runtime.buckets
+            add_ref = lane.add_ref
+            expiry_position = position + self.window + 1
+            expiry = buckets.get(expiry_position)
+            if expiry is None:
+                expiry = buckets[expiry_position] = []
+            for state_id, is_final, node in created:
+                seq = self._next_seq
+                self._next_seq = seq + 1
+                key = (state_id, seq)
+                hash_table[key] = ((tup, node), position)
+                if stats is not None:
+                    stats.hash_updates += 1
+                seqs = state_seqs.get(state_id)
+                if seqs is None:
+                    state_seqs[state_id] = [seq]
+                else:
+                    seqs.append(seq)
+                expiry.append((lane, key, node))
+                add_ref(node)
+                if is_final:
+                    final_nodes.append(node)
         return final_nodes
+
+    def _compact(self, position: int) -> None:
+        """Drop sequence numbers whose entry the sweep already reclaimed."""
+        self._next_compact = position + _COMPACT_INTERVAL
+        hash_table = self._hash
+        for state_id, seqs in self._state_seqs.items():
+            live = [seq for seq in seqs if (state_id, seq) in hash_table]
+            if len(live) != len(seqs):
+                self._state_seqs[state_id] = live
 
     # ------------------------------------------------------- enumeration phase
     def enumerate_outputs(self, final_nodes: Sequence[NodeRef]) -> Iterator[Valuation]:
+        count_stats = self._count_stats
+        stats = self._runtime.stats
+        position = self.position
         for node in final_nodes:
-            yield from self.ds.enumerate(node, self.position)
+            for valuation in self.ds.enumerate(node, position):
+                if count_stats:
+                    stats.outputs_enumerated += 1
+                yield valuation
 
-    # ----------------------------------------------------------------- eviction
-    def _evict(self, position: int) -> None:
-        low = position - self.window
-        for entries in self._live.values():
-            while entries and entries[0][0] < low:
-                entries.popleft()
-        # Arena reclamation rides on the same per-position eviction; a no-op
-        # for the object structure.
-        self.ds.release_expired(position)
-
+    # ------------------------------------------------------------ introspection
     def live_run_count(self) -> int:
-        """Number of live partial runs currently stored (benchmark instrumentation)."""
-        return sum(len(entries) for entries in self._live.values())
+        """Number of live partial runs currently stored (benchmark instrumentation).
+
+        The same quantity as the inherited ``hash_table_size`` — each stored
+        run is one lane-table entry — kept under this engine's historical
+        name.
+        """
+        return len(self._hash)
+
+    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
+    def dispatch_info(self) -> Dict[str, float]:
+        """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
+        return self._dispatch.describe()
+
+    def reset_statistics(self) -> None:
+        self._runtime.reset_statistics()
+        self.nodes_scanned = 0

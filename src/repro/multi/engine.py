@@ -13,14 +13,21 @@ but the per-tuple work is shared three ways:
   identical predicates across queries are evaluated once per tuple and the
   verdict is memoised (sound because equal canonical keys imply equal
   extensions);
-* **one eviction sweep** over a shared expiry-bucket map keyed by the global
-  position at which an entry expires (``max_start + window_q + 1``), covering
-  every query's hash table in a single bucket pop per tuple (or one batched
-  pop per :meth:`MultiQueryEngine.process_many` call).  The same sweep drives
-  each lane's arena reclamation: per-query enumeration structures default to
-  the arena-backed :class:`~repro.core.arena.ArenaDataStructure`
-  (``arena=False`` for the object-graph ablation), and a popped bucket drops
-  the per-slab external references that gate wholesale slab release.
+* **one eviction sweep** through the shared
+  :class:`~repro.runtime.StreamRuntime` — every query is an
+  :class:`~repro.runtime.EvictionLane` of the same runtime the single-query
+  evaluator runs as its K=1 lane, so the expiry-bucket map (keyed by the
+  global position at which an entry expires, ``max_start + window_q + 1``),
+  the bucket-pop sweep, the batched catch-up sweep and the periodic arena
+  release pass exist in exactly one place and cover every lane at once.
+
+Registration changes patch the merged index incrementally
+(:meth:`MergedDispatchIndex.add_query` / ``remove_query``): registering a
+query touches only its own ``(relation, guard)`` buckets, O(|P_q|)-ish
+instead of a rebuild over every registered transition, which is what keeps
+register/unregister latency flat as the registry grows toward the
+million-query target.  ``incremental=False`` restores the full rebuild for
+ablation and the churn benchmark's baseline.
 
 Positions are global to the engine's stream: a query registered at position
 ``p`` behaves exactly like an independent evaluator that started observing
@@ -29,7 +36,6 @@ the stream at ``p`` (its valuations carry global stream positions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
@@ -38,71 +44,40 @@ from repro.core.evaluation import NodeRef
 from repro.cq.schema import Tuple
 from repro.multi.merged_index import MergedDispatchIndex
 from repro.multi.registry import QueryHandle, QueryRegistry, QuerySpec
+from repro.runtime import EngineStatistics, EvictionLane, RuntimeBackedEngine, StreamRuntime
 from repro.valuation import Valuation
 
 
 _MISS = object()  # memo-cache sentinel (verdicts are booleans, None won't do)
 
-#: Positions between full arena-release passes over every lane (see
-#: :meth:`MultiQueryEngine._release_lanes`).
-_RELEASE_PASS_INTERVAL = 256
+#: Backwards-compatible name: the per-engine statistics dataclasses were
+#: unified into :class:`repro.runtime.EngineStatistics` (the old
+#: ``candidates_scanned`` field survives as a property alias).
+MultiQueryStatistics = EngineStatistics
 
 
-@dataclass
-class MultiQueryStatistics:
-    """Operation counters for the shared per-tuple loop (instrumentation)."""
-
-    tuples_processed: int = 0
-    candidates_scanned: int = 0
-    predicate_evaluations: int = 0
-    predicate_cache_hits: int = 0
-    transitions_fired: int = 0
-    hash_lookups: int = 0
-    hash_updates: int = 0
-    nodes_created: int = 0
-    outputs_enumerated: int = 0
-
-
-class _QueryLane:
+class _QueryLane(EvictionLane):
     """Per-query runtime state: isolated tables, shared per-tuple loop."""
 
-    __slots__ = (
-        "handle",
-        "pcea",
-        "dispatch",
-        "window",
-        "ds",
-        "hash",
-        "active",
-        "add_ref",
-        "drop_ref",
-        "release",
-    )
+    __slots__ = ("handle", "pcea", "dispatch")
 
     def __init__(self, handle: QueryHandle, pcea, arena: bool = True) -> None:
+        ds = ArenaDataStructure(handle.window) if arena else DataStructure(handle.window)
+        super().__init__(handle.window, ds)
         self.handle = handle
         self.pcea = pcea
         self.dispatch = pcea.dispatch_index()
-        self.window = handle.window
-        self.ds = ArenaDataStructure(handle.window) if arena else DataStructure(handle.window)
-        # Representation-agnostic reclamation hooks (see StreamingEvaluator):
-        # bound once so the shared per-tuple loop never branches on the node
-        # representation (no-ops for the object graph).
-        self.add_ref = self.ds.add_ref
-        self.drop_ref = self.ds.drop_ref
-        self.release = self.ds.release_expired
-        # (transition index, source state id, join key) -> (node, max_start),
-        # exactly the single-query evaluator's H (max_start cached in the
-        # pair) — isolation keeps Theorem 5.1's unambiguity reasoning per
-        # query untouched.
-        self.hash: Dict[Tup[int, int, Hashable], Tup[NodeRef, int]] = {}
-        self.active = True
+
+    def deactivate(self) -> None:
+        super().deactivate()
+        self.pcea = None
+        self.dispatch = None
 
     def __repr__(self) -> str:
         return f"_QueryLane({self.handle}, |H|={len(self.hash)})"
 
 
-class MultiQueryEngine:
+class MultiQueryEngine(RuntimeBackedEngine):
     """Evaluate many registered patterns over one stream in a single pass.
 
     Parameters
@@ -120,13 +95,19 @@ class MultiQueryEngine:
         value before their predicate runs.
     collect_stats:
         With ``True``, the shared loop maintains
-        :class:`MultiQueryStatistics`; off by default (production mode).
+        :class:`~repro.runtime.EngineStatistics`; off by default (production
+        mode).
     arena:
         With ``True`` (default) each lane's enumeration structure is the
         arena-backed :class:`~repro.core.arena.ArenaDataStructure`, whose
         expired slabs the shared eviction sweep releases wholesale; ``False``
         restores the object-graph ``DS_w`` per lane (ablation / differential
         testing).
+    incremental:
+        With ``True`` (default) registration changes patch the merged
+        dispatch index in place (O(|P_q|)-ish per change); ``False`` rebuilds
+        it from scratch on every change (the pre-patching behaviour, kept as
+        the ablation baseline the churn benchmark measures against).
     """
 
     def __init__(
@@ -136,35 +117,22 @@ class MultiQueryEngine:
         guards: bool = True,
         collect_stats: bool = False,
         arena: bool = True,
+        incremental: bool = True,
     ) -> None:
         self.registry = registry if registry is not None else QueryRegistry()
-        self.position = -1
         self.memoise = memoise
         self._guards = guards
         self._arena = arena
+        self._incremental = incremental
         self._count_stats = collect_stats
-        self.stats = MultiQueryStatistics()
-        self.evicted = 0
+        self._runtime = StreamRuntime()
         self._lanes: Dict[int, _QueryLane] = {}
-        # Shared eviction buckets: expiry position -> [(lane, hash key, node)].
-        # An entry stored with node n under lane q expires exactly at global
-        # position max_start(n) + q.window + 1, so one bucket pop per position
-        # sweeps every lane's table; the registered node rides along so the
-        # sweep can drop the arena's per-slab external reference exactly once.
-        self._expiry_buckets: Dict[
-            int, List[Tup[_QueryLane, Tup[int, int, Hashable], NodeRef]]
-        ] = {}
-        # Highest expiry position already swept (entries always register in
-        # strictly future buckets, so the batched sweep can pop the dense
-        # range of newly due positions instead of scanning every bucket key).
-        self._swept_upto = -1
-        # Next position at which the sweep runs a full arena-release pass
-        # over every lane (bucket pops only release the lanes they touch).
-        self._next_release_pass = 0
         self._merged = MergedDispatchIndex((), guards=guards)
         for entry in self.registry.entries():
-            self._lanes[entry.handle.id] = _QueryLane(entry.handle, entry.pcea, arena)
-        self._rebuild()
+            lane = _QueryLane(entry.handle, entry.pcea, arena)
+            self._lanes[entry.handle.id] = lane
+            self._runtime.add_lane(lane)
+            self._merged.add_query(lane, lane.dispatch)
 
     # ----------------------------------------------------------- registration
     def register(
@@ -172,38 +140,36 @@ class MultiQueryEngine:
     ) -> QueryHandle:
         """Register a query mid-stream; it starts observing at the next tuple."""
         handle = self.registry.register(query, window, name)
-        self._lanes[handle.id] = _QueryLane(
-            handle, self.registry.get(handle).pcea, self._arena
-        )
-        self._rebuild()
+        lane = _QueryLane(handle, self.registry.get(handle).pcea, self._arena)
+        self._lanes[handle.id] = lane
+        self._runtime.add_lane(lane)
+        if self._incremental:
+            self._merged.add_query(lane, lane.dispatch)
+        else:
+            self._rebuild()
         return handle
 
     def unregister(self, handle: QueryHandle) -> None:
         """Drop a query; its state is discarded and outputs stop immediately."""
         self.registry.unregister(handle)
         lane = self._lanes.pop(handle.id)
-        # Stale expiry-bucket entries still reference the lane; the sweep
-        # skips inactive lanes instead of scrubbing every bucket eagerly.
-        # Dropping the lane's state here (not at bucket expiry, up to a full
-        # window later) releases the query's enumeration structure and
-        # automaton immediately.
-        lane.active = False
-        lane.hash.clear()
-        lane.ds = None
-        lane.dispatch = None
-        lane.pcea = None
-        # The hooks are bound methods and would otherwise pin the lane's
-        # enumeration structure until its last expiry bucket is popped.
-        lane.add_ref = None
-        lane.drop_ref = None
-        lane.release = None
-        self._rebuild()
+        if self._incremental:
+            self._merged.remove_query(lane)
+        # Stale expiry-bucket entries still reference the lane; the shared
+        # sweep skips inactive lanes instead of scrubbing every bucket
+        # eagerly.  Deactivation clears the lane's state (hash table,
+        # enumeration structure, bound hooks) so the query's memory is
+        # released immediately, not up to a window later.
+        self._runtime.drop_lane(lane)
+        if not self._incremental:
+            self._rebuild()
 
     def handles(self) -> List[QueryHandle]:
         """Handles of the registered queries, in registration order."""
         return [entry.handle for entry in self.registry.entries()]
 
     def _rebuild(self) -> None:
+        """Reconstruct the merged index from scratch (``incremental=False``)."""
         lanes = [self._lanes[qid] for qid in sorted(self._lanes)]
         self._merged = MergedDispatchIndex(
             [(lane, lane.dispatch) for lane in lanes], guards=self._guards
@@ -236,48 +202,23 @@ class MultiQueryEngine:
         """Batched ingestion: one eviction sweep for the whole batch.
 
         Semantically identical to ``[self.process(t) for t in tuples]`` —
-        expiry is re-checked at every hash lookup, so deferring the sweep to
-        the end of the batch only delays memory reclamation, never changes
-        outputs.
+        the deferred-sweep correctness argument is the runtime's
+        :meth:`~repro.runtime.StreamRuntime.drive_batch` contract.
         """
         process = self._process
-        results = [process(tup, sweep=False) for tup in tuples]
-        self._sweep_expired_upto(self.position)
-        return results
+        return self._runtime.drive_batch(
+            tuples, lambda tup: process(tup, sweep=False)
+        )
 
     def _process(self, tup: Tuple, sweep: bool) -> Dict[int, List[Valuation]]:
-        self.position += 1
-        position = self.position
-        stats = self.stats if self._count_stats else None
+        runtime = self._runtime
+        position = runtime.advance()
+        stats = runtime.stats if self._count_stats else None
         if stats is not None:
             stats.tuples_processed += 1
 
         if sweep:
-            if position == self._swept_upto + 1:
-                # Steady state: exactly one new bucket became due.
-                self._swept_upto = position
-                expired = self._expiry_buckets.pop(position, None)
-                if expired:
-                    evicted = 0
-                    touched = set()
-                    for lane, key, registered in expired:
-                        if not lane.active:
-                            continue
-                        lane.drop_ref(registered)
-                        touched.add(lane)
-                        pair = lane.hash.get(key)
-                        if pair is not None and position - pair[1] > lane.window:
-                            del lane.hash[key]
-                            evicted += 1
-                    self.evicted += evicted
-                    for lane in touched:
-                        lane.release(position)
-                if position >= self._next_release_pass:
-                    self._release_lanes(position)
-            elif position > self._swept_upto:
-                # A gap (batch processed without its final sweep): cover the
-                # whole overdue range so no bucket is skipped for good.
-                self._sweep_expired_upto(position)
+            runtime.sweep(position)
 
         # FireTransitions over the union of all queries' candidates — one
         # merged lookup, one memoised predicate evaluation per canonical key.
@@ -294,7 +235,7 @@ class MultiQueryEngine:
         final_by_lane: Optional[Dict[_QueryLane, List[NodeRef]]] = None
         for entry in self._merged.candidates_for(tup):
             if stats is not None:
-                stats.candidates_scanned += 1
+                stats.transitions_scanned += 1
             if memoise:
                 held = verdicts_get(entry.pred_key, _MISS)
                 if held is _MISS:
@@ -357,9 +298,9 @@ class MultiQueryEngine:
                     finals.append(node)
 
         # UpdateIndices per query that received new runs, registering every
-        # stored entry in the shared expiry-bucket map.
+        # stored entry in the runtime's shared expiry-bucket map.
         if new_nodes is not None:
-            buckets = self._expiry_buckets
+            buckets = runtime.buckets
             for lane, lane_nodes in new_nodes.items():
                 hash_table = lane.hash
                 ds = lane.ds
@@ -385,6 +326,8 @@ class MultiQueryEngine:
                                 entry_node = node
                                 entry_ms = node_ms
                             else:
+                                if stats is not None:
+                                    stats.unions += 1
                                 entry_node = ds.union(entry_node, node)
                                 if node_ms > entry_ms:
                                     entry_ms = node_ms
@@ -413,82 +356,14 @@ class MultiQueryEngine:
                     stats.outputs_enumerated += len(valuations)
         return outputs
 
-    def _sweep_expired_upto(self, position: int) -> None:
-        """Pop every expiry bucket due at or before ``position`` (batch sweep).
-
-        Iterates the dense range of positions not yet swept, so the cost is
-        O(positions advanced since the last sweep), not O(live buckets).
-        """
-        if position <= self._swept_upto:
-            return
-        buckets = self._expiry_buckets
-        evicted = 0
-        touched = set()
-        for bucket in range(self._swept_upto + 1, position + 1):
-            expired = buckets.pop(bucket, None)
-            if not expired:
-                continue
-            for lane, key, registered in expired:
-                if not lane.active:
-                    continue
-                lane.drop_ref(registered)
-                touched.add(lane)
-                pair = lane.hash.get(key)
-                if pair is not None and position - pair[1] > lane.window:
-                    del lane.hash[key]
-                    evicted += 1
-        self._swept_upto = position
-        self.evicted += evicted
-        for lane in touched:
-            lane.release(position)
-        if position >= self._next_release_pass:
-            self._release_lanes(position)
-
-    def _release_lanes(self, position: int) -> None:
-        """Release expired arena slabs in every active lane.
-
-        Bucket pops release the lanes they touch immediately; this periodic
-        full pass (every ``_RELEASE_PASS_INTERVAL`` positions, O(lanes)
-        amortised O(lanes/interval) per tuple) covers lanes that stopped
-        registering hash entries — without it an idle lane would retain its
-        last ``O(window)`` of expired slabs indefinitely.
-        """
-        self._next_release_pass = position + _RELEASE_PASS_INTERVAL
-        for lane in self._lanes.values():
-            if lane.active:
-                lane.release(position)
-
     # ------------------------------------------------------------ introspection
-    def hash_table_size(self) -> int:
-        """Total entries across every registered query's hash table."""
-        return sum(len(lane.hash) for lane in self._lanes.values())
-
-    def memory_info(self) -> Dict[str, int]:
-        """Enumeration-structure occupancy summed across the active lanes."""
-        total = {
-            "arena": 1 if self._arena else 0,
-            "slabs": 0,
-            "slab_capacity": 0,
-            "live_nodes": 0,
-            "released_slabs": 0,
-            "released_nodes": 0,
-            "nodes_created": 0,
-        }
-        for lane in self._lanes.values():
-            if lane.ds is None:
-                continue
-            stats = lane.ds.memory_stats()
-            for key in ("slabs", "live_nodes", "released_slabs", "released_nodes", "nodes_created"):
-                total[key] += stats[key]
-            total["slab_capacity"] = max(total["slab_capacity"], stats["slab_capacity"])
-        return total
-
+    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
     def dispatch_info(self) -> Dict[str, float]:
         """Merged-index statistics (see ``MergedDispatchIndex.describe``)."""
         return self._merged.describe()
 
     def reset_statistics(self) -> None:
-        self.stats = MultiQueryStatistics()
+        self._runtime.reset_statistics()
 
     def __repr__(self) -> str:
         return (

@@ -17,9 +17,34 @@ representative per key per tuple and shares the verdict — the *shared
 unary-predicate memoisation* that makes per-tuple cost scale with the number
 of distinct predicates instead of the number of registered queries.
 
-The index is rebuilt on registration changes (rebuild cost is linear in the
-total transition count — compare the per-tuple savings it buys); incremental
-patching is a ROADMAP follow-on.
+Incremental patching
+--------------------
+The index is **incrementally patchable**: :meth:`add_query` and
+:meth:`remove_query` mutate only the ``(relation, guard)`` buckets the
+query's transitions actually touch, plus the interned-key tables, so a
+registration change costs ``O(|P_q| + Σ affected-bucket sizes)`` instead of a
+full rebuild over every registered transition — the difference between O(1)
+and O(total) registration latency at millions of registered queries.
+Specifically:
+
+* per-relation candidate lists are compacted in place on removal (no
+  tombstones — a removed query leaves no residue a per-tuple lookup could
+  ever scan);
+* canonical predicate keys are interned with reference counts; the dense
+  integer ids of keys whose last user unregistered are recycled through a
+  free list, so the interned-key tables shrink back and the per-tuple
+  memoisation cache keeps hashing small ints;
+* wildcard transitions (rare) are the one global case: adding or removing a
+  wildcard-carrying query refreshes every relation bucket, because wildcards
+  are merged into each per-relation candidate list.
+
+Entry iteration order is preserved across patching: ``order`` values are
+assigned from a monotonic counter, so candidates always iterate in
+registration order then transition order — exactly the order a from-scratch
+rebuild over the surviving queries produces.  :meth:`signature` exposes a
+canonical structural summary (independent of raw order values and interned-id
+assignment) that the tests compare against a from-scratch rebuild after every
+mutation.
 """
 
 from __future__ import annotations
@@ -74,7 +99,8 @@ class MergedDispatchIndex:
     members:
         ``(owner, dispatch index)`` pairs in registration order.  The owner
         object is attached to every entry produced from that index so the
-        engine can route fired transitions to the right query lane.
+        engine can route fired transitions to the right query lane; it is
+        also the handle :meth:`remove_query` identifies the member by.
     guards:
         As for :class:`~repro.core.dispatch.TransitionDispatchIndex`: with
         ``True``, guarded candidates are additionally bucketed by their
@@ -83,44 +109,31 @@ class MergedDispatchIndex:
 
     def __init__(
         self,
-        members: Sequence[Tup[object, TransitionDispatchIndex]],
+        members: Sequence[Tup[object, TransitionDispatchIndex]] = (),
         guards: bool = True,
     ) -> None:
         self.guards = guards
-        self._members = tuple(members)
-        # Intern canonical predicate keys to dense ids: structurally identical
-        # predicates across queries share one id, and the engine's per-tuple
-        # verdict cache hashes ints instead of composite canonical keys.
+        # Owner bookkeeping: id(owner) -> owner / its entries, in registration
+        # order (dict insertion order is the canonical query order).
+        self._owners: Dict[int, object] = {}
+        self._by_owner: Dict[int, Tup[MergedEntry, ...]] = {}
+        # Interned canonical predicate keys with reference counts: dense ids
+        # are recycled through a free list so the tables shrink back after
+        # unregistration and the memo cache keeps hashing small ints.
         self._pred_key_ids: Dict[Hashable, int] = {}
-        entries: List[MergedEntry] = []
-        for owner, index in self._members:
-            for compiled in index.all_transitions():
-                canonical = compiled.pred_key
-                pred_id = self._pred_key_ids.get(canonical)
-                if pred_id is None:
-                    pred_id = self._pred_key_ids[canonical] = len(self._pred_key_ids)
-                entries.append(MergedEntry(owner, compiled, pred_id, len(entries)))
-        self._all: Tup[MergedEntry, ...] = tuple(entries)
-        self._wildcard: Tup[MergedEntry, ...] = tuple(
-            e for e in entries if e.compiled.relations is None
-        )
-        # One pass over the entries (the rebuild cost claimed by the module
-        # docstring): each entry is appended to its own relations' lists, then
-        # wildcards are merged in by global order.
-        specific: Dict[str, List[MergedEntry]] = {}
-        for e in entries:
-            if e.compiled.relations is not None:
-                for relation in e.compiled.relations:
-                    specific.setdefault(relation, []).append(e)
-        self._by_relation: Dict[str, Tup[MergedEntry, ...]] = {
-            relation: tuple(
-                sorted(members + list(self._wildcard), key=_entry_order)
-                if self._wildcard
-                else members
-            )
-            for relation, members in specific.items()
-        }
-        # Constant-guard buckets, shared with TransitionDispatchIndex.
+        self._pred_key_counts: Dict[Hashable, int] = {}
+        self._free_pred_ids: List[int] = []
+        self._next_pred_id = 0
+        self._next_order = 0
+        self._size = 0
+        # Per-relation candidate state: ``_specific`` holds only the entries
+        # that name the relation (mutable, order-sorted); ``_by_relation`` is
+        # the read-optimised tuple the per-tuple lookup hits (specific merged
+        # with wildcards); ``_guarded`` the constant-guard refinement.
+        self._specific: Dict[str, List[MergedEntry]] = {}
+        self._wildcard_entries: List[MergedEntry] = []
+        self._wildcard: Tup[MergedEntry, ...] = ()
+        self._by_relation: Dict[str, Tup[MergedEntry, ...]] = {}
         self._guarded: Dict[
             str,
             Tup[
@@ -128,11 +141,137 @@ class MergedDispatchIndex:
                 Tup[Tup[int, Dict[Hashable, Tup[MergedEntry, ...]]], ...],
             ],
         ] = {}
-        if guards:
-            for relation, members_of in self._by_relation.items():
-                buckets = build_guard_buckets(members_of)
-                if buckets is not None:
-                    self._guarded[relation] = buckets
+        for owner, index in members:
+            self.add_query(owner, index)
+
+    # ------------------------------------------------------------ intern table
+    def _intern_pred(self, canonical: Hashable) -> int:
+        pred_id = self._pred_key_ids.get(canonical)
+        if pred_id is None:
+            if self._free_pred_ids:
+                pred_id = self._free_pred_ids.pop()
+            else:
+                pred_id = self._next_pred_id
+                self._next_pred_id += 1
+            self._pred_key_ids[canonical] = pred_id
+            self._pred_key_counts[canonical] = 1
+        else:
+            self._pred_key_counts[canonical] += 1
+        return pred_id
+
+    def _release_pred(self, canonical: Hashable) -> None:
+        count = self._pred_key_counts[canonical] - 1
+        if count:
+            self._pred_key_counts[canonical] = count
+        else:
+            del self._pred_key_counts[canonical]
+            self._free_pred_ids.append(self._pred_key_ids.pop(canonical))
+
+    # ------------------------------------------------------------ registration
+    def add_query(self, owner: object, index: TransitionDispatchIndex) -> None:
+        """Merge one automaton's transitions in, patching only its buckets.
+
+        Cost: O(|P_q|) for the entry construction and interning, plus a
+        refresh of each relation bucket the query touches (O(bucket size) —
+        the read-optimised tuples are rebuilt, never the whole index).
+        """
+        key = id(owner)
+        if key in self._by_owner:
+            raise ValueError(f"owner {owner!r} is already registered in the merged index")
+        entries: List[MergedEntry] = []
+        touched: set = set()
+        added_wildcard = False
+        specific = self._specific
+        for compiled in index.all_transitions():
+            entry = MergedEntry(
+                owner, compiled, self._intern_pred(compiled.pred_key), self._next_order
+            )
+            self._next_order += 1
+            entries.append(entry)
+            relations = compiled.relations
+            if relations is None:
+                self._wildcard_entries.append(entry)
+                added_wildcard = True
+            else:
+                for relation in relations:
+                    bucket = specific.get(relation)
+                    if bucket is None:
+                        specific[relation] = [entry]
+                    else:
+                        bucket.append(entry)
+                    touched.add(relation)
+        self._owners[key] = owner
+        self._by_owner[key] = tuple(entries)
+        self._size += len(entries)
+        if added_wildcard:
+            # Wildcards appear in every relation's candidate list, so a
+            # wildcard-carrying query is the one global refresh.
+            self._wildcard = tuple(self._wildcard_entries)
+            touched = set(specific)
+        for relation in touched:
+            self._refresh_relation(relation)
+
+    def remove_query(self, owner: object) -> None:
+        """Remove one query's transitions, compacting only its buckets.
+
+        The affected per-relation lists are rebuilt without the removed
+        entries (tombstone-free: no per-tuple lookup ever scans residue of an
+        unregistered query) and the interned-key reference counts are
+        released so unused canonical keys disappear from the tables.
+        """
+        key = id(owner)
+        entries = self._by_owner.pop(key, None)
+        if entries is None:
+            raise KeyError(f"owner {owner!r} is not registered in the merged index")
+        del self._owners[key]
+        self._size -= len(entries)
+        touched: set = set()
+        removed_wildcard = False
+        for entry in entries:
+            self._release_pred(entry.compiled.pred_key)
+            relations = entry.compiled.relations
+            if relations is None:
+                removed_wildcard = True
+            else:
+                touched.update(relations)
+        if removed_wildcard:
+            self._wildcard_entries = [
+                e for e in self._wildcard_entries if e.owner is not owner
+            ]
+            self._wildcard = tuple(self._wildcard_entries)
+            touched = set(self._specific)
+        for relation in touched:
+            bucket = self._specific.get(relation)
+            if bucket is not None:
+                kept = [e for e in bucket if e.owner is not owner]
+                if kept:
+                    self._specific[relation] = kept
+                else:
+                    del self._specific[relation]
+            self._refresh_relation(relation)
+
+    def _refresh_relation(self, relation: str) -> None:
+        """Rebuild one relation's read-optimised candidate tuple + guard buckets."""
+        bucket = self._specific.get(relation)
+        if bucket is None:
+            # No specific candidates left: unknown-relation fallback (the
+            # wildcard list) already covers it.
+            self._by_relation.pop(relation, None)
+            self._guarded.pop(relation, None)
+            return
+        if self._wildcard_entries:
+            members: Tup[MergedEntry, ...] = tuple(
+                sorted(bucket + self._wildcard_entries, key=_entry_order)
+            )
+        else:
+            members = tuple(bucket)
+        self._by_relation[relation] = members
+        if self.guards:
+            guard_buckets = build_guard_buckets(members)
+            if guard_buckets is None:
+                self._guarded.pop(relation, None)
+            else:
+                self._guarded[relation] = guard_buckets
 
     # ----------------------------------------------------------------- lookups
     def candidates_for(self, tup) -> Sequence[MergedEntry]:
@@ -143,11 +282,72 @@ class MergedDispatchIndex:
         return probe_guard_buckets(entry, tup, _entry_order)
 
     def all_entries(self) -> Tup[MergedEntry, ...]:
-        return self._all
+        """Every entry, in candidate iteration order (introspection/tests)."""
+        entries = [e for per_owner in self._by_owner.values() for e in per_owner]
+        entries.sort(key=_entry_order)
+        return tuple(entries)
 
     # ------------------------------------------------------------ introspection
     def __len__(self) -> int:
-        return len(self._all)
+        return self._size
+
+    def interned_key_count(self) -> int:
+        """Distinct canonical predicate keys currently interned (leak check)."""
+        return len(self._pred_key_ids)
+
+    def signature(self) -> Dict[str, object]:
+        """A canonical structural summary for the patch-vs-rebuild invariant.
+
+        Two indexes over the same owner sequence are *behaviourally
+        identical* — same candidates in the same order for every possible
+        tuple, same memoisation sharing — iff their signatures are equal.
+        The summary tokenises entries as ``(owner rank, transition index)``
+        (independent of raw ``order`` values, which a patched index assigns
+        with gaps) and maps each token to its canonical predicate key
+        (independent of interned-id assignment, which a patched index
+        recycles).  Tests assert ``patched.signature() ==
+        rebuilt.signature()`` after every mutation.
+        """
+        ranks = {key: rank for rank, key in enumerate(self._owners)}
+
+        def token(entry: MergedEntry) -> Tup[int, int]:
+            return (ranks[id(entry.owner)], entry.compiled.index)
+
+        relations = {
+            relation: tuple(token(e) for e in members)
+            for relation, members in self._by_relation.items()
+        }
+        guards = {}
+        for relation, (unguarded, groups) in self._guarded.items():
+            group_sig = []
+            for position, by_value in groups:
+                buckets = sorted(
+                    ((value, tuple(token(e) for e in bucket)) for value, bucket in by_value.items()),
+                    key=lambda item: repr(item[0]),
+                )
+                group_sig.append((position, tuple(buckets)))
+            guards[relation] = (tuple(token(e) for e in unguarded), tuple(group_sig))
+        predicates = {
+            token(e): e.compiled.pred_key
+            for per_owner in self._by_owner.values()
+            for e in per_owner
+        }
+        # Interning consistency: equal canonical keys must share one dense id
+        # (the memoisation soundness invariant), checked here so the tests'
+        # signature comparison also certifies the intern tables.
+        for per_owner in self._by_owner.values():
+            for e in per_owner:
+                if self._pred_key_ids[e.compiled.pred_key] != e.pred_key:
+                    raise AssertionError(
+                        "interned predicate id drifted from the canonical-key table"
+                    )
+        return {
+            "relations": relations,
+            "wildcard": tuple(token(e) for e in self._wildcard),
+            "guards": guards,
+            "predicates": predicates,
+            "size": self._size,
+        }
 
     def describe(self) -> Dict[str, float]:
         """Merged-index statistics for CLI ``--stats`` / benchmark reporting.
@@ -159,24 +359,32 @@ class MergedDispatchIndex:
         report the per-relation candidate fan-out a tuple lookup returns.
         """
         sizes = [len(members) for members in self._by_relation.values()]
-        key_counts: Dict[Hashable, int] = {}
-        for e in self._all:
-            key_counts[e.pred_key] = key_counts.get(e.pred_key, 0) + 1
-        guarded = sum(1 for e in self._all if e.guard is not None)
+        guarded = sum(
+            1
+            for per_owner in self._by_owner.values()
+            for e in per_owner
+            if e.guard is not None
+        )
+        guard_values = sum(
+            len(by_value)
+            for _, groups in self._guarded.values()
+            for _, by_value in groups
+        )
         return {
-            "queries": float(len(self._members)),
-            "transitions": float(len(self._all)),
+            "queries": float(len(self._owners)),
+            "transitions": float(self._size),
             "relations": float(len(self._by_relation)),
             "wildcard_transitions": float(len(self._wildcard)),
             "max_candidates": float(max(sizes, default=len(self._wildcard))),
             "mean_candidates": (
                 float(sum(sizes) / len(sizes)) if sizes else float(len(self._wildcard))
             ),
-            "predicate_groups": float(len(key_counts)),
+            "predicate_groups": float(len(self._pred_key_counts)),
             "shared_predicate_groups": float(
-                sum(1 for count in key_counts.values() if count > 1)
+                sum(1 for count in self._pred_key_counts.values() if count > 1)
             ),
             "guarded_transitions": float(guarded if self.guards else 0),
+            "guard_values": float(guard_values),
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,68 @@
+"""The shared streaming runtime: three engines, one per-tuple machinery.
+
+Why this package exists
+-----------------------
+The repository evaluates the paper's streaming algorithm through three
+engines, each owning a different *matching* strategy but sharing every piece
+of cross-cutting machinery around it:
+
+* :class:`~repro.core.evaluation.StreamingEvaluator` — Algorithm 1 for one
+  unambiguous equality-predicate PCEA (hash-indexed joins, Theorem 5.1's
+  update bound);
+* :class:`~repro.multi.engine.MultiQueryEngine` — many registered PCEA over
+  one stream, one merged dispatch lookup per tuple, per-query isolated state;
+* :class:`~repro.extensions.general_evaluation.GeneralStreamingEvaluator` —
+  arbitrary binary predicates (no hash keys), scanning live runs per
+  transition.
+
+Before this package, each engine re-implemented the stream position counter,
+the ``max_start``-bucketed eviction sweep, the arena slab-release protocol,
+batched ingestion, and the statistics/memory introspection surface — so every
+optimisation had to be hand-ported three times and the copies drifted (the
+general evaluator lagged two PRs behind).  The runtime extracts exactly that
+machinery:
+
+* :class:`EvictionLane` — one query's evictable state: a sliding window, a
+  run-index table (``hash``), an enumeration structure (``ds``), and the
+  representation-agnostic reclamation hooks (``add_ref`` / ``drop_ref`` /
+  ``release``) bound once at construction.  ``StreamingEvaluator`` and
+  ``GeneralStreamingEvaluator`` are single-lane engines;
+  ``MultiQueryEngine`` owns one lane per registered query.  The single-query
+  evaluator is literally the K=1 lane of the same runtime.
+* :class:`StreamRuntime` — the per-stream core: the global position, the
+  shared expiry-bucket map (keyed by the *absolute* position at which an
+  entry expires, ``max_start + lane.window + 1``, so lanes with different
+  windows share one map), the single eviction sweep implementation
+  (steady-state one-bucket pop per position, batched catch-up range sweep,
+  periodic full arena-release pass over idle lanes), the batching driver
+  behind every engine's ``process_many``, and the aggregated
+  ``memory_info()`` the CLI ``--stats`` memory section prints.
+* :class:`EngineStatistics` — the unified operation-counter surface.  One
+  dataclass serves all three engines (fields an engine cannot meaningfully
+  count stay zero), so benchmark JSON, ``collect_engine_counters`` and the
+  CLI ``--stats`` line are identical across modes.
+
+Engines keep what is genuinely theirs: the FireTransitions/UpdateIndices hot
+loop (hash joins vs merged-index dispatch vs live-run scans) and the output
+routing.  Everything an engine registers into the runtime is a
+``(lane, key, node)`` triple; the sweep pops the bucket, drops the arena
+reference, and deletes the entry from ``lane.hash`` when the cached
+``max_start`` (the second element of the stored pair) is out of the lane's
+window — the exact protocol PRs 1–3 proved out per engine, now in one place.
+"""
+
+from repro.runtime.core import (
+    RELEASE_PASS_INTERVAL,
+    EvictionLane,
+    RuntimeBackedEngine,
+    StreamRuntime,
+)
+from repro.runtime.statistics import EngineStatistics
+
+__all__ = [
+    "RELEASE_PASS_INTERVAL",
+    "EvictionLane",
+    "RuntimeBackedEngine",
+    "StreamRuntime",
+    "EngineStatistics",
+]

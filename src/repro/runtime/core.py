@@ -1,0 +1,364 @@
+"""`StreamRuntime` / `EvictionLane`: the cross-cutting per-tuple machinery.
+
+See the package docstring (:mod:`repro.runtime`) for the architecture.  The
+contract with the engines:
+
+* every entry an engine stores in a lane's ``hash`` maps a key to a
+  ``(value, max_start)`` pair whose second element is the cached expiry
+  anchor (``max_start`` of the stored node for the hashed engines, the run's
+  newest stream position for the general evaluator);
+* when the engine stores an entry it appends ``(lane, key, node)`` to
+  ``buckets[max_start + lane.window + 1]`` (the absolute position at which
+  the entry expires) and calls ``lane.add_ref(node)`` — the two inlined
+  lines every hot loop pays, everything else lives here;
+* the sweep pops due buckets, drops the arena reference exactly once per
+  registration, and deletes the hash entry iff it is genuinely out of the
+  window *now* (an entry superseded by a younger node was re-registered in a
+  later bucket and survives).
+
+Expired arena slabs are released by the same sweep: popping a bucket releases
+the lanes it touched, and a periodic full pass (every
+:data:`RELEASE_PASS_INTERVAL` positions) covers lanes that stopped
+registering entries — without it an idle lane would retain its last
+``O(window)`` of expired slabs indefinitely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple as Tup, TypeVar
+
+from repro.runtime.statistics import EngineStatistics
+
+
+#: Positions between full arena-release passes over every registered lane.
+RELEASE_PASS_INTERVAL = 256
+
+_T = TypeVar("_T")
+
+
+class EvictionLane:
+    """One query's evictable runtime state, shared-sweep ready.
+
+    ``hash`` is the lane's run-index table (``(key) -> (value, max_start)``
+    pairs); ``ds`` its enumeration structure.  The reclamation hooks are
+    bound once so the per-tuple loops and the sweep never branch on the node
+    representation (the object-graph ``DS_w`` exposes them as no-ops).
+    """
+
+    __slots__ = ("window", "ds", "hash", "active", "add_ref", "drop_ref", "release")
+
+    def __init__(self, window: int, ds) -> None:
+        self.window = window
+        self.ds = ds
+        self.hash: Dict[Hashable, Tup[object, int]] = {}
+        self.active = True
+        self.add_ref = ds.add_ref
+        self.drop_ref = ds.drop_ref
+        self.release = ds.release_expired
+
+    def deactivate(self) -> None:
+        """Drop the lane's state immediately (unregistration).
+
+        Stale expiry-bucket entries may still reference the lane for up to a
+        window; the sweep skips inactive lanes instead of scrubbing every
+        bucket eagerly.  Clearing the bound hooks matters: they are bound
+        methods and would otherwise pin the enumeration structure until the
+        lane's last expiry bucket is popped.
+        """
+        self.active = False
+        self.hash.clear()
+        self.ds = None
+        self.add_ref = None
+        self.drop_ref = None
+        self.release = None
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "inactive"
+        return f"{type(self).__name__}(window={self.window}, |H|={len(self.hash)}, {state})"
+
+
+class StreamRuntime:
+    """The per-stream core shared by all engines: position, sweep, batching.
+
+    One runtime serves one engine (which may own one lane or thousands).
+    Engines advance the position with :meth:`advance`, call :meth:`sweep`
+    once per sweeping update, register stored entries into :attr:`buckets`
+    (inlined, see the module docstring for the two-line protocol), and route
+    their ``process_many`` through :meth:`drive_batch` so the one-sweep-per-
+    batch policy exists exactly once.
+    """
+
+    __slots__ = (
+        "position",
+        "evicted",
+        "stats",
+        "buckets",
+        "_swept_upto",
+        "_next_release_pass",
+        "_lanes",
+    )
+
+    def __init__(self) -> None:
+        self.position = -1
+        self.evicted = 0
+        self.stats = EngineStatistics()
+        # Absolute expiry position -> [(lane, hash key, registered node)].
+        # Entries always register in strictly future buckets (a storable
+        # entry satisfies max_start >= position - lane.window), so the sweep
+        # can pop the dense range of newly due positions instead of scanning
+        # every bucket key.
+        self.buckets: Dict[int, List[Tup[EvictionLane, Hashable, object]]] = {}
+        self._swept_upto = -1
+        self._next_release_pass = 0
+        # Keyed by id(lane) so drop_lane is O(1) — unregistration latency
+        # must stay independent of how many lanes are registered (the same
+        # requirement that motivates incremental merged-index patching).
+        self._lanes: Dict[int, EvictionLane] = {}
+
+    # ------------------------------------------------------------------ lanes
+    def add_lane(self, lane: EvictionLane) -> EvictionLane:
+        """Register a lane for the periodic release pass and memory reporting."""
+        self._lanes[id(lane)] = lane
+        return lane
+
+    def drop_lane(self, lane: EvictionLane) -> None:
+        """Deactivate ``lane`` and stop tracking it (unregistration, O(1))."""
+        lane.deactivate()
+        self._lanes.pop(id(lane), None)
+
+    def lanes(self) -> Sequence[EvictionLane]:
+        return tuple(self._lanes.values())
+
+    # --------------------------------------------------------------- position
+    def advance(self) -> int:
+        """Move to the next stream position and return it."""
+        position = self.position + 1
+        self.position = position
+        return position
+
+    # ------------------------------------------------------------------ sweep
+    def sweep(self, position: int) -> None:
+        """The per-tuple eviction sweep (the only implementation).
+
+        Steady state — exactly one new bucket became due — pops that bucket;
+        a gap (updates ran with the sweep deferred, or the position was
+        reseated) falls back to the batched range sweep so no bucket is ever
+        skipped for good.  Also runs the periodic full arena-release pass.
+        """
+        if position == self._swept_upto + 1:
+            self._swept_upto = position
+            expired = self.buckets.pop(position, None)
+            if expired:
+                evicted = 0
+                touched = set()
+                for lane, key, registered in expired:
+                    if not lane.active:
+                        continue
+                    lane.drop_ref(registered)
+                    touched.add(lane)
+                    pair = lane.hash.get(key)
+                    # The entry may have been superseded by a younger node
+                    # (re-registered in a later bucket) — only drop it if it
+                    # is genuinely out of the window now.
+                    if pair is not None and position - pair[1] > lane.window:
+                        del lane.hash[key]
+                        evicted += 1
+                self.evicted += evicted
+                for lane in touched:
+                    lane.release(position)
+            if position >= self._next_release_pass:
+                self.release_lanes(position)
+        elif position > self._swept_upto:
+            self.sweep_upto(position)
+
+    def sweep_upto(self, position: int) -> None:
+        """Pop every expiry bucket due at or before ``position`` (batch sweep).
+
+        Iterates the dense range of positions not yet swept, so the cost is
+        O(positions advanced since the last sweep), not O(live buckets).
+        """
+        if position <= self._swept_upto:
+            return
+        buckets = self.buckets
+        evicted = 0
+        touched = set()
+        for bucket in range(self._swept_upto + 1, position + 1):
+            expired = buckets.pop(bucket, None)
+            if not expired:
+                continue
+            for lane, key, registered in expired:
+                if not lane.active:
+                    continue
+                lane.drop_ref(registered)
+                touched.add(lane)
+                pair = lane.hash.get(key)
+                if pair is not None and position - pair[1] > lane.window:
+                    del lane.hash[key]
+                    evicted += 1
+        self._swept_upto = position
+        self.evicted += evicted
+        for lane in touched:
+            lane.release(position)
+        if position >= self._next_release_pass:
+            self.release_lanes(position)
+
+    def release_lanes(self, position: int) -> None:
+        """Release expired arena slabs in every active lane.
+
+        Bucket pops release the lanes they touch immediately; this periodic
+        full pass (every :data:`RELEASE_PASS_INTERVAL` positions, amortised
+        O(lanes / interval) per tuple) covers lanes that stopped registering
+        entries.
+        """
+        self._next_release_pass = position + RELEASE_PASS_INTERVAL
+        for lane in self._lanes.values():
+            if lane.active:
+                lane.release(position)
+
+    # --------------------------------------------------------------- batching
+    def drive_batch(
+        self,
+        tuples: Iterable[object],
+        step: Callable[[object], _T],
+        sweep: bool = True,
+    ) -> List[_T]:
+        """Batched ingestion: one ``step`` per tuple, one sweep per batch.
+
+        ``step`` must process exactly one tuple with its per-tuple sweep
+        deferred (the engines pass a closure over ``update(tup, sweep=False)``
+        plus their enumeration).  Deferring the sweep to the end of the batch
+        only delays memory reclamation, never changes outputs, because expiry
+        is re-checked at every hash lookup through the cached ``max_start``.
+        """
+        results = [step(tup) for tup in tuples]
+        if sweep:
+            self.sweep_upto(self.position)
+        return results
+
+    def drive_enumerating_batch(
+        self,
+        tuples: Iterable[object],
+        update: Callable[..., Sequence[object]],
+        enumerate_node: Callable[[object, int], Iterable[object]],
+        sweep: bool = True,
+    ) -> Tup[List[List[object]], int]:
+        """:meth:`drive_batch` specialised for single-lane engines.
+
+        Runs ``update(tup, sweep=False)`` followed by eager enumeration of
+        the returned final nodes per tuple, returning the per-tuple output
+        lists and the total output count (for the caller's one-per-batch
+        statistics flush).  Shared by ``StreamingEvaluator.process_many`` and
+        ``GeneralStreamingEvaluator.process_many`` so the batched
+        update-then-enumerate loop exists exactly once.
+        """
+        tally = [0]
+
+        def step(tup: object) -> List[object]:
+            final_nodes = update(tup, sweep=False)
+            if not final_nodes:
+                return []
+            position = self.position
+            outputs: List[object] = []
+            extend = outputs.extend
+            for node in final_nodes:
+                extend(enumerate_node(node, position))
+            tally[0] += len(outputs)
+            return outputs
+
+        results = self.drive_batch(tuples, step, sweep=sweep)
+        return results, tally[0]
+
+    # ----------------------------------------------------------- introspection
+    def hash_table_size(self) -> int:
+        """Total entries across every active lane's run-index table."""
+        return sum(len(lane.hash) for lane in self._lanes.values() if lane.active)
+
+    def memory_info(self) -> Dict[str, int]:
+        """Enumeration-structure occupancy aggregated across the lanes.
+
+        The same keys as ``DS_w.memory_stats()`` so a single-lane engine
+        reports exactly what its structure would; ``arena`` is 1 only when
+        every lane is arena-backed (mixed or object-graph setups report 0,
+        matching the ablation flag the engines expose).
+        """
+        total = {
+            "arena": 1 if self._lanes else 0,
+            "slabs": 0,
+            "slab_capacity": 0,
+            "live_nodes": 0,
+            "released_slabs": 0,
+            "released_nodes": 0,
+            "nodes_created": 0,
+        }
+        for lane in self._lanes.values():
+            if lane.ds is None:
+                continue
+            stats = lane.ds.memory_stats()
+            if not stats.get("arena"):
+                total["arena"] = 0
+            for key in ("slabs", "live_nodes", "released_slabs", "released_nodes", "nodes_created"):
+                total[key] += stats[key]
+            total["slab_capacity"] = max(total["slab_capacity"], stats["slab_capacity"])
+        return total
+
+    def reset_statistics(self) -> None:
+        self.stats = EngineStatistics()
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamRuntime(position={self.position}, lanes={len(self._lanes)}, "
+            f"evicted={self.evicted})"
+        )
+
+
+class RuntimeBackedEngine:
+    """Mixin: the runtime-delegating surface every engine exposes.
+
+    Requires the subclass to set ``self._runtime`` before use.  Keeping the
+    property trio (``position`` / ``evicted`` / ``stats``) and the
+    ``_expiry_buckets`` view here means the three engines cannot drift apart
+    on this surface — the single-place principle applied to the API, not just
+    the sweep.  ``position`` and the counters are settable because the
+    differential tests reseat reference evaluators mid-stream
+    (``evaluator.position = p - 1``) and benchmarks reset counters.
+    """
+
+    _runtime: StreamRuntime
+
+    @property
+    def position(self) -> int:
+        """Current global stream position (owned by the shared runtime)."""
+        return self._runtime.position
+
+    @position.setter
+    def position(self, value: int) -> None:
+        self._runtime.position = value
+
+    @property
+    def evicted(self) -> int:
+        """Entries reclaimed by the shared eviction sweep so far."""
+        return self._runtime.evicted
+
+    @evicted.setter
+    def evicted(self, value: int) -> None:
+        self._runtime.evicted = value
+
+    @property
+    def stats(self) -> EngineStatistics:
+        return self._runtime.stats
+
+    @stats.setter
+    def stats(self, value: EngineStatistics) -> None:
+        self._runtime.stats = value
+
+    @property
+    def _expiry_buckets(self) -> Dict[int, List[Tup[EvictionLane, Hashable, object]]]:
+        return self._runtime.buckets
+
+    def memory_info(self) -> Dict[str, int]:
+        """Enumeration-structure occupancy aggregated across the engine's lanes."""
+        return self._runtime.memory_info()
+
+    def hash_table_size(self) -> int:
+        """Total entries across the engine's run-index tables."""
+        return self._runtime.hash_table_size()

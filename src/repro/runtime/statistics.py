@@ -1,0 +1,47 @@
+"""The unified operation-counter surface shared by every streaming engine.
+
+One dataclass serves the single-query evaluator, the multi-query engine and
+the general (non-hashed) evaluator, so the benchmark harness
+(:func:`~repro.bench.harness.collect_engine_counters`), the CLI ``--stats``
+line and the differential tests read the same field names regardless of
+engine.  Fields an engine cannot meaningfully count simply stay zero (e.g.
+``predicate_cache_hits`` outside the memoising multi-query loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStatistics:
+    """Operation counters for the per-tuple loop (benchmark instrumentation).
+
+    ``transitions_scanned`` counts the candidate transitions the dispatch
+    lookup returned (the multi-query engine historically called this
+    ``candidates_scanned``; the property below keeps that name working).
+    ``hash_lookups``/``hash_updates`` count run-index table probes and stores
+    for the hashed engines; the general evaluator reports its live-run scans
+    as ``hash_lookups`` so the "how much stored state did this tuple touch"
+    column means the same thing everywhere.
+    """
+
+    tuples_processed: int = 0
+    transitions_scanned: int = 0
+    predicate_evaluations: int = 0
+    predicate_cache_hits: int = 0
+    transitions_fired: int = 0
+    hash_lookups: int = 0
+    hash_updates: int = 0
+    unions: int = 0
+    nodes_created: int = 0
+    outputs_enumerated: int = 0
+
+    @property
+    def candidates_scanned(self) -> int:
+        """Backwards-compatible alias for :attr:`transitions_scanned`."""
+        return self.transitions_scanned
+
+    @candidates_scanned.setter
+    def candidates_scanned(self, value: int) -> None:
+        self.transitions_scanned = value

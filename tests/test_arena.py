@@ -376,6 +376,75 @@ class TestMemoryBound:
                     lane.ds.memory_stats(),
                 )
 
+    def test_adaptive_capacity_grows_on_bursty_allocation(self):
+        """Bursty streams keep the slab count O(1) per window via capacity growth."""
+        ds = ArenaDataStructure(window=1000)
+        initial_cap = ds.slab_capacity()
+        for position in range(3_000):
+            for _ in range(100):  # 100 nodes per position: a sustained burst
+                ds.extend({"a"}, position, [])
+            ds.release_expired(position)
+        assert ds.slab_capacity() > initial_cap
+        # ~8 slabs per window instead of window*rate/initial_cap ≈ 100+.
+        assert ds.slab_count() <= 16
+        fixed = ArenaDataStructure(window=1000, slab_capacity=64)
+        for position in range(3_000):
+            for _ in range(100):
+                fixed.extend({"a"}, position, [])
+            fixed.release_expired(position)
+        assert fixed.slab_capacity() == 64  # explicit capacity never adapts
+        assert fixed.slab_count() > 10 * ds.slab_count()
+
+    def test_adaptive_capacity_shrinks_after_burst(self):
+        """A lull time-seals the oversized slab and shrinks capacity back."""
+        ds = ArenaDataStructure(window=500)
+        for position in range(2_000):
+            for _ in range(100):
+                ds.extend({"a"}, position, [])
+            ds.release_expired(position)
+        burst_cap = ds.slab_capacity()
+        assert burst_cap >= 4096
+        for position in range(2_000, 8_000):  # 1 node per position
+            ds.extend({"a"}, position, [])
+            ds.release_expired(position)
+        assert ds.slab_capacity() < burst_cap
+        # Live storage tracks the window again, not the burst-era capacity.
+        assert ds.live_node_count() <= 2 * (500 + 1) + 2 * burst_cap // 4
+
+    def test_adaptive_arena_matches_fixed_capacity_outputs(self):
+        """Slab sizing is invisible to semantics: same outputs, same counters."""
+        rng = random.Random(21)
+        adaptive = ArenaDataStructure(window=5)
+        fixed = ArenaDataStructure(window=5, slab_capacity=64)
+        adaptive_acc = fixed_acc = None
+        position = 0
+        for _ in range(400):
+            position += rng.randrange(1, 3)
+            burst = rng.choice([1, 1, 1, 40])  # occasional burst to force adaptation
+            for _ in range(burst):
+                fresh_a = adaptive.extend({"a"}, position, [])
+                fresh_f = fixed.extend({"a"}, position, [])
+            if adaptive_acc is None:
+                adaptive_acc, fixed_acc = fresh_a, fresh_f
+            else:
+                adaptive_acc = adaptive.union(adaptive_acc, fresh_a)
+                fixed_acc = fixed.union(fixed_acc, fresh_f)
+            assert list(adaptive.enumerate(adaptive_acc, position)) == list(
+                fixed.enumerate(fixed_acc, position)
+            )
+            adaptive.release_expired(position)
+            fixed.release_expired(position)
+        assert adaptive.nodes_created == fixed.nodes_created
+        assert adaptive.union_copies == fixed.union_copies
+
+    def test_explicit_capacity_rounded_and_spanning_slots(self):
+        ds = ArenaDataStructure(window=10, slab_capacity=100)
+        assert ds.slab_capacity() == 128  # rounded up to a power of two
+        nodes = [ds.extend({"a"}, p, []) for p in range(200)]
+        # Ids from different slabs still resolve correctly across slot spans.
+        assert [ds.position_of(n) for n in nodes] == list(range(200))
+        assert ds.slab_count() == 2
+
     def test_no_reclamation_without_evict(self):
         """evict=False reproduces the unbounded seed behaviour in the arena too."""
         rng = random.Random(0)

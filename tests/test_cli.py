@@ -126,6 +126,44 @@ class TestRun:
         _, stats_output = self._run(argv + ["--no-arena", "--stats"], events)
         assert "arena_slabs=0" in stats_output
 
+    def test_general_mode_matches_hashed_engine(self):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        argv = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"]
+        _, hashed_output = self._run(argv, events)
+        code, general_output = self._run(argv + ["--general"], events)
+        assert code == 0
+        hashed_matches = [l for l in hashed_output.splitlines() if not l.startswith("#")]
+        general_matches = [l for l in general_output.splitlines() if not l.startswith("#")]
+        assert sorted(general_matches) == sorted(hashed_matches)
+
+    def test_stats_report_shape_identical_across_modes(self):
+        """The --stats keys are the same in single, general, and multi mode."""
+        from repro.cli import build_multi_parser, run_multi
+
+        def stat_keys(output):
+            lines = [l for l in output.splitlines() if l.startswith("#")]
+            # Drop the summary line (mode-specific); keep the three stat lines.
+            report = lines[1:]
+            return [
+                [field.split("=")[0] for field in line.replace("# ", "").split()]
+                for line in report
+            ]
+
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        argv = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100", "--stats", "--quiet"]
+        _, single = self._run(argv, events)
+        _, general = self._run(argv + ["--general"], events)
+        multi_parser = build_multi_parser()
+        multi_args = multi_parser.parse_args(
+            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100", "--stats", "--quiet"]
+        )
+        multi_output = io.StringIO()
+        assert run_multi(multi_args, events, multi_output) == 0
+        single_keys = stat_keys(single)
+        assert len(single_keys) == 3
+        assert stat_keys(general) == single_keys
+        assert stat_keys(multi_output.getvalue()) == single_keys
+
     @pytest.mark.parametrize("batch_size", [1, 2, 100])
     def test_batched_ingestion_matches_per_event(self, batch_size):
         events = list(read_events(EVENTS_CSV.splitlines()))

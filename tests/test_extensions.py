@@ -122,6 +122,85 @@ class TestGeneralStreamingEvaluator:
             assert set(general.process(tup)) == set(hashed.process(tup))
 
 
+class TestGeneralRuntimeParity:
+    """The general evaluator shares the runtime surface of the hashed engines."""
+
+    def _stream(self, length, seed=7):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            Tuple("Buy" if rng.random() < 0.5 else "Sell", (rng.randrange(3), rng.randrange(50)))
+            for _ in range(length)
+        ]
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 50])
+    def test_process_many_matches_per_tuple(self, batch_size):
+        stream = self._stream(120)
+        pcea = increasing_price_pcea()
+        batched = GeneralStreamingEvaluator(pcea, window=8)
+        stepwise = GeneralStreamingEvaluator(pcea, window=8)
+        batched_outputs = []
+        for begin in range(0, len(stream), batch_size):
+            batched_outputs.extend(batched.process_many(stream[begin : begin + batch_size]))
+        stepwise_outputs = [stepwise.process(tup) for tup in stream]
+        assert len(batched_outputs) == len(stepwise_outputs)
+        for left, right in zip(batched_outputs, stepwise_outputs):
+            assert left == right  # same valuations, same order
+        assert batched.position == stepwise.position
+        # Batched eviction reclaims the same runs by the end of the stream.
+        assert batched.live_run_count() == stepwise.live_run_count()
+
+    def test_dispatch_index_prunes_irrelevant_relations(self):
+        pcea = increasing_price_pcea()
+        indexed = GeneralStreamingEvaluator(pcea, window=10, indexed=True)
+        scanning = GeneralStreamingEvaluator(pcea, window=10, indexed=False)
+        stream = self._stream(60) + [Tuple("Noise", (1, 2)) for _ in range(60)]
+        for tup in stream:
+            assert indexed.process(tup) == scanning.process(tup)
+        # Candidate pruning: the indexed engine never probed Noise tuples.
+        assert indexed.stats.transitions_scanned < scanning.stats.transitions_scanned
+
+    def test_live_runs_window_bounded_by_shared_sweep(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=16)
+        peak = 0
+        for tup in self._stream(2_000):
+            engine.process(tup)
+            peak = max(peak, engine.live_run_count())
+        assert engine.evicted > 100
+        # At most one stored run per tuple position inside the window (+1 for
+        # the position being processed).
+        assert peak <= 2 * (16 + 1) + 2
+        assert engine.hash_table_size() == engine.live_run_count()
+
+    def test_stats_and_memory_surface(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=10, collect_stats=True)
+        for tup in self._stream(80):
+            engine.process(tup)
+        stats = engine.stats
+        assert stats.tuples_processed == 80
+        assert stats.transitions_fired > 0
+        assert stats.hash_lookups == engine.nodes_scanned > 0
+        assert stats.outputs_enumerated > 0
+        memory = engine.memory_info()
+        assert memory["arena"] == 1 and memory["nodes_created"] > 0
+        info = engine.dispatch_info()
+        assert info["queries"] == 1 and info["transitions"] == len(pcea.transitions)
+        engine.reset_statistics()
+        assert engine.stats.tuples_processed == 0
+        assert engine.nodes_scanned == 0
+
+    def test_stats_off_skips_counters(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=10, collect_stats=False)
+        for tup in self._stream(40):
+            engine.process(tup)
+        assert engine.stats.tuples_processed == 0
+        assert engine.nodes_scanned > 0  # the signature counter always runs
+
+
 class TestDisambiguation:
     def test_syntactic_condition_accepts_disjoint_chain(self):
         pcea = PCEA(

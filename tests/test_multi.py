@@ -182,6 +182,22 @@ class TestMergedDispatchIndex:
         assert [e.owner for e in merged.candidates_for(Tuple("E", (1, 5)))] == ["one"]
         assert list(merged.candidates_for(Tuple("E", (7, 5)))) == []
 
+    def test_guard_buckets_patched_incrementally(self):
+        """add_query/remove_query keep the constant-guard refinement exact."""
+        branch = lambda b: atom("E", "t", "y", filters=[("t", "==", b)])
+        merged = MergedDispatchIndex()
+        merged.add_query("zero", compile_query(conjunction(branch(0))).dispatch_index())
+        merged.add_query("one", compile_query(conjunction(branch(1))).dispatch_index())
+        merged.add_query("one-b", compile_query(conjunction(branch(1))).dispatch_index())
+        assert [e.owner for e in merged.candidates_for(Tuple("E", (1, 5)))] == ["one", "one-b"]
+        merged.remove_query("one")
+        assert [e.owner for e in merged.candidates_for(Tuple("E", (1, 5)))] == ["one-b"]
+        assert [e.owner for e in merged.candidates_for(Tuple("E", (0, 5)))] == ["zero"]
+        merged.remove_query("one-b")
+        merged.remove_query("zero")
+        assert list(merged.candidates_for(Tuple("E", (0, 5)))) == []
+        assert len(merged) == 0 and merged.interned_key_count() == 0
+
 
 class TestMultiDifferential:
     """K registered patterns == K independent evaluators, per query."""

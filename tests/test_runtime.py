@@ -1,0 +1,360 @@
+"""Tests for the shared streaming runtime (repro.runtime) and the
+incrementally patched merged dispatch index.
+
+Three layers:
+
+* unit tests of :class:`StreamRuntime` / :class:`EvictionLane` — the sweep
+  protocol (steady state, catch-up, superseded entries, inactive lanes),
+  the batch driver and the aggregated introspection;
+* incremental-patching invariants — after *every* ``add_query`` /
+  ``remove_query`` the patched :class:`MergedDispatchIndex` must be
+  structurally identical (``signature()``) to a from-scratch rebuild over the
+  surviving queries, and the interned-key tables must shrink back (no
+  tombstones, no leaks);
+* registration-churn differentials — loops of register/unregister mid-stream
+  asserting per-query outputs identical to fresh independent evaluators, and
+  the incremental engine identical to the full-rebuild ablation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.arena import ArenaDataStructure
+from repro.core.evaluation import StreamingEvaluator
+from repro.cq.schema import Tuple
+from repro.engine.dsl import atom, conjunction, sequence
+from repro.multi import MergedDispatchIndex, MultiQueryEngine, compile_query
+from repro.runtime import RELEASE_PASS_INTERVAL, EngineStatistics, EvictionLane, StreamRuntime
+from repro.streams.generators import random_stream
+
+from helpers import SIGMA0
+
+
+QUERY_SPECS = [
+    "Q1(x, y) <- T(x), S(x, y), R(x, y)",
+    "Q2(x, y) <- S(x, y), R(x, y)",
+    "Q3(x) <- T(x)",
+    sequence(atom("T", "x"), atom("S", "x", "y")),
+    conjunction(atom("S", "x", "y", filters=[("y", ">", 0)]), atom("R", "x", "y")),
+    conjunction(atom("R", "x", "y", filters=[("x", "==", 1)])),
+]
+
+
+def sigma0_stream(length, seed, domain_size=3):
+    return random_stream(SIGMA0, length=length, domain_size=domain_size, seed=seed).materialise()
+
+
+def reference_evaluator(query, window, start_position=0):
+    evaluator = StreamingEvaluator(compile_query(query), window=window, collect_stats=False)
+    evaluator.position = start_position - 1
+    return evaluator
+
+
+def rebuilt_index(engine):
+    """A from-scratch merged index over the engine's surviving lanes."""
+    lanes = [engine._lanes[qid] for qid in sorted(engine._lanes)]
+    return MergedDispatchIndex([(lane, lane.dispatch) for lane in lanes])
+
+
+class TestStreamRuntimeUnits:
+    def _lane(self, window):
+        return EvictionLane(window, ArenaDataStructure(window))
+
+    def test_steady_state_sweep_evicts_exactly_on_expiry(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(window=3))
+        node = lane.ds.extend({"a"}, 0, [])
+        runtime.advance()  # position 0
+        runtime.sweep(0)
+        lane.hash["k"] = (node, 0)
+        runtime.buckets.setdefault(0 + 3 + 1, []).append((lane, "k", node))
+        lane.add_ref(node)
+        for position in range(1, 4):
+            assert runtime.advance() == position
+            runtime.sweep(position)
+            assert "k" in lane.hash  # expires only at max_start + w + 1
+        runtime.advance()
+        runtime.sweep(4)
+        assert "k" not in lane.hash
+        assert runtime.evicted == 1
+        assert not runtime.buckets
+
+    def test_superseded_entry_survives_old_bucket(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(window=2))
+        old = lane.ds.extend({"a"}, 0, [])
+        runtime.position = 0
+        runtime._swept_upto = 0
+        lane.hash["k"] = (old, 0)
+        runtime.buckets.setdefault(3, []).append((lane, "k", old))
+        lane.add_ref(old)
+        # Re-registered with a younger node before the old bucket pops.
+        young = lane.ds.extend({"a"}, 2, [])
+        lane.hash["k"] = (young, 2)
+        runtime.buckets.setdefault(5, []).append((lane, "k", young))
+        lane.add_ref(young)
+        for position in range(1, 5):
+            runtime.position = position
+            runtime.sweep(position)
+            if position < 5:
+                assert "k" in lane.hash, position
+        runtime.position = 5
+        runtime.sweep(5)
+        assert "k" not in lane.hash
+        assert runtime.evicted == 1  # the superseded pop evicted nothing
+
+    def test_catchup_sweep_covers_gap(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(window=1))
+        node = lane.ds.extend({"a"}, 0, [])
+        runtime.position = 0
+        lane.hash["k"] = (node, 0)
+        runtime.buckets.setdefault(2, []).append((lane, "k", node))
+        lane.add_ref(node)
+        # Jump several positions without sweeping (deferred batch), then one
+        # sweep call must cover the whole overdue range.
+        runtime.position = 6
+        runtime.sweep(6)
+        assert "k" not in lane.hash
+        assert not runtime.buckets
+
+    def test_inactive_lane_entries_are_skipped(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(window=1))
+        node = lane.ds.extend({"a"}, 0, [])
+        lane.hash["k"] = (node, 0)
+        runtime.buckets.setdefault(2, []).append((lane, "k", node))
+        lane.add_ref(node)
+        runtime.drop_lane(lane)
+        assert not lane.active and lane.ds is None
+        for position in range(3):
+            runtime.position = position
+            runtime.sweep(position)  # must not fail on the dead lane
+        assert runtime.evicted == 0
+        assert runtime.hash_table_size() == 0
+
+    def test_drive_batch_sweeps_once_at_end(self):
+        runtime = StreamRuntime()
+        seen = []
+
+        def step(item):
+            runtime.advance()
+            seen.append(item)
+            return item * 2
+
+        results = runtime.drive_batch([1, 2, 3], step)
+        assert results == [2, 4, 6]
+        assert seen == [1, 2, 3]
+        assert runtime._swept_upto == runtime.position == 2
+
+    def test_release_pass_interval_covers_idle_lanes(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(window=4))
+        ds = lane.ds
+        for position in range(3):
+            ds.extend({"a"}, position, [])
+        # No bucket traffic at all: the periodic pass must still release.
+        for position in range(2 * RELEASE_PASS_INTERVAL + ds.slab_capacity()):
+            runtime.position = position
+            runtime.sweep(position)
+            for _ in range(4):
+                ds.extend({"a"}, position, [])
+        assert ds.released_slabs > 0
+
+    def test_memory_info_aggregates_and_flags_mixed_lanes(self):
+        from repro.core.datastructure import DataStructure
+
+        runtime = StreamRuntime()
+        arena_lane = runtime.add_lane(self._lane(window=4))
+        arena_lane.ds.extend({"a"}, 0, [])
+        info = runtime.memory_info()
+        assert info["arena"] == 1
+        assert info["live_nodes"] == 1
+        runtime.add_lane(EvictionLane(4, DataStructure(4)))
+        assert runtime.memory_info()["arena"] == 0  # mixed setup reports object
+
+    def test_statistics_alias(self):
+        stats = EngineStatistics()
+        stats.candidates_scanned = 7
+        assert stats.transitions_scanned == 7
+        assert stats.candidates_scanned == 7
+
+
+class TestIncrementalMergedIndex:
+    def test_patch_equals_rebuild_after_every_mutation(self):
+        rng = random.Random(13)
+        engine = MultiQueryEngine()
+        live = []
+        for step in range(60):
+            if live and rng.random() < 0.4:
+                handle = live.pop(rng.randrange(len(live)))
+                engine.unregister(handle)
+            else:
+                query = rng.choice(QUERY_SPECS)
+                live.append(engine.register(query, window=rng.randrange(1, 9)))
+            assert engine._merged.signature() == rebuilt_index(engine).signature(), step
+            assert len(engine._merged) == len(rebuilt_index(engine))
+
+    def test_interned_key_tables_shrink_back(self):
+        engine = MultiQueryEngine()
+        baseline_keys = engine._merged.interned_key_count()
+        baseline_size = len(engine._merged)
+        anchor = engine.register(QUERY_SPECS[0], window=5)
+        anchor_keys = engine._merged.interned_key_count()
+        anchor_size = len(engine._merged)
+        churned = [engine.register(q, window=5) for q in QUERY_SPECS[1:]]
+        assert engine._merged.interned_key_count() > anchor_keys
+        for handle in churned:
+            engine.unregister(handle)
+        # No tombstones, no leaked interned keys: back to the anchor's state.
+        assert engine._merged.interned_key_count() == anchor_keys
+        assert len(engine._merged) == anchor_size
+        engine.unregister(anchor)
+        assert engine._merged.interned_key_count() == baseline_keys == 0
+        assert len(engine._merged) == baseline_size == 0
+        assert engine._merged.describe()["relations"] == 0
+
+    def test_recycled_pred_ids_stay_dense(self):
+        # Register/unregister many distinct queries: the dense-id space must
+        # be recycled, not grow without bound.
+        engine = MultiQueryEngine()
+        for round_index in range(10):
+            handles = [engine.register(q, window=3) for q in QUERY_SPECS]
+            for handle in handles:
+                engine.unregister(handle)
+        probe = engine.register(QUERY_SPECS[0], window=3)
+        max_id = max(e.pred_key for e in engine._merged.all_entries())
+        # The largest live id is bounded by the peak simultaneous key count,
+        # not by the total number of registrations ever made.
+        peak = MergedDispatchIndex(
+            [
+                (name, compile_query(q).dispatch_index())
+                for name, q in zip("abcdef", QUERY_SPECS)
+            ]
+        ).interned_key_count()
+        assert max_id < peak
+        engine.unregister(probe)
+
+    def test_remove_unknown_owner_raises(self):
+        merged = MergedDispatchIndex()
+        with pytest.raises(KeyError):
+            merged.remove_query(object())
+
+    def test_double_add_rejected(self):
+        merged = MergedDispatchIndex()
+        dispatch = compile_query(QUERY_SPECS[0]).dispatch_index()
+        owner = object()
+        merged.add_query(owner, dispatch)
+        with pytest.raises(ValueError):
+            merged.add_query(owner, dispatch)
+
+    def test_wildcard_queries_patch_globally(self):
+        from repro.core.pcea import PCEA, PCEATransition
+        from repro.core.predicates import LambdaUnaryPredicate
+
+        wildcard_pcea = PCEA(
+            states={"a"},
+            transitions=[
+                PCEATransition(set(), LambdaUnaryPredicate(lambda t: True), {}, {"w"}, "a")
+            ],
+            final={"a"},
+        )
+        specific = compile_query(QUERY_SPECS[0])
+        merged = MergedDispatchIndex()
+        merged.add_query("spec", specific.dispatch_index())
+        merged.add_query("wild", wildcard_pcea.dispatch_index())
+        tup = Tuple("T", (1,))
+        owners = [e.owner for e in merged.candidates_for(tup)]
+        assert "wild" in owners and "spec" in owners
+        # Unknown relations still reach the wildcard.
+        assert [e.owner for e in merged.candidates_for(Tuple("ZZZ", (0,)))] == ["wild"]
+        merged.remove_query("wild")
+        assert [e.owner for e in merged.candidates_for(Tuple("ZZZ", (0,)))] == []
+        assert all(e.owner == "spec" for e in merged.candidates_for(tup))
+        rebuilt = MergedDispatchIndex([("spec", specific.dispatch_index())])
+        assert merged.signature() == rebuilt.signature()
+
+
+class TestRegistrationChurnDifferential:
+    """Random register/unregister mid-stream == fresh independent engines."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_churn_outputs_match_fresh_engines(self, seed):
+        rng = random.Random(seed)
+        stream = sigma0_stream(120, seed, domain_size=3)
+        engine = MultiQueryEngine()
+        live = {}  # handle id -> (handle, fresh reference evaluator)
+        for position, tup in enumerate(stream):
+            if rng.random() < 0.15:
+                if live and rng.random() < 0.45:
+                    victim = rng.choice(list(live))
+                    handle, _ = live.pop(victim)
+                    engine.unregister(handle)
+                else:
+                    query = rng.choice(QUERY_SPECS)
+                    window = rng.randrange(1, 8)
+                    handle = engine.register(query, window=window)
+                    live[handle.id] = (
+                        handle,
+                        reference_evaluator(query, window, start_position=position),
+                    )
+            outputs = engine.process(tup)
+            for handle_id, (handle, reference) in live.items():
+                expected = set(reference.process(tup))
+                assert set(outputs.get(handle_id, [])) == expected, (
+                    f"handle {handle} diverged at position {position}"
+                )
+            assert set(outputs) <= set(live)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_incremental_equals_full_rebuild_engine(self, seed):
+        rng = random.Random(seed + 100)
+        stream = sigma0_stream(80, seed, domain_size=3)
+        patched = MultiQueryEngine(incremental=True)
+        rebuilt = MultiQueryEngine(incremental=False)
+        live = []
+        for tup in stream:
+            if rng.random() < 0.2:
+                if live and rng.random() < 0.4:
+                    index = rng.randrange(len(live))
+                    patched_handle, rebuilt_handle = live.pop(index)
+                    patched.unregister(patched_handle)
+                    rebuilt.unregister(rebuilt_handle)
+                else:
+                    query = rng.choice(QUERY_SPECS)
+                    window = rng.randrange(1, 7)
+                    live.append(
+                        (
+                            patched.register(query, window=window),
+                            rebuilt.register(query, window=window),
+                        )
+                    )
+            patched_outputs = patched.process(tup)
+            rebuilt_outputs = rebuilt.process(tup)
+            for patched_handle, rebuilt_handle in live:
+                assert set(patched_outputs.get(patched_handle.id, [])) == set(
+                    rebuilt_outputs.get(rebuilt_handle.id, [])
+                )
+
+    def test_churned_engine_hash_tables_stay_bounded(self):
+        rng = random.Random(4)
+        engine = MultiQueryEngine()
+        live = []
+        max_size = 0
+        for position in range(600):
+            if rng.random() < 0.05:
+                if live and len(live) > 2:
+                    engine.unregister(live.pop(rng.randrange(len(live))))
+                else:
+                    live.append(engine.register(QUERY_SPECS[0], window=6))
+            relation = rng.choice(["T", "S", "R"])
+            if relation == "T":
+                tup = Tuple("T", (rng.randrange(50),))
+            else:
+                tup = Tuple(relation, (rng.randrange(50), rng.randrange(50)))
+            engine.process(tup)
+            max_size = max(max_size, engine.hash_table_size())
+        assert engine.evicted > 0
+        # Bounded by queries x window-ish, never by the stream length.
+        assert max_size <= (len(live) + 3) * 8 * 7
