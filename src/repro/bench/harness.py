@@ -19,6 +19,7 @@ import dataclasses
 import gc
 import json
 import statistics
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -205,6 +206,23 @@ def collect_engine_counters(engine) -> Dict[str, float]:
     return counters
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes (0 where unsupported).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalised here so the
+    ``peak_rss_bytes`` payload field means one thing.  Note the metric is a
+    high-water mark for the *whole process* — benchmark payloads record it as
+    coarse corroboration next to the structure-level byte counts
+    (``ArenaDataStructure.resident_bytes``), not as the primary comparison.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
 def validate_benchmark_payload(payload: Dict) -> None:
     """Validate the shared schema every checked-in ``BENCH_*.json`` follows.
 
@@ -236,6 +254,13 @@ def validate_benchmark_payload(payload: Dict) -> None:
             "benchmark payload 'gc_enabled' must be a bool (whether the cyclic "
             "collector ran during timed sections)"
         )
+    if "peak_rss_bytes" in payload:
+        peak = payload["peak_rss_bytes"]
+        if not isinstance(peak, int) or isinstance(peak, bool) or peak < 0:
+            raise ValueError(
+                "benchmark payload 'peak_rss_bytes' must be a non-negative int "
+                "(the process peak RSS, see peak_rss_bytes())"
+            )
     try:
         json.dumps(payload, sort_keys=True)
     except (TypeError, ValueError) as exc:

@@ -11,25 +11,55 @@ Node ids are allocated from one global id space carved into fixed 64-node
 *slots* (``slot = id >> 6``).  A slab owns a contiguous range of slots —
 ``capacity / 64`` of them — and every owned slot maps to the slab in the
 slab table, so id-to-slab resolution is one dict lookup regardless of slab
-size and the node's offset is ``id - slab.base``.  Each slab holds parallel
-flat lists, one entry per node:
+size and the node's offset is ``id - slab.base``.  Each slab stores, per
+node:
 
 * ``pos``  — the node's stream position ``i(n)``;
 * ``ms``   — ``max_start(n) = max{min(ν) | ν ∈ ⟦n⟧_prod}``;
 * ``ul`` / ``ur`` — union links as node ids (``0`` = no link / ``⊥``);
-* ``lab``  — an interned label-set id (the distinct label sets come from the
-  compiled transitions, so interning makes ``extend`` free of per-call
-  ``frozenset`` construction);
-* ``dirn`` — the union-balancing direction bit;
-* ``prod`` — the node's product children as a tuple of node ids.  The tuple is
-  allocated once per ``extend`` and *shared* by every union path copy of the
-  node (copies never re-materialise their child list), so union cost stays a
-  constant number of list appends per copied level; a live copy keeps the
+* a label-set id (the distinct label sets come from the compiled transitions,
+  so interning makes ``extend`` free of per-call ``frozenset`` construction);
+* the union-balancing direction bit;
+* the node's product children as a tuple of node ids.  The tuple is allocated
+  once per ``extend`` and *shared* by every union path copy of the node
+  (copies never re-materialise their child list), so union cost stays a
+  constant number of appends per copied level; a live copy keeps the
   originating slab alive transitively through the expiry argument below, never
   through refcounts.
 
 Node id ``0`` is the bottom node ``⊥`` (empty bag): it never carries links or
 children and every traversal treats it as expired.
+
+Columnar column storage
+-----------------------
+With ``columnar=True`` (the default) a slab packs the five int fields of a
+node into one interleaved ``array('q')`` record of stride
+:data:`_STRIDE`: ``pos, ms, ul, ur, meta`` at word offset ``(id - base) *
+5``.  ``meta`` fuses the label id, the direction bit and the product
+reference — ``(prod_ref << 32) | (label_id << 1) | direction`` — where
+``prod_ref`` is 0 for childless nodes (the vast majority) and otherwise
+``1 +`` an index into the slab-local ``prods`` list, which stores only the
+*non-empty* child tuples.  A union copy of a prod-carrying node re-appends
+the (shared) tuple into its own slab's ``prods`` — one list append, no
+re-materialisation — so product data never dangles across released slabs.
+
+The write path is a single :func:`struct.Struct.pack_into` call per node
+(five machine words in one C call, matching the list layout's append cost);
+the record array grows in :data:`_CHUNK_NODES`-node zero chunks, and sealing
+trims the unused tail so sealed slabs are exact-size.  One machine word per
+field — instead of a list slot *plus* a boxed ``int`` object per distinct
+value — cuts the measured resident bytes of the retained slab set by over 2×
+on store-heavy hot-key streams versus the list layout
+(``benchmarks/bench_state_footprint.py``;
+:meth:`ArenaDataStructure.resident_bytes` is the metric).
+
+``columnar=False`` keeps the pre-columnar layout — parallel plain lists
+``pos`` / ``ms`` / ``ul`` / ``ur`` / ``lab`` / ``dirn`` / ``prod`` (one dense
+entry per node) — as the ablation baseline and differential oracle.  Both
+layouts run the same allocation and traversal logic (the packed record
+encode/decode is the only difference), and the structural snapshots of a
+columnar and a list-backed arena fed the same operations are identical (the
+property tests in ``tests/test_snapshot.py`` assert exactly that).
 
 Adaptive slab sizing
 --------------------
@@ -76,7 +106,9 @@ References *into* a slab come from three places, each handled differently:
 * **product children of live nodes** — always safe without counting: a product
   node's ``max_start`` is ≤ every child's ``max_start``, so a live (non-expired)
   node implies live children, which implies their slabs have not expired and
-  therefore have not been released;
+  therefore have not been released.  The *tuple* holding the child ids lives
+  in the node's own slab (copies re-append it, see above), so reading it never
+  crosses into another slab at all;
 * **union links of live nodes** — may legitimately point at expired nodes (the
   heap condition only bounds ``max_start`` from above).  Traversals read one
   level into such a subtree purely to observe "expired, prune".  These reads
@@ -89,6 +121,22 @@ References *into* a slab come from three places, each handled differently:
   survives in ``H`` never dangles; the count reaches zero exactly when the
   sweep retires the entry's expiry bucket.
 
+Snapshot / restore
+------------------
+:meth:`ArenaDataStructure.snapshot` captures the complete arena state — the
+retained slab set (fields normalised to plain per-column lists, product
+children to one dense tuple per node), the allocation cursor, the
+adaptive-sizing state and the interned label table — as a plain-Python tree
+(dicts / lists / tuples / ints / frozensets) that pickles directly and
+JSON-encodes through :mod:`repro.runtime.snapshot`.  The snapshot is
+representation-independent: either layout can restore a snapshot taken from
+either layout.  :meth:`ArenaDataStructure.restore` replaces the arena's
+entire state in place (bound methods held by an
+:class:`~repro.runtime.EvictionLane` stay valid), after which allocation,
+reclamation and enumeration continue bit-identically to the snapshotted
+arena — the per-layer contract behind the engines' ``snapshot()`` /
+``restore()`` protocol.
+
 Everything the evaluator consumes (``extend`` / ``union`` / ``enumerate`` /
 ``expired`` / the validation helpers) takes and returns plain ``int`` ids; the
 recursive ``_union`` of the object structure becomes an iterative
@@ -100,6 +148,9 @@ in ``tests/test_arena.py`` rely on this).
 
 from __future__ import annotations
 
+import struct
+import sys
+from array import array
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.datastructure import product_odometer
@@ -125,13 +176,63 @@ MAX_SLAB_CAPACITY = 1 << 16
 #: reclamation granularity (more, smaller slabs) against slab-table overhead.
 TARGET_SLABS_PER_WINDOW = 8
 
+#: Interleaved record stride (words) of the columnar layout:
+#: ``pos, ms, ul, ur, meta``.
+_STRIDE = 5
+
+#: Record-array growth granularity (nodes): the current slab's array is
+#: extended by zeroed chunks of this many records, so the unpacked slack is
+#: bounded by one chunk while sealed slabs are trimmed exact.
+_CHUNK_NODES = 256
+
+#: ``meta`` field encoding: low 32 bits hold ``label_id << 1 | direction``,
+#: the high bits ``1 + prods-index`` (0 = no children).  Keep the three
+#: encode sites (``extend`` and the two ``union`` copies) in sync.
+_META_LOW = 0xFFFFFFFF
+_META_LABEL_DIRN = 0xFFFFFFFE
+
+#: One packed record write: five machine words in a single C call — this is
+#: what keeps the columnar allocation path at list-append cost.
+_PACK_RECORD = struct.Struct("5q").pack_into
+
+#: Record size in bytes (pack offsets), derived from the word stride so the
+#: write sites cannot drift from the word-offset reads.
+_RECORD_BYTES = 8 * _STRIDE
+
+_ZERO_CHUNK = array("q", bytes(8 * _STRIDE * _CHUNK_NODES))
+
+
+def _grow_records(slab: "_Slab") -> None:
+    """Extend a columnar slab's record array by one zeroed chunk.
+
+    Chunks are capped at the slab's own capacity so small slabs never
+    over-allocate beyond the records they can hold (sealing additionally
+    trims time-sealed slabs to their exact fill).
+    """
+    grow = (slab.span << _SLOT_BITS) - slab.avail
+    if grow >= _CHUNK_NODES:
+        grow = _CHUNK_NODES
+        slab.data.extend(_ZERO_CHUNK)
+    else:
+        slab.data.extend(_ZERO_CHUNK[: grow * _STRIDE])
+    slab.avail += grow
+
 
 class _Slab:
-    """One generation of nodes: parallel flat arrays plus release accounting."""
+    """One generation of nodes: packed records plus release accounting.
+
+    Columnar slabs fill ``data`` (the interleaved stride-5 record array) and
+    ``prods`` (slab-local non-empty child tuples); list slabs fill the
+    pre-columnar parallel lists ``pos``/``ms``/``ul``/``ur``/``lab``/
+    ``dirn``/``prod`` instead.
+    """
 
     __slots__ = (
         "base",
         "span",
+        "data",
+        "avail",
+        "prods",
         "pos",
         "ms",
         "ul",
@@ -144,16 +245,30 @@ class _Slab:
         "ext_refs",
     )
 
-    def __init__(self, base: int, span: int) -> None:
+    def __init__(self, base: int, span: int, columnar: bool = True) -> None:
         self.base = base
         self.span = span  # owned 64-node slots (capacity == span << 6)
-        self.pos: List[int] = []
-        self.ms: List[int] = []
-        self.ul: List[int] = []
-        self.ur: List[int] = []
-        self.lab: List[int] = []
-        self.dirn: List[bool] = []
-        self.prod: List[Tup[int, ...]] = []
+        self.avail = 0  # records allocated in ``data`` (columnar growth cursor)
+        if columnar:
+            self.data = array("q")
+            self.prods: List[Tup[int, ...]] = []
+            self.pos = None
+            self.ms = None
+            self.ul = None
+            self.ur = None
+            self.lab = None
+            self.dirn = None
+            self.prod = None
+        else:
+            self.data = None
+            self.prods = None
+            self.pos: List[int] = []
+            self.ms: List[int] = []
+            self.ul: List[int] = []
+            self.ur: List[int] = []
+            self.lab: List[int] = []
+            self.dirn: List[bool] = []
+            self.prod: List[Tup[int, ...]] = []
         self.count = 0
         self.max_ms = _NEVER
         self.ext_refs = 0
@@ -177,8 +292,10 @@ class ArenaDataStructure:
     :meth:`enumerate_all`, :meth:`expired`, the validation helpers and the
     ``nodes_created`` / ``union_calls`` / ``union_copies`` counters, plus the
     reclamation hooks the streaming evaluators call (:meth:`add_ref`,
-    :meth:`drop_ref`, :meth:`release_expired`) and the memory introspection
-    used by ``--stats`` and the benchmarks (:meth:`memory_stats`).
+    :meth:`drop_ref`, :meth:`release_expired`), the snapshot protocol
+    (:meth:`snapshot` / :meth:`restore`) and the memory introspection used by
+    ``--stats`` and the benchmarks (:meth:`memory_stats`,
+    :meth:`resident_bytes`).
 
     Parameters
     ----------
@@ -195,6 +312,12 @@ class ArenaDataStructure:
         Whether slab capacity follows the observed per-window allocation
         volume (see the module docstring).  Defaults to ``True`` when
         ``slab_capacity`` is not given, ``False`` when it is.
+    columnar:
+        With ``True`` (default) slabs use the packed columnar layout
+        (interleaved ``array('q')`` records, fused ``meta`` field, sparse
+        product table); ``False`` keeps the parallel plain lists (the
+        pre-columnar ablation layout, structurally identical operation for
+        operation — see the module docstring).
     """
 
     def __init__(
@@ -202,10 +325,12 @@ class ArenaDataStructure:
         window: int,
         slab_capacity: Optional[int] = None,
         adaptive: Optional[bool] = None,
+        columnar: bool = True,
     ) -> None:
         if window < 0:
             raise ValueError("window size must be non-negative")
         self.window = window
+        self._columnar = columnar
         if adaptive is None:
             adaptive = slab_capacity is None
         self._adaptive = adaptive
@@ -220,7 +345,7 @@ class ArenaDataStructure:
         self._slab_start: Optional[int] = None
         self._cur = self._new_slab()
         # Reserve id 0 for bottom: a sentinel that always reads as expired.
-        self._append(self._cur, -1, _NEVER, 0, 0, 0, False, ())
+        self._append_sentinel(self._cur)
         self._allocated = 0  # real nodes (the bottom sentinel is not counted)
         # Label-set interning: distinct label sets come from the compiled
         # transitions, so this table stays tiny.
@@ -239,8 +364,16 @@ class ArenaDataStructure:
 
         ``position`` is the stream position of the allocation that triggered
         the seal; with adaptive sizing it dates the sealed slab's fill time,
-        from which the next capacity is projected.
+        from which the next capacity is projected.  Sealing trims the packed
+        record array of a partially-filled (time-sealed) columnar slab to
+        its exact fill, so sealed slabs carry no chunk slack.
         """
+        sealed = getattr(self, "_cur", None)
+        if sealed is not None and self._columnar:
+            fill = sealed.count * _STRIDE
+            if len(sealed.data) > fill:
+                del sealed.data[fill:]
+            sealed.avail = sealed.count
         if position is not None and self._adaptive and self._slab_start is not None:
             elapsed = max(1, position - self._slab_start)
             # Nodes one window's worth of positions allocates at the sealed
@@ -253,7 +386,7 @@ class ArenaDataStructure:
         slot = self._next_slot
         span = self._cap >> _SLOT_BITS
         self._next_slot = slot + span
-        slab = _Slab(slot << _SLOT_BITS, span)
+        slab = _Slab(slot << _SLOT_BITS, span, self._columnar)
         slabs = self._slabs
         for owned in range(slot, slot + span):
             slabs[owned] = slab
@@ -271,29 +404,20 @@ class ArenaDataStructure:
             self._seal_deadline = 1 << 62
         return slab
 
-    @staticmethod
-    def _append(
-        slab: _Slab,
-        position: int,
-        max_start: int,
-        uleft: int,
-        uright: int,
-        label_id: int,
-        direction: bool,
-        children: Tup[int, ...],
-    ) -> int:
-        offset = slab.count
-        slab.pos.append(position)
-        slab.ms.append(max_start)
-        slab.ul.append(uleft)
-        slab.ur.append(uright)
-        slab.lab.append(label_id)
-        slab.dirn.append(direction)
-        slab.prod.append(children)
-        slab.count = offset + 1
-        if max_start > slab.max_ms:
-            slab.max_ms = max_start
-        return slab.base + offset
+    def _append_sentinel(self, slab: _Slab) -> None:
+        """Append the bottom node ``⊥`` (id 0) into a fresh slab 0."""
+        if self._columnar:
+            _grow_records(slab)
+            _PACK_RECORD(slab.data, 0, -1, _NEVER, 0, 0, 0)
+        else:
+            slab.pos.append(-1)
+            slab.ms.append(_NEVER)
+            slab.ul.append(0)
+            slab.ur.append(0)
+            slab.lab.append(0)
+            slab.dirn.append(False)
+            slab.prod.append(())
+        slab.count = 1
 
     # ---------------------------------------------------------------- access
     def max_start_of(self, node: int) -> int:
@@ -301,19 +425,50 @@ class ArenaDataStructure:
         slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return _NEVER
-        return slab.ms[node - slab.base]
+        index = node - slab.base
+        if self._columnar:
+            return slab.data[index * _STRIDE + 1]
+        return slab.ms[index]
 
     def position_of(self, node: int) -> int:
         slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return -1
-        return slab.pos[node - slab.base]
+        index = node - slab.base
+        if self._columnar:
+            return slab.data[index * _STRIDE]
+        return slab.pos[index]
 
     def labels_of(self, node: int) -> frozenset:
         slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return frozenset()
-        return self._labels[slab.lab[node - slab.base]]
+        return self._labels[self._label_id_of(slab, node - slab.base)]
+
+    def _label_id_of(self, slab: _Slab, index: int) -> int:
+        if self._columnar:
+            return (slab.data[index * _STRIDE + 4] & _META_LOW) >> 1
+        return slab.lab[index]
+
+    def _direction_of(self, slab: _Slab, index: int) -> bool:
+        if self._columnar:
+            return bool(slab.data[index * _STRIDE + 4] & 1)
+        return bool(slab.dirn[index])
+
+    def _links_of(self, slab: _Slab, index: int) -> Tup[int, int]:
+        """``(ul, ur)`` of a node — cold-path accessor."""
+        if self._columnar:
+            offset = index * _STRIDE
+            data = slab.data
+            return data[offset + 2], data[offset + 3]
+        return slab.ul[index], slab.ur[index]
+
+    def _prod_of(self, slab: _Slab, index: int) -> Tup[int, ...]:
+        """The node's child tuple (``()`` for leaves) — cold-path accessor."""
+        if self._columnar:
+            ref = slab.data[index * _STRIDE + 4] >> 32
+            return slab.prods[ref - 1] if ref else ()
+        return slab.prod[index]
 
     def expired(self, node: int, position: int) -> bool:
         """Whether every valuation of ``⟦node⟧`` is out of the window at ``position``.
@@ -327,15 +482,34 @@ class ArenaDataStructure:
         slab = self._slabs.get(node >> _SLOT_BITS)
         if slab is None:
             return True
-        return position - slab.ms[node - slab.base] > self.window
+        index = node - slab.base
+        if self._columnar:
+            return position - slab.data[index * _STRIDE + 1] > self.window
+        return position - slab.ms[index] > self.window
 
     # ----------------------------------------------------------------- nodes
-    def extend(self, labels: Iterable[Label], position: int, children: Sequence[int]) -> int:
+    def extend(
+        self,
+        labels: Iterable[Label],
+        position: int,
+        children: Sequence[int],
+        max_start: Optional[int] = None,
+    ) -> int:
         """``extend(L, i, N)``: a fresh product node (mirrors the object version).
 
-        Allocation is inlined (no helper-call chain): one append per column is
-        the entire cost, which is what buys the per-tuple speedup over the
+        Allocation is inlined (no helper-call chain): one packed-record write
+        (columnar) or one append per column (list layout) is the entire
+        cost, which is what buys the per-tuple speedup over the
         frozen-dataclass construction of the object structure.
+
+        ``max_start`` is the engines' fast path: they already hold every
+        child's ``max_start`` in their hash-table pairs and thread the new
+        node's value (``min(position, min child max_start)``) through the
+        loop, so passing it skips the per-child record reads *and* the child
+        validation — the caller certifies the children are live non-bottom
+        nodes with strictly smaller positions (the hashed engines' in-window
+        check guarantees exactly that).  Without it, the value is computed
+        and the children validated here, as the object structure does.
         """
         if not isinstance(labels, frozenset):
             labels = frozenset(labels)
@@ -344,33 +518,63 @@ class ArenaDataStructure:
             label_id = len(self._labels)
             self._labels.append(labels)
             self._label_ids[labels] = label_id
-        slabs = self._slabs
-        max_start = position
-        for child in children:
-            slab = None if not child else slabs.get(child >> _SLOT_BITS)
-            if slab is None:
-                raise ValueError("product children must not be the bottom node")
-            index = child - slab.base
-            if slab.pos[index] >= position:
-                raise ValueError("product children must have strictly smaller positions")
-            child_ms = slab.ms[index]
-            if child_ms < max_start:
-                max_start = child_ms
-        # Inline allocation — one append per column; keep the three
-        # allocation sites (here and the two in ``union``) in sync with
-        # ``_append``.
+        columnar = self._columnar
+        if max_start is None:
+            slabs = self._slabs
+            max_start = position
+            if columnar:
+                for child in children:
+                    slab = None if not child else slabs.get(child >> _SLOT_BITS)
+                    if slab is None:
+                        raise ValueError("product children must not be the bottom node")
+                    offset = (child - slab.base) * _STRIDE
+                    data = slab.data
+                    if data[offset] >= position:
+                        raise ValueError(
+                            "product children must have strictly smaller positions"
+                        )
+                    child_ms = data[offset + 1]
+                    if child_ms < max_start:
+                        max_start = child_ms
+            else:
+                for child in children:
+                    slab = None if not child else slabs.get(child >> _SLOT_BITS)
+                    if slab is None:
+                        raise ValueError("product children must not be the bottom node")
+                    index = child - slab.base
+                    if slab.pos[index] >= position:
+                        raise ValueError(
+                            "product children must have strictly smaller positions"
+                        )
+                    child_ms = slab.ms[index]
+                    if child_ms < max_start:
+                        max_start = child_ms
+        # Inline allocation; keep the three allocation sites (here and the
+        # two in ``union``) in sync.
         slab = self._cur
         offset = slab.count
         if offset >= self._cap or (offset and position > self._seal_deadline):
             slab = self._new_slab(position)
             offset = 0
-        slab.pos.append(position)
-        slab.ms.append(max_start)
-        slab.ul.append(0)
-        slab.ur.append(0)
-        slab.lab.append(label_id)
-        slab.dirn.append(False)
-        slab.prod.append(tuple(children))
+        if columnar:
+            data = slab.data
+            if offset >= slab.avail:
+                _grow_records(slab)
+            if children:
+                prods = slab.prods
+                prods.append(tuple(children))
+                meta = (len(prods) << 32) | (label_id << 1)
+            else:
+                meta = label_id << 1
+            _PACK_RECORD(data, offset * _RECORD_BYTES, position, max_start, 0, 0, meta)
+        else:
+            slab.pos.append(position)
+            slab.ms.append(max_start)
+            slab.ul.append(0)
+            slab.ur.append(0)
+            slab.lab.append(label_id)
+            slab.dirn.append(False)
+            slab.prod.append(tuple(children))
         slab.count = offset + 1
         if max_start > slab.max_ms:
             slab.max_ms = max_start
@@ -378,25 +582,54 @@ class ArenaDataStructure:
         self._allocated += 1
         return slab.base + offset
 
-    def union(self, left: int, fresh: int) -> int:
+    def union(
+        self,
+        left: int,
+        fresh: int,
+        position: Optional[int] = None,
+        fresh_ms: Optional[int] = None,
+    ) -> int:
         """``union(n1, n2)``: persistent union, iterative path copy.
 
         Same algorithm as ``DataStructure._union`` — expired-subtree pruning,
         fresh-on-top when its ``max_start`` dominates, direction-bit balancing
         — as a descend-then-rebuild loop instead of recursion, so union chains
         of any depth cannot overflow the interpreter stack.
+
+        ``position`` / ``fresh_ms`` are the engines' fast path: ``fresh`` is
+        a node they just built at the current position with a ``max_start``
+        they already hold, so passing both skips re-reading (and validating)
+        the fresh record — the caller certifies ``fresh`` is a live,
+        link-free product node.  Without them, the record is read and the
+        freshness validated here, as the object structure does.
         """
+        columnar = self._columnar
         slabs = self._slabs
         fresh_slab = slabs.get(fresh >> _SLOT_BITS) if fresh else None
         if fresh_slab is None:
             raise ValueError("the second argument of union must be a live product node")
         fresh_index = fresh - fresh_slab.base
-        if fresh_slab.ul[fresh_index] or fresh_slab.ur[fresh_index]:
-            raise ValueError("the second argument of union must be a fresh product node")
+        if columnar:
+            fresh_word = fresh_index * _STRIDE
+            fresh_data = fresh_slab.data
+            if position is None:
+                if fresh_data[fresh_word + 2] or fresh_data[fresh_word + 3]:
+                    raise ValueError(
+                        "the second argument of union must be a fresh product node"
+                    )
+                position = fresh_data[fresh_word]
+                fresh_ms = fresh_data[fresh_word + 1]
+        else:
+            if position is None:
+                if fresh_slab.ul[fresh_index] or fresh_slab.ur[fresh_index]:
+                    raise ValueError(
+                        "the second argument of union must be a fresh product node"
+                    )
+                position = fresh_slab.pos[fresh_index]
+                fresh_ms = fresh_slab.ms[fresh_index]
         self.union_calls += 1
-        position = fresh_slab.pos[fresh_index]
-        fresh_ms = fresh_slab.ms[fresh_index]
         window = self.window
+        cap = self._cap
         # Descend: copy-path of (slab, index, went_left) frames.
         path: List[Tup[_Slab, int, bool]] = []
         current = left
@@ -409,58 +642,115 @@ class ArenaDataStructure:
                 new = fresh
                 break
             index = current - slab.base
-            if position - slab.ms[index] > window:
+            if columnar:
+                word = index * _STRIDE
+                data = slab.data
+                node_ms = data[word + 1]
+            else:
+                node_ms = slab.ms[index]
+            if position - node_ms > window:
                 # Expired subtree: prune it (positions only grow).
                 new = fresh
                 break
             copies += 1
-            if fresh_ms >= slab.ms[index]:
+            if fresh_ms >= node_ms:
                 # Fresh dominates: it becomes the new top, old tree below; the
                 # copy shares fresh's children tuple (no re-materialisation).
                 # Allocation inlined, as in ``extend``.
                 target = self._cur
                 offset = target.count
-                if offset >= self._cap or (offset and position > self._seal_deadline):
+                if offset >= cap or (offset and position > self._seal_deadline):
                     target = self._new_slab(position)
                     offset = 0
-                target.pos.append(position)
-                target.ms.append(fresh_ms)
-                target.ul.append(current)
-                target.ur.append(0)
-                target.lab.append(fresh_slab.lab[fresh_index])
-                target.dirn.append(not slab.dirn[index])
-                target.prod.append(fresh_slab.prod[fresh_index])
+                if columnar:
+                    fresh_meta = fresh_data[fresh_word + 4]
+                    meta = (fresh_meta & _META_LABEL_DIRN) | (
+                        0 if data[word + 4] & 1 else 1  # not old dirn
+                    )
+                    ref = fresh_meta >> 32
+                    if ref:
+                        prods = target.prods
+                        prods.append(fresh_slab.prods[ref - 1])
+                        meta = (meta & _META_LOW) | (len(prods) << 32)
+                    target_data = target.data
+                    if offset >= target.avail:
+                        _grow_records(target)
+                    _PACK_RECORD(
+                        target_data, offset * _RECORD_BYTES, position, fresh_ms, current, 0, meta
+                    )
+                else:
+                    target.pos.append(position)
+                    target.ms.append(fresh_ms)
+                    target.ul.append(current)
+                    target.ur.append(0)
+                    target.lab.append(fresh_slab.lab[fresh_index])
+                    target.dirn.append(not slab.dirn[index])
+                    target.prod.append(fresh_slab.prod[fresh_index])
                 target.count = offset + 1
                 if fresh_ms > target.max_ms:
                     target.max_ms = fresh_ms
                 new = target.base + offset
                 break
-            if slab.dirn[index]:
-                path.append((slab, index, True))
-                current = slab.ul[index]
+            if columnar:
+                if data[word + 4] & 1:
+                    path.append((slab, index, True))
+                    current = data[word + 2]
+                else:
+                    path.append((slab, index, False))
+                    current = data[word + 3]
             else:
-                path.append((slab, index, False))
-                current = slab.ur[index]
+                if slab.dirn[index]:
+                    path.append((slab, index, True))
+                    current = slab.ul[index]
+                else:
+                    path.append((slab, index, False))
+                    current = slab.ur[index]
         # Rebuild the copied path bottom-up (path copying keeps persistence).
         for slab, index, went_left in reversed(path):
-            node_ms = slab.ms[index]
             target = self._cur
             offset = target.count
-            if offset >= self._cap or (offset and position > self._seal_deadline):
+            if offset >= cap or (offset and position > self._seal_deadline):
                 target = self._new_slab(position)
                 offset = 0
-            target.pos.append(slab.pos[index])
-            target.ms.append(node_ms)
-            if went_left:
-                target.ul.append(new)
-                target.ur.append(slab.ur[index])
-                target.dirn.append(False)
+            if columnar:
+                word = index * _STRIDE
+                data = slab.data
+                node_ms = data[word + 1]
+                old_meta = data[word + 4]
+                if went_left:
+                    uleft = new
+                    uright = data[word + 3]
+                    direction = 0
+                else:
+                    uleft = data[word + 2]
+                    uright = new
+                    direction = 1
+                meta = (old_meta & _META_LABEL_DIRN) | direction
+                ref = old_meta >> 32
+                if ref:
+                    prods = target.prods
+                    prods.append(slab.prods[ref - 1])
+                    meta = (meta & _META_LOW) | (len(prods) << 32)
+                target_data = target.data
+                if offset >= target.avail:
+                    _grow_records(target)
+                _PACK_RECORD(
+                    target_data, offset * _RECORD_BYTES, data[word], node_ms, uleft, uright, meta
+                )
             else:
-                target.ul.append(slab.ul[index])
-                target.ur.append(new)
-                target.dirn.append(True)
-            target.lab.append(slab.lab[index])
-            target.prod.append(slab.prod[index])
+                node_ms = slab.ms[index]
+                target.pos.append(slab.pos[index])
+                target.ms.append(node_ms)
+                if went_left:
+                    target.ul.append(new)
+                    target.ur.append(slab.ur[index])
+                    target.dirn.append(False)
+                else:
+                    target.ul.append(slab.ul[index])
+                    target.ur.append(new)
+                    target.dirn.append(True)
+                target.lab.append(slab.lab[index])
+                target.prod.append(slab.prod[index])
             target.count = offset + 1
             if node_ms > target.max_ms:
                 target.max_ms = node_ms
@@ -532,6 +822,7 @@ class ArenaDataStructure:
         """Arena occupancy, shaped for the CLI ``--stats`` memory section."""
         return {
             "arena": 1,
+            "columnar": 1 if self._columnar else 0,
             "slabs": self._slab_count,
             "slab_capacity": self._cap,
             "live_nodes": self.live_node_count(),
@@ -540,10 +831,210 @@ class ArenaDataStructure:
             "nodes_created": self.nodes_created,
         }
 
+    def _retained_slabs(self) -> List[_Slab]:
+        """The retained slabs, deduplicated (a slab owns ``span`` slots) and
+        in allocation order (the current slab last)."""
+        unique = {id(slab): slab for slab in self._slabs.values()}
+        return sorted(unique.values(), key=lambda slab: slab.base)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes of the retained slab storage (the footprint metric).
+
+        Sums the record/column containers of every retained slab plus the
+        product child tuples (deduplicated by identity — union copies share
+        them).  For the list layout the boxed element objects of the int
+        columns are included once per distinct object, because that is
+        precisely the storage the columnar layout collapses into raw machine
+        words; the ints *inside* the child tuples are excluded for both
+        layouts (both pay them identically).
+        ``benchmarks/bench_state_footprint.py`` reports this for the
+        columnar-vs-list comparison.
+        """
+        getsizeof = sys.getsizeof
+        seen: set = set()
+        total = 0
+        columnar = self._columnar
+        for slab in self._retained_slabs():
+            if columnar:
+                total += getsizeof(slab.data)
+                tuples = slab.prods
+                total += getsizeof(tuples)
+            else:
+                tuples = slab.prod
+                total += getsizeof(tuples)
+                for column in (slab.pos, slab.ms, slab.ul, slab.ur, slab.lab, slab.dirn):
+                    total += getsizeof(column)
+                    for value in column:
+                        marker = id(value)
+                        if marker not in seen:
+                            seen.add(marker)
+                            total += getsizeof(value)
+            for children in tuples:
+                marker = id(children)
+                if marker not in seen:
+                    seen.add(marker)
+                    total += getsizeof(children)
+        return total
+
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self) -> Dict[str, object]:
+        """The arena's complete state as a plain-Python, picklable tree.
+
+        Representation-independent: fields are normalised to plain per-column
+        lists of ints and product children to one dense tuple per node, so a
+        columnar arena can restore a list-layout snapshot and vice versa —
+        and two arenas fed identical operations produce *equal* snapshots
+        regardless of layout, which is what the structural-identity property
+        tests compare.
+        """
+        columnar = self._columnar
+        slabs = []
+        for slab in self._retained_slabs():
+            if columnar:
+                data = slab.data
+                fill = slab.count * _STRIDE
+                prods = slab.prods
+                meta = list(data[4:fill:_STRIDE])
+                lab = [(value & _META_LOW) >> 1 for value in meta]
+                dirn = [value & 1 for value in meta]
+                prod = [
+                    prods[(value >> 32) - 1] if value >> 32 else () for value in meta
+                ]
+                pos = list(data[0:fill:_STRIDE])
+                ms = list(data[1:fill:_STRIDE])
+                ul = list(data[2:fill:_STRIDE])
+                ur = list(data[3:fill:_STRIDE])
+            else:
+                pos = list(slab.pos)
+                ms = list(slab.ms)
+                ul = list(slab.ul)
+                ur = list(slab.ur)
+                lab = list(slab.lab)
+                dirn = [int(bit) for bit in slab.dirn]
+                prod = list(slab.prod)
+            slabs.append(
+                {
+                    "base": slab.base,
+                    "span": slab.span,
+                    "count": slab.count,
+                    "max_ms": slab.max_ms,
+                    "ext_refs": slab.ext_refs,
+                    "pos": pos,
+                    "ms": ms,
+                    "ul": ul,
+                    "ur": ur,
+                    "lab": lab,
+                    "dirn": dirn,
+                    "prod": prod,
+                }
+            )
+        return {
+            "window": self.window,
+            "cap": self._cap,
+            "adaptive": self._adaptive,
+            "next_slot": self._next_slot,
+            "release_cursor": self._release_cursor,
+            "slab_start": self._slab_start,
+            "seal_deadline": self._seal_deadline,
+            "allocated": self._allocated,
+            "labels": list(self._labels),
+            "slabs": slabs,
+            "counters": {
+                "nodes_created": self.nodes_created,
+                "union_calls": self.union_calls,
+                "union_copies": self.union_copies,
+                "released_slabs": self.released_slabs,
+                "released_nodes": self.released_nodes,
+            },
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Replace this arena's entire state with ``snapshot``'s, in place.
+
+        In-place so bound hooks (:class:`~repro.runtime.EvictionLane` binds
+        ``add_ref``/``drop_ref``/``release_expired`` once) stay valid.  The
+        window must match (it is the engine's configuration, not state); the
+        storage layout is this arena's own — restoring re-packs the snapshot
+        columns into whatever representation ``columnar`` selected.
+        """
+        if snapshot["window"] != self.window:
+            raise ValueError(
+                f"snapshot was taken with window {snapshot['window']}, "
+                f"this arena has window {self.window}"
+            )
+        self._cap = int(snapshot["cap"])
+        self._adaptive = bool(snapshot["adaptive"])
+        self._next_slot = int(snapshot["next_slot"])
+        self._release_cursor = int(snapshot["release_cursor"])
+        slab_start = snapshot["slab_start"]
+        self._slab_start = None if slab_start is None else int(slab_start)
+        self._seal_deadline = int(snapshot["seal_deadline"])
+        self._allocated = int(snapshot["allocated"])
+        self._labels = [frozenset(labels) for labels in snapshot["labels"]]
+        self._label_ids = {labels: index for index, labels in enumerate(self._labels)}
+        columnar = self._columnar
+        slabs: Dict[int, _Slab] = {}
+        current: Optional[_Slab] = None
+        count = 0
+        for slab_snap in snapshot["slabs"]:
+            slab = _Slab(int(slab_snap["base"]), int(slab_snap["span"]), columnar)
+            if columnar:
+                data = slab.data
+                prods: List[Tup[int, ...]] = []
+                for pos, ms, ul, ur, label_id, bit, children in zip(
+                    slab_snap["pos"],
+                    slab_snap["ms"],
+                    slab_snap["ul"],
+                    slab_snap["ur"],
+                    slab_snap["lab"],
+                    slab_snap["dirn"],
+                    slab_snap["prod"],
+                ):
+                    meta = (int(label_id) << 1) | int(bit)
+                    if children:
+                        prods.append(tuple(children))
+                        meta |= len(prods) << 32
+                    data.append(int(pos))
+                    data.append(int(ms))
+                    data.append(int(ul))
+                    data.append(int(ur))
+                    data.append(meta)
+                slab.prods = prods
+                slab.avail = int(slab_snap["count"])
+            else:
+                slab.pos = list(slab_snap["pos"])
+                slab.ms = list(slab_snap["ms"])
+                slab.ul = list(slab_snap["ul"])
+                slab.ur = list(slab_snap["ur"])
+                slab.lab = list(slab_snap["lab"])
+                slab.dirn = [bool(bit) for bit in slab_snap["dirn"]]
+                slab.prod = [tuple(children) for children in slab_snap["prod"]]
+            slab.count = int(slab_snap["count"])
+            slab.max_ms = int(slab_snap["max_ms"])
+            slab.ext_refs = int(slab_snap["ext_refs"])
+            first_slot = slab.base >> _SLOT_BITS
+            for owned in range(first_slot, first_slot + slab.span):
+                slabs[owned] = slab
+            count += 1
+            current = slab  # snapshot slabs are in allocation order
+        if current is None:
+            raise ValueError("snapshot holds no slabs (the current slab is never released)")
+        self._slabs = slabs
+        self._slab_count = count
+        self._cur = current
+        counters = snapshot["counters"]
+        self.nodes_created = int(counters["nodes_created"])
+        self.union_calls = int(counters["union_calls"])
+        self.union_copies = int(counters["union_copies"])
+        self.released_slabs = int(counters["released_slabs"])
+        self.released_nodes = int(counters["released_nodes"])
+
     # ------------------------------------------------------------ enumeration
     def enumerate(self, node: int, position: int) -> Iterator[Valuation]:
         """Enumerate ``⟦node⟧^w_position`` — same pruning and order as the
         object structure's :meth:`~repro.core.datastructure.DataStructure.enumerate`."""
+        columnar = self._columnar
+        labels = self._labels
         slabs = self._slabs
         window = self.window
         stack: List[int] = [node] if node else []
@@ -555,14 +1046,37 @@ class ArenaDataStructure:
             if slab is None:
                 continue
             index = current - slab.base
-            if position - slab.ms[index] > window:
-                continue
-            if slab.prod[index]:
-                yield from self._product_combinations(slab, index, position, windowed=True)
-            elif position - slab.pos[index] <= window:
-                yield Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
-            uright = slab.ur[index]
-            uleft = slab.ul[index]
+            if columnar:
+                word = index * _STRIDE
+                data = slab.data
+                if position - data[word + 1] > window:
+                    continue
+                meta = data[word + 4]
+                ref = meta >> 32
+                if ref:
+                    yield from self._product_combinations(
+                        labels[(meta & _META_LOW) >> 1],
+                        data[word],
+                        slab.prods[ref - 1],
+                        position,
+                        windowed=True,
+                    )
+                elif position - data[word] <= window:
+                    yield Valuation.singleton(labels[(meta & _META_LOW) >> 1], data[word])
+                uright = data[word + 3]
+                uleft = data[word + 2]
+            else:
+                if position - slab.ms[index] > window:
+                    continue
+                prod = slab.prod[index]
+                if prod:
+                    yield from self._product_combinations(
+                        labels[slab.lab[index]], slab.pos[index], prod, position, windowed=True
+                    )
+                elif position - slab.pos[index] <= window:
+                    yield Valuation.singleton(labels[slab.lab[index]], slab.pos[index])
+                uright = slab.ur[index]
+                uleft = slab.ul[index]
             if uright:
                 stack.append(uright)
             if uleft:
@@ -571,6 +1085,7 @@ class ArenaDataStructure:
     def enumerate_all(self, node: int) -> Iterator[Valuation]:
         """Enumerate ``⟦node⟧`` ignoring the window (tests; only meaningful
         while nothing reachable from ``node`` has been released)."""
+        labels = self._labels
         slabs = self._slabs
         stack: List[int] = [node] if node else []
         while stack:
@@ -581,25 +1096,38 @@ class ArenaDataStructure:
             if slab is None:
                 continue
             index = current - slab.base
-            if slab.prod[index]:
-                yield from self._product_combinations(slab, index, position=0, windowed=False)
+            prod = self._prod_of(slab, index)
+            node_position = (
+                slab.data[index * _STRIDE] if self._columnar else slab.pos[index]
+            )
+            if prod:
+                yield from self._product_combinations(
+                    labels[self._label_id_of(slab, index)],
+                    node_position,
+                    prod,
+                    position=0,
+                    windowed=False,
+                )
             else:
-                yield Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
-            uright = slab.ur[index]
-            uleft = slab.ul[index]
+                yield Valuation.singleton(labels[self._label_id_of(slab, index)], node_position)
+            uleft, uright = self._links_of(slab, index)
             if uright:
                 stack.append(uright)
             if uleft:
                 stack.append(uleft)
 
     def _product_combinations(
-        self, slab: _Slab, index: int, position: int, windowed: bool
+        self,
+        labels: frozenset,
+        node_position: int,
+        prod: Tup[int, ...],
+        position: int,
+        windowed: bool,
     ) -> Iterator[Valuation]:
         """Cross product over the child enumerations — the shared
         :func:`~repro.core.datastructure.product_odometer` over id-based child
         iterators, so the two representations cannot drift apart."""
-        base = Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
-        prod = slab.prod[index]
+        base = Valuation.singleton(labels, node_position)
         if windowed:
             iterators = [self.enumerate(child, position) for child in prod]
         else:
@@ -617,17 +1145,25 @@ class ArenaDataStructure:
             if slab is None:
                 continue
             index = current - slab.base
-            current_ms = slab.ms[index]
-            for link in (slab.ul[index], slab.ur[index]):
+            current_ms = (
+                slab.data[index * _STRIDE + 1] if self._columnar else slab.ms[index]
+            )
+            for link in self._links_of(slab, index):
                 if not link:
                     continue
                 link_slab = slabs.get(link >> _SLOT_BITS)
                 if link_slab is None:
                     continue
-                if link_slab.ms[link - link_slab.base] > current_ms:
+                link_index = link - link_slab.base
+                link_ms = (
+                    link_slab.data[link_index * _STRIDE + 1]
+                    if self._columnar
+                    else link_slab.ms[link_index]
+                )
+                if link_ms > current_ms:
                     return False
                 stack.append(link)
-            stack.extend(slab.prod[index])
+            stack.extend(self._prod_of(slab, index))
         return True
 
     def check_simple(self, node: int) -> bool:
@@ -645,9 +1181,15 @@ class ArenaDataStructure:
             if slab is None:
                 continue
             index = current - slab.base
-            base = Valuation.singleton(self._labels[slab.lab[index]], slab.pos[index])
+            node_position = (
+                slab.data[index * _STRIDE] if self._columnar else slab.pos[index]
+            )
+            base = Valuation.singleton(
+                self._labels[self._label_id_of(slab, index)], node_position
+            )
+            prod = self._prod_of(slab, index)
             partials: List[Valuation] = [base]
-            for child in slab.prod[index]:
+            for child in prod:
                 new_partials: List[Valuation] = []
                 for partial in partials:
                     for child_valuation in self.enumerate_all(child):
@@ -655,8 +1197,8 @@ class ArenaDataStructure:
                             return False
                         new_partials.append(partial.product(child_valuation))
                 partials = new_partials
-            worklist.extend(slab.prod[index])
-            for link in (slab.ul[index], slab.ur[index]):
+            worklist.extend(prod)
+            for link in self._links_of(slab, index):
                 if link:
                     worklist.append(link)
         return True
@@ -673,15 +1215,15 @@ class ArenaDataStructure:
                 continue
             if depth > best:
                 best = depth
-            index = current - slab.base
-            for link in (slab.ul[index], slab.ur[index]):
+            for link in self._links_of(slab, current - slab.base):
                 if link:
                     stack.append((link, depth + 1))
         return best
 
     def __repr__(self) -> str:
+        layout = "columnar" if self._columnar else "list"
         return (
             f"ArenaDataStructure(window={self.window}, slabs={self._slab_count}, "
             f"cap={self._cap}, live={self.live_node_count()}, "
-            f"released={self.released_nodes})"
+            f"released={self.released_nodes}, {layout})"
         )

@@ -203,6 +203,7 @@ class DataStructure:
         """Occupancy counters, shaped like the arena's (zeros where N/A)."""
         return {
             "arena": 0,
+            "columnar": 0,
             "slabs": 0,
             "slab_capacity": 0,
             "live_nodes": 0,
@@ -221,10 +222,22 @@ class DataStructure:
             return True
         return position - node.max_start > self.window
 
-    def extend(self, labels: Iterable[Label], position: int, children: Sequence[Node]) -> Node:
+    def extend(
+        self,
+        labels: Iterable[Label],
+        position: int,
+        children: Sequence[Node],
+        max_start: int | None = None,
+    ) -> Node:
         """``extend(L, i, N)``: a fresh node with ``⟦n_e⟧ = {{ν_{L,i}}} ⊕ ⨁_{n∈N} ⟦n⟧``.
 
         Runs in ``O(|N|)``.  ``max_start`` is ``min(i, min_n max_start(n))``.
+        The optional ``max_start`` argument is the arena's engine fast path
+        (see :meth:`ArenaDataStructure.extend
+        <repro.core.arena.ArenaDataStructure.extend>`); here attribute reads
+        are free, so it is accepted for call-surface uniformity and the value
+        is recomputed and validated regardless — keeping this structure a
+        full oracle for the differential tests.
         """
         labels = frozenset(labels)
         children = tuple(children)
@@ -239,14 +252,24 @@ class DataStructure:
         return self._make_node(labels, position, children, None, None, max_start)
 
     # ------------------------------------------------------------------ union
-    def union(self, left: Node, fresh: Node) -> Node:
+    def union(
+        self,
+        left: Node,
+        fresh: Node,
+        position: int | None = None,
+        fresh_ms: int | None = None,
+    ) -> Node:
         """``union(n1, n2)``: a node whose bag is ``⟦n1⟧ ∪ ⟦n2⟧`` (Proposition 5.3).
 
         Preconditions (checked): ``fresh`` has no union links yet and its
         position is at least the maximum position in ``left``.  The operation
         is fully persistent — neither argument is modified — and costs
         ``O(log(k·w))`` node copies thanks to direction-bit balancing and the
-        pruning of expired subtrees.
+        pruning of expired subtrees.  ``position`` / ``fresh_ms`` are the
+        arena's engine fast path (see :meth:`ArenaDataStructure.union
+        <repro.core.arena.ArenaDataStructure.union>`); accepted here for
+        call-surface uniformity, while the node's own attributes are used
+        and validated regardless (oracle behaviour).
         """
         if fresh.uleft is not None or fresh.uright is not None:
             raise ValueError("the second argument of union must be a fresh product node")

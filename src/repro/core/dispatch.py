@@ -32,6 +32,7 @@ loop performs no mapping lookups on the transition itself.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pcea builds the index lazily)
@@ -39,6 +40,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pcea builds the inde
 
 
 State = Hashable
+
+
+#: Memory addresses inside default/dataclass reprs (``<function f at 0x...>``)
+#: are process-local and must not leak into cross-process signatures.
+_REPR_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def join_signature(compiled: "CompiledTransition") -> Tup[Tup[int, str], ...]:
+    """The transition's joins as ``(source id, predicate descriptor)`` pairs.
+
+    The descriptor is the predicate's repr with memory addresses stripped —
+    the standard binary predicates are dataclasses whose reprs carry their
+    full configuration (projection tables, comparison positions), so two
+    transitions joining on different positions get different signatures;
+    callable-backed predicates degrade to their class name plus description,
+    mirroring how :func:`~repro.runtime.snapshot.stable_signature` treats
+    id-based unary canonical keys.
+    """
+    return tuple(
+        (source_id, _REPR_ADDRESS.sub("", repr(predicate)))
+        for _, source_id, predicate in compiled.joins
+    )
 
 
 def _transition_order(compiled: "CompiledTransition") -> int:
@@ -280,6 +303,36 @@ class TransitionDispatchIndex:
     # ------------------------------------------------------------ introspection
     def __len__(self) -> int:
         return len(self._all)
+
+    def signature(self) -> Dict[str, object]:
+        """A canonical structural summary of the compiled automaton.
+
+        The single-engine counterpart of
+        :meth:`~repro.multi.merged_index.MergedDispatchIndex.signature`: two
+        indexes compiled from the same transition list and final-state set
+        have equal signatures.  The snapshot protocol stores it (run through
+        :func:`~repro.runtime.snapshot.stable_signature`) so a checkpoint
+        can only be restored into an engine evaluating the same query —
+        including the *binary* join predicates, via
+        :func:`join_signature` (two automata differing only in a join
+        position must not verify as equal).
+        """
+        return {
+            "transitions": tuple(
+                (
+                    c.index,
+                    c.pred_key,
+                    None if c.relations is None else tuple(sorted(c.relations)),
+                    join_signature(c),
+                    c.target_id,
+                    c.is_final,
+                    tuple(sorted(c.labels, key=repr)),
+                )
+                for c in self._all
+            ),
+            "finals": tuple(sorted((repr(state) for state in self.final))),
+            "indexed": self.indexed,
+        }
 
     def describe(self) -> Dict[str, float]:
         """Summary statistics for benchmark / CLI reporting.

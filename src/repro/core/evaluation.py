@@ -60,6 +60,12 @@ from repro.core.dispatch import TransitionDispatchIndex
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
 from repro.runtime import EngineStatistics, EvictionLane, RuntimeBackedEngine, StreamRuntime
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    check_snapshot_header,
+    stable_signature,
+)
 from repro.valuation import Valuation
 
 
@@ -120,6 +126,10 @@ class StreamingEvaluator(RuntimeBackedEngine):
     collect_stats:
         With ``False`` the per-tuple operation counters are skipped (fast
         mode for throughput benchmarks).
+    columnar:
+        Arena column layout (``array('q')`` packing by default;
+        ``False`` keeps the list-backed slabs — ablation).  Ignored with
+        ``arena=False`` or an injected ``datastructure``.
 
     Examples
     --------
@@ -137,6 +147,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         evict: bool = True,
         collect_stats: bool = True,
         arena: bool = True,
+        columnar: bool = True,
     ) -> None:
         if not pcea.uses_only_equality_predicates():
             raise NotEqualityPredicateError(
@@ -147,7 +158,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         if datastructure is not None:
             self.ds = datastructure
         elif arena:
-            self.ds = ArenaDataStructure(window)
+            self.ds = ArenaDataStructure(window, columnar=columnar)
         else:
             self.ds = DataStructure(window)
         if self.ds.window != window:
@@ -319,8 +330,10 @@ class StreamingEvaluator(RuntimeBackedEngine):
             if not feasible:
                 continue
             # node_ms == min(position, min child max_start) — exactly the
-            # max_start ``extend`` computes for the new node.
-            node = ds.extend(compiled.labels, position, children)
+            # max_start ``extend`` computes for the new node; passing it in
+            # lets the arena skip re-reading the child records (the in-window
+            # check above certifies the children are live).
+            node = ds.extend(compiled.labels, position, children, node_ms)
             if stats is not None:
                 stats.transitions_fired += 1
                 stats.nodes_created += 1
@@ -337,6 +350,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         if new_nodes:
             buckets = runtime.buckets if self._evict else None
             add_ref = lane.add_ref
+            lane_id = lane.lane_id
             for state_id, nodes in new_nodes.items():
                 for compiled, source_id, predicate in dispatch.consumers_by_id(state_id):
                     key = predicate.left_key(tup)  # the current tuple will be the earlier one
@@ -358,7 +372,9 @@ class StreamingEvaluator(RuntimeBackedEngine):
                         else:
                             if stats is not None:
                                 stats.unions += 1
-                            entry = ds.union(entry, node)
+                            # position/node_ms describe the fresh node the
+                            # fire loop just built — the arena's fast path.
+                            entry = ds.union(entry, node, position, node_ms)
                             # Heap condition: the union's max_start is the max
                             # of the two sides (expired sides are pruned, and
                             # a pruned side is always the smaller one).
@@ -366,12 +382,16 @@ class StreamingEvaluator(RuntimeBackedEngine):
                                 entry_ms = node_ms
                     hash_table[entry_key] = (entry, entry_ms)
                     if buckets is not None:
+                        # Flat-triple registration (see StreamRuntime.register_entry):
+                        # three appends, no per-entry tuple allocation.
                         expiry_position = entry_ms + window + 1
                         expiry = buckets.get(expiry_position)
                         if expiry is None:
-                            buckets[expiry_position] = [(lane, entry_key, entry)]
+                            buckets[expiry_position] = [lane_id, entry_key, entry]
                         else:
-                            expiry.append((lane, entry_key, entry))
+                            expiry.append(lane_id)
+                            expiry.append(entry_key)
+                            expiry.append(entry)
                         add_ref(entry)
 
         # ``final_nodes`` was collected at fire time (transitions know whether
@@ -402,6 +422,60 @@ class StreamingEvaluator(RuntimeBackedEngine):
                         )
                     seen.add(valuation)
                 yield valuation
+
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self) -> Dict[str, Hashable]:
+        """The engine's complete evaluation state (see :mod:`repro.runtime.snapshot`).
+
+        Picklable and tagged-JSON serialisable; restorable into a freshly
+        constructed engine evaluating the same automaton with the same
+        window (verified through the dispatch-index signature), after which
+        processing continues bit-identically to the snapshotted engine.
+        """
+        lane = self._lane
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "engine": "streaming",
+            "window": self.window,
+            "evict": self._evict,
+            "dispatch_signature": stable_signature(self._dispatch.signature()),
+            "runtime": self._runtime.snapshot({lane.lane_id: 0}),
+            "lane": lane.snapshot(),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Adopt ``snapshot``'s state; processing then continues bit-identically.
+
+        The engine must have been constructed for the same automaton,
+        window, and ``evict`` setting (and with ``arena=True``); everything
+        else — position, hash table, arena slabs, expiry buckets, statistics
+        — is replaced.
+        """
+        check_snapshot_header(snapshot, "streaming")
+        if snapshot["window"] != self.window:
+            raise SnapshotError(
+                f"snapshot was taken with window {snapshot['window']}, "
+                f"this engine has window {self.window}"
+            )
+        if bool(snapshot["evict"]) != self._evict:
+            raise SnapshotError(
+                "snapshot and engine disagree on the evict setting "
+                f"(snapshot: {snapshot['evict']}, engine: {self._evict})"
+            )
+        if stable_signature(self._dispatch.signature()) != snapshot["dispatch_signature"]:
+            raise SnapshotError(
+                "snapshot was taken from an engine with a different automaton "
+                "(dispatch-index signatures differ)"
+            )
+        # Bind every section before mutating: a truncated snapshot raises
+        # before any state is touched, never after a half-restore.
+        try:
+            lane_snap = snapshot["lane"]
+            runtime_snap = snapshot["runtime"]
+        except KeyError as exc:
+            raise SnapshotError(f"snapshot is missing the {exc} section") from exc
+        self._lane.restore(lane_snap)
+        self._runtime.restore(runtime_snap, [self._lane])
 
     # ------------------------------------------------------------ introspection
     # (hash_table_size / memory_info come from RuntimeBackedEngine.)

@@ -37,10 +37,27 @@ the hashed engines (it is a single :class:`~repro.runtime.EvictionLane`, like
   batch driver, and ``collect_stats`` / ``memory_info`` / ``dispatch_info``
   mirror the other engines (the CLI ``--stats`` output is identical across
   all three modes).
+
+Per-state ring buffers
+----------------------
+The per-state index over live runs is a fixed-stride ring buffer of sequence
+numbers (:class:`_SeqRing`, an ``array('q')`` circle with absolute
+head/tail cursors), not a periodically-compacted Python list.  The crucial
+structural fact: runs of one state die in insertion order — each ``(state,
+seq)`` entry is stored exactly once with its stream position as the expiry
+anchor, positions only grow, and the shared sweep pops expiry buckets in
+position order — so expiry is strictly FIFO per state.  The sweep *drives*
+the ring directly through the lane's ``on_evict`` hook: evicting ``(state,
+seq)`` advances that state's head past every leading dead entry, so the scan
+never iterates garbage and the old ``O(live)`` compaction pass (and its
+``_COMPACT_INTERVAL`` tuning constant) is gone.  ``ring_capacity`` sets the
+initial per-state capacity (a constructor knob; rings grow by doubling and
+``memory_info`` reports their occupancy).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
@@ -50,15 +67,64 @@ from repro.core.evaluation import NodeRef
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
 from repro.runtime import EvictionLane, RuntimeBackedEngine, StreamRuntime
+from repro.runtime.snapshot import SNAPSHOT_VERSION, SnapshotError, check_snapshot_header, stable_signature
 from repro.valuation import Valuation
 
 
 State = Hashable
 
-#: Positions between compactions of the per-state sequence lists (dead
-#: sequence numbers — whose hash entry the shared sweep already reclaimed —
-#: are dropped; amortised O(live / interval) per tuple).
-_COMPACT_INTERVAL = 256
+#: Default initial per-state ring-buffer capacity (slots; rings double on
+#: overflow, so this only sets the growth starting point).
+DEFAULT_RING_CAPACITY = 64
+
+
+class _SeqRing:
+    """A fixed-stride ring of sequence numbers with absolute cursors.
+
+    ``buf`` is an ``array('q')`` whose length is a power of two; ``head`` and
+    ``tail`` are absolute (monotonic) counters, so the live slice is
+    ``buf[i & mask] for i in range(head, tail)`` and the ring is full when
+    ``tail - head == len(buf)``.  Appending into a full ring reallocates at
+    double capacity, copying the live entries in order.
+    """
+
+    __slots__ = ("buf", "mask", "head", "tail")
+
+    def __init__(self, capacity: int) -> None:
+        size = 1
+        while size < capacity:
+            size <<= 1
+        self.buf = array("q", bytes(8 * size))
+        self.mask = size - 1
+        self.head = 0
+        self.tail = 0
+
+    def append(self, seq: int) -> None:
+        buf = self.buf
+        mask = self.mask
+        tail = self.tail
+        if tail - self.head > mask:  # full: grow by doubling, preserving order
+            grown = array("q", bytes(16 * (mask + 1)))
+            for index in range(self.head, tail):
+                grown[index - self.head] = buf[index & mask]
+            self.buf = buf = grown
+            self.mask = mask = len(grown) - 1
+            self.tail = tail = tail - self.head
+            self.head = 0
+        buf[tail & mask] = seq
+        self.tail = tail + 1
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    def live(self) -> List[int]:
+        """The live sequence numbers, oldest first (snapshot/introspection)."""
+        buf = self.buf
+        mask = self.mask
+        return [buf[index & mask] for index in range(self.head, self.tail)]
+
+    def __repr__(self) -> str:
+        return f"_SeqRing(live={len(self)}, capacity={self.mask + 1})"
 
 
 class GeneralStreamingEvaluator(RuntimeBackedEngine):
@@ -77,6 +143,10 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         sweep additionally releases expired slabs, so the enumeration
         structure is window-bounded here too.  ``False`` restores the
         object-graph ``DS_w``.
+    columnar:
+        Arena column layout (``array('q')`` packing by default;
+        ``False`` keeps the list-backed slabs — ablation).  Ignored with
+        ``arena=False``.
     indexed:
         With ``False`` every transition is probed for every tuple (the
         pre-dispatch behaviour, kept for ablation / differential testing).
@@ -84,6 +154,9 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         With ``False`` the per-tuple operation counters are skipped.  The
         ``nodes_scanned`` attribute (the engine's signature linear-in-data
         cost) is maintained regardless, as it always was.
+    ring_capacity:
+        Initial capacity (slots) of each per-state sequence ring
+        (:data:`DEFAULT_RING_CAPACITY` by default; rings grow by doubling).
     """
 
     def __init__(
@@ -93,10 +166,16 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         arena: bool = True,
         indexed: bool = True,
         collect_stats: bool = True,
+        columnar: bool = True,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
+        if ring_capacity < 1:
+            raise ValueError("ring_capacity must be at least 1 slot")
         self.pcea = pcea
         self.window = window
-        self.ds = ArenaDataStructure(window) if arena else DataStructure(window)
+        self.ds = (
+            ArenaDataStructure(window, columnar=columnar) if arena else DataStructure(window)
+        )
         self._runtime = StreamRuntime()
         self._lane = self._runtime.add_lane(EvictionLane(window, self.ds))
         # The lane table maps (source state id, sequence number) to
@@ -110,12 +189,13 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
             self._dispatch = TransitionDispatchIndex(
                 pcea.transitions, indexed=False, final=pcea.final
             )
-        # Per-state insertion-ordered sequence numbers into the lane table.
-        # Entries the sweep reclaimed read as misses and are skipped by the
-        # scan; the periodic compaction drops them from the lists.
-        self._state_seqs: Dict[int, List[int]] = {}
+        # Per-state rings of live sequence numbers (FIFO by the expiry
+        # argument in the module docstring); the sweep advances the heads
+        # through the lane's eviction hook.
+        self._rings: Dict[int, _SeqRing] = {}
+        self._ring_capacity = ring_capacity
         self._next_seq = 0
-        self._next_compact = _COMPACT_INTERVAL
+        self._lane.on_evict = self._on_evict
         self._count_stats = collect_stats
         self.nodes_scanned = 0
 
@@ -148,18 +228,39 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
             runtime.stats.outputs_enumerated += enumerated
         return results
 
+    # --------------------------------------------------------------- eviction
+    def _on_evict(self, key: Tup[int, int]) -> None:
+        """Sweep hook: advance the state's ring head past dead entries.
+
+        Called by the shared sweep for every ``(state, seq)`` entry it
+        genuinely evicts.  Expiry is FIFO per state, so the dead entries are
+        exactly the leading ones; advancing past *all* leading misses (not
+        just ``seq``) keeps the ring correct even across deferred batched
+        sweeps that evict several runs of one state at once.
+        """
+        ring = self._rings.get(key[0])
+        if ring is None:
+            return
+        state_id = key[0]
+        hash_table = self._hash
+        buf = ring.buf
+        mask = ring.mask
+        head = ring.head
+        tail = ring.tail
+        while head < tail and (state_id, buf[head & mask]) not in hash_table:
+            head += 1
+        ring.head = head
+
     # ------------------------------------------------------------ update phase
     def update(self, tup: Tuple, sweep: bool = True) -> List[NodeRef]:
         runtime = self._runtime
         position = runtime.advance()
         if sweep:
             runtime.sweep(position)
-        if position >= self._next_compact:
-            self._compact(position)
         ds = self.ds
         ds_expired = ds.expired
         hash_table = self._hash
-        state_seqs = self._state_seqs
+        rings = self._rings
         stats = runtime.stats if self._count_stats else None
         if stats is not None:
             stats.tuples_processed += 1
@@ -182,13 +283,15 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
             feasible = True
             for _, source_id, predicate in compiled.joins:
                 compatible: List[NodeRef] = []
-                seqs = state_seqs.get(source_id)
-                if seqs:
+                ring = rings.get(source_id)
+                if ring is not None and ring.head < ring.tail:
                     holds = predicate.holds
-                    for seq in seqs:
-                        pair = hash_table.get((source_id, seq))
+                    buf = ring.buf
+                    mask = ring.mask
+                    for index in range(ring.head, ring.tail):
+                        pair = hash_table.get((source_id, buf[index & mask]))
                         if pair is None:
-                            continue  # reclaimed by the sweep; compaction pending
+                            continue  # evicted between hook runs (deferred sweep)
                         stored_tuple, node = pair[0]
                         scanned += 1
                         if ds_expired(node, position):
@@ -223,14 +326,17 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         if stats is not None:
             stats.hash_lookups += scanned
 
-        # Store the new runs: lane table + per-state sequence list + one
-        # shared expiry-bucket registration each (newest position anchors the
-        # expiry, exactly the old deque eviction's timing).
+        # Store the new runs: lane table + per-state ring + one shared
+        # expiry-bucket registration each (newest position anchors the
+        # expiry, exactly the old deque eviction's timing; the flat-triple
+        # protocol is StreamRuntime.register_entry, inlined).
         final_nodes: List[NodeRef] = []
         if created:
             lane = self._lane
+            lane_id = lane.lane_id
             buckets = runtime.buckets
             add_ref = lane.add_ref
+            ring_capacity = self._ring_capacity
             expiry_position = position + self.window + 1
             expiry = buckets.get(expiry_position)
             if expiry is None:
@@ -242,25 +348,17 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
                 hash_table[key] = ((tup, node), position)
                 if stats is not None:
                     stats.hash_updates += 1
-                seqs = state_seqs.get(state_id)
-                if seqs is None:
-                    state_seqs[state_id] = [seq]
-                else:
-                    seqs.append(seq)
-                expiry.append((lane, key, node))
+                ring = rings.get(state_id)
+                if ring is None:
+                    ring = rings[state_id] = _SeqRing(ring_capacity)
+                ring.append(seq)
+                expiry.append(lane_id)
+                expiry.append(key)
+                expiry.append(node)
                 add_ref(node)
                 if is_final:
                     final_nodes.append(node)
         return final_nodes
-
-    def _compact(self, position: int) -> None:
-        """Drop sequence numbers whose entry the sweep already reclaimed."""
-        self._next_compact = position + _COMPACT_INTERVAL
-        hash_table = self._hash
-        for state_id, seqs in self._state_seqs.items():
-            live = [seq for seq in seqs if (state_id, seq) in hash_table]
-            if len(live) != len(seqs):
-                self._state_seqs[state_id] = live
 
     # ------------------------------------------------------- enumeration phase
     def enumerate_outputs(self, final_nodes: Sequence[NodeRef]) -> Iterator[Valuation]:
@@ -273,6 +371,67 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
                     stats.outputs_enumerated += 1
                 yield valuation
 
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self) -> Dict[str, object]:
+        """The engine's complete evaluation state (see :mod:`repro.runtime.snapshot`).
+
+        Picklable and tagged-JSON serialisable; restorable into a freshly
+        constructed engine evaluating the same automaton with the same
+        window (verified through the dispatch-index signature).
+        """
+        lane = self._lane
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "engine": "general",
+            "window": self.window,
+            "dispatch_signature": stable_signature(self._dispatch.signature()),
+            "runtime": self._runtime.snapshot({lane.lane_id: 0}),
+            "lane": lane.snapshot(),
+            "rings": {state_id: ring.live() for state_id, ring in self._rings.items()},
+            "next_seq": self._next_seq,
+            "nodes_scanned": self.nodes_scanned,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Adopt ``snapshot``'s state; evaluation then continues bit-identically.
+
+        The engine must have been constructed for the same automaton and
+        window (and with ``arena=True``); everything else — position, stored
+        runs, arena slabs, rings, statistics — is replaced.
+        """
+        check_snapshot_header(snapshot, "general")
+        if snapshot["window"] != self.window:
+            raise SnapshotError(
+                f"snapshot was taken with window {snapshot['window']}, "
+                f"this engine has window {self.window}"
+            )
+        if stable_signature(self._dispatch.signature()) != snapshot["dispatch_signature"]:
+            raise SnapshotError(
+                "snapshot was taken from an engine with a different automaton "
+                "(dispatch-index signatures differ)"
+            )
+        # Bind every section before mutating: a truncated snapshot raises
+        # before any state is touched, never after a half-restore.
+        try:
+            lane_snap = snapshot["lane"]
+            runtime_snap = snapshot["runtime"]
+            ring_snaps = snapshot["rings"]
+            next_seq = int(snapshot["next_seq"])
+            nodes_scanned = int(snapshot["nodes_scanned"])
+        except KeyError as exc:
+            raise SnapshotError(f"snapshot is missing the {exc} section") from exc
+        self._lane.restore(lane_snap)
+        self._runtime.restore(runtime_snap, [self._lane])
+        rings: Dict[int, _SeqRing] = {}
+        for state_id, live in ring_snaps.items():
+            ring = _SeqRing(max(self._ring_capacity, len(live)))
+            for seq in live:
+                ring.append(seq)
+            rings[int(state_id)] = ring
+        self._rings = rings
+        self._next_seq = next_seq
+        self.nodes_scanned = nodes_scanned
+
     # ------------------------------------------------------------ introspection
     def live_run_count(self) -> int:
         """Number of live partial runs currently stored (benchmark instrumentation).
@@ -283,7 +442,16 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         """
         return len(self._hash)
 
-    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
+    def memory_info(self) -> Dict[str, int]:
+        """Runtime memory info plus the per-state ring-buffer occupancy."""
+        info = self._runtime.memory_info()
+        info["ring_capacity"] = self._ring_capacity
+        info["ring_states"] = len(self._rings)
+        info["ring_slots"] = sum(ring.mask + 1 for ring in self._rings.values())
+        info["ring_live"] = sum(len(ring) for ring in self._rings.values())
+        return info
+
+    # (hash_table_size comes from RuntimeBackedEngine.)
     def dispatch_info(self) -> Dict[str, float]:
         """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
         return self._dispatch.describe()

@@ -44,7 +44,19 @@ from repro.core.evaluation import NodeRef
 from repro.cq.schema import Tuple
 from repro.multi.merged_index import MergedDispatchIndex
 from repro.multi.registry import QueryHandle, QueryRegistry, QuerySpec
-from repro.runtime import EngineStatistics, EvictionLane, RuntimeBackedEngine, StreamRuntime
+from repro.runtime import (
+    RELEASE_PASS_INTERVAL,
+    EngineStatistics,
+    EvictionLane,
+    RuntimeBackedEngine,
+    StreamRuntime,
+)
+from repro.runtime.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    check_snapshot_header,
+    stable_signature,
+)
 from repro.valuation import Valuation
 
 
@@ -61,8 +73,14 @@ class _QueryLane(EvictionLane):
 
     __slots__ = ("handle", "pcea", "dispatch")
 
-    def __init__(self, handle: QueryHandle, pcea, arena: bool = True) -> None:
-        ds = ArenaDataStructure(handle.window) if arena else DataStructure(handle.window)
+    def __init__(
+        self, handle: QueryHandle, pcea, arena: bool = True, columnar: bool = True
+    ) -> None:
+        ds = (
+            ArenaDataStructure(handle.window, columnar=columnar)
+            if arena
+            else DataStructure(handle.window)
+        )
         super().__init__(handle.window, ds)
         self.handle = handle
         self.pcea = pcea
@@ -108,6 +126,16 @@ class MultiQueryEngine(RuntimeBackedEngine):
         dispatch index in place (O(|P_q|)-ish per change); ``False`` rebuilds
         it from scratch on every change (the pre-patching behaviour, kept as
         the ablation baseline the churn benchmark measures against).
+    columnar:
+        Arena column layout per lane (``array('q')`` packing by default;
+        ``False`` keeps the list-backed slabs — ablation).  Ignored with
+        ``arena=False``.
+    release_interval:
+        Positions between the runtime's periodic full arena-release passes
+        over every lane (default :data:`~repro.runtime.RELEASE_PASS_INTERVAL`)
+        — the pass that reclaims expired slabs of lanes whose queries stopped
+        matching.  Lower it for tighter idle-lane memory at higher amortised
+        sweep cost; ``memory_info()['release_interval']`` reports it.
     """
 
     def __init__(
@@ -118,18 +146,21 @@ class MultiQueryEngine(RuntimeBackedEngine):
         collect_stats: bool = False,
         arena: bool = True,
         incremental: bool = True,
+        columnar: bool = True,
+        release_interval: int = RELEASE_PASS_INTERVAL,
     ) -> None:
         self.registry = registry if registry is not None else QueryRegistry()
         self.memoise = memoise
         self._guards = guards
         self._arena = arena
+        self._columnar = columnar
         self._incremental = incremental
         self._count_stats = collect_stats
-        self._runtime = StreamRuntime()
+        self._runtime = StreamRuntime(release_interval=release_interval)
         self._lanes: Dict[int, _QueryLane] = {}
         self._merged = MergedDispatchIndex((), guards=guards)
         for entry in self.registry.entries():
-            lane = _QueryLane(entry.handle, entry.pcea, arena)
+            lane = _QueryLane(entry.handle, entry.pcea, arena, columnar)
             self._lanes[entry.handle.id] = lane
             self._runtime.add_lane(lane)
             self._merged.add_query(lane, lane.dispatch)
@@ -140,7 +171,7 @@ class MultiQueryEngine(RuntimeBackedEngine):
     ) -> QueryHandle:
         """Register a query mid-stream; it starts observing at the next tuple."""
         handle = self.registry.register(query, window, name)
-        lane = _QueryLane(handle, self.registry.get(handle).pcea, self._arena)
+        lane = _QueryLane(handle, self.registry.get(handle).pcea, self._arena, self._columnar)
         self._lanes[handle.id] = lane
         self._runtime.add_lane(lane)
         if self._incremental:
@@ -274,7 +305,10 @@ class MultiQueryEngine(RuntimeBackedEngine):
                     node_ms = pair[1]
             if not feasible:
                 continue
-            node = lane.ds.extend(compiled.labels, position, children)
+            # node_ms is exactly the max_start extend computes; passing it in
+            # lets the arena skip re-reading the child records (the in-window
+            # check above certifies the children are live).
+            node = lane.ds.extend(compiled.labels, position, children, node_ms)
             if stats is not None:
                 stats.transitions_fired += 1
                 stats.nodes_created += 1
@@ -306,6 +340,7 @@ class MultiQueryEngine(RuntimeBackedEngine):
                 ds = lane.ds
                 window = lane.window
                 add_ref = lane.add_ref
+                lane_id = lane.lane_id
                 consumers_by_id = lane.dispatch.consumers_by_id
                 for state_id, nodes in lane_nodes.items():
                     for compiled, source_id, predicate in consumers_by_id(state_id):
@@ -328,16 +363,19 @@ class MultiQueryEngine(RuntimeBackedEngine):
                             else:
                                 if stats is not None:
                                     stats.unions += 1
-                                entry_node = ds.union(entry_node, node)
+                                entry_node = ds.union(entry_node, node, position, node_ms)
                                 if node_ms > entry_ms:
                                     entry_ms = node_ms
                         hash_table[entry_key] = (entry_node, entry_ms)
+                        # Flat-triple registration (see StreamRuntime.register_entry).
                         expiry_position = entry_ms + window + 1
                         expiry = buckets.get(expiry_position)
                         if expiry is None:
-                            buckets[expiry_position] = [(lane, entry_key, entry_node)]
+                            buckets[expiry_position] = [lane_id, entry_key, entry_node]
                         else:
-                            expiry.append((lane, entry_key, entry_node))
+                            expiry.append(lane_id)
+                            expiry.append(entry_key)
+                            expiry.append(entry_node)
                         add_ref(entry_node)
 
         # Enumeration per query, window-restricted by the query's own DS_w.
@@ -355,6 +393,89 @@ class MultiQueryEngine(RuntimeBackedEngine):
                 if stats is not None:
                     stats.outputs_enumerated += len(valuations)
         return outputs
+
+    # ------------------------------------------------------- snapshot protocol
+    def _ordered_lanes(self) -> List[_QueryLane]:
+        """The active lanes in registration order (the snapshot lane index)."""
+        return [self._lanes[entry.handle.id] for entry in self.registry.entries()]
+
+    def snapshot(self) -> Dict[str, object]:
+        """The engine's complete evaluation state (see :mod:`repro.runtime.snapshot`).
+
+        Carries the registry's handle table and the merged-index
+        ``signature()`` (made process-portable by
+        :func:`~repro.runtime.snapshot.stable_signature`) for verification,
+        the runtime state, and one lane snapshot per registered query in
+        registration order.  Restorable into a fresh engine that registered
+        the *same query specifications in the same order* — handle ids are
+        remapped from the snapshot, so output routing and later
+        registrations continue exactly as in the snapshotted run.
+        """
+        lanes = self._ordered_lanes()
+        lane_index = {lane.lane_id: index for index, lane in enumerate(lanes)}
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "engine": "multi",
+            "registry": self.registry.snapshot(),
+            "merged_signature": stable_signature(self._merged.signature()),
+            "runtime": self._runtime.snapshot(lane_index),
+            "lanes": [lane.snapshot() for lane in lanes],
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Adopt ``snapshot``'s state; processing then continues bit-identically.
+
+        The engine must hold the snapshot's queries (same specifications,
+        same registration order, same per-query windows, ``arena=True``) —
+        verified structurally through the merged-index signature before any
+        state is touched.  Registered handles are rewritten to the
+        snapshot's ids/names (see :meth:`QueryRegistry.restore_handles
+        <repro.multi.registry.QueryRegistry.restore_handles>`).
+        """
+        check_snapshot_header(snapshot, "multi")
+        lane_snaps = snapshot["lanes"]
+        lanes = self._ordered_lanes()
+        if len(lanes) != len(lane_snaps):
+            raise SnapshotError(
+                f"snapshot holds {len(lane_snaps)} query lanes, "
+                f"this engine holds {len(lanes)}"
+            )
+        if stable_signature(self._merged.signature()) != snapshot["merged_signature"]:
+            raise SnapshotError(
+                "snapshot was taken from an engine with different registered "
+                "queries (merged-index signatures differ)"
+            )
+        # Validate restorability up front: a rejected restore must leave the
+        # engine untouched (no remapped handles, no half-restored lanes).
+        for lane, lane_snap in zip(lanes, lane_snaps):
+            if getattr(lane.ds, "restore", None) is None:
+                raise SnapshotError(
+                    "restore requires arena-backed query lanes "
+                    "(construct the engine with arena=True)"
+                )
+            if lane_snap["window"] != lane.window:
+                raise SnapshotError(
+                    f"snapshot lane window {lane_snap['window']} does not match "
+                    f"query {lane.handle} (window {lane.window})"
+                )
+        # Bind every section before mutating: a truncated snapshot raises
+        # before any state is touched, never after a half-restore.
+        try:
+            registry_snap = snapshot["registry"]
+            runtime_snap = snapshot["runtime"]
+        except KeyError as exc:
+            raise SnapshotError(f"snapshot is missing the {exc} section") from exc
+        try:
+            handles = self.registry.restore_handles(registry_snap)
+        except ValueError as exc:
+            raise SnapshotError(str(exc)) from exc
+        self._lanes = {}
+        for handle, lane in zip(handles, lanes):
+            lane.handle = handle
+            self._lanes[handle.id] = lane
+        for lane, lane_snap in zip(lanes, lane_snaps):
+            lane.restore(lane_snap)
+        self._runtime.restore(runtime_snap, lanes)
 
     # ------------------------------------------------------------ introspection
     # (hash_table_size / memory_info come from RuntimeBackedEngine.)

@@ -55,6 +55,7 @@ from repro.core.dispatch import (
     CompiledTransition,
     TransitionDispatchIndex,
     build_guard_buckets,
+    join_signature,
     probe_guard_buckets,
 )
 
@@ -332,6 +333,14 @@ class MergedDispatchIndex:
             for per_owner in self._by_owner.values()
             for e in per_owner
         }
+        # Binary join predicates, so two query sets differing only in a join
+        # (same relations, same unary keys) cannot verify as equal — the
+        # snapshot protocol relies on this.
+        joins = {
+            token(e): join_signature(e.compiled)
+            for per_owner in self._by_owner.values()
+            for e in per_owner
+        }
         # Interning consistency: equal canonical keys must share one dense id
         # (the memoisation soundness invariant), checked here so the tests'
         # signature comparison also certifies the intern tables.
@@ -346,6 +355,7 @@ class MergedDispatchIndex:
             "wildcard": tuple(token(e) for e in self._wildcard),
             "guards": guards,
             "predicates": predicates,
+            "joins": joins,
             "size": self._size,
         }
 

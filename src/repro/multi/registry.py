@@ -126,6 +126,71 @@ class QueryRegistry:
         """Registered queries in registration order."""
         return [self._entries[qid] for qid in sorted(self._entries)]
 
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self) -> dict:
+        """The registry's bookkeeping as a plain serialisable mapping.
+
+        Queries themselves (compiled PCEA) are *not* serialised — the
+        restoring side re-registers the same query specifications and the
+        engine verifies equivalence through the merged-index signature; what
+        the snapshot preserves is the handle table (ids, names, windows, in
+        registration order) and the id counter, so restored handles and all
+        future registrations carry the same ids as the snapshotted run.
+        """
+        return {
+            "next_id": self._next_id,
+            "version": self._version,
+            "entries": [
+                {
+                    "id": entry.handle.id,
+                    "name": entry.handle.name,
+                    "window": entry.handle.window,
+                }
+                for entry in self.entries()
+            ],
+        }
+
+    def restore_handles(self, snapshot: dict) -> List[QueryHandle]:
+        """Remap this registry's handles onto a snapshot's handle table.
+
+        The registry must hold the same queries in the same registration
+        order as the snapshotted one (the caller re-registered them; windows
+        are verified here, structural equivalence by the engine's signature
+        check).  Handles are rewritten in place — ids and names adopt the
+        snapshot's, which is what keeps output routing and future handle
+        allocation identical to the snapshotted run even when queries were
+        unregistered before the checkpoint (id gaps).  Returns the new
+        handles in registration order.
+        """
+        entries = self.entries()
+        recorded = snapshot["entries"]
+        if len(entries) != len(recorded):
+            raise ValueError(
+                f"snapshot holds {len(recorded)} registered queries, "
+                f"this registry holds {len(entries)}"
+            )
+        # Validate everything first: a rejected restore must leave the
+        # registry exactly as it was (no partially remapped handles).
+        for entry, entry_snap in zip(entries, recorded):
+            if entry.handle.window != entry_snap["window"]:
+                raise ValueError(
+                    f"query {entry.handle} has window {entry.handle.window}, "
+                    f"snapshot recorded {entry_snap['window']}"
+                )
+        handles: List[QueryHandle] = []
+        remapped: Dict[int, RegisteredQuery] = {}
+        for entry, entry_snap in zip(entries, recorded):
+            handle = QueryHandle(
+                int(entry_snap["id"]), entry_snap["name"], int(entry_snap["window"])
+            )
+            entry.handle = handle
+            remapped[handle.id] = entry
+            handles.append(handle)
+        self._entries = remapped
+        self._next_id = int(snapshot["next_id"])
+        self._version = int(snapshot["version"])
+        return handles
+
     def get(self, handle: QueryHandle) -> RegisteredQuery:
         return self._entries[handle.id]
 

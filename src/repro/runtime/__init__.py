@@ -44,11 +44,21 @@ machinery:
 
 Engines keep what is genuinely theirs: the FireTransitions/UpdateIndices hot
 loop (hash joins vs merged-index dispatch vs live-run scans) and the output
-routing.  Everything an engine registers into the runtime is a
-``(lane, key, node)`` triple; the sweep pops the bucket, drops the arena
-reference, and deletes the entry from ``lane.hash`` when the cached
-``max_start`` (the second element of the stored pair) is out of the lane's
-window — the exact protocol PRs 1–3 proved out per engine, now in one place.
+routing.  Everything an engine registers into the runtime is a flat
+``lane_id, key, node`` int triple appended to the expiry bucket (lanes are
+interned to dense small ints; no per-entry tuple is allocated — see
+:meth:`StreamRuntime.register_entry` for the reference implementation); the
+sweep pops the bucket, drops the arena reference, and deletes the entry from
+``lane.hash`` when the cached ``max_start`` (the second element of the
+stored pair) is out of the lane's window — the exact protocol PRs 1–3
+proved out per engine, now in one place.
+
+The runtime also anchors the cross-layer **snapshot/restore protocol**
+(:mod:`repro.runtime.snapshot`): every layer — arena slabs, lanes, the
+runtime itself, the engines — captures its state as a plain-Python tree that
+pickles directly and JSON-encodes through the tagged codec, so a mid-stream
+checkpoint restored in a fresh process continues bit-identically (the seam
+the multi-process sharding roadmap item builds on).
 """
 
 from repro.runtime.core import (
@@ -57,12 +67,16 @@ from repro.runtime.core import (
     RuntimeBackedEngine,
     StreamRuntime,
 )
+from repro.runtime.snapshot import SNAPSHOT_VERSION, SnapshotError, stable_signature
 from repro.runtime.statistics import EngineStatistics
 
 __all__ = [
     "RELEASE_PASS_INTERVAL",
+    "SNAPSHOT_VERSION",
     "EvictionLane",
     "RuntimeBackedEngine",
+    "SnapshotError",
     "StreamRuntime",
     "EngineStatistics",
+    "stable_signature",
 ]

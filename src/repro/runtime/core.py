@@ -7,30 +7,59 @@ contract with the engines:
   ``(value, max_start)`` pair whose second element is the cached expiry
   anchor (``max_start`` of the stored node for the hashed engines, the run's
   newest stream position for the general evaluator);
-* when the engine stores an entry it appends ``(lane, key, node)`` to
+* when the engine stores an entry it appends the *flat int triple*
+  ``lane.lane_id, key, node`` (three plain appends, no per-entry tuple) to
   ``buckets[max_start + lane.window + 1]`` (the absolute position at which
-  the entry expires) and calls ``lane.add_ref(node)`` — the two inlined
-  lines every hot loop pays, everything else lives here;
+  the entry expires) and calls ``lane.add_ref(node)`` — the inlined lines
+  every hot loop pays, everything else lives here.
+  :meth:`StreamRuntime.register_entry` is the reference implementation;
 * the sweep pops due buckets, drops the arena reference exactly once per
   registration, and deletes the hash entry iff it is genuinely out of the
   window *now* (an entry superseded by a younger node was re-registered in a
   later bucket and survives).
 
+Compact bucket representation
+-----------------------------
+Lanes are interned to dense small ints at :meth:`StreamRuntime.add_lane`
+(``lane.lane_id``), and each expiry bucket is one flat list
+``[lane_id, key, node, lane_id, key, node, ...]`` instead of a list of
+``(lane, key, node)`` tuples.  Registration therefore allocates *nothing*
+beyond the (amortised) list growth — the key object already lives in the
+lane's hash table, the node is an arena int — and the steady-state sweep
+walks the flat list with a stride-3 index loop, so the dominant steady-state
+allocation of the tuple layout (one 3-tuple per stored entry per window) is
+gone entirely.  ``benchmarks/bench_state_footprint.py`` measures the
+difference in both time and allocated blocks.
+
 Expired arena slabs are released by the same sweep: popping a bucket releases
-the lanes it touched, and a periodic full pass (every
-:data:`RELEASE_PASS_INTERVAL` positions) covers lanes that stopped
-registering entries — without it an idle lane would retain its last
-``O(window)`` of expired slabs indefinitely.
+the lanes it touched, and a periodic full pass (every ``release_interval``
+positions, a constructor knob defaulting to
+:data:`RELEASE_PASS_INTERVAL`) covers lanes that stopped registering
+entries — without it an idle lane would retain its last ``O(window)`` of
+expired slabs indefinitely.
+
+Snapshot / restore
+------------------
+:meth:`StreamRuntime.snapshot` / :meth:`StreamRuntime.restore` and
+:meth:`EvictionLane.snapshot` / :meth:`EvictionLane.restore` are the
+runtime's layers of the cross-layer checkpoint protocol (see
+:mod:`repro.runtime.snapshot`): the runtime serialises the stream cursor,
+the sweep cursors, the statistics and the expiry buckets (lane ids remapped
+through a dense snapshot index, because a restored engine assigns fresh lane
+ids); a lane serialises its window, its hash table and its enumeration
+structure (which must expose ``snapshot``/``restore`` — the arena does, the
+object-graph oracle does not).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Tuple as Tup, TypeVar
+import dataclasses
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup, TypeVar
 
 from repro.runtime.statistics import EngineStatistics
 
 
-#: Positions between full arena-release passes over every registered lane.
+#: Default positions between full arena-release passes over every lane.
 RELEASE_PASS_INTERVAL = 256
 
 _T = TypeVar("_T")
@@ -43,15 +72,31 @@ class EvictionLane:
     pairs); ``ds`` its enumeration structure.  The reclamation hooks are
     bound once so the per-tuple loops and the sweep never branch on the node
     representation (the object-graph ``DS_w`` exposes them as no-ops).
+    ``lane_id`` is the dense int the owning runtime interned the lane to —
+    the id the engines append to expiry buckets.  ``on_evict``, when set, is
+    called with the hash key of every entry the sweep genuinely evicts (the
+    general evaluator drives its per-state ring buffers with it).
     """
 
-    __slots__ = ("window", "ds", "hash", "active", "add_ref", "drop_ref", "release")
+    __slots__ = (
+        "window",
+        "ds",
+        "hash",
+        "active",
+        "lane_id",
+        "on_evict",
+        "add_ref",
+        "drop_ref",
+        "release",
+    )
 
     def __init__(self, window: int, ds) -> None:
         self.window = window
         self.ds = ds
         self.hash: Dict[Hashable, Tup[object, int]] = {}
         self.active = True
+        self.lane_id = -1  # assigned by StreamRuntime.add_lane
+        self.on_evict: Optional[Callable[[Hashable], None]] = None
         self.add_ref = ds.add_ref
         self.drop_ref = ds.drop_ref
         self.release = ds.release_expired
@@ -59,18 +104,58 @@ class EvictionLane:
     def deactivate(self) -> None:
         """Drop the lane's state immediately (unregistration).
 
-        Stale expiry-bucket entries may still reference the lane for up to a
-        window; the sweep skips inactive lanes instead of scrubbing every
-        bucket eagerly.  Clearing the bound hooks matters: they are bound
-        methods and would otherwise pin the enumeration structure until the
-        lane's last expiry bucket is popped.
+        Stale expiry-bucket entries may still reference the lane's id for up
+        to a window; the sweep skips ids that no longer resolve to an active
+        lane instead of scrubbing every bucket eagerly.  Clearing the bound
+        hooks matters: they are bound methods and would otherwise pin the
+        enumeration structure until the lane's last expiry bucket is popped.
         """
         self.active = False
         self.hash.clear()
         self.ds = None
+        self.on_evict = None
         self.add_ref = None
         self.drop_ref = None
         self.release = None
+
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self) -> Dict[str, object]:
+        """The lane's state (window, hash table, enumeration structure).
+
+        Requires a snapshotable enumeration structure — the arena-backed
+        ``DS_w``; the object-graph oracle (``arena=False``) has no explicit
+        state to capture and is rejected with a clear error.
+        """
+        ds = self.ds
+        ds_snapshot = getattr(ds, "snapshot", None)
+        if ds_snapshot is None:
+            raise ValueError(
+                "snapshot requires the arena-backed enumeration structure "
+                "(construct the engine with arena=True)"
+            )
+        return {
+            "window": self.window,
+            "hash": [(key, value) for key, value in self.hash.items()],
+            "ds": ds_snapshot(),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Replace the lane's state with ``snapshot``'s, in place."""
+        if snapshot["window"] != self.window:
+            raise ValueError(
+                f"snapshot was taken with window {snapshot['window']}, "
+                f"this lane has window {self.window}"
+            )
+        ds_restore = getattr(self.ds, "restore", None)
+        if ds_restore is None:
+            raise ValueError(
+                "restore requires the arena-backed enumeration structure "
+                "(construct the engine with arena=True)"
+            )
+        ds_restore(snapshot["ds"])
+        self.hash.clear()
+        for key, value in snapshot["hash"]:
+            self.hash[key] = value
 
     def __repr__(self) -> str:
         state = "active" if self.active else "inactive"
@@ -83,9 +168,13 @@ class StreamRuntime:
     One runtime serves one engine (which may own one lane or thousands).
     Engines advance the position with :meth:`advance`, call :meth:`sweep`
     once per sweeping update, register stored entries into :attr:`buckets`
-    (inlined, see the module docstring for the two-line protocol), and route
-    their ``process_many`` through :meth:`drive_batch` so the one-sweep-per-
-    batch policy exists exactly once.
+    (inlined, see the module docstring for the flat-triple protocol), and
+    route their ``process_many`` through :meth:`drive_batch` so the
+    one-sweep-per-batch policy exists exactly once.
+
+    ``release_interval`` sets the cadence of the periodic full arena-release
+    pass (positions between passes; the engines surface it as a constructor
+    knob and ``memory_info`` reports it).
     """
 
     __slots__ = (
@@ -93,38 +182,54 @@ class StreamRuntime:
         "evicted",
         "stats",
         "buckets",
+        "release_interval",
         "_swept_upto",
         "_next_release_pass",
         "_lanes",
+        "_next_lane_id",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, release_interval: int = RELEASE_PASS_INTERVAL) -> None:
+        if release_interval < 1:
+            raise ValueError("release_interval must be at least 1 position")
         self.position = -1
         self.evicted = 0
         self.stats = EngineStatistics()
-        # Absolute expiry position -> [(lane, hash key, registered node)].
+        # Absolute expiry position -> flat [lane_id, key, node, ...] triples.
         # Entries always register in strictly future buckets (a storable
         # entry satisfies max_start >= position - lane.window), so the sweep
         # can pop the dense range of newly due positions instead of scanning
         # every bucket key.
-        self.buckets: Dict[int, List[Tup[EvictionLane, Hashable, object]]] = {}
+        self.buckets: Dict[int, List[object]] = {}
+        self.release_interval = release_interval
         self._swept_upto = -1
         self._next_release_pass = 0
-        # Keyed by id(lane) so drop_lane is O(1) — unregistration latency
-        # must stay independent of how many lanes are registered (the same
-        # requirement that motivates incremental merged-index patching).
+        # Keyed by the dense interned lane id, which is also what the bucket
+        # triples carry — drop_lane stays O(1) (unregistration latency must
+        # be independent of how many lanes are registered) and the sweep
+        # resolves ids with one small-int dict lookup.
         self._lanes: Dict[int, EvictionLane] = {}
+        self._next_lane_id = 0
 
     # ------------------------------------------------------------------ lanes
     def add_lane(self, lane: EvictionLane) -> EvictionLane:
-        """Register a lane for the periodic release pass and memory reporting."""
-        self._lanes[id(lane)] = lane
+        """Intern ``lane`` to a dense id and track it for release/reporting.
+
+        Ids are never reused: a stale bucket triple of a dropped lane must
+        not resolve to a different lane later (the one-slot-per-ever-
+        registered-lane residue this avoids is the dict entry removed by
+        :meth:`drop_lane`, i.e. nothing).
+        """
+        lane_id = self._next_lane_id
+        self._next_lane_id = lane_id + 1
+        lane.lane_id = lane_id
+        self._lanes[lane_id] = lane
         return lane
 
     def drop_lane(self, lane: EvictionLane) -> None:
         """Deactivate ``lane`` and stop tracking it (unregistration, O(1))."""
         lane.deactivate()
-        self._lanes.pop(id(lane), None)
+        self._lanes.pop(lane.lane_id, None)
 
     def lanes(self) -> Sequence[EvictionLane]:
         return tuple(self._lanes.values())
@@ -136,6 +241,23 @@ class StreamRuntime:
         self.position = position
         return position
 
+    # ------------------------------------------------------------ registration
+    def register_entry(self, lane: EvictionLane, key: Hashable, node: object, expiry_position: int) -> None:
+        """Register a stored entry for eviction at ``expiry_position``.
+
+        The reference implementation of the registration protocol — three
+        flat appends plus the arena reference — which the engines inline in
+        their hot loops (keep the inlined copies in sync with this).
+        """
+        expiry = self.buckets.get(expiry_position)
+        if expiry is None:
+            self.buckets[expiry_position] = [lane.lane_id, key, node]
+        else:
+            expiry.append(lane.lane_id)
+            expiry.append(key)
+            expiry.append(node)
+        lane.add_ref(node)
+
     # ------------------------------------------------------------------ sweep
     def sweep(self, position: int) -> None:
         """The per-tuple eviction sweep (the only implementation).
@@ -144,6 +266,8 @@ class StreamRuntime:
         a gap (updates ran with the sweep deferred, or the position was
         reseated) falls back to the batched range sweep so no bucket is ever
         skipped for good.  Also runs the periodic full arena-release pass.
+        The stride-3 loop over the flat bucket allocates no per-entry
+        objects.
         """
         if position == self._swept_upto + 1:
             self._swept_upto = position
@@ -151,10 +275,13 @@ class StreamRuntime:
             if expired:
                 evicted = 0
                 touched = set()
-                for lane, key, registered in expired:
-                    if not lane.active:
+                lanes = self._lanes
+                for index in range(0, len(expired), 3):
+                    lane = lanes.get(expired[index])
+                    if lane is None or not lane.active:
                         continue
-                    lane.drop_ref(registered)
+                    key = expired[index + 1]
+                    lane.drop_ref(expired[index + 2])
                     touched.add(lane)
                     pair = lane.hash.get(key)
                     # The entry may have been superseded by a younger node
@@ -163,6 +290,9 @@ class StreamRuntime:
                     if pair is not None and position - pair[1] > lane.window:
                         del lane.hash[key]
                         evicted += 1
+                        hook = lane.on_evict
+                        if hook is not None:
+                            hook(key)
                 self.evicted += evicted
                 for lane in touched:
                     lane.release(position)
@@ -180,21 +310,27 @@ class StreamRuntime:
         if position <= self._swept_upto:
             return
         buckets = self.buckets
+        lanes = self._lanes
         evicted = 0
         touched = set()
         for bucket in range(self._swept_upto + 1, position + 1):
             expired = buckets.pop(bucket, None)
             if not expired:
                 continue
-            for lane, key, registered in expired:
-                if not lane.active:
+            for index in range(0, len(expired), 3):
+                lane = lanes.get(expired[index])
+                if lane is None or not lane.active:
                     continue
-                lane.drop_ref(registered)
+                key = expired[index + 1]
+                lane.drop_ref(expired[index + 2])
                 touched.add(lane)
                 pair = lane.hash.get(key)
                 if pair is not None and position - pair[1] > lane.window:
                     del lane.hash[key]
                     evicted += 1
+                    hook = lane.on_evict
+                    if hook is not None:
+                        hook(key)
         self._swept_upto = position
         self.evicted += evicted
         for lane in touched:
@@ -206,11 +342,11 @@ class StreamRuntime:
         """Release expired arena slabs in every active lane.
 
         Bucket pops release the lanes they touch immediately; this periodic
-        full pass (every :data:`RELEASE_PASS_INTERVAL` positions, amortised
+        full pass (every ``release_interval`` positions, amortised
         O(lanes / interval) per tuple) covers lanes that stopped registering
         entries.
         """
-        self._next_release_pass = position + RELEASE_PASS_INTERVAL
+        self._next_release_pass = position + self.release_interval
         for lane in self._lanes.values():
             if lane.active:
                 lane.release(position)
@@ -268,6 +404,60 @@ class StreamRuntime:
         results = self.drive_batch(tuples, step, sweep=sweep)
         return results, tally[0]
 
+    # ------------------------------------------------------- snapshot protocol
+    def snapshot(self, lane_index: Dict[int, int]) -> Dict[str, object]:
+        """The runtime's state, with lane ids remapped through ``lane_index``.
+
+        ``lane_index`` maps this runtime's interned lane ids to the dense
+        snapshot indexes the owning engine assigns (registration order); a
+        bucket triple whose lane id is absent belongs to a dropped lane and
+        is omitted — the sweep would have skipped it anyway.
+        """
+        buckets: Dict[int, List[object]] = {}
+        for expiry_position, entries in self.buckets.items():
+            flat: List[object] = []
+            for index in range(0, len(entries), 3):
+                mapped = lane_index.get(entries[index])
+                if mapped is None:
+                    continue
+                flat.append(mapped)
+                flat.append(entries[index + 1])
+                flat.append(entries[index + 2])
+            if flat:
+                buckets[expiry_position] = flat
+        return {
+            "position": self.position,
+            "evicted": self.evicted,
+            "swept_upto": self._swept_upto,
+            "next_release_pass": self._next_release_pass,
+            "release_interval": self.release_interval,
+            "stats": dataclasses.asdict(self.stats),
+            "buckets": buckets,
+        }
+
+    def restore(self, snapshot: Dict[str, object], lanes_by_index: Sequence[EvictionLane]) -> None:
+        """Replace the runtime's state with ``snapshot``'s.
+
+        ``lanes_by_index`` positions must mirror the ``lane_index`` mapping
+        the snapshot was taken with (the engine passes its lanes in
+        registration order on both sides).
+        """
+        self.position = int(snapshot["position"])
+        self.evicted = int(snapshot["evicted"])
+        self._swept_upto = int(snapshot["swept_upto"])
+        self._next_release_pass = int(snapshot["next_release_pass"])
+        self.release_interval = int(snapshot["release_interval"])
+        self.stats = EngineStatistics(**snapshot["stats"])
+        buckets: Dict[int, List[object]] = {}
+        for expiry_position, entries in snapshot["buckets"].items():
+            flat: List[object] = []
+            for index in range(0, len(entries), 3):
+                flat.append(lanes_by_index[entries[index]].lane_id)
+                flat.append(entries[index + 1])
+                flat.append(entries[index + 2])
+            buckets[int(expiry_position)] = flat
+        self.buckets = buckets
+
     # ----------------------------------------------------------- introspection
     def hash_table_size(self) -> int:
         """Total entries across every active lane's run-index table."""
@@ -279,16 +469,20 @@ class StreamRuntime:
         The same keys as ``DS_w.memory_stats()`` so a single-lane engine
         reports exactly what its structure would; ``arena`` is 1 only when
         every lane is arena-backed (mixed or object-graph setups report 0,
-        matching the ablation flag the engines expose).
+        matching the ablation flag the engines expose), and ``columnar``
+        likewise only when every lane's arena packs its columns.
+        ``release_interval`` surfaces the periodic-release cadence knob.
         """
         total = {
             "arena": 1 if self._lanes else 0,
+            "columnar": 1 if self._lanes else 0,
             "slabs": 0,
             "slab_capacity": 0,
             "live_nodes": 0,
             "released_slabs": 0,
             "released_nodes": 0,
             "nodes_created": 0,
+            "release_interval": self.release_interval,
         }
         for lane in self._lanes.values():
             if lane.ds is None:
@@ -296,6 +490,8 @@ class StreamRuntime:
             stats = lane.ds.memory_stats()
             if not stats.get("arena"):
                 total["arena"] = 0
+            if not stats.get("columnar"):
+                total["columnar"] = 0
             for key in ("slabs", "live_nodes", "released_slabs", "released_nodes", "nodes_created"):
                 total[key] += stats[key]
             total["slab_capacity"] = max(total["slab_capacity"], stats["slab_capacity"])
@@ -352,7 +548,7 @@ class RuntimeBackedEngine:
         self._runtime.stats = value
 
     @property
-    def _expiry_buckets(self) -> Dict[int, List[Tup[EvictionLane, Hashable, object]]]:
+    def _expiry_buckets(self) -> Dict[int, List[object]]:
         return self._runtime.buckets
 
     def memory_info(self) -> Dict[str, int]:

@@ -276,3 +276,137 @@ class TestRunMulti:
         code = main(["multi", *self.QUERIES, "--window", "100", str(path)])
         assert code == 0
         assert "queries=2" in capsys.readouterr().out
+
+
+class TestCheckpointRestore:
+    """CLI --checkpoint / --restore: split runs continue bit-identically."""
+
+    QUERY = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"]
+
+    def _run(self, argv, events):
+        parser = build_parser()
+        args = parser.parse_args(argv)
+        output = io.StringIO()
+        code = run(args, events, output)
+        return code, output.getvalue()
+
+    def _match_lines(self, output):
+        return [line for line in output.splitlines() if not line.startswith("#")]
+
+    def _stats_tail(self, output):
+        return output.splitlines()[-3:]
+
+    @pytest.mark.parametrize("mode", [[], ["--general"]])
+    def test_split_run_matches_continuous(self, tmp_path, mode):
+        events = list(read_events(EVENTS_CSV.splitlines())) * 3
+        checkpoint = str(tmp_path / "ck.json")
+        code, continuous = self._run(self.QUERY + mode + ["--stats"], events)
+        assert code == 0
+        code, _ = self._run(
+            self.QUERY + mode + ["--stats", "--checkpoint", checkpoint], events[:9]
+        )
+        assert code == 0
+        code, resumed = self._run(
+            self.QUERY + mode + ["--stats", "--restore", checkpoint], events[9:]
+        )
+        assert code == 0
+        tail = self._match_lines(resumed)
+        assert tail == self._match_lines(continuous)[-len(tail) :] if tail else True
+        # The cumulative --stats tail (counters, dispatch, memory) is
+        # restored state plus the second half — identical to one full run.
+        assert self._stats_tail(resumed) == self._stats_tail(continuous)
+
+    def test_multi_split_run_matches_continuous(self, tmp_path):
+        from repro.cli import build_multi_parser, run_multi
+
+        def run_multi_argv(argv, events):
+            args = build_multi_parser().parse_args(argv)
+            output = io.StringIO()
+            return run_multi(args, events, output), output.getvalue()
+
+        queries = [
+            "--query", "Q(x, y) <- T(x), S(x, y), R(x, y)",
+            "--query", "Q2(x, y) <- T(x), S(x, y)",
+            "--window", "100",
+        ]
+        events = list(read_events(EVENTS_CSV.splitlines())) * 3
+        checkpoint = str(tmp_path / "mck.json")
+        code, continuous = run_multi_argv(queries + ["--stats"], events)
+        assert code == 0
+        code, _ = run_multi_argv(queries + ["--stats", "--checkpoint", checkpoint], events[:9])
+        assert code == 0
+        code, resumed = run_multi_argv(queries + ["--stats", "--restore", checkpoint], events[9:])
+        assert code == 0
+        tail = self._match_lines(resumed)
+        assert tail == self._match_lines(continuous)[-len(tail) :] if tail else True
+        assert self._stats_tail(resumed) == self._stats_tail(continuous)
+
+    def test_restore_with_wrong_query_fails_cleanly(self, tmp_path, capsys):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        checkpoint = str(tmp_path / "ck.json")
+        code, _ = self._run(self.QUERY + ["--checkpoint", checkpoint], events)
+        assert code == 0
+        code, _ = self._run(
+            ["--query", "Q2(x, y) <- S(x, y), R(x, y)", "--window", "100",
+             "--restore", checkpoint],
+            events,
+        )
+        assert code == 2
+
+    def test_restore_missing_file_fails_cleanly(self):
+        code, _ = self._run(self.QUERY + ["--restore", "/nonexistent/ck.json"], [])
+        assert code == 2
+
+    def test_checkpoint_requires_arena(self, tmp_path):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        checkpoint = str(tmp_path / "ck.json")
+        code, _ = self._run(self.QUERY + ["--no-arena", "--checkpoint", checkpoint], events)
+        assert code == 2
+
+
+class TestCheckpointRobustness:
+    QUERY = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100"]
+
+    def _run(self, argv, events):
+        parser = build_parser()
+        args = parser.parse_args(argv)
+        output = io.StringIO()
+        code = run(args, events, output)
+        return code, output.getvalue()
+
+    def test_malformed_checkpoint_file_fails_cleanly(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text('{"snapshot_version": 1, "engine": "streaming"}\n')
+        code, _ = self._run(self.QUERY + ["--restore", str(path)], [])
+        assert code == 2
+        path.write_text("not json at all\n")
+        code, _ = self._run(self.QUERY + ["--restore", str(path)], [])
+        assert code == 2
+
+    def test_checkpoint_with_no_arena_fails_before_processing(self, tmp_path):
+        seen = []
+
+        def events():
+            for tup in read_events(EVENTS_CSV.splitlines()):
+                seen.append(tup)
+                yield tup
+
+        checkpoint = str(tmp_path / "ck.json")
+        code, _ = self._run(
+            self.QUERY + ["--no-arena", "--checkpoint", checkpoint], events()
+        )
+        assert code == 2
+        assert seen == []  # failed fast, stream untouched
+
+    def test_no_columnar_produces_identical_matches(self, tmp_path):
+        events = list(read_events(EVENTS_CSV.splitlines()))
+        _, default_out = self._run(self.QUERY, events)
+        _, listy_out = self._run(self.QUERY + ["--no-columnar"], events)
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("#")]
+        assert strip(default_out) == strip(listy_out)
+        # and checkpoints taken from either layout restore into the default
+        checkpoint = str(tmp_path / "ck.json")
+        code, _ = self._run(self.QUERY + ["--no-columnar", "--checkpoint", checkpoint], events)
+        assert code == 0
+        code, _ = self._run(self.QUERY + ["--restore", checkpoint], events)
+        assert code == 0

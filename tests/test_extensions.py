@@ -252,3 +252,65 @@ class TestDisambiguation:
     def test_witness_search_respects_cap(self):
         pcea = example_pcea_p0()
         assert ambiguity_witness(pcea, SIGMA0, max_length=3, domain=(0, 1), max_streams=5) is None
+
+
+class TestSequenceRings:
+    """The per-state ring buffers that replaced the compacted seq lists."""
+
+    def _stream(self, length, seed=7):
+        import random
+
+        rng = random.Random(seed)
+        stream = []
+        for _ in range(length):
+            relation = rng.choice(["Buy", "Sell"])
+            stream.append(Tuple(relation, (rng.randrange(3), rng.randrange(60))))
+        return stream
+
+    def test_tiny_ring_capacity_grows_and_stays_correct(self):
+        pcea = increasing_price_pcea()
+        tiny = GeneralStreamingEvaluator(pcea, window=20, ring_capacity=1)
+        roomy = GeneralStreamingEvaluator(pcea, window=20, ring_capacity=1024)
+        for tup in self._stream(600):
+            assert tiny.process(tup) == roomy.process(tup)
+        assert any(ring.mask + 1 > 1 for ring in tiny._rings.values())
+
+    def test_sweep_advances_ring_heads(self):
+        pcea = increasing_price_pcea()
+        engine = GeneralStreamingEvaluator(pcea, window=8)
+        for tup in self._stream(800):
+            engine.process(tup)
+            # Sweep-driven head advance: rings never accumulate dead leading
+            # entries beyond the live window of runs.
+            live = sum(len(ring) for ring in engine._rings.values())
+            assert live <= 2 * (8 + 1) + 2
+        assert engine.evicted > 100
+        # Every ring entry resolves to a live hash entry (no garbage scanned).
+        for state, ring in engine._rings.items():
+            for seq in ring.live():
+                assert (state, seq) in engine._hash
+
+    def test_batched_sweep_keeps_rings_consistent(self):
+        pcea = increasing_price_pcea()
+        batched = GeneralStreamingEvaluator(pcea, window=6, ring_capacity=2)
+        stepwise = GeneralStreamingEvaluator(pcea, window=6, ring_capacity=2)
+        stream = self._stream(400, seed=9)
+        for start in range(0, len(stream), 16):
+            batch = stream[start : start + 16]
+            assert batched.process_many(batch) == [stepwise.process(t) for t in batch]
+        assert {s: r.live() for s, r in batched._rings.items()} == {
+            s: r.live() for s, r in stepwise._rings.items()
+        }
+
+    def test_ring_capacity_validation_and_memory_exposure(self):
+        pcea = increasing_price_pcea()
+        with pytest.raises(ValueError):
+            GeneralStreamingEvaluator(pcea, window=5, ring_capacity=0)
+        engine = GeneralStreamingEvaluator(pcea, window=5, ring_capacity=16)
+        for tup in self._stream(50):
+            engine.process(tup)
+        memory = engine.memory_info()
+        assert memory["ring_capacity"] == 16
+        assert memory["ring_states"] == len(engine._rings) > 0
+        assert memory["ring_live"] == sum(len(r) for r in engine._rings.values())
+        assert memory["ring_slots"] >= memory["ring_live"]

@@ -68,8 +68,7 @@ class TestStreamRuntimeUnits:
         runtime.advance()  # position 0
         runtime.sweep(0)
         lane.hash["k"] = (node, 0)
-        runtime.buckets.setdefault(0 + 3 + 1, []).append((lane, "k", node))
-        lane.add_ref(node)
+        runtime.register_entry(lane, "k", node, 0 + 3 + 1)
         for position in range(1, 4):
             assert runtime.advance() == position
             runtime.sweep(position)
@@ -87,13 +86,11 @@ class TestStreamRuntimeUnits:
         runtime.position = 0
         runtime._swept_upto = 0
         lane.hash["k"] = (old, 0)
-        runtime.buckets.setdefault(3, []).append((lane, "k", old))
-        lane.add_ref(old)
+        runtime.register_entry(lane, "k", old, 3)
         # Re-registered with a younger node before the old bucket pops.
         young = lane.ds.extend({"a"}, 2, [])
         lane.hash["k"] = (young, 2)
-        runtime.buckets.setdefault(5, []).append((lane, "k", young))
-        lane.add_ref(young)
+        runtime.register_entry(lane, "k", young, 5)
         for position in range(1, 5):
             runtime.position = position
             runtime.sweep(position)
@@ -110,8 +107,7 @@ class TestStreamRuntimeUnits:
         node = lane.ds.extend({"a"}, 0, [])
         runtime.position = 0
         lane.hash["k"] = (node, 0)
-        runtime.buckets.setdefault(2, []).append((lane, "k", node))
-        lane.add_ref(node)
+        runtime.register_entry(lane, "k", node, 2)
         # Jump several positions without sweeping (deferred batch), then one
         # sweep call must cover the whole overdue range.
         runtime.position = 6
@@ -124,8 +120,7 @@ class TestStreamRuntimeUnits:
         lane = runtime.add_lane(self._lane(window=1))
         node = lane.ds.extend({"a"}, 0, [])
         lane.hash["k"] = (node, 0)
-        runtime.buckets.setdefault(2, []).append((lane, "k", node))
-        lane.add_ref(node)
+        runtime.register_entry(lane, "k", node, 2)
         runtime.drop_lane(lane)
         assert not lane.active and lane.ds is None
         for position in range(3):
@@ -358,3 +353,104 @@ class TestRegistrationChurnDifferential:
         assert engine.evicted > 0
         # Bounded by queries x window-ish, never by the stream length.
         assert max_size <= (len(live) + 3) * 8 * 7
+
+
+class TestCompactBucketProtocol:
+    """Lane interning, flat int-triple buckets, knobs, and eviction hooks."""
+
+    def _lane(self, window):
+        return EvictionLane(window, ArenaDataStructure(window))
+
+    def test_lanes_interned_to_dense_never_reused_ids(self):
+        runtime = StreamRuntime()
+        first = runtime.add_lane(self._lane(3))
+        second = runtime.add_lane(self._lane(3))
+        assert (first.lane_id, second.lane_id) == (0, 1)
+        runtime.drop_lane(first)
+        third = runtime.add_lane(self._lane(3))
+        assert third.lane_id == 2  # dropped ids are never reused
+
+    def test_buckets_hold_flat_triples(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(4))
+        node = lane.ds.extend({"a"}, 0, [])
+        lane.hash["k"] = (node, 0)
+        runtime.register_entry(lane, "k", node, 5)
+        runtime.register_entry(lane, "k2", node, 5)
+        assert runtime.buckets[5] == [lane.lane_id, "k", node, lane.lane_id, "k2", node]
+
+    def test_stale_triples_of_dropped_lane_are_skipped(self):
+        runtime = StreamRuntime()
+        keep = runtime.add_lane(self._lane(1))
+        drop = runtime.add_lane(self._lane(1))
+        for lane in (keep, drop):
+            node = lane.ds.extend({"a"}, 0, [])
+            lane.hash["k"] = (node, 0)
+            runtime.register_entry(lane, "k", node, 2)
+        runtime.drop_lane(drop)
+        runtime.position = 2
+        runtime.sweep_upto(2)
+        assert runtime.evicted == 1  # only the surviving lane's entry
+        assert "k" not in keep.hash
+
+    def test_on_evict_hook_fires_per_genuine_eviction(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(2))
+        evicted_keys = []
+        lane.on_evict = evicted_keys.append
+        old = lane.ds.extend({"a"}, 0, [])
+        lane.hash["gone"] = (old, 0)
+        runtime.register_entry(lane, "gone", old, 3)
+        # Superseded entry: re-registered young, the old bucket must not fire.
+        lane.hash["kept"] = (old, 0)
+        runtime.register_entry(lane, "kept", old, 3)
+        young = lane.ds.extend({"a"}, 2, [])
+        lane.hash["kept"] = (young, 2)
+        runtime.register_entry(lane, "kept", young, 5)
+        for position in range(6):
+            runtime.position = position
+            runtime.sweep(position)
+        assert evicted_keys == ["gone", "kept"]
+
+    def test_release_interval_knob(self):
+        runtime = StreamRuntime(release_interval=8)
+        assert runtime.memory_info()["release_interval"] == 8
+        lane = runtime.add_lane(self._lane(window=2))
+        ds = lane.ds
+        for position in range(3):
+            ds.extend({"a"}, position, [])
+        released_at = None
+        for position in range(2 * ds.slab_capacity()):
+            runtime.position = position
+            runtime.sweep(position)
+            if released_at is None and ds.released_slabs:
+                released_at = position
+            ds.extend({"a"}, position, [])
+        assert ds.released_slabs > 0
+        with pytest.raises(ValueError):
+            StreamRuntime(release_interval=0)
+
+    def test_multi_engine_exposes_release_interval(self):
+        engine = MultiQueryEngine(release_interval=17)
+        assert engine.memory_info()["release_interval"] == 17
+        default = MultiQueryEngine()
+        assert default.memory_info()["release_interval"] == RELEASE_PASS_INTERVAL
+
+    def test_runtime_snapshot_roundtrip(self):
+        runtime = StreamRuntime()
+        lane = runtime.add_lane(self._lane(3))
+        node = lane.ds.extend({"a"}, 0, [])
+        lane.hash["k"] = (node, 0)
+        runtime.register_entry(lane, "k", node, 4)
+        runtime.position = 0
+        snap = runtime.snapshot({lane.lane_id: 0})
+        fresh = StreamRuntime()
+        fresh_lane = fresh.add_lane(self._lane(3))
+        fresh_lane.restore(lane.snapshot())
+        fresh.restore(snap, [fresh_lane])
+        assert fresh.position == runtime.position
+        assert fresh.buckets == {4: [fresh_lane.lane_id, "k", node]}
+        for position in range(1, 5):
+            fresh.position = position
+            fresh.sweep(position)
+        assert "k" not in fresh_lane.hash and fresh.evicted == 1

@@ -1,0 +1,409 @@
+"""Tests for the cross-layer snapshot/restore protocol and columnar layout.
+
+Four layers of protection:
+
+* codec unit tests — the tagged-JSON serialisation must round-trip every
+  value kind a snapshot tree can contain (tuples, frozensets, events, atoms,
+  dicts with non-string keys);
+* snapshot→restore→continue differentials — for each of the three engines,
+  a mid-stream snapshot restored into a freshly constructed engine must
+  continue with outputs *bit-identical* to the uninterrupted run, including
+  restore-into-a-fresh-process simulated through pickle and tagged-JSON
+  roundtrips (no shared objects survive either) and multi-engine handle-id
+  continuity across pre-checkpoint churn;
+* verification — restoring into a mismatched engine (different query,
+  window, evict setting, engine kind, or the object-graph structure) must be
+  rejected before any state is touched;
+* structural identity of the layouts — the columnar (packed-record) and
+  list-backed arenas fed the same operations must be *snapshot-equal*, under
+  hypothesis streams and under long streams with mid-stream expiry, which is
+  the invariant that makes the layouts interchangeable oracles.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arena import ArenaDataStructure
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.hcq_to_pcea import hcq_to_pcea
+from repro.cq.query import Atom, Variable, parse_query
+from repro.cq.schema import Tuple
+from repro.extensions.general_evaluation import GeneralStreamingEvaluator
+from repro.multi.engine import MultiQueryEngine
+from repro.runtime import SnapshotError
+from repro.runtime import snapshot as snapshot_codec
+from repro.streams.generators import random_stream
+
+from helpers import SIGMA0, star_query, star_schema, streams_strategy
+
+
+QUERY = "Q(x, y) <- T(x), S(x, y), R(x, y)"
+
+
+def sigma0_stream(length, seed, domain_size=3):
+    return random_stream(SIGMA0, length=length, domain_size=domain_size, seed=seed).materialise()
+
+
+def roundtrip(snapshot, how):
+    """A fresh-process simulation: no object is shared with the original."""
+    if how == "pickle":
+        return pickle.loads(pickle.dumps(snapshot))
+    if how == "json":
+        return snapshot_codec.loads(snapshot_codec.dumps(snapshot))
+    return snapshot
+
+
+class TestCodec:
+    CASES = [
+        {"a": 1, "b": [1, 2.5, None, True, "x"]},
+        (1, ("nested", (2,)), frozenset({1, 2})),
+        {("tuple", "key"): "value", 7: [("x",)]},
+        {0: [1, 2], 1: []},  # int-keyed dict (expiry buckets)
+        Tuple("R", (1, "a")),
+        [Tuple("S", (2,)), (Tuple("T", ()), 5)],
+        frozenset({Atom("R", (Variable("x"), 3))}),
+        {"__repro__": "user data that looks like a tag"},
+        {"hash": [((0, 1, (2, "k")), (17, 4))]},
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=range(len(CASES)))
+    def test_roundtrip_equality(self, value):
+        assert snapshot_codec.loads(snapshot_codec.dumps(value)) == value
+
+    def test_types_survive_exactly(self):
+        decoded = snapshot_codec.loads(snapshot_codec.dumps({"t": (1, 2), "l": [1, 2]}))
+        assert isinstance(decoded["t"], tuple) and isinstance(decoded["l"], list)
+        event = snapshot_codec.loads(snapshot_codec.dumps(Tuple("R", (1,))))
+        assert isinstance(event, Tuple) and isinstance(event.values, tuple)
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(SnapshotError):
+            snapshot_codec.dumps({"f": lambda: None})
+
+    def test_save_load_file(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        value = {"buckets": {3: [0, (1, "k"), 5]}}
+        snapshot_codec.save(path, value)
+        assert snapshot_codec.load(path) == value
+
+
+class TestSingleEngineSnapshot:
+    WINDOW = 9
+
+    def _engine(self, **kwargs):
+        return StreamingEvaluator(hcq_to_pcea(parse_query(QUERY)), window=self.WINDOW, **kwargs)
+
+    @pytest.mark.parametrize("how", ["native", "pickle", "json"])
+    def test_restore_continues_bit_identically(self, how):
+        stream = sigma0_stream(300, seed=3)
+        original = self._engine()
+        for tup in stream[:150]:
+            original.process(tup)
+        snap = roundtrip(original.snapshot(), how)
+        restored = self._engine()
+        restored.restore(snap)
+        assert restored.position == original.position
+        assert restored.hash_table_size() == original.hash_table_size()
+        tail_original = [original.process(tup) for tup in stream[150:]]
+        tail_restored = [restored.process(tup) for tup in stream[150:]]
+        assert tail_original == tail_restored
+        # The two engines remain structurally identical after continuing.
+        assert original.snapshot() == restored.snapshot()
+
+    def test_snapshot_counters_and_eviction_state_survive(self):
+        stream = sigma0_stream(200, seed=5)
+        original = self._engine(collect_stats=True)
+        for tup in stream:
+            original.process(tup)
+        restored = self._engine(collect_stats=True)
+        restored.restore(roundtrip(original.snapshot(), "json"))
+        assert restored.evicted == original.evicted
+        assert restored.stats == original.stats
+        assert restored.memory_info() == original.memory_info()
+
+    def test_restore_rejects_mismatches(self):
+        original = self._engine()
+        for tup in sigma0_stream(50, seed=1):
+            original.process(tup)
+        snap = original.snapshot()
+        with pytest.raises(SnapshotError):
+            StreamingEvaluator(
+                hcq_to_pcea(parse_query(QUERY)), window=self.WINDOW + 1
+            ).restore(snap)
+        with pytest.raises(SnapshotError):
+            StreamingEvaluator(
+                hcq_to_pcea(parse_query("Q2(x, y) <- S(x, y), R(x, y)")),
+                window=self.WINDOW,
+            ).restore(snap)
+        with pytest.raises(SnapshotError):
+            self._engine(evict=False).restore(snap)
+        with pytest.raises(SnapshotError):
+            general = GeneralStreamingEvaluator(
+                hcq_to_pcea(parse_query(QUERY)), window=self.WINDOW
+            )
+            general.restore(snap)  # engine-kind mismatch
+
+    def test_object_graph_engine_cannot_snapshot(self):
+        engine = self._engine(arena=False)
+        with pytest.raises(ValueError):
+            engine.snapshot()
+
+    def test_snapshot_is_independent_of_later_processing(self):
+        stream = sigma0_stream(120, seed=8)
+        original = self._engine()
+        for tup in stream[:60]:
+            original.process(tup)
+        snap = roundtrip(original.snapshot(), "json")
+        reference = snapshot_codec.dumps(snap)
+        for tup in stream[60:]:
+            original.process(tup)
+        assert snapshot_codec.dumps(snap) == reference
+
+
+class TestGeneralEngineSnapshot:
+    WINDOW = 8
+
+    def _engine(self, **kwargs):
+        return GeneralStreamingEvaluator(
+            hcq_to_pcea(parse_query(QUERY)), window=self.WINDOW, **kwargs
+        )
+
+    @pytest.mark.parametrize("how", ["pickle", "json"])
+    def test_restore_continues_bit_identically(self, how):
+        stream = sigma0_stream(260, seed=11)
+        original = self._engine()
+        for tup in stream[:130]:
+            original.process(tup)
+        restored = self._engine()
+        restored.restore(roundtrip(original.snapshot(), how))
+        assert [original.process(t) for t in stream[130:]] == [
+            restored.process(t) for t in stream[130:]
+        ]
+        assert original.snapshot() == restored.snapshot()
+        assert original.nodes_scanned == restored.nodes_scanned
+
+    def test_ring_state_survives_restore(self):
+        stream = sigma0_stream(150, seed=13)
+        original = self._engine(ring_capacity=4)  # force ring growth
+        for tup in stream:
+            original.process(tup)
+        restored = self._engine(ring_capacity=4)
+        restored.restore(roundtrip(original.snapshot(), "json"))
+        assert {
+            state: ring.live() for state, ring in original._rings.items()
+        } == {state: ring.live() for state, ring in restored._rings.items()}
+
+
+class TestMultiEngineSnapshot:
+    SPECS = [
+        ("Q1(x, y) <- S(x, y), R(x, y)", 7),
+        ("Q2(x) <- T(x)", 4),
+        ("Q3(x, y) <- T(x), S(x, y)", 11),
+    ]
+
+    @pytest.mark.parametrize("how", ["pickle", "json"])
+    def test_restore_with_churn_continues_bit_identically(self, how):
+        stream = sigma0_stream(300, seed=17)
+        original = MultiQueryEngine()
+        handles = [original.register(q, window=w) for q, w in self.SPECS]
+        for tup in stream[:80]:
+            original.process(tup)
+        original.unregister(handles[1])  # leaves an id gap before checkpoint
+        for tup in stream[80:150]:
+            original.process(tup)
+        snap = roundtrip(original.snapshot(), how)
+
+        restored = MultiQueryEngine()
+        # Re-register the *surviving* queries in registration order.
+        restored.register(self.SPECS[0][0], window=self.SPECS[0][1])
+        restored.register(self.SPECS[2][0], window=self.SPECS[2][1])
+        restored.restore(snap)
+        # Handle ids (the output routing keys) adopt the snapshot's ids.
+        assert [h.id for h in restored.handles()] == [handles[0].id, handles[2].id]
+        assert [original.process(t) for t in stream[150:]] == [
+            restored.process(t) for t in stream[150:]
+        ]
+        assert original.snapshot() == restored.snapshot()
+        # Future registrations continue the snapshotted id sequence.
+        new_a = original.register("Q4(x) <- T(x)", window=3)
+        new_b = restored.register("Q4(x) <- T(x)", window=3)
+        assert new_a.id == new_b.id
+
+    def test_restore_rejects_wrong_queries(self):
+        original = MultiQueryEngine()
+        for q, w in self.SPECS:
+            original.register(q, window=w)
+        for tup in sigma0_stream(40, seed=2):
+            original.process(tup)
+        snap = original.snapshot()
+        fresh = MultiQueryEngine()
+        fresh.register(self.SPECS[0][0], window=self.SPECS[0][1])
+        with pytest.raises(SnapshotError):
+            fresh.restore(snap)  # wrong query count
+        other = MultiQueryEngine()
+        other.register(self.SPECS[0][0], window=self.SPECS[0][1])
+        other.register(self.SPECS[1][0], window=self.SPECS[1][1])
+        other.register("Qx(x, y) <- S(x, y)", window=self.SPECS[2][1])
+        with pytest.raises(SnapshotError):
+            other.restore(snap)  # structurally different query set
+
+
+class TestColumnarListStructuralIdentity:
+    """The two arena layouts must be indistinguishable through snapshots."""
+
+    def _pair(self, window):
+        pcea = hcq_to_pcea(star_query(2))
+        return (
+            StreamingEvaluator(pcea, window=window, columnar=True),
+            StreamingEvaluator(pcea, window=window, columnar=False),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams_strategy(star_schema(2), max_length=24, domain=2), st.integers(0, 6))
+    def test_snapshots_identical_under_hypothesis_streams(self, stream, window):
+        columnar, listy = self._pair(window)
+        for tup in stream:
+            assert columnar.process(tup) == listy.process(tup)
+        assert columnar.ds.snapshot() == listy.ds.snapshot()
+        assert columnar.snapshot()["lane"] == listy.snapshot()["lane"]
+
+    def test_snapshots_identical_with_mid_stream_expiry(self):
+        rng = random.Random(23)
+        columnar, listy = self._pair(window=12)
+        for position in range(2_000):
+            relation = rng.choice(["A1", "A2"])
+            tup = Tuple(relation, (rng.randrange(2), rng.randrange(2)))
+            assert columnar.process(tup) == listy.process(tup), position
+        snap_columnar = columnar.ds.snapshot()
+        snap_listy = listy.ds.snapshot()
+        assert snap_columnar == snap_listy
+        assert columnar.ds.released_slabs == listy.ds.released_slabs > 0
+
+    @pytest.mark.parametrize("source,target", [(True, False), (False, True)])
+    def test_cross_layout_restore(self, source, target):
+        """A snapshot from either layout restores into either layout."""
+        stream = sigma0_stream(200, seed=29)
+        pcea = hcq_to_pcea(parse_query(QUERY))
+        original = StreamingEvaluator(pcea, window=10, columnar=source)
+        for tup in stream[:100]:
+            original.process(tup)
+        restored = StreamingEvaluator(pcea, window=10, columnar=target)
+        restored.restore(roundtrip(original.snapshot(), "json"))
+        assert [original.process(t) for t in stream[100:]] == [
+            restored.process(t) for t in stream[100:]
+        ]
+
+    def test_arena_restore_rejects_wrong_window(self):
+        ds = ArenaDataStructure(5)
+        ds.extend({"a"}, 0, [])
+        snap = ds.snapshot()
+        with pytest.raises(ValueError):
+            ArenaDataStructure(6).restore(snap)
+
+    def test_resident_bytes_smaller_columnar(self):
+        rng = random.Random(31)
+        columnar, listy = self._pair(window=64)
+        for _ in range(3_000):
+            tup = Tuple(rng.choice(["A1", "A2"]), (rng.randrange(2), rng.randrange(3)))
+            columnar.process(tup)
+            listy.process(tup)
+        assert columnar.ds.resident_bytes() < listy.ds.resident_bytes()
+
+
+class TestRejectedRestoreLeavesEngineUntouched:
+    """A failed restore must be atomic: no partially remapped state."""
+
+    def test_multi_window_mismatch_is_atomic(self):
+        stream = sigma0_stream(60, seed=37)
+        original = MultiQueryEngine()
+        handles = [
+            original.register("Q1(x, y) <- S(x, y), R(x, y)", window=10),
+            original.register("Q2(x) <- T(x)", window=30),
+            original.register("Q3(x, y) <- T(x), S(x, y)", window=30),
+        ]
+        for tup in stream[:30]:
+            original.process(tup)
+        original.unregister(handles[0])
+        snap = roundtrip(original.snapshot(), "json")
+
+        fresh = MultiQueryEngine()
+        kept = [
+            fresh.register("Q2(x) <- T(x)", window=30),
+            # wrong window for the second surviving query
+            fresh.register("Q3(x, y) <- T(x), S(x, y)", window=7),
+        ]
+        before = [(h.id, h.window) for h in fresh.handles()]
+        with pytest.raises(SnapshotError):
+            fresh.restore(snap)
+        # Registry, handles and lanes are exactly as before the attempt.
+        assert [(h.id, h.window) for h in fresh.handles()] == before
+        assert set(fresh._lanes) == {h.id for h in kept}
+        outputs = fresh.process(Tuple("T", (1,)))
+        assert set(outputs) <= {h.id for h in kept}
+
+    def test_multi_object_graph_lanes_rejected_before_mutation(self):
+        original = MultiQueryEngine()
+        original.register("Q2(x) <- T(x)", window=5)
+        for tup in sigma0_stream(20, seed=41):
+            original.process(tup)
+        snap = roundtrip(original.snapshot(), "json")
+        fresh = MultiQueryEngine(arena=False)
+        handle = fresh.register("Q2(x) <- T(x)", window=5)
+        with pytest.raises(SnapshotError):
+            fresh.restore(snap)
+        assert [h.id for h in fresh.handles()] == [handle.id]
+        assert fresh.position == -1  # untouched
+
+
+class TestSignatureStrictness:
+    """Verification must see binary join predicates, not just join shapes."""
+
+    def _pcea(self, position):
+        from repro.core.pcea import PCEA, PCEATransition
+        from repro.core.predicates import ProjectionEquality, RelationPredicate
+
+        arm = PCEATransition(frozenset(), RelationPredicate("A"), {}, {"a"}, "q")
+        close = PCEATransition(
+            frozenset({"q"}),
+            RelationPredicate("B"),
+            {"q": ProjectionEquality({"A": (position,)}, {"B": (position,)})},
+            {"b"},
+            "f",
+        )
+        return PCEA(states={"q", "f"}, transitions=[arm, close], final={"f"})
+
+    def test_join_position_difference_rejected(self):
+        original = StreamingEvaluator(self._pcea(0), window=5)
+        original.process(Tuple("A", (1, 2)))
+        snap = roundtrip(original.snapshot(), "json")
+        other = StreamingEvaluator(self._pcea(1), window=5)
+        with pytest.raises(SnapshotError):
+            other.restore(snap)
+        # Sanity: the same automaton still verifies.
+        same = StreamingEvaluator(self._pcea(0), window=5)
+        same.restore(snap)
+        assert same.position == original.position
+
+    def test_multi_join_position_difference_rejected(self):
+        original = MultiQueryEngine()
+        original.register(self._pcea(0), window=5)
+        original.process(Tuple("A", (1, 2)))
+        snap = roundtrip(original.snapshot(), "json")
+        other = MultiQueryEngine()
+        other.register(self._pcea(1), window=5)
+        with pytest.raises(SnapshotError):
+            other.restore(snap)
+
+    def test_truncated_snapshot_leaves_engine_untouched(self):
+        original = StreamingEvaluator(hcq_to_pcea(parse_query(QUERY)), window=9)
+        for tup in sigma0_stream(40, seed=3):
+            original.process(tup)
+        snap = roundtrip(original.snapshot(), "json")
+        del snap["runtime"]
+        fresh = StreamingEvaluator(hcq_to_pcea(parse_query(QUERY)), window=9)
+        with pytest.raises(SnapshotError):
+            fresh.restore(snap)
+        assert fresh.position == -1 and fresh.hash_table_size() == 0
