@@ -1,0 +1,254 @@
+"""Benchmark — kernel backends: object oracle vs python columnar vs native.
+
+Three experiments, written to ``BENCH_kernel_backends.json``:
+
+* **per-tuple update time, three-way** — best-of-``repeats`` update-only
+  timing (gc-controlled) of the same streams through the object-graph oracle
+  (``arena=False``), the columnar arena on the pure-python kernel
+  (``kernel="python"``) and the columnar arena on the native C kernel
+  (``kernel="native"``), on three workloads: the relation-gated star
+  (``relation_star``, join-dominated), the hot-key fan-out star
+  (``fanout_star``, store-heavy) and the union storm (``union_storm``,
+  the DS-dominated headline — ``variants`` extends + unions per arm tuple
+  amortised over a single consumer-loop key/hash/registration, so the
+  measured gap is almost entirely the stride-5 record hot path the kernels
+  implement).
+* **enumeration delay** — per-output enumeration time on the union storm for
+  all three backends (``measure_enumeration_delays``), since the native walk
+  also replaces the python enumeration loop.
+* **output / state verification** — a separate full-``process`` run of every
+  backend over one stream, comparing outputs position by position (all
+  backends), machine-independent counters (nodes created, union calls/copies,
+  evictions — all backends) and the engine snapshot (python vs native, which
+  must be *bit-identical*: snapshots are representation-independent, the
+  cross-backend restore guarantee ``tests/test_kernel.py`` pins down).
+
+When the native extension is not built (no C toolchain at install time) the
+native column is skipped and ``summary.native_available`` records it; the
+object/python comparison still runs.
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_kernel_backends.py``);
+``--tiny`` shrinks every dimension for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench.harness import (
+    gc_controlled,
+    measure_enumeration_delays,
+    peak_rss_bytes,
+    write_benchmark_json,
+)
+from repro.core.evaluation import StreamingEvaluator
+from repro.core.kernel import backend_info, native_available
+
+from workloads import fanout_star_workload, relation_star_workload, union_storm_workload
+
+
+def make_engine(backend: str, pcea, window: int) -> StreamingEvaluator:
+    if backend == "object":
+        return StreamingEvaluator(pcea, window=window, arena=False, collect_stats=False)
+    return StreamingEvaluator(pcea, window=window, kernel=backend, collect_stats=False)
+
+
+def backends() -> List[str]:
+    return ["object", "python", "native"] if native_available() else ["object", "python"]
+
+
+def make_workloads(length: int) -> List:
+    return [
+        ("relation_star", *relation_star_workload(8, length=length, arms=3, key_domain=4)),
+        ("fanout_star", *fanout_star_workload(4, length=length, fan=7, key_domain=2, arm_fraction=0.8)),
+        ("union_storm", *union_storm_workload(4, length=length, variants=8, key_domain=8, arm_fraction=0.75)),
+    ]
+
+
+def time_updates(engine: StreamingEvaluator, stream) -> float:
+    update = engine.update
+    start = time.perf_counter()
+    for tup in stream:
+        update(tup)
+    return (time.perf_counter() - start) / len(stream)
+
+
+def speed_experiment(length: int, window: int, repeats: int) -> List[Dict]:
+    """Per-tuple update time for every backend on every workload."""
+    rows: List[Dict] = []
+    for name, pcea, stream in make_workloads(length):
+        best: Dict[str, float] = {backend: float("inf") for backend in backends()}
+        with gc_controlled():
+            for _ in range(repeats):
+                for backend in best:
+                    engine = make_engine(backend, pcea, window)
+                    best[backend] = min(best[backend], time_updates(engine, stream))
+        row: Dict[str, object] = {
+            "workload": name,
+            "transitions": len(pcea.transitions),
+            "stream_length": len(stream),
+            "window": window,
+        }
+        for backend, seconds in best.items():
+            row[f"{backend}_us_per_tuple"] = seconds * 1e6
+        row["python_speedup_vs_object"] = best["object"] / best["python"]
+        if "native" in best:
+            row["native_speedup_vs_object"] = best["object"] / best["native"]
+            row["native_speedup_vs_python"] = best["python"] / best["native"]
+        rows.append(row)
+        cells = "  ".join(
+            f"{backend}={best[backend] * 1e6:6.2f}µs" for backend in best
+        )
+        ratio = (
+            f"obj/nat={row['native_speedup_vs_object']:.2f}x"
+            if "native" in best
+            else f"obj/py={row['python_speedup_vs_object']:.2f}x"
+        )
+        print(f"  {name:<14s} {cells}  {ratio}")
+    return rows
+
+
+def enumeration_experiment(length: int, window: int) -> List[Dict]:
+    """Per-output enumeration delay on the union storm, per backend."""
+    _, pcea, stream = make_workloads(length)[2]
+    rows: List[Dict] = []
+    for backend in backends():
+        engine = make_engine(backend, pcea, window)
+        with gc_controlled():
+            measurements = measure_enumeration_delays(engine, stream)
+        outputs = sum(size for size, _ in measurements)
+        seconds = sum(elapsed for _, elapsed in measurements)
+        rows.append(
+            {
+                "backend": backend,
+                "outputs": outputs,
+                "total_seconds": seconds,
+                "us_per_output": seconds / outputs * 1e6 if outputs else 0.0,
+            }
+        )
+        print(
+            f"  enumerate[{backend:<6s}] {outputs} outputs, "
+            f"{rows[-1]['us_per_output']:.3f}µs/output"
+        )
+    return rows
+
+
+def verification_experiment(length: int, window: int) -> Dict:
+    """Full-``process`` equality of outputs, counters and snapshots.
+
+    The timing rows above are only comparable if the backends compute the
+    same thing; this pins it down inside the benchmark itself rather than
+    deferring to the test suite.
+    """
+    results: Dict[str, Dict] = {}
+    for name, pcea, stream in make_workloads(length):
+        engines = {backend: make_engine(backend, pcea, window) for backend in backends()}
+        outputs_equal = True
+        for tup in stream:
+            produced = [engine.process(tup) for engine in engines.values()]
+            if any(one != produced[0] for one in produced[1:]):
+                outputs_equal = False
+        reference = engines["object"]
+        counters_equal = all(
+            engine.evicted == reference.evicted
+            and engine.hash_table_size() == reference.hash_table_size()
+            and engine.ds.nodes_created == reference.ds.nodes_created
+            and engine.ds.union_copies == reference.ds.union_copies
+            for backend, engine in engines.items()
+            if backend != "object"
+        )
+        snapshots_identical: Optional[bool] = None
+        if "native" in engines:
+            snapshots_identical = (
+                engines["native"].snapshot() == engines["python"].snapshot()
+            )
+        results[name] = {
+            "stream_length": len(stream),
+            "window": window,
+            "outputs_equal_full_stream": outputs_equal,
+            "counters_equal": counters_equal,
+            "python_native_snapshots_identical": snapshots_identical,
+        }
+        print(
+            f"  verify[{name:<14s}] outputs equal={outputs_equal}, "
+            f"counters equal={counters_equal}, snapshots identical={snapshots_identical}"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke dimensions")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_kernel_backends.json"),
+    )
+    args = parser.parse_args()
+    if args.tiny:
+        length, window, verify_length, repeats = 4_000, 128, 2_000, 2
+    else:
+        length, window, verify_length, repeats = 40_000, 512, 12_000, 5
+    if args.repeats is not None:
+        repeats = args.repeats
+
+    info = backend_info()
+    print(f"backends: {backends()} (native_available={info['native_available']})")
+    print("per-tuple update time:")
+    speed_rows = speed_experiment(length, window, repeats)
+    print("enumeration delay (union_storm):")
+    enum_rows = enumeration_experiment(length, window)
+    print("verification:")
+    verification = verification_experiment(verify_length, window)
+
+    storm = next(row for row in speed_rows if row["workload"] == "union_storm")
+    summary: Dict[str, object] = {
+        "native_available": info["native_available"],
+        "python_speedup_vs_object_union_storm": storm["python_speedup_vs_object"],
+        "outputs_equal_all_workloads": all(
+            entry["outputs_equal_full_stream"] for entry in verification.values()
+        ),
+        "counters_equal_all_workloads": all(
+            entry["counters_equal"] for entry in verification.values()
+        ),
+    }
+    if info["native_available"]:
+        summary["native_speedup_vs_object_union_storm"] = storm["native_speedup_vs_object"]
+        summary["native_speedup_vs_python_union_storm"] = storm["native_speedup_vs_python"]
+        summary["python_native_snapshots_identical_all_workloads"] = all(
+            entry["python_native_snapshots_identical"] for entry in verification.values()
+        )
+    payload = {
+        "benchmark": "kernel_backends",
+        "description": (
+            "Per-tuple update time and enumeration delay of the stride-5 record "
+            "hot path: object-graph oracle vs columnar arena on the python and "
+            "native kernels, with in-benchmark output/counter/snapshot verification."
+        ),
+        "backend_info": {
+            "native_available": info["native_available"],
+            "backends": info["backends"],
+        },
+        "gc_enabled": False,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "update_time": speed_rows,
+        "enumeration_delay": enum_rows,
+        "verification": verification,
+        "summary": summary,
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

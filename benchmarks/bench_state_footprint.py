@@ -66,7 +66,15 @@ def footprint_experiment(length: int, window: int, key_domain: int) -> Dict:
     pcea, stream = fanout_star_workload(
         4, length=length, fan=7, key_domain=key_domain, arm_fraction=0.8
     )
-    columnar = StreamingEvaluator(pcea, window=window, columnar=True, collect_stats=False)
+    # kernel="python" pins the pure-python record ops: this benchmark compares
+    # *layouts* (packed records vs parallel lists, both all-python, sealed
+    # slabs trimmed exact), so auto-detecting the native kernel — which
+    # preallocates full-capacity slabs and never trims — would misstate both
+    # the resident-byte and the boxing-tax numbers.  The backend comparison
+    # lives in BENCH_kernel_backends.json.
+    columnar = StreamingEvaluator(
+        pcea, window=window, columnar=True, kernel="python", collect_stats=False
+    )
     listy = StreamingEvaluator(pcea, window=window, columnar=False, collect_stats=False)
     outputs_equal = True
     columnar_process = columnar.process
@@ -127,8 +135,13 @@ def speed_experiment(length: int, window: int, repeats: int) -> List[Dict]:
             for _ in range(repeats):
                 for kind in best:
                     if kind == "columnar":
+                        # Pure-python kernel on purpose — see footprint_experiment.
                         engine = StreamingEvaluator(
-                            pcea, window=window, columnar=True, collect_stats=False
+                            pcea,
+                            window=window,
+                            columnar=True,
+                            kernel="python",
+                            collect_stats=False,
                         )
                     elif kind == "list":
                         engine = StreamingEvaluator(

@@ -277,6 +277,69 @@ def fanout_star_workload(
     return pcea, stream
 
 
+def union_storm_workload(
+    groups: int,
+    length: int,
+    variants: int = 8,
+    key_domain: int = 8,
+    arm_fraction: float = 0.75,
+    seed: int = 0,
+) -> Tup[PCEA, List[Tuple]]:
+    """``variants`` labelled readings of each arm tuple, all unioned into one state.
+
+    Group ``g`` watches one arm relation ``G<g>A`` through ``variants``
+    parallel transitions into the *same* pending state (distinct label sets —
+    the alternative-interpretations pattern), plus one closing relation
+    ``G<g>C`` joining the pending state on attribute 0.  Every arm tuple
+    therefore fires ``variants`` extends whose nodes all land on one target
+    state, and the consumer loop unions all of them into one run-index entry
+    under a *single* key computation / hash lookup / expiry registration.
+    That amortisation makes this the workload where the data-structure
+    operations dominate the per-tuple update most completely — dispatch,
+    predicate and hash-table overhead are paid once per tuple while ``DS_w``
+    work is paid ``variants`` times — which is what the kernel-backend
+    comparison (``bench_kernel_backends``) needs: the measured gap between
+    backends is almost entirely the record-operation hot path itself.
+    """
+    from repro.core.pcea import PCEATransition
+    from repro.core.predicates import ProjectionEquality, RelationPredicate
+
+    states = set()
+    transitions = []
+    final = set()
+    for g in range(groups):
+        arm_relation = f"G{g}A"
+        closing = f"G{g}C"
+        state = ("q", g)
+        accept = ("f", g)
+        states.add(state)
+        states.add(accept)
+        final.add(accept)
+        for k in range(variants):
+            transitions.append(
+                PCEATransition(
+                    frozenset(), RelationPredicate(arm_relation), {}, {f"g{g}v{k}"}, state
+                )
+            )
+        transitions.append(
+            PCEATransition(
+                frozenset({state}),
+                RelationPredicate(closing),
+                {state: ProjectionEquality({arm_relation: (0,)}, {closing: (0,)})},
+                {f"g{g}close"},
+                accept,
+            )
+        )
+    pcea = PCEA(states=states, transitions=transitions, final=final)
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(length):
+        g = rng.randrange(groups)
+        relation = f"G{g}A" if rng.random() < arm_fraction else f"G{g}C"
+        stream.append(Tuple(relation, (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN))))
+    return pcea, stream
+
+
 def guarded_disjunction_workload(
     branches: int,
     length: int,

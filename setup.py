@@ -1,11 +1,69 @@
 """Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that the
-package can be installed editable (``pip install -e .``) on machines without
-network access or without the ``wheel`` package (legacy ``setup.py develop``
-path).
+Besides the (pure-python) ``repro`` packages this declares one *optional*
+C extension, ``repro.core._kernel`` — the native backend for the columnar
+arena's stride-5 record hot path (see ``src/repro/core/_kernelmod.c`` and
+``repro/core/kernel.py``).  The extension is strictly a go-faster module:
+every build failure (no compiler, no Python headers, exotic platform)
+degrades to the pure-python kernel with a warning, and must never break
+``pip install -e .``.  ``Extension(optional=True)`` tells setuptools the
+same thing, and the ``build_ext`` subclass below enforces it on toolchains
+that ignore the flag.
+
+Build it in place for a source checkout with::
+
+    python setup.py build_ext --inplace
+
+and verify which backend is active with
+``python -c "from repro.core.kernel import backend_info; print(backend_info())"``.
 """
 
-from setuptools import setup
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
 
-setup()
+
+class optional_build_ext(build_ext):
+    """``build_ext`` that downgrades every failure to a warning.
+
+    Some setuptools/distutils versions raise from ``run`` (no compiler at
+    all), others from ``build_extension`` (compile/link error), and not all
+    of them honour ``Extension(optional=True)`` — so both hooks are guarded.
+    """
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # noqa: BLE001 - any build failure is non-fatal
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # noqa: BLE001
+            self._skip(exc)
+
+    def _skip(self, exc):
+        print(
+            "WARNING: the optional native kernel extension was not built "
+            f"({exc!r}); repro will run on the pure-python kernel. "
+            "Install a C toolchain and re-run `python setup.py build_ext "
+            "--inplace` to enable it."
+        )
+
+
+setup(
+    name="repro",
+    version="0.6.0",
+    description="Streaming enumeration for complex event queries (paper reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    ext_modules=[
+        Extension(
+            "repro.core._kernel",
+            sources=["src/repro/core/_kernelmod.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": optional_build_ext},
+)

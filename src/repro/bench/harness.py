@@ -203,6 +203,11 @@ def collect_engine_counters(engine) -> Dict[str, float]:
     if callable(memory_info):
         for key, value in memory_info().items():
             counters[f"arena_{key}" if not key.startswith("arena") else key] = float(value)
+    kernel_info = getattr(engine, "kernel_info", None)
+    if callable(kernel_info):
+        info = kernel_info()
+        counters["kernel_native_available"] = 1.0 if info.get("native_available") else 0.0
+        counters["kernel_native_active"] = 1.0 if info.get("active") == "native" else 0.0
     return counters
 
 

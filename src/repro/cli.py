@@ -160,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(trades ~2x resident state for slightly faster per-event updates)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default=None,
+        help="record-operation backend for the arena hot path (default: the "
+        "REPRO_KERNEL environment variable, then auto-detection of the "
+        "optional native C kernel; --stats reports which backend ran)",
+    )
+    parser.add_argument(
         "--general",
         action="store_true",
         help="evaluate with the general (non-hashed) engine that scans live "
@@ -255,6 +263,14 @@ def build_multi_parser() -> argparse.ArgumentParser:
         "(trades ~2x resident state for slightly faster per-event updates)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default=None,
+        help="record-operation backend for every lane's arena hot path "
+        "(default: the REPRO_KERNEL environment variable, then auto-detection "
+        "of the optional native C kernel)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="also print the shared engine's counters and merged-index statistics",
@@ -283,31 +299,42 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if getattr(args, "general", False):
-        if args.no_evict:
-            print(
-                "warning: --no-evict has no effect in --general mode (the general "
-                "engine always evicts expired runs)",
-                file=sys.stderr,
+    conflict = _kernel_conflict(args)
+    if conflict:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+    try:
+        if getattr(args, "general", False):
+            if args.no_evict:
+                print(
+                    "warning: --no-evict has no effect in --general mode (the general "
+                    "engine always evicts expired runs)",
+                    file=sys.stderr,
+                )
+            engine = GeneralStreamingEvaluator(
+                pcea,
+                window=args.window,
+                indexed=not args.no_index,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                collect_stats=args.stats,
+                kernel=args.kernel,
             )
-        engine = GeneralStreamingEvaluator(
-            pcea,
-            window=args.window,
-            indexed=not args.no_index,
-            arena=not args.no_arena,
-            columnar=not args.no_columnar,
-            collect_stats=args.stats,
-        )
-    else:
-        engine = StreamingEvaluator(
-            pcea,
-            window=args.window,
-            indexed=not args.no_index,
-            evict=not args.no_evict,
-            collect_stats=args.stats,
-            arena=not args.no_arena,
-            columnar=not args.no_columnar,
-        )
+        else:
+            engine = StreamingEvaluator(
+                pcea,
+                window=args.window,
+                indexed=not args.no_index,
+                evict=not args.no_evict,
+                collect_stats=args.stats,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                kernel=args.kernel,
+            )
+    except ValueError as exc:
+        # e.g. --kernel native on an installation without the built extension
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if getattr(args, "checkpoint", None) and args.no_arena:
         # Fail fast: checkpointing needs the arena-backed structure, and
         # finding that out only after the whole stream ran would waste it.
@@ -354,10 +381,21 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
     return 0
 
 
+def _kernel_conflict(args: argparse.Namespace) -> Optional[str]:
+    """Fail-fast message for --kernel native with an incompatible layout."""
+    if getattr(args, "kernel", None) != "native":
+        return None
+    if args.no_arena:
+        return "--kernel native requires the arena-backed structure (drop --no-arena)"
+    if args.no_columnar:
+        return "--kernel native requires the packed columnar layout (drop --no-columnar)"
+    return None
+
+
 def _print_stats(engine, output: TextIO) -> None:
     """The ``--stats`` report, identical in shape across all three engine
     modes (single / general / multi): one unified-counter line, one
-    dispatch-index line, one memory line."""
+    dispatch-index line, one memory line, one kernel-backend line."""
     stats = engine.stats
     info = engine.dispatch_info()
     print(
@@ -382,6 +420,13 @@ def _print_stats(engine, output: TextIO) -> None:
         file=output,
     )
     print(_format_memory_line(engine.memory_info()), file=output)
+    kernel = engine.kernel_info()
+    print(
+        f"# kernel: active={kernel['active']} "
+        f"native_available={'yes' if kernel['native_available'] else 'no'} "
+        f"backends={','.join(kernel['backends'])}",
+        file=output,
+    )
 
 
 def _format_memory_line(memory: dict) -> str:
@@ -427,12 +472,21 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
             file=sys.stderr,
         )
         return 2
-    engine = MultiQueryEngine(
-        memoise=not args.no_memoise,
-        collect_stats=args.stats,
-        arena=not args.no_arena,
-        columnar=not args.no_columnar,
-    )
+    conflict = _kernel_conflict(args)
+    if conflict:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+    try:
+        engine = MultiQueryEngine(
+            memoise=not args.no_memoise,
+            collect_stats=args.stats,
+            arena=not args.no_arena,
+            columnar=not args.no_columnar,
+            kernel=args.kernel,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     names = {}
     try:
         for index, (query, window) in enumerate(zip(args.queries, windows)):

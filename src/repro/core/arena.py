@@ -154,6 +154,7 @@ from array import array
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.datastructure import product_odometer
+from repro.core.kernel import native_module, resolve_kernel
 from repro.valuation import Valuation
 
 
@@ -194,6 +195,13 @@ _META_LABEL_DIRN = 0xFFFFFFFE
 #: One packed record write: five machine words in a single C call — this is
 #: what keeps the columnar allocation path at list-append cost.
 _PACK_RECORD = struct.Struct("5q").pack_into
+
+#: One packed record read (the satellite of the write above): where a path
+#: touches several fields of the same node, a single ``unpack_from`` boxes
+#: all five words in one C call instead of paying one boxed ``array``
+#: ``__getitem__`` per field — this is what claws back most of the columnar
+#: layout's per-element read tax on CPython.
+_UNPACK_RECORD = struct.Struct("5q").unpack_from
 
 #: Record size in bytes (pack offsets), derived from the word stride so the
 #: write sites cannot drift from the word-offset reads.
@@ -318,6 +326,13 @@ class ArenaDataStructure:
         product table); ``False`` keeps the parallel plain lists (the
         pre-columnar ablation layout, structurally identical operation for
         operation — see the module docstring).
+    kernel:
+        Which record-operation backend runs the hot path: ``"python"``,
+        ``"native"`` (the optional C extension, columnar only) or ``"auto"``
+        / ``None`` to defer to ``REPRO_KERNEL`` and auto-detection — see
+        :mod:`repro.core.kernel` for the precedence and the backend
+        contract.  Both kernels share this arena's slab buffers, so cold
+        readers, snapshots and outputs are identical either way.
     """
 
     def __init__(
@@ -326,11 +341,21 @@ class ArenaDataStructure:
         slab_capacity: Optional[int] = None,
         adaptive: Optional[bool] = None,
         columnar: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         if window < 0:
             raise ValueError("window size must be non-negative")
         self.window = window
         self._columnar = columnar
+        self.kernel = resolve_kernel(kernel, columnar)
+        if self.kernel == "native":
+            # One C kernel per arena, created once and *reused* across
+            # restore() (bound methods handed to EvictionLane must survive a
+            # restore, and the kernel's are bound below).
+            self._nk = native_module().Kernel(window)
+            self._nk.set_request_slab(self._request_slab)
+        else:
+            self._nk = None
         if adaptive is None:
             adaptive = slab_capacity is None
         self._adaptive = adaptive
@@ -351,12 +376,26 @@ class ArenaDataStructure:
         # transitions, so this table stays tiny.
         self._label_ids: Dict[frozenset, int] = {}
         self._labels: List[frozenset] = []
-        # Counters mirroring DataStructure (benchmark instrumentation).
-        self.nodes_created = 0
-        self.union_calls = 0
-        self.union_copies = 0
+        # Counters mirroring DataStructure (benchmark instrumentation).  The
+        # underscored attributes are the python kernel's hot-path stores; the
+        # ``nodes_created``/``union_calls``/``union_copies`` properties read
+        # whichever kernel is authoritative.
+        self._nodes_created = 0
+        self._union_calls = 0
+        self._union_copies = 0
         self.released_slabs = 0
         self.released_nodes = 0
+        if self._nk is not None:
+            # Shadow the class methods with the native implementations:
+            # instance-attribute dispatch costs the python path nothing and
+            # hands the eviction sweep the C builtins directly (EvictionLane
+            # binds ``ds.add_ref`` / ``ds.drop_ref`` once at construction).
+            self.extend = self._extend_native
+            self.union = self._union_native
+            self.enumerate = self._enumerate_native
+            self.release_expired = self._release_expired_native
+            self.add_ref = self._nk.add_ref
+            self.drop_ref = self._nk.drop_ref
 
     # ---------------------------------------------------------------- slabs
     def _new_slab(self, position: Optional[int] = None) -> _Slab:
@@ -368,12 +407,26 @@ class ArenaDataStructure:
         record array of a partially-filled (time-sealed) columnar slab to
         its exact fill, so sealed slabs carry no chunk slack.
         """
+        native = self._nk
         sealed = getattr(self, "_cur", None)
         if sealed is not None and self._columnar:
-            fill = sealed.count * _STRIDE
-            if len(sealed.data) > fill:
-                del sealed.data[fill:]
-            sealed.avail = sealed.count
+            if native is not None:
+                # The kernel is authoritative for the fill/meta of the slab
+                # it has been writing; mirror them back now — the adaptive
+                # projection below reads ``count``, and the sealed values
+                # never change again (release accounting and snapshots rely
+                # on exactly this sync point).  The record buffer stays at
+                # full capacity: it is pinned by the kernel's buffer export
+                # (a trim would raise ``BufferError``), and the unfilled
+                # tail is zeroed so cold readers see the same records.
+                sealed.count, sealed.max_ms, sealed.ext_refs = native.slab_meta(
+                    sealed.base >> _SLOT_BITS
+                )
+            else:
+                fill = sealed.count * _STRIDE
+                if len(sealed.data) > fill:
+                    del sealed.data[fill:]
+                sealed.avail = sealed.count
         if position is not None and self._adaptive and self._slab_start is not None:
             elapsed = max(1, position - self._slab_start)
             # Nodes one window's worth of positions allocates at the sealed
@@ -402,10 +455,34 @@ class ArenaDataStructure:
             self._seal_deadline = position + self.window + 1
         else:
             self._seal_deadline = 1 << 62
+        if native is not None:
+            # Native slabs are born at full capacity (the exported buffer
+            # cannot grow) and handed to the kernel, which allocates into
+            # them until the next seal — this method *is* its request_slab
+            # callback.
+            slab.data = array("q", bytes(_RECORD_BYTES * (span << _SLOT_BITS)))
+            slab.avail = span << _SLOT_BITS
+            native.register_slab(
+                slot, span, slab.base, slab.data, slab.prods, 0, _NEVER, 0
+            )
+            native.set_current(slot, self._seal_deadline)
         return slab
+
+    def _request_slab(self, position: int) -> None:
+        """The native kernel's out-of-space callback: seal and start a slab.
+
+        Invoked mid ``extend``/``union`` when the current slab fills or
+        passes its seal deadline; :meth:`_new_slab` registers the fresh slab
+        and makes it current, after which the kernel resumes the operation.
+        """
+        self._new_slab(position)
 
     def _append_sentinel(self, slab: _Slab) -> None:
         """Append the bottom node ``⊥`` (id 0) into a fresh slab 0."""
+        if self._nk is not None:
+            self._nk.write_sentinel()
+            slab.count = 1
+            return
         if self._columnar:
             _grow_records(slab)
             _PACK_RECORD(slab.data, 0, -1, _NEVER, 0, 0, 0)
@@ -578,9 +655,47 @@ class ArenaDataStructure:
         slab.count = offset + 1
         if max_start > slab.max_ms:
             slab.max_ms = max_start
-        self.nodes_created += 1
+        self._nodes_created += 1
         self._allocated += 1
         return slab.base + offset
+
+    def _extend_native(
+        self,
+        labels: Iterable[Label],
+        position: int,
+        children: Sequence[int],
+        max_start: Optional[int] = None,
+    ) -> int:
+        """:meth:`extend` on the native kernel (bound over it per instance).
+
+        Label interning and the no-hint validation stay in python (cold /
+        tiny); the record write, slab fill tracking and seal triggering all
+        happen in C.
+        """
+        if not isinstance(labels, frozenset):
+            labels = frozenset(labels)
+        label_id = self._label_ids.get(labels)
+        if label_id is None:
+            label_id = len(self._labels)
+            self._labels.append(labels)
+            self._label_ids[labels] = label_id
+        if max_start is None:
+            slabs = self._slabs
+            max_start = position
+            for child in children:
+                slab = None if not child else slabs.get(child >> _SLOT_BITS)
+                if slab is None:
+                    raise ValueError("product children must not be the bottom node")
+                offset = (child - slab.base) * _STRIDE
+                data = slab.data
+                if data[offset] >= position:
+                    raise ValueError(
+                        "product children must have strictly smaller positions"
+                    )
+                child_ms = data[offset + 1]
+                if child_ms < max_start:
+                    max_start = child_ms
+        return self._nk.extend(position, max_start, label_id, children)
 
     def union(
         self,
@@ -627,11 +742,15 @@ class ArenaDataStructure:
                     )
                 position = fresh_slab.pos[fresh_index]
                 fresh_ms = fresh_slab.ms[fresh_index]
-        self.union_calls += 1
+        self._union_calls += 1
         window = self.window
         cap = self._cap
-        # Descend: copy-path of (slab, index, went_left) frames.
-        path: List[Tup[_Slab, int, bool]] = []
+        # Descend: copy-path frames.  The dominance test reads only the ``ms``
+        # word (the fresh-on-top fast path — the common case — stays at two
+        # boxed reads); a level actually descended batches the node's whole
+        # record into its frame with one 5-word ``unpack_from``, so the
+        # rebuild below re-reads nothing.  List frames carry the index.
+        path: List[Tup[_Slab, object, bool]] = []
         current = left
         copies = 0
         new: int
@@ -692,12 +811,13 @@ class ArenaDataStructure:
                 new = target.base + offset
                 break
             if columnar:
-                if data[word + 4] & 1:
-                    path.append((slab, index, True))
-                    current = data[word + 2]
+                rec = _UNPACK_RECORD(data, index * _RECORD_BYTES)
+                if rec[4] & 1:
+                    path.append((slab, rec, True))
+                    current = rec[2]
                 else:
-                    path.append((slab, index, False))
-                    current = data[word + 3]
+                    path.append((slab, rec, False))
+                    current = rec[3]
             else:
                 if slab.dirn[index]:
                     path.append((slab, index, True))
@@ -706,23 +826,21 @@ class ArenaDataStructure:
                     path.append((slab, index, False))
                     current = slab.ur[index]
         # Rebuild the copied path bottom-up (path copying keeps persistence).
-        for slab, index, went_left in reversed(path):
+        for slab, frame, went_left in reversed(path):
             target = self._cur
             offset = target.count
             if offset >= cap or (offset and position > self._seal_deadline):
                 target = self._new_slab(position)
                 offset = 0
             if columnar:
-                word = index * _STRIDE
-                data = slab.data
-                node_ms = data[word + 1]
-                old_meta = data[word + 4]
+                node_ms = frame[1]
+                old_meta = frame[4]
                 if went_left:
                     uleft = new
-                    uright = data[word + 3]
+                    uright = frame[3]
                     direction = 0
                 else:
-                    uleft = data[word + 2]
+                    uleft = frame[2]
                     uright = new
                     direction = 1
                 meta = (old_meta & _META_LABEL_DIRN) | direction
@@ -735,9 +853,10 @@ class ArenaDataStructure:
                 if offset >= target.avail:
                     _grow_records(target)
                 _PACK_RECORD(
-                    target_data, offset * _RECORD_BYTES, data[word], node_ms, uleft, uright, meta
+                    target_data, offset * _RECORD_BYTES, frame[0], node_ms, uleft, uright, meta
                 )
             else:
+                index = frame
                 node_ms = slab.ms[index]
                 target.pos.append(slab.pos[index])
                 target.ms.append(node_ms)
@@ -758,10 +877,38 @@ class ArenaDataStructure:
         if copies:
             # One allocation per live level visited: the rebuilt path frames
             # plus the fresh-on-top copy when dominance broke the descent.
-            self.union_copies += copies
-            self.nodes_created += copies
+            self._union_copies += copies
+            self._nodes_created += copies
             self._allocated += copies
         return new
+
+    def _union_native(
+        self,
+        left: int,
+        fresh: int,
+        position: Optional[int] = None,
+        fresh_ms: Optional[int] = None,
+    ) -> int:
+        """:meth:`union` on the native kernel (bound over it per instance).
+
+        The no-hint freshness validation reads the shared record buffer in
+        python (cold path); the descend-and-rebuild copy runs in C.
+        """
+        if position is None:
+            fresh_slab = self._slabs.get(fresh >> _SLOT_BITS) if fresh else None
+            if fresh_slab is None:
+                raise ValueError(
+                    "the second argument of union must be a live product node"
+                )
+            word = (fresh - fresh_slab.base) * _STRIDE
+            data = fresh_slab.data
+            if data[word + 2] or data[word + 3]:
+                raise ValueError(
+                    "the second argument of union must be a fresh product node"
+                )
+            position = data[word]
+            fresh_ms = data[word + 1]
+        return self._nk.union(left, fresh, position, fresh_ms)
 
     # ------------------------------------------------------------ reclamation
     def add_ref(self, node: int) -> None:
@@ -806,9 +953,80 @@ class ArenaDataStructure:
         self._release_cursor = cursor
         return released
 
+    def _release_expired_native(self, position: int) -> int:
+        """:meth:`release_expired` on the native kernel.
+
+        The kernel makes the release decisions (its ``max_ms``/``ext_refs``
+        are the canonical ones while it is attached) and frees its buffer
+        holds; the python side then mirrors the same strictly-in-order walk
+        to drop the slab-table entries and keep the release counters —
+        sealed-slab ``count`` was mirrored at seal time, so the node
+        accounting needs no further kernel round trip.
+        """
+        released = self._nk.release_scan(self._release_cursor, position)
+        if not released:
+            return 0
+        slabs = self._slabs
+        cursor = self._release_cursor
+        for _ in range(released):
+            slab = slabs[cursor]
+            for owned in range(cursor, cursor + slab.span):
+                del slabs[owned]
+            self._slab_count -= 1
+            self.released_slabs += 1
+            # Slab 0 holds the bottom sentinel, which allocation never counted.
+            self.released_nodes += slab.count - 1 if slab.base == 0 else slab.count
+            cursor += slab.span
+        self._release_cursor = cursor
+        return released
+
     # ---------------------------------------------------------- introspection
+    @property
+    def nodes_created(self) -> int:
+        nk = self._nk
+        return nk.counters()[0] if nk is not None else self._nodes_created
+
+    @nodes_created.setter
+    def nodes_created(self, value: int) -> None:
+        nk = self._nk
+        if nk is not None:
+            _, union_calls, union_copies, allocated = nk.counters()
+            nk.set_counters(value, union_calls, union_copies, allocated)
+        else:
+            self._nodes_created = value
+
+    @property
+    def union_calls(self) -> int:
+        nk = self._nk
+        return nk.counters()[1] if nk is not None else self._union_calls
+
+    @union_calls.setter
+    def union_calls(self, value: int) -> None:
+        nk = self._nk
+        if nk is not None:
+            nodes_created, _, union_copies, allocated = nk.counters()
+            nk.set_counters(nodes_created, value, union_copies, allocated)
+        else:
+            self._union_calls = value
+
+    @property
+    def union_copies(self) -> int:
+        nk = self._nk
+        return nk.counters()[2] if nk is not None else self._union_copies
+
+    @union_copies.setter
+    def union_copies(self, value: int) -> None:
+        nk = self._nk
+        if nk is not None:
+            nodes_created, union_calls, _, allocated = nk.counters()
+            nk.set_counters(nodes_created, union_calls, value, allocated)
+        else:
+            self._union_copies = value
+
     def live_node_count(self) -> int:
         """Nodes currently held in retained slabs (the memory bound metric)."""
+        if self._nk is not None:
+            return self._nk.counters()[3] - self.released_nodes
         return self._allocated - self.released_nodes
 
     def slab_count(self) -> int:
@@ -823,6 +1041,7 @@ class ArenaDataStructure:
         return {
             "arena": 1,
             "columnar": 1 if self._columnar else 0,
+            "native": 1 if self._nk is not None else 0,
             "slabs": self._slab_count,
             "slab_capacity": self._cap,
             "live_nodes": self.live_node_count(),
@@ -887,6 +1106,17 @@ class ArenaDataStructure:
         regardless of layout, which is what the structural-identity property
         tests compare.
         """
+        nk = self._nk
+        if nk is not None:
+            # Pull the kernel-authoritative per-slab meta (the current slab's
+            # fill, every slab's live ``ext_refs``) and the allocation count
+            # into the python mirrors the loop below reads.  Record *data*
+            # needs no sync: the kernel writes the shared buffers in place.
+            for slab in self._retained_slabs():
+                slab.count, slab.max_ms, slab.ext_refs = nk.slab_meta(
+                    slab.base >> _SLOT_BITS
+                )
+            self._allocated = nk.counters()[3]
         columnar = self._columnar
         slabs = []
         for slab in self._retained_slabs():
@@ -962,6 +1192,16 @@ class ArenaDataStructure:
                 f"snapshot was taken with window {snapshot['window']}, "
                 f"this arena has window {self.window}"
             )
+        nk = self._nk
+        if nk is not None:
+            # Drop every buffer hold *before* rebuilding: restored slot
+            # ranges may overlap the old ones, and releasing the views lets
+            # the old arrays die with the old slab table.  The kernel object
+            # itself is reused (never replaced), so the bound ``add_ref`` /
+            # ``drop_ref`` / wrapper methods held by eviction lanes survive
+            # the restore — the same in-place contract the python path gives.
+            nk.close()
+            nk.set_request_slab(self._request_slab)
         self._cap = int(snapshot["cap"])
         self._adaptive = bool(snapshot["adaptive"])
         self._next_slot = int(snapshot["next_slot"])
@@ -1022,6 +1262,29 @@ class ArenaDataStructure:
         self._slabs = slabs
         self._slab_count = count
         self._cur = current
+        if nk is not None:
+            # Re-register the restored slabs: pad every record array back to
+            # full slab capacity (the kernel's exported buffers never grow)
+            # and hand the meta over — the kernel is authoritative for
+            # count/max_ms/ext_refs again from here on.
+            for slab in self._retained_slabs():
+                capacity = slab.span << _SLOT_BITS
+                pad = capacity - slab.avail
+                if pad > 0:
+                    slab.data.extend(array("q", bytes(_RECORD_BYTES * pad)))
+                slab.avail = capacity
+                nk.register_slab(
+                    slab.base >> _SLOT_BITS,
+                    slab.span,
+                    slab.base,
+                    slab.data,
+                    slab.prods,
+                    slab.count,
+                    slab.max_ms,
+                    slab.ext_refs,
+                )
+            nk.set_current(current.base >> _SLOT_BITS, self._seal_deadline)
+            nk.set_counters(0, 0, 0, self._allocated)
         counters = snapshot["counters"]
         self.nodes_created = int(counters["nodes_created"])
         self.union_calls = int(counters["union_calls"])
@@ -1047,24 +1310,24 @@ class ArenaDataStructure:
                 continue
             index = current - slab.base
             if columnar:
-                word = index * _STRIDE
-                data = slab.data
-                if position - data[word + 1] > window:
+                # One batched record read (five words, one C call) instead of
+                # up to five boxed ``array`` element reads per node.
+                pos, node_ms, uleft, uright, meta = _UNPACK_RECORD(
+                    slab.data, index * _RECORD_BYTES
+                )
+                if position - node_ms > window:
                     continue
-                meta = data[word + 4]
                 ref = meta >> 32
                 if ref:
                     yield from self._product_combinations(
                         labels[(meta & _META_LOW) >> 1],
-                        data[word],
+                        pos,
                         slab.prods[ref - 1],
                         position,
                         windowed=True,
                     )
-                elif position - data[word] <= window:
-                    yield Valuation.singleton(labels[(meta & _META_LOW) >> 1], data[word])
-                uright = data[word + 3]
-                uleft = data[word + 2]
+                elif position - pos <= window:
+                    yield Valuation.singleton(labels[(meta & _META_LOW) >> 1], pos)
             else:
                 if position - slab.ms[index] > window:
                     continue
@@ -1081,6 +1344,24 @@ class ArenaDataStructure:
                 stack.append(uright)
             if uleft:
                 stack.append(uleft)
+
+    def _enumerate_native(self, node: int, position: int) -> Iterator[Valuation]:
+        """:meth:`enumerate` on the native kernel.
+
+        The kernel walks the union tree (pruning included) and returns the
+        surviving ``(label_id, position, children)`` emissions in exactly the
+        python walk's order; only the valuation construction — and the child
+        recursion through :meth:`_product_combinations`, which re-enters this
+        method — stays in python.
+        """
+        labels = self._labels
+        for label_id, pos, children in self._nk.walk(node, position):
+            if children:
+                yield from self._product_combinations(
+                    labels[label_id], pos, children, position, windowed=True
+                )
+            else:
+                yield Valuation.singleton(labels[label_id], pos)
 
     def enumerate_all(self, node: int) -> Iterator[Valuation]:
         """Enumerate ``⟦node⟧`` ignoring the window (tests; only meaningful

@@ -130,6 +130,13 @@ class StreamingEvaluator(RuntimeBackedEngine):
         Arena column layout (``array('q')`` packing by default;
         ``False`` keeps the list-backed slabs — ablation).  Ignored with
         ``arena=False`` or an injected ``datastructure``.
+    kernel:
+        Record-operation backend for the arena hot path: ``"python"``,
+        ``"native"`` (the optional C extension) or ``"auto"`` / ``None``
+        (defer to ``REPRO_KERNEL``, then auto-detect — see
+        :mod:`repro.core.kernel`).  Ignored with ``arena=False`` or an
+        injected ``datastructure``; :meth:`kernel_info` reports what is
+        actually running.
 
     Examples
     --------
@@ -148,6 +155,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         collect_stats: bool = True,
         arena: bool = True,
         columnar: bool = True,
+        kernel: str | None = None,
     ) -> None:
         if not pcea.uses_only_equality_predicates():
             raise NotEqualityPredicateError(
@@ -158,7 +166,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         if datastructure is not None:
             self.ds = datastructure
         elif arena:
-            self.ds = ArenaDataStructure(window, columnar=columnar)
+            self.ds = ArenaDataStructure(window, columnar=columnar, kernel=kernel)
         else:
             self.ds = DataStructure(window)
         if self.ds.window != window:

@@ -57,8 +57,9 @@ initial per-state capacity (a constructor knob; rings grow by doubling and
 
 from __future__ import annotations
 
+import struct
 from array import array
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple as Tup
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
 from repro.core.datastructure import DataStructure
@@ -76,6 +77,15 @@ State = Hashable
 #: Default initial per-state ring-buffer capacity (slots; rings double on
 #: overflow, so this only sets the growth starting point).
 DEFAULT_RING_CAPACITY = 64
+
+#: Ring-head advance reads sequence numbers in batched chunks of up to this
+#: many (one ``unpack_from`` call instead of one boxed ``array`` element read
+#: each); small, because most sweeps advance a head by only a slot or two and
+#: over-reading past the first live entry is wasted work.
+_SEQ_CHUNK = 8
+
+#: Cached per-length unpackers for the chunked reads (index = run length).
+_UNPACK_SEQS = [struct.Struct(f"{n}q").unpack_from for n in range(_SEQ_CHUNK + 1)]
 
 
 class _SeqRing:
@@ -157,6 +167,11 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
     ring_capacity:
         Initial capacity (slots) of each per-state sequence ring
         (:data:`DEFAULT_RING_CAPACITY` by default; rings grow by doubling).
+    kernel:
+        Record-operation backend for the arena hot path (``"python"`` /
+        ``"native"`` / ``"auto"``; ``None`` defers to ``REPRO_KERNEL`` then
+        auto-detection — :mod:`repro.core.kernel`).  Ignored with
+        ``arena=False``.
     """
 
     def __init__(
@@ -168,13 +183,16 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         collect_stats: bool = True,
         columnar: bool = True,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        kernel: Optional[str] = None,
     ) -> None:
         if ring_capacity < 1:
             raise ValueError("ring_capacity must be at least 1 slot")
         self.pcea = pcea
         self.window = window
         self.ds = (
-            ArenaDataStructure(window, columnar=columnar) if arena else DataStructure(window)
+            ArenaDataStructure(window, columnar=columnar, kernel=kernel)
+            if arena
+            else DataStructure(window)
         )
         self._runtime = StreamRuntime()
         self._lane = self._runtime.add_lane(EvictionLane(window, self.ds))
@@ -247,8 +265,23 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         mask = ring.mask
         head = ring.head
         tail = ring.tail
-        while head < tail and (state_id, buf[head & mask]) not in hash_table:
-            head += 1
+        unpackers = _UNPACK_SEQS
+        while head < tail:
+            # Batched record read: one ``unpack_from`` per contiguous chunk
+            # (bounded by the buffer wrap point) instead of one boxed
+            # ``array`` element read per dead entry.
+            start = head & mask
+            run = tail - head
+            if run > _SEQ_CHUNK:
+                run = _SEQ_CHUNK
+            wrap = mask + 1 - start
+            if run > wrap:
+                run = wrap
+            for seq in unpackers[run](buf, start * 8):
+                if (state_id, seq) in hash_table:
+                    ring.head = head
+                    return
+                head += 1
         ring.head = head
 
     # ------------------------------------------------------------ update phase

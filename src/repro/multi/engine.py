@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
+from repro.core.kernel import resolve_kernel
 from repro.core.datastructure import DataStructure
 from repro.core.evaluation import NodeRef
 from repro.cq.schema import Tuple
@@ -74,10 +75,15 @@ class _QueryLane(EvictionLane):
     __slots__ = ("handle", "pcea", "dispatch")
 
     def __init__(
-        self, handle: QueryHandle, pcea, arena: bool = True, columnar: bool = True
+        self,
+        handle: QueryHandle,
+        pcea,
+        arena: bool = True,
+        columnar: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         ds = (
-            ArenaDataStructure(handle.window, columnar=columnar)
+            ArenaDataStructure(handle.window, columnar=columnar, kernel=kernel)
             if arena
             else DataStructure(handle.window)
         )
@@ -130,6 +136,13 @@ class MultiQueryEngine(RuntimeBackedEngine):
         Arena column layout per lane (``array('q')`` packing by default;
         ``False`` keeps the list-backed slabs — ablation).  Ignored with
         ``arena=False``.
+    kernel:
+        Record-operation backend for every lane's arena hot path
+        (``"python"`` / ``"native"`` / ``"auto"``; ``None`` defers to
+        ``REPRO_KERNEL`` then auto-detection — :mod:`repro.core.kernel`).
+        Resolved once at construction so every lane — including lanes
+        registered mid-stream — runs the same backend; ignored with
+        ``arena=False``.
     release_interval:
         Positions between the runtime's periodic full arena-release passes
         over every lane (default :data:`~repro.runtime.RELEASE_PASS_INTERVAL`)
@@ -147,6 +160,7 @@ class MultiQueryEngine(RuntimeBackedEngine):
         arena: bool = True,
         incremental: bool = True,
         columnar: bool = True,
+        kernel: Optional[str] = None,
         release_interval: int = RELEASE_PASS_INTERVAL,
     ) -> None:
         self.registry = registry if registry is not None else QueryRegistry()
@@ -154,13 +168,17 @@ class MultiQueryEngine(RuntimeBackedEngine):
         self._guards = guards
         self._arena = arena
         self._columnar = columnar
+        # Resolve the backend once (surfacing bad explicit choices here, not
+        # at some later mid-stream registration) and pass the resolved name
+        # to every lane.
+        self._kernel = resolve_kernel(kernel, columnar) if arena else None
         self._incremental = incremental
         self._count_stats = collect_stats
         self._runtime = StreamRuntime(release_interval=release_interval)
         self._lanes: Dict[int, _QueryLane] = {}
         self._merged = MergedDispatchIndex((), guards=guards)
         for entry in self.registry.entries():
-            lane = _QueryLane(entry.handle, entry.pcea, arena, columnar)
+            lane = _QueryLane(entry.handle, entry.pcea, arena, columnar, self._kernel)
             self._lanes[entry.handle.id] = lane
             self._runtime.add_lane(lane)
             self._merged.add_query(lane, lane.dispatch)
@@ -171,7 +189,9 @@ class MultiQueryEngine(RuntimeBackedEngine):
     ) -> QueryHandle:
         """Register a query mid-stream; it starts observing at the next tuple."""
         handle = self.registry.register(query, window, name)
-        lane = _QueryLane(handle, self.registry.get(handle).pcea, self._arena, self._columnar)
+        lane = _QueryLane(
+            handle, self.registry.get(handle).pcea, self._arena, self._columnar, self._kernel
+        )
         self._lanes[handle.id] = lane
         self._runtime.add_lane(lane)
         if self._incremental:

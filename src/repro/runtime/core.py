@@ -469,13 +469,15 @@ class StreamRuntime:
         The same keys as ``DS_w.memory_stats()`` so a single-lane engine
         reports exactly what its structure would; ``arena`` is 1 only when
         every lane is arena-backed (mixed or object-graph setups report 0,
-        matching the ablation flag the engines expose), and ``columnar``
-        likewise only when every lane's arena packs its columns.
+        matching the ablation flag the engines expose), ``columnar``
+        likewise only when every lane's arena packs its columns, and
+        ``native`` only when every lane's hot path runs the C kernel.
         ``release_interval`` surfaces the periodic-release cadence knob.
         """
         total = {
             "arena": 1 if self._lanes else 0,
             "columnar": 1 if self._lanes else 0,
+            "native": 1 if self._lanes else 0,
             "slabs": 0,
             "slab_capacity": 0,
             "live_nodes": 0,
@@ -492,6 +494,8 @@ class StreamRuntime:
                 total["arena"] = 0
             if not stats.get("columnar"):
                 total["columnar"] = 0
+            if not stats.get("native"):
+                total["native"] = 0
             for key in ("slabs", "live_nodes", "released_slabs", "released_nodes", "nodes_created"):
                 total[key] += stats[key]
             total["slab_capacity"] = max(total["slab_capacity"], stats["slab_capacity"])
@@ -558,3 +562,27 @@ class RuntimeBackedEngine:
     def hash_table_size(self) -> int:
         """Total entries across the engine's run-index tables."""
         return self._runtime.hash_table_size()
+
+    def kernel_info(self) -> Dict[str, object]:
+        """Which record-operation backend this engine's hot path runs.
+
+        :func:`repro.core.kernel.backend_info` (what the process *can* run)
+        plus ``"active"`` — the backend the engine's data structures actually
+        resolved to: ``"python"`` / ``"native"`` for arena lanes, ``"object"``
+        for the object-graph ablation structure, ``"mixed"`` if lanes differ.
+        """
+        from repro.core.kernel import backend_info
+
+        info = backend_info()
+        active = {
+            getattr(lane.ds, "kernel", "object")
+            for lane in self._runtime._lanes.values()
+            if lane.ds is not None
+        }
+        if not active:
+            info["active"] = "object"
+        elif len(active) == 1:
+            info["active"] = active.pop()
+        else:
+            info["active"] = "mixed"
+        return info

@@ -142,7 +142,8 @@ class TestRun:
 
         def stat_keys(output):
             lines = [l for l in output.splitlines() if l.startswith("#")]
-            # Drop the summary line (mode-specific); keep the three stat lines.
+            # Drop the summary line (mode-specific); keep the counter,
+            # dispatch, memory and kernel stat lines.
             report = lines[1:]
             return [
                 [field.split("=")[0] for field in line.replace("# ", "").split()]
@@ -160,7 +161,7 @@ class TestRun:
         multi_output = io.StringIO()
         assert run_multi(multi_args, events, multi_output) == 0
         single_keys = stat_keys(single)
-        assert len(single_keys) == 3
+        assert len(single_keys) == 4
         assert stat_keys(general) == single_keys
         assert stat_keys(multi_output.getvalue()) == single_keys
 
