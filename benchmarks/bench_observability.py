@@ -1,0 +1,550 @@
+"""Benchmark — observability overhead and trace determinism.
+
+Two experiments, written to ``BENCH_observability.json``:
+
+* **overhead** — per-tuple update timing on the hot-key fan-out star and
+  the union storm, as paired chunk-interleaved ratios (see
+  :func:`paired_overhead_ratio` for the methodology):
+
+  - ``baseline``  — the PR 6 tree (commit ``ac822b7``, extracted from git
+    with ``git archive``), which predates every observability hook;
+  - ``disabled``  — the current tree with **no observer attached**: the
+    no-op path whose contract is ≤1.02× of baseline;
+  - ``metrics``   — an attached :class:`repro.obs.Observer` with metrics
+    only (sampled latency histograms, no trace recorder);
+  - ``trace``     — metrics plus a ring-buffered
+    :class:`repro.obs.TraceRecorder` at the default 1-in-64 sampling,
+    whose contract is ≤1.05× of baseline.
+
+  When the git history is unavailable (shallow CI checkout) the baseline
+  column falls back to comparing the *disabled* configuration against
+  itself (``summary.baseline_source == "self_ab"``), which turns the
+  disabled ratio into an A/B noise floor — the guard below still applies.
+
+* **trace determinism** — the same traced union-storm stream run once
+  uninterrupted and once as checkpoint → fresh engine → restore → resume.
+  Stream-driven span counts (``tuple``/``union``/``sweep``/``batch``/
+  ``enumeration``) and the output sequences must be identical; the resumed
+  run's Chrome ``trace_event`` export (Perfetto-loadable) is written next
+  to the JSON as ``*.trace.perfetto.json`` (named so the ``BENCH_*.json``
+  schema validation never mistakes the trace artifact for a benchmark
+  payload).
+
+``--tiny`` shrinks every dimension for CI smoke runs **and enforces the
+overhead guard**: the run fails if the disabled-path ratio exceeds 1.05
+(the looser tiny bound absorbs small-stream jitter; the checked-in full
+run documents the real ≤1.02 margin).
+
+Run as a script: ``PYTHONPATH=src python benchmarks/bench_observability.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import io
+import json
+import os
+import subprocess
+import sys
+import tarfile
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+#: The commit the disabled-path contract is measured against (PR 6: kernel
+#: backends — the last tree with no observability hooks anywhere).
+BASELINE_COMMIT = "ac822b7f305a02fc7c05b9826e412aa625e01c28"
+
+#: Span kinds driven by the stream itself; checkpoint/restore spans are
+#: lifecycle events and are reported separately.
+STREAM_SPAN_KINDS = ("tuple", "union", "sweep", "batch", "enumeration")
+
+
+# --------------------------------------------------------------------- driver
+#
+# The timing driver re-executes this file in a subprocess with ``--driver``.
+# One driver process hosts exactly TWO configurations — (tree_a, obs_a) and
+# (tree_b, obs_b) — each imported as an independent module set (see
+# :func:`_load_tree_copy`), and times them chunk-interleaved over the same
+# stream.  Top-level imports in this module are stdlib-only so the file can
+# re-execute against an arbitrary tree.
+
+
+def _is_repro_module(name: str) -> bool:
+    return name == "repro" or name.startswith("repro.") or name == "workloads"
+
+
+def _load_tree_copy(tree: str) -> Dict[str, object]:
+    """Import ``repro`` + ``workloads`` from ``tree`` as an independent copy.
+
+    Two configurations measured in one process must not share *code
+    objects*: CPython's adaptive interpreter keeps inline caches on the
+    bytecode, and an attached engine periodically armed with a sampling
+    shim re-trains the caches that a disabled engine sharing the same
+    ``update`` code object then misses on (a measured systematic few
+    percent — as large as the effect under test).  Importing the package
+    once per configuration gives every engine its own bytecode and inline
+    caches, so the chunk-interleaved comparison isolates the hooks
+    themselves.  ``sys.modules`` and ``sys.path`` are restored on exit;
+    the returned mapping is the copy's private module set.
+    """
+    saved_modules = {k: v for k, v in sys.modules.items() if _is_repro_module(k)}
+    saved_path = list(sys.path)
+    for name in saved_modules:
+        del sys.modules[name]
+    sys.path.insert(0, os.path.join(tree, "benchmarks"))
+    sys.path.insert(0, os.path.join(tree, "src"))
+    try:
+        import repro.core.evaluation  # noqa: F401
+        import workloads  # noqa: F401
+
+        try:
+            import repro.obs  # noqa: F401 (absent in the PR 6 baseline tree)
+        except ImportError:
+            pass
+        return {k: v for k, v in sys.modules.items() if _is_repro_module(k)}
+    finally:
+        for name in [k for k in sys.modules if _is_repro_module(k)]:
+            del sys.modules[name]
+        sys.modules.update(saved_modules)
+        sys.path[:] = saved_path
+
+
+def _driver_workload(workloads_module, name: str, length: int):
+    if name == "fanout_star":
+        return workloads_module.fanout_star_workload(
+            4, length=length, fan=7, key_domain=2, arm_fraction=0.8
+        )
+    if name == "union_storm":
+        return workloads_module.union_storm_workload(
+            4, length=length, variants=8, key_domain=8, arm_fraction=0.75
+        )
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _make_configuration(modules, obs_mode: str, args: argparse.Namespace):
+    pcea, stream = _driver_workload(modules["workloads"], args.workload, args.length)
+    engine = modules["repro.core.evaluation"].StreamingEvaluator(
+        pcea, window=args.window, collect_stats=False
+    )
+    if obs_mode != "none":
+        obs = modules["repro.obs"]
+        trace = obs.TraceRecorder() if obs_mode == "trace" else None
+        obs.Observer(metrics=obs.MetricsRegistry(), trace=trace).attach(engine)
+    return engine, stream
+
+
+def driver_main(args: argparse.Namespace) -> None:
+    """Time (tree_a, obs_a) vs (tree_b, obs_b) chunk-interleaved.
+
+    Host load on a shared box drifts ±5-10 % on second timescales —
+    sequential whole-stream runs of two configurations see *different*
+    machines, and that drift buries a few-percent hook cost.  Here the two
+    engines advance through the same stream a few milliseconds at a time,
+    so each chunk compares them under the same instantaneous load, and the
+    median of per-chunk ratios is stable to about a percent.  Residual
+    bias from load/creation *order* inside the process is cancelled by the
+    caller, which runs every comparison in both orientations
+    (:func:`paired_overhead_ratio`).
+    """
+    try:
+        # Every driver pins to the same core: chunks then compare like with
+        # like (no migration / asymmetric-core noise).
+        os.sched_setaffinity(0, {min(os.sched_getaffinity(0))})
+    except (AttributeError, OSError):
+        pass
+
+    copy_a = _load_tree_copy(os.path.abspath(args.tree_a))
+    copy_b = _load_tree_copy(os.path.abspath(args.tree_b))
+    engine_a, stream_a = _make_configuration(copy_a, args.obs_a, args)
+    engine_b, stream_b = _make_configuration(copy_b, args.obs_b, args)
+    # Each copy builds its own (identical-valued) workload so engine code
+    # only ever touches objects from its own module set.
+    sides = ((engine_a, stream_a), (engine_b, stream_b))
+
+    chunk = max(500, args.length // 32)
+    ratios: List[float] = []
+    a_us: List[float] = []
+    b_us: List[float] = []
+    index = 0
+    gc.disable()
+    try:
+        # Two passes over the stream: the engines roll on in steady state
+        # and every chunk contributes one paired ratio sample to the median.
+        for sweep_pass in range(2):
+            for begin in range(0, args.length, chunk):
+                end = begin + chunk
+                gc.collect()
+                elapsed: Dict[int, float] = {}
+                for engine, stream in (sides if index % 2 else sides[::-1]):
+                    part = stream[begin:end]
+                    start = time.perf_counter()
+                    # Attribute dispatch per tuple, in every configuration:
+                    # armed sampling swaps the entry point around sampled
+                    # positions, so hoisting it would freeze one binding and
+                    # skew the comparison.
+                    for tup in part:
+                        engine.update(tup)
+                    elapsed[id(engine)] = time.perf_counter() - start
+                index += 1
+                if sweep_pass == 0 and index <= 2:
+                    continue  # warmup: caches and window state still filling
+                count = len(stream_a[begin:end])
+                a_us.append(elapsed[id(engine_a)] / count * 1e6)
+                b_us.append(elapsed[id(engine_b)] / count * 1e6)
+                ratios.append(elapsed[id(engine_b)] / elapsed[id(engine_a)])
+    finally:
+        gc.enable()
+    json.dump(
+        {
+            "a_us_per_tuple": _median(a_us),
+            "b_us_per_tuple": _median(b_us),
+            "ratio_b_vs_a": _median(ratios),
+            "chunks": len(ratios),
+        },
+        sys.stdout,
+    )
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def run_pair_driver(
+    side_a: Tuple[str, str], side_b: Tuple[str, str], workload: str, length: int, window: int
+) -> Dict[str, object]:
+    result = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__), "--driver",
+            "--tree-a", side_a[0], "--obs-a", side_a[1],
+            "--tree-b", side_b[0], "--obs-b", side_b[1],
+            "--workload", workload,
+            "--length", str(length), "--window", str(window),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(result.stdout)
+
+
+def paired_overhead_ratio(
+    denominator: Tuple[str, str],
+    numerator: Tuple[str, str],
+    workload: str,
+    length: int,
+    window: int,
+    rounds: int,
+) -> Dict[str, object]:
+    """``numerator / denominator`` per-tuple ratio, orientation-balanced.
+
+    Each round launches the pair driver twice with the sides swapped.  A
+    single driver process has a systematic few-percent bias from which
+    configuration is created (and per chunk, run) first — heap placement of
+    the arenas and shared-cache pressure favour one slot — so the round's
+    sample is the geometric mean of the forward ratio and the inverted
+    reverse ratio, which cancels any slot-linked bias.  The median over
+    rounds then discards the odd load-spiked process pair.
+    """
+    samples: List[float] = []
+    denominator_us: List[float] = []
+    numerator_us: List[float] = []
+    chunks = 0
+    for _ in range(rounds):
+        forward = run_pair_driver(denominator, numerator, workload, length, window)
+        reverse = run_pair_driver(numerator, denominator, workload, length, window)
+        samples.append(
+            (forward["ratio_b_vs_a"] / reverse["ratio_b_vs_a"]) ** 0.5
+        )
+        denominator_us.extend([forward["a_us_per_tuple"], reverse["b_us_per_tuple"]])
+        numerator_us.extend([forward["b_us_per_tuple"], reverse["a_us_per_tuple"]])
+        chunks = forward["chunks"]
+    return {
+        "ratio": _median(samples),
+        "denominator_us_per_tuple": _median(denominator_us),
+        "numerator_us_per_tuple": _median(numerator_us),
+        "rounds": rounds,
+        "chunks": chunks,
+    }
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def extract_baseline(destination: str) -> Optional[str]:
+    """Materialise the PR 6 tree from git; ``None`` on shallow checkouts."""
+    try:
+        archive = subprocess.run(
+            ["git", "-C", _ROOT, "archive", BASELINE_COMMIT],
+            check=True,
+            capture_output=True,
+        )
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    with tarfile.open(fileobj=io.BytesIO(archive.stdout)) as tar:
+        tar.extractall(destination)
+    if not os.path.isdir(os.path.join(destination, "src", "repro")):
+        return None
+    _copy_native_kernel(destination)
+    return destination
+
+
+def _copy_native_kernel(destination: str) -> None:
+    """Carry the built native-kernel extension into the extracted tree.
+
+    ``git archive`` only materialises sources; without the ``.so`` the
+    baseline would silently fall back to the python kernel and the ratios
+    would compare different backends.  Copying is only honest while the C
+    source is identical in both trees — verified file-by-file here, and the
+    baseline keeps its python fallback otherwise.
+    """
+    import glob
+    import shutil
+
+    for so_path in glob.glob(os.path.join(_SRC, "repro", "**", "*.so"), recursive=True):
+        relative = os.path.relpath(so_path, _SRC)
+        target_dir = os.path.join(destination, "src", os.path.dirname(relative))
+        if not os.path.isdir(target_dir):
+            continue
+        sources_match = True
+        for c_path in glob.glob(os.path.join(os.path.dirname(so_path), "*.c")):
+            baseline_c = os.path.join(target_dir, os.path.basename(c_path))
+            if not os.path.exists(baseline_c):
+                sources_match = False
+                break
+            with open(c_path, "rb") as current, open(baseline_c, "rb") as baseline:
+                if current.read() != baseline.read():
+                    sources_match = False
+                    break
+        if sources_match:
+            shutil.copy2(so_path, os.path.join(destination, "src", relative))
+
+
+# ----------------------------------------------------------------- overhead
+
+
+def overhead_experiment(
+    baseline_tree: Optional[str], length: int, window: int, rounds: int
+) -> Tuple[List[Dict], str]:
+    source = f"git:{BASELINE_COMMIT[:12]}" if baseline_tree else "self_ab"
+    baseline = (baseline_tree or _ROOT, "none")
+    disabled = (_ROOT, "none")
+    rows: List[Dict] = []
+    for workload in ("fanout_star", "union_storm"):
+        against_baseline = paired_overhead_ratio(
+            baseline, disabled, workload, length, window, rounds
+        )
+        metrics = paired_overhead_ratio(
+            disabled, (_ROOT, "metrics"), workload, length, window, rounds
+        )
+        trace = paired_overhead_ratio(
+            disabled, (_ROOT, "trace"), workload, length, window, rounds
+        )
+        disabled_vs_baseline = against_baseline["ratio"]
+        metrics_vs_disabled = metrics["ratio"]
+        trace_vs_disabled = trace["ratio"]
+        row: Dict[str, object] = {
+            "workload": workload,
+            "stream_length": length,
+            "window": window,
+            "baseline_us_per_tuple": against_baseline["denominator_us_per_tuple"],
+            "disabled_us_per_tuple": against_baseline["numerator_us_per_tuple"],
+            "rounds": rounds,
+            "chunks": against_baseline["chunks"],
+            "disabled_vs_baseline": disabled_vs_baseline,
+            "metrics_vs_disabled": metrics_vs_disabled,
+            "trace_vs_disabled": trace_vs_disabled,
+            # The contract ratios vs PR 6 compose the two paired measurements
+            # (each tight) instead of comparing two drift-separated wall
+            # clocks directly.
+            "metrics_vs_baseline": disabled_vs_baseline * metrics_vs_disabled,
+            "trace_vs_baseline": disabled_vs_baseline * trace_vs_disabled,
+        }
+        rows.append(row)
+        print(
+            f"  {workload:<12s} baseline={row['baseline_us_per_tuple']:6.2f}µs  "
+            f"disabled={disabled_vs_baseline:.3f}x  metrics={row['metrics_vs_baseline']:.3f}x  "
+            f"trace={row['trace_vs_baseline']:.3f}x"
+        )
+    return rows, source
+
+
+# ------------------------------------------------------- trace determinism
+
+
+def _traced_engine(pcea, window: int, sample_every: int):
+    from repro.core.evaluation import StreamingEvaluator
+    from repro.obs import MetricsRegistry, Observer, TraceRecorder
+
+    trace = TraceRecorder(sample_every=sample_every)
+    observer = Observer(metrics=MetricsRegistry(), trace=trace, sample_every=sample_every)
+    engine = StreamingEvaluator(pcea, window=window)
+    observer.attach(engine)
+    return engine, observer, trace
+
+
+def trace_determinism_experiment(length: int, window: int, trace_path: str) -> Dict:
+    """Checkpoint → restore must not change what the trace records.
+
+    Sampling is keyed to the absolute stream position (which the snapshot
+    carries), so the resumed run lands on the same grid as the
+    uninterrupted one — this experiment pins that down and exports the
+    resumed run's trace for Perfetto.
+    """
+    from workloads import union_storm_workload
+
+    sample_every = 16
+    pcea, stream = union_storm_workload(
+        4, length=length, variants=8, key_domain=8, arm_fraction=0.75
+    )
+    midpoint = len(stream) // 2
+
+    engine, _, trace = _traced_engine(pcea, window, sample_every)
+    uninterrupted_outputs = [list(engine.process(tup)) for tup in stream]
+    uninterrupted_counts = trace.counts()
+
+    first, observer, resumed_trace = _traced_engine(pcea, window, sample_every)
+    resumed_outputs = [list(first.process(tup)) for tup in stream[:midpoint]]
+    checkpoint = first.snapshot()
+    from repro.core.evaluation import StreamingEvaluator
+
+    second = StreamingEvaluator(pcea, window=window)
+    observer.attach(second)
+    second.restore(checkpoint)
+    resumed_outputs += [list(second.process(tup)) for tup in stream[midpoint:]]
+    resumed_counts = resumed_trace.counts()
+
+    spans_written = observer.export_trace(trace_path)
+    span_counts_identical = all(
+        uninterrupted_counts.get(kind, 0) == resumed_counts.get(kind, 0)
+        for kind in STREAM_SPAN_KINDS
+    )
+    result = {
+        "stream_length": len(stream),
+        "window": window,
+        "sample_every": sample_every,
+        "checkpoint_position": midpoint,
+        "uninterrupted_span_counts": uninterrupted_counts,
+        "resumed_span_counts": resumed_counts,
+        "span_counts_identical": span_counts_identical,
+        "outputs_identical": uninterrupted_outputs == resumed_outputs,
+        "checkpoint_spans": resumed_counts.get("checkpoint", 0),
+        "restore_spans": resumed_counts.get("restore", 0),
+        "trace_artifact": os.path.basename(trace_path),
+        "trace_spans_written": spans_written,
+    }
+    print(
+        f"  determinism: spans identical={span_counts_identical} "
+        f"(uninterrupted={ {k: uninterrupted_counts.get(k, 0) for k in STREAM_SPAN_KINDS} }, "
+        f"resumed adds checkpoint={result['checkpoint_spans']} restore={result['restore_spans']}), "
+        f"outputs identical={result['outputs_identical']}"
+    )
+    print(f"  wrote {trace_path} ({spans_written} trace events)")
+    return result
+
+
+# --------------------------------------------------------------------- main
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke dimensions + overhead guard")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--output", default=os.path.join(_ROOT, "BENCH_observability.json"))
+    obs_choices = ["none", "metrics", "trace"]
+    parser.add_argument("--driver", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--tree-a", default=_ROOT, help=argparse.SUPPRESS)
+    parser.add_argument("--obs-a", default="none", choices=obs_choices, help=argparse.SUPPRESS)
+    parser.add_argument("--tree-b", default=_ROOT, help=argparse.SUPPRESS)
+    parser.add_argument("--obs-b", default="none", choices=obs_choices, help=argparse.SUPPRESS)
+    parser.add_argument("--workload", default="union_storm", help=argparse.SUPPRESS)
+    parser.add_argument("--length", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--window", type=int, default=0, help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.driver:
+        driver_main(args)
+        return
+
+    from repro.bench.harness import peak_rss_bytes, write_benchmark_json
+
+    if args.tiny:
+        length, window, rounds, determinism_length = 4_000, 128, 2, 2_000
+    else:
+        length, window, rounds, determinism_length = 40_000, 512, 3, 12_000
+    if args.repeats is not None:
+        rounds = args.repeats
+
+    with tempfile.TemporaryDirectory(prefix="bench_obs_baseline_") as scratch:
+        baseline_tree = extract_baseline(scratch)
+        print(
+            "baseline: "
+            + (f"git {BASELINE_COMMIT[:12]} (PR 6 tree)" if baseline_tree else "unavailable — A/B self-comparison")
+        )
+        print("per-tuple update overhead:")
+        rows, baseline_source = overhead_experiment(baseline_tree, length, window, rounds)
+
+    print("trace determinism (union_storm, checkpoint at midpoint):")
+    # Named so the ``BENCH_*.json`` schema validation never globs the trace
+    # artifact as a benchmark payload.
+    output_dir, output_name = os.path.split(os.path.abspath(args.output))
+    stem = os.path.splitext(output_name)[0]
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    trace_path = os.path.join(output_dir, f"{stem}.trace.perfetto.json")
+    determinism = trace_determinism_experiment(determinism_length, window, trace_path)
+
+    disabled_ratio = max(row["disabled_vs_baseline"] for row in rows)
+    metrics_ratio = max(row["metrics_vs_baseline"] for row in rows)
+    trace_ratio = max(row["trace_vs_baseline"] for row in rows)
+    summary: Dict[str, object] = {
+        "baseline_source": baseline_source,
+        "disabled_max_ratio_vs_baseline": disabled_ratio,
+        "metrics_max_ratio_vs_baseline": metrics_ratio,
+        "trace_max_ratio_vs_baseline": trace_ratio,
+        "disabled_within_1_02": disabled_ratio <= 1.02,
+        "trace_within_1_05": trace_ratio <= 1.05,
+        "span_counts_identical_after_restore": determinism["span_counts_identical"],
+        "outputs_identical_after_restore": determinism["outputs_identical"],
+        "trace_artifact": determinism["trace_artifact"],
+    }
+    payload = {
+        "benchmark": "observability",
+        "description": (
+            "Per-tuple overhead of the repro.obs hooks (disabled path vs the "
+            "pre-observability PR 6 baseline, metrics-only, and 1-in-64 sampled "
+            "tracing) plus checkpoint/restore trace determinism."
+        ),
+        "baseline_commit": BASELINE_COMMIT,
+        "gc_enabled": False,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "overhead": rows,
+        "trace_determinism": determinism,
+        "summary": summary,
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+
+    if args.tiny:
+        # The CI guard: small streams jitter, so the tiny bound is 1.05; the
+        # checked-in full run is where the ≤1.02 contract is demonstrated.
+        if disabled_ratio > 1.05:
+            sys.exit(f"overhead guard FAILED: disabled path {disabled_ratio:.3f}x > 1.05x baseline")
+        if not determinism["span_counts_identical"]:
+            sys.exit("trace determinism FAILED: span counts diverge after restore")
+        print(f"overhead guard OK: disabled {disabled_ratio:.3f}x <= 1.05x")
+
+
+if __name__ == "__main__":
+    main()

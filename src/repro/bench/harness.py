@@ -178,12 +178,32 @@ def measure_memory_profile(
 def collect_engine_counters(engine) -> Dict[str, float]:
     """All machine-independent counters an engine exposes, as one flat dict.
 
-    Collects the :class:`~repro.core.evaluation.UpdateStatistics` fields, the
-    hash-table size, the eviction counter and the data-structure allocation
-    counters when present, so benchmark JSON reports stay uniform across
-    engine variants.
+    Runtime-backed engines are read through their unified ``observe()``
+    snapshot (statistics fields, hash-table size, eviction counter,
+    data-structure allocation counters, memory and kernel info — one call,
+    one shape); baseline engines without that surface fall back to per-
+    attribute collection.  Key names are identical either way, so benchmark
+    JSON reports stay uniform across engine variants.
     """
     counters: Dict[str, float] = {}
+    observe = getattr(engine, "observe", None)
+    if callable(observe):
+        snapshot = observe()
+        for name, value in snapshot["stats"].items():
+            counters[name] = float(value)
+        counters["hash_table_size"] = float(snapshot["hash_entries"])
+        counters["evicted"] = float(snapshot["evicted"])
+        ds = snapshot.get("ds")
+        if ds is not None:
+            counters["ds_nodes_created"] = float(ds["nodes_created"])
+            counters["ds_union_calls"] = float(ds["union_calls"])
+            counters["ds_union_copies"] = float(ds["union_copies"])
+        for key, value in snapshot["memory"].items():
+            counters[f"arena_{key}" if not key.startswith("arena") else key] = float(value)
+        kernel = snapshot["kernel"]
+        counters["kernel_native_available"] = 1.0 if kernel.get("native_available") else 0.0
+        counters["kernel_native_active"] = 1.0 if kernel.get("active") == "native" else 0.0
+        return counters
     stats = getattr(engine, "stats", None)
     if stats is not None and dataclasses.is_dataclass(stats):
         for field_info in dataclasses.fields(stats):

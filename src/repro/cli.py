@@ -31,6 +31,15 @@ bit-identical to one uninterrupted run.  The restoring invocation must pass
 the same ``--query`` (same queries in the same order for ``multi``) and
 window; mismatches are rejected through the snapshot's dispatch signature.
 
+Observability: every mode accepts ``--metrics-file PATH`` (Prometheus text
+exposition of the run's counters, gauges and latency histograms),
+``--trace PATH`` (ring-buffered structured spans — Chrome ``trace_event``
+JSON loadable in Perfetto, or JSON-lines with a ``.jsonl`` path; sampling
+period via ``--trace-sample N``) and ``--stats-interval N`` (a ``# interval``
+stats line every N events, mid-stream).  All of them attach a
+:class:`repro.obs.Observer`; without them the engine runs the plain
+uninstrumented hot path.
+
 Input format: one event per line, ``relation,value,value,...``.  Values are
 parsed as integers when possible and kept as strings otherwise.  Matches are
 printed one per line as ``position <TAB> atom0=pos,atom1=pos,...``; pass
@@ -203,6 +212,127 @@ def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
         help="before processing, restore the engine state checkpointed at PATH "
         "(requires the same query/queries and window as the checkpointing run)",
     )
+    _add_observability_arguments(parser)
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro.obs`` surfaces, identical on every engine mode."""
+    parser.add_argument(
+        "--metrics-file",
+        metavar="PATH",
+        help="after processing, write the run's metrics (counters, gauges, "
+        "latency histograms) to PATH in the Prometheus text format",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record structured spans (sampled tuples, sweeps, batches, "
+        "checkpoint/restore) and write them to PATH — Chrome trace_event "
+        "JSON loadable in Perfetto, or JSON-lines when PATH ends in .jsonl",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="time every Nth event (1 = every event; default 64); applies to "
+        "the per-event latency histogram and the per-event trace spans",
+    )
+    parser.add_argument(
+        "--stats-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a '# interval ...' stats line every N events (mid-stream, "
+        "not just at exit; includes sampled update percentiles when "
+        "--metrics-file/--trace is active)",
+    )
+
+
+def _setup_observability(args: argparse.Namespace, engine):
+    """Attach an Observer when any ``repro.obs`` flag asks for one.
+
+    Returns the observer (or ``None`` when no flag was given); raises
+    ``ValueError`` on a bad ``--trace-sample``.  Attaching before ``--restore``
+    and query registration means restore and index-patch spans land in the
+    trace.
+    """
+    metrics_file = getattr(args, "metrics_file", None)
+    trace_path = getattr(args, "trace", None)
+    interval = getattr(args, "stats_interval", 0) or 0
+    sample = getattr(args, "trace_sample", None)
+    if not metrics_file and not trace_path and not interval and sample is None:
+        return None
+    from repro.obs import DEFAULT_SAMPLE_EVERY, Observer, TraceRecorder
+
+    recorder = (
+        TraceRecorder(sample_every=sample if sample is not None else DEFAULT_SAMPLE_EVERY)
+        if trace_path
+        else None
+    )
+    observer = Observer(trace=recorder, sample_every=sample)
+    engine.attach_observer(observer)
+    return observer
+
+
+def _finish_observability(
+    args: argparse.Namespace, observer, output: TextIO
+) -> bool:
+    """Write the ``--metrics-file`` / ``--trace`` exports (False on failure).
+
+    Runs after ``--checkpoint`` so a checkpointing run's trace contains its
+    checkpoint span.
+    """
+    if observer is None:
+        return True
+    ok = True
+    metrics_file = getattr(args, "metrics_file", None)
+    if metrics_file:
+        try:
+            observer.export_metrics(metrics_file)
+        except OSError as exc:
+            print(f"error: cannot write metrics file {metrics_file}: {exc}", file=sys.stderr)
+            ok = False
+        else:
+            print(
+                f"# metrics: wrote {metrics_file} ({len(observer.metrics)} series)",
+                file=output,
+            )
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        try:
+            spans = observer.export_trace(trace_path)
+        except OSError as exc:
+            print(f"error: cannot write trace file {trace_path}: {exc}", file=sys.stderr)
+            ok = False
+        else:
+            print(
+                f"# trace: wrote {trace_path} ({spans} spans, "
+                f"{observer.trace.dropped} dropped)",
+                file=output,
+            )
+    return ok
+
+
+def _emit_interval_stats(engine, observer, events_seen: int, start: float, output: TextIO) -> None:
+    """One ``--stats-interval`` report line (and a gauge refresh, so the
+    exported metrics carry a mid-stream time series, not just the exit state)."""
+    elapsed = time.perf_counter() - start
+    rate = events_seen / elapsed if elapsed > 0 else float("inf")
+    line = (
+        f"# interval events={events_seen} position={engine.position} "
+        f"hash_entries={engine.hash_table_size()} evicted={engine.evicted} "
+        f"events/s={rate:.0f}"
+    )
+    if observer is not None:
+        observer.observe_engine(engine)
+        hist = observer.metrics.histogram("repro_update_seconds")
+        if hist.count:
+            line += (
+                f" update_p50={hist.quantile(0.5):.3g}"
+                f" update_p99={hist.quantile(0.99):.3g}"
+            )
+    print(line, file=output)
 
 
 def build_multi_parser() -> argparse.ArgumentParser:
@@ -344,9 +474,16 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
             file=sys.stderr,
         )
         return 2
+    try:
+        observer = _setup_observability(args, engine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if getattr(args, "restore", None) and not _restore_engine(engine, args.restore):
         return 2
     batch_size = getattr(args, "batch_size", 0) or 0
+    interval = getattr(args, "stats_interval", 0) or 0
+    next_report = interval if interval else None
     matches = 0
     events_seen = 0
     start = time.perf_counter()
@@ -359,6 +496,10 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
                     matches += 1
                     if not args.quiet:
                         print(format_match(base_position + offset, valuation), file=output)
+            if next_report is not None and events_seen >= next_report:
+                _emit_interval_stats(engine, observer, events_seen, start, output)
+                while next_report <= events_seen:
+                    next_report += interval
     else:
         for event in islice(events, args.limit):
             events_seen += 1
@@ -366,6 +507,9 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
                 matches += 1
                 if not args.quiet:
                     print(format_match(engine.position, valuation), file=output)
+            if next_report is not None and events_seen >= next_report:
+                _emit_interval_stats(engine, observer, events_seen, start, output)
+                next_report += interval
     elapsed = time.perf_counter() - start
     rate = events_seen / elapsed if elapsed > 0 else float("inf")
     batched = f" batch_size={batch_size}" if batch_size > 0 else ""
@@ -377,6 +521,8 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
     if args.stats:
         _print_stats(engine, output)
     if getattr(args, "checkpoint", None) and not _write_checkpoint(engine, args.checkpoint):
+        return 2
+    if not _finish_observability(args, observer, output):
         return 2
     return 0
 
@@ -405,7 +551,8 @@ def _print_stats(engine, output: TextIO) -> None:
         f"fired={stats.transitions_fired} "
         f"lookups={stats.hash_lookups} updates={stats.hash_updates} "
         f"unions={stats.unions} nodes={stats.nodes_created} "
-        f"outputs={stats.outputs_enumerated}",
+        f"outputs={stats.outputs_enumerated} "
+        f"sweeps={stats.sweeps} sweep_evicted={stats.sweep_evicted}",
         file=output,
     )
     print(
@@ -487,6 +634,13 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        # Attached before registration so the index-patch spans of the
+        # initial --query registrations land in the trace.
+        observer = _setup_observability(args, engine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     names = {}
     try:
         for index, (query, window) in enumerate(zip(args.queries, windows)):
@@ -504,6 +658,8 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
         # checkpoint's; rebuild the name table from the restored handles.
         names = {handle.id: handle.name for handle in engine.handles()}
     batch_size = getattr(args, "batch_size", 0) or 0
+    interval = getattr(args, "stats_interval", 0) or 0
+    next_report = interval if interval else None
     matches = {qid: 0 for qid in names}
     events_seen = 0
     start = time.perf_counter()
@@ -521,10 +677,17 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
             base_position = engine.position + 1
             for offset, outputs in enumerate(engine.process_many(batch)):
                 emit(base_position + offset, outputs)
+            if next_report is not None and events_seen >= next_report:
+                _emit_interval_stats(engine, observer, events_seen, start, output)
+                while next_report <= events_seen:
+                    next_report += interval
     else:
         for event in islice(events, args.limit):
             events_seen += 1
             emit(engine.position + 1, engine.process(event))
+            if next_report is not None and events_seen >= next_report:
+                _emit_interval_stats(engine, observer, events_seen, start, output)
+                next_report += interval
     elapsed = time.perf_counter() - start
     rate = events_seen / elapsed if elapsed > 0 else float("inf")
     total = sum(matches.values())
@@ -541,6 +704,8 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
     if args.stats:
         _print_stats(engine, output)
     if getattr(args, "checkpoint", None) and not _write_checkpoint(engine, args.checkpoint):
+        return 2
+    if not _finish_observability(args, observer, output):
         return 2
     return 0
 

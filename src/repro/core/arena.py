@@ -151,7 +151,7 @@ from __future__ import annotations
 import struct
 import sys
 from array import array
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.datastructure import product_odometer
 from repro.core.kernel import native_module, resolve_kernel
@@ -368,6 +368,10 @@ class ArenaDataStructure:
         self._next_slot = 0
         self._release_cursor = 0
         self._slab_start: Optional[int] = None
+        # Observability hook: called with the sealed slab's fill (record
+        # count) every time an allocation seals the current slab.  None (the
+        # default) costs one attribute read per *seal*, never per node.
+        self.on_seal: Optional[Callable[[int], None]] = None
         self._cur = self._new_slab()
         # Reserve id 0 for bottom: a sentinel that always reads as expired.
         self._append_sentinel(self._cur)
@@ -427,6 +431,10 @@ class ArenaDataStructure:
                 if len(sealed.data) > fill:
                     del sealed.data[fill:]
                 sealed.avail = sealed.count
+        if sealed is not None:
+            hook = self.on_seal
+            if hook is not None:
+                hook(sealed.count)
         if position is not None and self._adaptive and self._slab_start is not None:
             elapsed = max(1, position - self._slab_start)
             # Nodes one window's worth of positions allocates at the sealed

@@ -365,7 +365,24 @@ class TransitionDispatchIndex:
             "mean_candidates": float(sum(sizes) / len(sizes)) if sizes else float(len(self._wildcard)),
             "guarded_transitions": float(guarded if self.guards else 0),
             "guard_values": float(guard_values),
+            # A single-automaton index is built once and never patched; the
+            # keys exist so the merged index's describe() stays key-identical.
+            "patched_adds": 0.0,
+            "patched_removes": 0.0,
         }
+
+    def relation_fanout(self) -> Dict[str, int]:
+        """Per-relation candidate-list sizes (``"*"`` = wildcard fallback).
+
+        The fan-out a tuple of each relation scans — sampled over time (the
+        observability gauges) this is the per-bucket hit-rate series the
+        adaptive-dispatch roadmap item needs.
+        """
+        fanout = {
+            relation: len(members) for relation, members in self._by_relation.items()
+        }
+        fanout["*"] = len(self._wildcard)
+        return fanout
 
     def __repr__(self) -> str:
         info = self.describe()

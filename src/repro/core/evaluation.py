@@ -185,6 +185,9 @@ class StreamingEvaluator(RuntimeBackedEngine):
         self._hash: Dict[Tup[int, State, Hashable], Tup[NodeRef, int]] = self._lane.hash
         self.audit = audit
         self._count_stats = collect_stats
+        # Mirrored into the runtime: the sweep's counters live there and are
+        # gated the same way as every other EngineStatistics counter.
+        self._runtime.count_stats = collect_stats
         if dispatch is not None:
             if dispatch.final != frozenset(pcea.final):
                 raise ValueError(
@@ -225,6 +228,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
             self._count_stats = previous and collect
         else:
             self._count_stats = bool(stats)
+        self._runtime.count_stats = self._count_stats
         try:
             results: Dict[int, List[Valuation]] = {}
             for tup in stream:
@@ -237,6 +241,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
             return results
         finally:
             self._count_stats = previous
+            self._runtime.count_stats = previous
 
     def process(self, tup: Tuple) -> List[Valuation]:
         """Process one tuple: update phase followed by eager enumeration."""
@@ -486,10 +491,10 @@ class StreamingEvaluator(RuntimeBackedEngine):
         self._runtime.restore(runtime_snap, [self._lane])
 
     # ------------------------------------------------------------ introspection
-    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
-    def dispatch_info(self) -> Dict[str, float]:
-        """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
-        return self._dispatch.describe()
+    # (hash_table_size / memory_info / dispatch_info / observe come from
+    # RuntimeBackedEngine; this hook points them at the automaton's index.)
+    def _dispatch_source(self):
+        return self._dispatch
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

@@ -215,6 +215,7 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         self._next_seq = 0
         self._lane.on_evict = self._on_evict
         self._count_stats = collect_stats
+        self._runtime.count_stats = collect_stats
         self.nodes_scanned = 0
 
     # -------------------------------------------------------------- main loop
@@ -484,10 +485,10 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         info["ring_live"] = sum(len(ring) for ring in self._rings.values())
         return info
 
-    # (hash_table_size comes from RuntimeBackedEngine.)
-    def dispatch_info(self) -> Dict[str, float]:
-        """Summary of the transition dispatch index (see ``TransitionDispatchIndex.describe``)."""
-        return self._dispatch.describe()
+    # (hash_table_size / dispatch_info / observe come from
+    # RuntimeBackedEngine; this hook points them at the automaton's index.)
+    def _dispatch_source(self):
+        return self._dispatch
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

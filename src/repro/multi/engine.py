@@ -36,6 +36,7 @@ the stream at ``p`` (its valuations carry global stream positions).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
 
 from repro.core.arena import ArenaDataStructure
@@ -175,6 +176,7 @@ class MultiQueryEngine(RuntimeBackedEngine):
         self._incremental = incremental
         self._count_stats = collect_stats
         self._runtime = StreamRuntime(release_interval=release_interval)
+        self._runtime.count_stats = collect_stats
         self._lanes: Dict[int, _QueryLane] = {}
         self._merged = MergedDispatchIndex((), guards=guards)
         for entry in self.registry.entries():
@@ -194,16 +196,28 @@ class MultiQueryEngine(RuntimeBackedEngine):
         )
         self._lanes[handle.id] = lane
         self._runtime.add_lane(lane)
+        observer = getattr(self, "_observer", None)
+        start = perf_counter() if observer is not None else 0.0
         if self._incremental:
             self._merged.add_query(lane, lane.dispatch)
         else:
             self._rebuild()
+        if observer is not None:
+            observer.on_index_patch(
+                "add", perf_counter() - start, len(lane.dispatch.all_transitions())
+            )
+            observer.observe_lane(lane)
         return handle
 
     def unregister(self, handle: QueryHandle) -> None:
         """Drop a query; its state is discarded and outputs stop immediately."""
         self.registry.unregister(handle)
         lane = self._lanes.pop(handle.id)
+        observer = getattr(self, "_observer", None)
+        start = perf_counter() if observer is not None else 0.0
+        transitions = (
+            len(lane.dispatch.all_transitions()) if observer is not None else 0
+        )
         if self._incremental:
             self._merged.remove_query(lane)
         # Stale expiry-bucket entries still reference the lane; the shared
@@ -214,6 +228,8 @@ class MultiQueryEngine(RuntimeBackedEngine):
         self._runtime.drop_lane(lane)
         if not self._incremental:
             self._rebuild()
+        if observer is not None:
+            observer.on_index_patch("remove", perf_counter() - start, transitions)
 
     def handles(self) -> List[QueryHandle]:
         """Handles of the registered queries, in registration order."""
@@ -498,10 +514,10 @@ class MultiQueryEngine(RuntimeBackedEngine):
         self._runtime.restore(runtime_snap, lanes)
 
     # ------------------------------------------------------------ introspection
-    # (hash_table_size / memory_info come from RuntimeBackedEngine.)
-    def dispatch_info(self) -> Dict[str, float]:
-        """Merged-index statistics (see ``MergedDispatchIndex.describe``)."""
-        return self._merged.describe()
+    # (hash_table_size / memory_info / dispatch_info / observe come from
+    # RuntimeBackedEngine; this hook points them at the merged index.)
+    def _dispatch_source(self):
+        return self._merged
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

@@ -127,6 +127,10 @@ class MergedDispatchIndex:
         self._next_pred_id = 0
         self._next_order = 0
         self._size = 0
+        # Lifetime patch counters (``describe()`` surfaces them; the
+        # observability layer additionally times each patch at the engine).
+        self.patched_adds = 0
+        self.patched_removes = 0
         # Per-relation candidate state: ``_specific`` holds only the entries
         # that name the relation (mutable, order-sorted); ``_by_relation`` is
         # the read-optimised tuple the per-tuple lookup hits (specific merged
@@ -211,6 +215,7 @@ class MergedDispatchIndex:
             touched = set(specific)
         for relation in touched:
             self._refresh_relation(relation)
+        self.patched_adds += 1
 
     def remove_query(self, owner: object) -> None:
         """Remove one query's transitions, compacting only its buckets.
@@ -250,6 +255,7 @@ class MergedDispatchIndex:
                 else:
                     del self._specific[relation]
             self._refresh_relation(relation)
+        self.patched_removes += 1
 
     def _refresh_relation(self, relation: str) -> None:
         """Rebuild one relation's read-optimised candidate tuple + guard buckets."""
@@ -395,7 +401,22 @@ class MergedDispatchIndex:
             ),
             "guarded_transitions": float(guarded if self.guards else 0),
             "guard_values": float(guard_values),
+            "patched_adds": float(self.patched_adds),
+            "patched_removes": float(self.patched_removes),
         }
+
+    def relation_fanout(self) -> Dict[str, int]:
+        """Per-relation candidate-list sizes (``"*"`` = wildcard fallback).
+
+        Key-compatible with ``TransitionDispatchIndex.relation_fanout`` so
+        the per-relation observability gauges mean the same thing in every
+        engine mode.
+        """
+        fanout = {
+            relation: len(members) for relation, members in self._by_relation.items()
+        }
+        fanout["*"] = len(self._wildcard)
+        return fanout
 
     def __repr__(self) -> str:
         info = self.describe()

@@ -1,0 +1,307 @@
+"""Counters, gauges and log-bucket histograms for the streaming runtime.
+
+The repo's engines already count everything *cumulatively*
+(:class:`~repro.runtime.EngineStatistics`, ``memory_info``); what a
+long-lived service additionally needs is **distributions** (per-batch and
+per-tuple latency percentiles) and an **export surface** a scraper can read.
+This module supplies both with the smallest possible hot-path cost:
+
+* :class:`Counter` / :class:`Gauge` — one attribute add / store per update.
+* :class:`Histogram` — fixed log-spaced buckets (4 sub-buckets per octave,
+  so bucket boundaries are ~19% apart) addressed with one
+  :func:`math.frexp` call per recorded value.  p50/p99/p999 are derivable
+  from the bucket counts alone (:meth:`Histogram.quantile`); no samples are
+  ever stored, so a histogram's memory is a fixed ~``NUM_BUCKETS`` ints no
+  matter how long the engine runs.
+* :class:`MetricsRegistry` — the named instrument table, with ``collect()``
+  (a plain-dict snapshot for JSON) and ``to_prometheus()`` (text exposition
+  in the Prometheus format: ``# TYPE`` headers, cumulative ``le`` histogram
+  buckets, label rendering).
+
+Instruments support optional labels (``registry.counter("repro_sweeps_total",
+labels={"engine": "multi"})``): each distinct label set is its own time
+series, which is how the per-``(relation, guard)`` dispatch fan-out gauges
+are keyed.
+
+Allocation accounting
+---------------------
+Every instrument construction increments a module counter readable through
+:func:`instrument_allocations`.  The observability layer's no-op contract —
+an engine without an attached observer allocates **zero** metrics objects —
+is tested against exactly this counter (``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Lowest bucket exponent: values below ``2**MIN_EXP`` land in the first
+#: bucket.  2**-34 s ≈ 58 ps — far below anything a Python engine can time.
+MIN_EXP = -34
+
+#: Highest bucket exponent: values at or above ``2**MAX_EXP`` (64 s) land in
+#: the overflow bucket.
+MAX_EXP = 6
+
+#: Sub-buckets per octave (power of two).  4 gives ~19% boundary spacing.
+SUBBUCKETS = 4
+
+#: Total histogram buckets (one extra octave for the overflow range).
+NUM_BUCKETS = (MAX_EXP - MIN_EXP + 1) * SUBBUCKETS
+
+_allocations = 0
+
+
+def instrument_allocations() -> int:
+    """Total metrics/trace instruments ever constructed in this process.
+
+    The no-op-path tests snapshot this before and after an uninstrumented
+    run and assert the delta is zero.
+    """
+    return _allocations
+
+
+def _count_allocation() -> None:
+    global _allocations
+    _allocations += 1
+
+
+def _bucket_index(value: float) -> int:
+    """The fixed log-bucket index of ``value`` (clamped, monotonic)."""
+    if value <= 0.0:
+        return 0
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent, 0.5 <= m < 1
+    if exponent <= MIN_EXP:
+        return 0
+    if exponent > MAX_EXP:
+        return NUM_BUCKETS - 1
+    # mantissa in [0.5, 1) -> sub-bucket 0..SUBBUCKETS-1
+    sub = int((mantissa - 0.5) * 2 * SUBBUCKETS)
+    if sub >= SUBBUCKETS:  # mantissa == 1.0 - epsilon edge
+        sub = SUBBUCKETS - 1
+    return (exponent - MIN_EXP) * SUBBUCKETS + sub
+
+
+def bucket_upper_bound(index: int) -> float:
+    """The inclusive upper boundary of bucket ``index`` (for exposition)."""
+    if index >= NUM_BUCKETS - 1:
+        return math.inf
+    octave, sub = divmod(index, SUBBUCKETS)
+    exponent = octave + MIN_EXP
+    return math.ldexp(0.5 + (sub + 1) / (2 * SUBBUCKETS), exponent)
+
+
+class Counter:
+    """A monotonically increasing count (events, evictions, spans dropped)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None) -> None:
+        _count_allocation()
+        self.name = name
+        self.labels = dict(labels) if labels else None
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (live nodes, hash entries, ring occupancy)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None) -> None:
+        _count_allocation()
+        self.name = name
+        self.labels = dict(labels) if labels else None
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed log-bucket latency histogram; percentiles without samples.
+
+    ``record`` costs one ``frexp`` plus three attribute updates.  Quantile
+    estimates return the *upper bound* of the bucket the target rank falls
+    in, so they are conservative (never under-report) with ~19% resolution.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "count", "sum")
+
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None) -> None:
+        _count_allocation()
+        self.name = name
+        self.labels = dict(labels) if labels else None
+        self.buckets = [0] * NUM_BUCKETS
+        self.count = 0
+        self.sum = 0.0
+
+    def record(self, value: float) -> None:
+        self.buckets[_bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (0..1), as a bucket upper bound."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets):
+            cumulative += bucket
+            if cumulative >= target and bucket:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(NUM_BUCKETS - 1)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` for the populated buckets, ascending."""
+        return [
+            (bucket_upper_bound(index), bucket)
+            for index, bucket in enumerate(self.buckets)
+            if bucket
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}: n={self.count}, mean={self.mean():.3g}, "
+            f"p99={self.quantile(0.99):.3g})"
+        )
+
+
+def _series_key(name: str, labels: Optional[Mapping[str, str]]) -> Tuple:
+    return (name, tuple(sorted(labels.items())) if labels else ())
+
+
+def _render_labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape_label(value: object) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class MetricsRegistry:
+    """The named instrument table: get-or-create, snapshot, exposition.
+
+    One registry per :class:`~repro.obs.Observer`.  ``counter`` / ``gauge``
+    / ``histogram`` intern by ``(name, labels)`` so hook sites can pre-bind
+    their instruments once and pay zero lookups per update.
+    """
+
+    def __init__(self) -> None:
+        _count_allocation()
+        self._instruments: Dict[Tuple, object] = {}
+
+    def _get(self, cls, name: str, labels: Optional[Mapping[str, str]]):
+        key = _series_key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(name, labels)
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def instruments(self) -> Iterable[object]:
+        return self._instruments.values()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ---------------------------------------------------------------- export
+    def collect(self) -> Dict[str, object]:
+        """A plain-dict snapshot of every series (JSON-serialisable).
+
+        Counters/gauges map ``name{labels}`` to their value; histograms map
+        to ``{count, sum, p50, p99, buckets: [[le, n], ...]}``.
+        """
+        snapshot: Dict[str, object] = {}
+        for instrument in self._instruments.values():
+            key = instrument.name + _render_labels(instrument.labels)
+            if isinstance(instrument, Histogram):
+                snapshot[key] = {
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "p50": instrument.quantile(0.50),
+                    "p99": instrument.quantile(0.99),
+                    "buckets": [
+                        [upper if upper != math.inf else "+Inf", count]
+                        for upper, count in instrument.nonzero_buckets()
+                    ],
+                }
+            else:
+                snapshot[key] = instrument.value
+        return snapshot
+
+    def to_prometheus(self) -> str:
+        """Text exposition in the Prometheus format.
+
+        ``# TYPE`` headers per metric name, label rendering, and cumulative
+        ``le``-labelled histogram buckets ending in ``+Inf`` (only populated
+        boundaries are emitted, plus the mandatory ``+Inf``).
+        """
+        lines: List[str] = []
+        typed: set = set()
+        for instrument in sorted(
+            self._instruments.values(), key=lambda i: (i.name, _render_labels(i.labels))
+        ):
+            name = instrument.name
+            if isinstance(instrument, Histogram):
+                if name not in typed:
+                    typed.add(name)
+                    lines.append(f"# TYPE {name} histogram")
+                base = dict(instrument.labels) if instrument.labels else {}
+                cumulative = 0
+                for upper, count in instrument.nonzero_buckets():
+                    cumulative += count
+                    le = "+Inf" if upper == math.inf else repr(upper)
+                    lines.append(
+                        f"{name}_bucket{_render_labels({**base, 'le': le})} {cumulative}"
+                    )
+                if math.inf not in [u for u, _ in instrument.nonzero_buckets()]:
+                    lines.append(
+                        f"{name}_bucket{_render_labels({**base, 'le': '+Inf'})} "
+                        f"{instrument.count}"
+                    )
+                lines.append(f"{name}_sum{_render_labels(base or None)} {instrument.sum!r}")
+                lines.append(f"{name}_count{_render_labels(base or None)} {instrument.count}")
+            else:
+                kind = "counter" if isinstance(instrument, Counter) else "gauge"
+                if name not in typed:
+                    typed.add(name)
+                    lines.append(f"# TYPE {name} {kind}")
+                value = instrument.value
+                rendered = repr(value) if isinstance(value, float) else str(value)
+                lines.append(f"{name}{_render_labels(instrument.labels)} {rendered}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} series)"

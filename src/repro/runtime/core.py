@@ -54,6 +54,7 @@ object-graph oracle does not).
 from __future__ import annotations
 
 import dataclasses
+from time import perf_counter as _perf
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup, TypeVar
 
 from repro.runtime.statistics import EngineStatistics
@@ -181,8 +182,14 @@ class StreamRuntime:
         "position",
         "evicted",
         "stats",
+        "count_stats",
         "buckets",
         "release_interval",
+        "obs",
+        "obs_sample_every",
+        "obs_arm",
+        "obs_next",
+        "obs_sweep_sampled",
         "_swept_upto",
         "_next_release_pass",
         "_lanes",
@@ -195,6 +202,33 @@ class StreamRuntime:
         self.position = -1
         self.evicted = 0
         self.stats = EngineStatistics()
+        # Mirror of the owning engine's ``collect_stats``: the sweep's
+        # ``sweeps``/``sweep_evicted`` counters are gated on it exactly like
+        # every other ``EngineStatistics`` counter (fast mode pays no
+        # per-sweep attribute writes).  The engines set it at construction.
+        self.count_stats = False
+        # The attached repro.obs.Observer, or None.  Every observability hook
+        # below hides behind an ``obs is None`` test at batch/sweep/slab
+        # granularity — the per-candidate loops never see it, which is the
+        # disabled-path overhead contract (BENCH_observability.json).
+        self.obs = None
+        # Mirror of ``obs.sample_every`` (slot load beats an instance-dict
+        # lookup in the per-position sweep); 1 whenever no observer is attached.
+        self.obs_sample_every = 1
+        # Period-sampling callback: when an observer is attached, ``advance``
+        # calls this at each sampled position (begin phase: stamp the clock)
+        # and again one position later (finish phase: the interval is the
+        # sampled update's latency).  See ``Observer._wrap_entry``.
+        self.obs_arm = None
+        # The absolute position at which ``advance`` calls ``obs_arm`` next
+        # (-1 = never).  Maintained by the observer's period clock, so the
+        # per-position cost is one slot load and one int compare — no modulo,
+        # no None test — whether or not an observer is attached.
+        self.obs_next = -1
+        # True only between the begin and finish phases of a sampled period;
+        # the sweep keys its (timed, slab-accounting) sampled branch off this
+        # single flag instead of re-deriving the sampling grid.
+        self.obs_sweep_sampled = False
         # Absolute expiry position -> flat [lane_id, key, node, ...] triples.
         # Entries always register in strictly future buckets (a storable
         # entry satisfies max_start >= position - lane.window), so the sweep
@@ -239,6 +273,8 @@ class StreamRuntime:
         """Move to the next stream position and return it."""
         position = self.position + 1
         self.position = position
+        if position == self.obs_next:
+            self.obs_arm()
         return position
 
     # ------------------------------------------------------------ registration
@@ -273,33 +309,83 @@ class StreamRuntime:
             self._swept_upto = position
             expired = self.buckets.pop(position, None)
             if expired:
-                evicted = 0
-                touched = set()
-                lanes = self._lanes
-                for index in range(0, len(expired), 3):
-                    lane = lanes.get(expired[index])
-                    if lane is None or not lane.active:
-                        continue
-                    key = expired[index + 1]
-                    lane.drop_ref(expired[index + 2])
-                    touched.add(lane)
-                    pair = lane.hash.get(key)
-                    # The entry may have been superseded by a younger node
-                    # (re-registered in a later bucket) — only drop it if it
-                    # is genuinely out of the window now.
-                    if pair is not None and position - pair[1] > lane.window:
-                        del lane.hash[key]
-                        evicted += 1
-                        hook = lane.on_evict
-                        if hook is not None:
-                            hook(key)
-                self.evicted += evicted
-                for lane in touched:
-                    lane.release(position)
+                if self.obs_sweep_sampled:
+                    # Sampled (observer period clock): the timed variant
+                    # lives in a cold method so this steady-state loop stays
+                    # free of timing and accounting residue.
+                    self._sweep_expired_sampled(position, expired)
+                else:
+                    evicted = 0
+                    touched = set()
+                    lanes = self._lanes
+                    for index in range(0, len(expired), 3):
+                        lane = lanes.get(expired[index])
+                        if lane is None or not lane.active:
+                            continue
+                        key = expired[index + 1]
+                        lane.drop_ref(expired[index + 2])
+                        touched.add(lane)
+                        pair = lane.hash.get(key)
+                        # The entry may have been superseded by a younger
+                        # node (re-registered in a later bucket) — only drop
+                        # it if it is genuinely out of the window now.
+                        if pair is not None and position - pair[1] > lane.window:
+                            del lane.hash[key]
+                            evicted += 1
+                            hook = lane.on_evict
+                            if hook is not None:
+                                hook(key)
+                    self.evicted += evicted
+                    if self.count_stats:
+                        stats = self.stats
+                        stats.sweeps += 1
+                        stats.sweep_evicted += evicted
+                    for lane in touched:
+                        lane.release(position)
             if position >= self._next_release_pass:
                 self.release_lanes(position)
         elif position > self._swept_upto:
             self.sweep_upto(position)
+
+    def _sweep_expired_sampled(self, position: int, expired: List[object]) -> None:
+        """The timed twin of :meth:`sweep`'s steady-state branch.
+
+        Runs only while the observer's period clock has ``obs_sweep_sampled``
+        set: same eviction semantics, plus sweep timing, released-slab
+        accounting and the observer's ``on_sweep`` span.
+        """
+        start = _perf()
+        evicted = 0
+        touched = set()
+        lanes = self._lanes
+        for index in range(0, len(expired), 3):
+            lane = lanes.get(expired[index])
+            if lane is None or not lane.active:
+                continue
+            key = expired[index + 1]
+            lane.drop_ref(expired[index + 2])
+            touched.add(lane)
+            pair = lane.hash.get(key)
+            if pair is not None and position - pair[1] > lane.window:
+                del lane.hash[key]
+                evicted += 1
+                hook = lane.on_evict
+                if hook is not None:
+                    hook(key)
+        self.evicted += evicted
+        if self.count_stats:
+            stats = self.stats
+            stats.sweeps += 1
+            stats.sweep_evicted += evicted
+        obs = self.obs
+        released = 0
+        for lane in touched:
+            released += lane.release(position)
+        if released:
+            obs.on_slab_release(released, position)
+        elapsed = _perf() - start
+        self.stats.sweep_seconds += elapsed
+        obs.on_sweep(position, evicted, elapsed)
 
     def sweep_upto(self, position: int) -> None:
         """Pop every expiry bucket due at or before ``position`` (batch sweep).
@@ -309,14 +395,18 @@ class StreamRuntime:
         """
         if position <= self._swept_upto:
             return
+        obs = self.obs
+        start = _perf() if obs is not None else 0.0
         buckets = self.buckets
         lanes = self._lanes
         evicted = 0
+        swept = 0
         touched = set()
         for bucket in range(self._swept_upto + 1, position + 1):
             expired = buckets.pop(bucket, None)
             if not expired:
                 continue
+            swept += 1
             for index in range(0, len(expired), 3):
                 lane = lanes.get(expired[index])
                 if lane is None or not lane.active:
@@ -333,8 +423,22 @@ class StreamRuntime:
                         hook(key)
         self._swept_upto = position
         self.evicted += evicted
-        for lane in touched:
-            lane.release(position)
+        if self.count_stats:
+            stats = self.stats
+            stats.sweeps += swept
+            stats.sweep_evicted += evicted
+        if obs is not None and swept:
+            released = 0
+            for lane in touched:
+                released += lane.release(position)
+            if released:
+                obs.on_slab_release(released, position)
+            elapsed = _perf() - start
+            self.stats.sweep_seconds += elapsed
+            obs.on_sweep(position, evicted, elapsed)
+        else:
+            for lane in touched:
+                lane.release(position)
         if position >= self._next_release_pass:
             self.release_lanes(position)
 
@@ -347,9 +451,18 @@ class StreamRuntime:
         entries.
         """
         self._next_release_pass = position + self.release_interval
+        obs = self.obs
+        if obs is None:
+            for lane in self._lanes.values():
+                if lane.active:
+                    lane.release(position)
+            return
+        released = 0
         for lane in self._lanes.values():
             if lane.active:
-                lane.release(position)
+                released += lane.release(position)
+        if released:
+            obs.on_slab_release(released, position)
 
     # --------------------------------------------------------------- batching
     def drive_batch(
@@ -366,9 +479,17 @@ class StreamRuntime:
         only delays memory reclamation, never changes outputs, because expiry
         is re-checked at every hash lookup through the cached ``max_start``.
         """
+        obs = self.obs
+        if obs is None:
+            results = [step(tup) for tup in tuples]
+            if sweep:
+                self.sweep_upto(self.position)
+            return results
+        start = _perf()
         results = [step(tup) for tup in tuples]
         if sweep:
             self.sweep_upto(self.position)
+        obs.on_batch(len(results), _perf() - start, self.position)
         return results
 
     def drive_enumerating_batch(
@@ -586,3 +707,69 @@ class RuntimeBackedEngine:
         else:
             info["active"] = "mixed"
         return info
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch_source(self):
+        """The engine's dispatch index (each engine points at its own)."""
+        raise NotImplementedError
+
+    def dispatch_info(self) -> Dict[str, float]:
+        """Dispatch-index layout/sharing statistics.
+
+        One shared implementation over :meth:`_dispatch_source`, so the key
+        set is identical across all three engines (``describe()`` of the
+        single-automaton and merged indexes agree on keys by contract) and
+        the CLI ``--stats`` dispatch line never drifts between modes.
+        """
+        return self._dispatch_source().describe()
+
+    def relation_fanout(self) -> Dict[str, int]:
+        """Per-relation candidate fan-out (``"*"`` = wildcard fallback)."""
+        return self._dispatch_source().relation_fanout()
+
+    # --------------------------------------------------------- observability
+    def observe(self) -> Dict[str, object]:
+        """One point-in-time snapshot of every introspection surface.
+
+        Folds ``stats`` / ``dispatch_info`` / ``memory_info`` /
+        ``kernel_info`` (plus the cursor counters and, for single-structure
+        engines, the enumeration-structure counters) into a single dict —
+        the one shape :func:`~repro.bench.harness.collect_engine_counters`
+        and the :meth:`repro.obs.Observer.observe_engine` gauge refresh
+        consume.
+        """
+        runtime = self._runtime
+        snapshot: Dict[str, object] = {
+            "engine": type(self).__name__,
+            "position": runtime.position,
+            "hash_entries": runtime.hash_table_size(),
+            "evicted": runtime.evicted,
+            "stats": dataclasses.asdict(runtime.stats),
+            "dispatch": self.dispatch_info(),
+            "fanout": self.relation_fanout(),
+            "memory": self.memory_info(),
+            "kernel": self.kernel_info(),
+        }
+        ds = getattr(self, "ds", None)
+        if ds is not None and hasattr(ds, "nodes_created"):
+            snapshot["ds"] = {
+                "nodes_created": ds.nodes_created,
+                "union_calls": getattr(ds, "union_calls", 0),
+                "union_copies": getattr(ds, "union_copies", 0),
+            }
+        return snapshot
+
+    def attach_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` (see its ``attach``)."""
+        observer.attach(self)
+
+    def detach_observer(self) -> None:
+        """Detach the current observer, if any (restores the plain hot path)."""
+        observer = getattr(self, "_observer", None)
+        if observer is not None:
+            observer.detach(self)
+
+    @property
+    def observer(self):
+        """The attached :class:`repro.obs.Observer`, or ``None``."""
+        return getattr(self, "_observer", None)

@@ -24,6 +24,18 @@ class EngineStatistics:
     for the hashed engines; the general evaluator reports its live-run scans
     as ``hash_lookups`` so the "how much stored state did this tuple touch"
     column means the same thing everywhere.
+
+    ``sweeps``/``sweep_evicted`` attribute eviction cost per run segment
+    (reset the statistics per batch to attribute it per batch): ``sweeps``
+    counts non-empty expiry buckets popped, ``sweep_evicted`` the entries
+    those pops genuinely evicted — both deterministic, so they participate
+    in snapshot equality like every other counter.  Like every other
+    counter here they are gated on the engine's ``collect_stats`` (mirrored
+    into ``StreamRuntime.count_stats``); fast mode pays no per-sweep
+    attribute writes.  ``sweep_seconds``
+    accumulates measured sweep wall time and is only ever non-zero while an
+    observer (:mod:`repro.obs`) samples sweeps; engines without one keep it
+    at exactly ``0.0``, which keeps snapshots bit-identical across hosts.
     """
 
     tuples_processed: int = 0
@@ -36,6 +48,9 @@ class EngineStatistics:
     unions: int = 0
     nodes_created: int = 0
     outputs_enumerated: int = 0
+    sweeps: int = 0
+    sweep_evicted: int = 0
+    sweep_seconds: float = 0.0
 
     @property
     def candidates_scanned(self) -> int:
