@@ -203,6 +203,13 @@ def collect_engine_counters(engine) -> Dict[str, float]:
         kernel = snapshot["kernel"]
         counters["kernel_native_available"] = 1.0 if kernel.get("native_available") else 0.0
         counters["kernel_native_active"] = 1.0 if kernel.get("active") == "native" else 0.0
+        shard = snapshot.get("shard")
+        if shard is not None:
+            # The sharded coordinator's own counters, flattened under a
+            # ``shard_`` prefix (per-shard breakdowns stay in observe()).
+            for key, value in shard.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    counters[f"shard_{key}"] = float(value)
         return counters
     stats = getattr(engine, "stats", None)
     if stats is not None and dataclasses.is_dataclass(stats):
@@ -286,6 +293,31 @@ def validate_benchmark_payload(payload: Dict) -> None:
                 "benchmark payload 'peak_rss_bytes' must be a non-negative int "
                 "(the process peak RSS, see peak_rss_bytes())"
             )
+    if "workers" in payload:
+        workers = payload["workers"]
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ValueError(
+                "benchmark payload 'workers' must be a positive int "
+                "(the shard/worker count the run used)"
+            )
+    if "scaling" in payload:
+        scaling = payload["scaling"]
+        if not isinstance(scaling, list) or not scaling:
+            raise ValueError(
+                "benchmark payload 'scaling' must be a non-empty list of "
+                "per-worker-count result mappings"
+            )
+        for entry in scaling:
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"benchmark payload 'scaling' entries must be mappings, "
+                    f"got {type(entry).__name__}"
+                )
+            workers = entry.get("workers")
+            if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+                raise ValueError(
+                    "every 'scaling' entry must carry a positive int 'workers' key"
+                )
     try:
         json.dumps(payload, sort_keys=True)
     except (TypeError, ValueError) as exc:

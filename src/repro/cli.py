@@ -405,6 +405,23 @@ def build_multi_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the shared engine's counters and merged-index statistics",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shard the queries across N worker processes (repro.shard); matches "
+        "are identical to the shared single-process engine, per-event work is "
+        "divided across the workers (0 = in-process engine; implies "
+        "--batch-size 256 unless given)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver", "inline"),
+        default="spawn",
+        help="how --workers processes start (default spawn; 'inline' runs the "
+        "shards in-process behind the same frame protocol, for debugging)",
+    )
     _add_checkpoint_arguments(parser)
     return parser
 
@@ -623,17 +640,50 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
     if conflict:
         print(f"error: {conflict}", file=sys.stderr)
         return 2
+    workers = getattr(args, "workers", 0) or 0
+    if workers:
+        conflict = _workers_conflict(args)
+        if conflict:
+            print(f"error: {conflict}", file=sys.stderr)
+            return 2
     try:
-        engine = MultiQueryEngine(
-            memoise=not args.no_memoise,
-            collect_stats=args.stats,
-            arena=not args.no_arena,
-            columnar=not args.no_columnar,
-            kernel=args.kernel,
-        )
+        if workers:
+            from repro.shard import ShardedEngine
+
+            engine = ShardedEngine(
+                workers,
+                start_method=args.start_method,
+                memoise=not args.no_memoise,
+                collect_stats=args.stats,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                kernel=args.kernel,
+            )
+        else:
+            engine = MultiQueryEngine(
+                memoise=not args.no_memoise,
+                collect_stats=args.stats,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                kernel=args.kernel,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        return _run_multi_engine(args, engine, events, output, workers)
+    finally:
+        if workers:
+            engine.close()
+
+
+def _run_multi_engine(
+    args: argparse.Namespace, engine, events: Iterable[Tuple], output: TextIO, workers: int
+) -> int:
+    """The multi-mode evaluation loop, over either engine flavour."""
+    windows = args.windows or [1000]
+    if len(windows) == 1:
+        windows = windows * len(args.queries)
     try:
         # Attached before registration so the index-patch spans of the
         # initial --query registrations land in the trace.
@@ -658,6 +708,10 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
         # checkpoint's; rebuild the name table from the restored handles.
         names = {handle.id: handle.name for handle in engine.handles()}
     batch_size = getattr(args, "batch_size", 0) or 0
+    if workers and batch_size == 0:
+        # A per-event round-trip to every worker drowns the evaluation in
+        # frame latency; sharded runs default to batched ingestion.
+        batch_size = 256
     interval = getattr(args, "stats_interval", 0) or 0
     next_report = interval if interval else None
     matches = {qid: 0 for qid in names}
@@ -703,11 +757,49 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
     )
     if args.stats:
         _print_stats(engine, output)
+        if workers:
+            shard = engine.observe()["shard"]
+            print(
+                f"# shard: workers={shard['workers']} "
+                f"start_method={shard['start_method']} "
+                f"batches={shard['batches']} "
+                f"rebalances={shard['rebalances']} "
+                f"recoveries={shard['recoveries']} "
+                f"fan_in_matches={shard['fan_in_matches']} "
+                f"frames_sent={shard['frames_sent']} "
+                f"bytes_sent={shard['bytes_sent']} "
+                f"busy_max={shard['busy_seconds_max']:.3f}s",
+                file=output,
+            )
     if getattr(args, "checkpoint", None) and not _write_checkpoint(engine, args.checkpoint):
         return 2
     if not _finish_observability(args, observer, output):
         return 2
     return 0
+
+
+def _workers_conflict(args: argparse.Namespace) -> Optional[str]:
+    """Fail-fast message for flags the sharded coordinator cannot honour."""
+    if args.workers < 1:
+        return "--workers must be a positive worker count"
+    if args.no_arena:
+        return (
+            "--workers requires arena-backed query lanes — recovery and "
+            "rebalancing ride on lane snapshots (drop --no-arena)"
+        )
+    if getattr(args, "checkpoint", None) or getattr(args, "restore", None):
+        return (
+            "--checkpoint/--restore files are single-engine snapshots; the "
+            "sharded coordinator keeps its own in-memory checkpoints (drop "
+            "--workers or the checkpoint flags)"
+        )
+    if getattr(args, "trace", None):
+        return (
+            "--trace records in-process spans; worker processes are not "
+            "traced (drop --trace or --workers; --metrics-file and --stats "
+            "work with --workers)"
+        )
+    return None
 
 
 def main(argv: Sequence[str] | None = None) -> int:

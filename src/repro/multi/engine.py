@@ -54,8 +54,10 @@ from repro.runtime import (
     StreamRuntime,
 )
 from repro.runtime.snapshot import (
+    PARTIAL_SNAPSHOT_KIND,
     SNAPSHOT_VERSION,
     SnapshotError,
+    check_partial_snapshot,
     check_snapshot_header,
     stable_signature,
 )
@@ -429,6 +431,107 @@ class MultiQueryEngine(RuntimeBackedEngine):
                 if stats is not None:
                     stats.outputs_enumerated += len(valuations)
         return outputs
+
+    # --------------------------------------------------- lane-subset migration
+    def extract_queries(self, handles: Sequence[QueryHandle]) -> Dict[str, object]:
+        """A lane-subset snapshot of ``handles``'s queries, non-destructively.
+
+        The unit of *query migration*: everything another engine standing at
+        the same stream position needs to continue evaluating these queries
+        bit-identically — each lane's hash table and enumeration structure
+        (refcounts included), the lanes' expiry-bucket triples, the stream
+        position, and per-lane dispatch signatures for verification on the
+        adopting side (:meth:`adopt_queries`).  This engine is untouched;
+        callers migrating a query extract, then :meth:`unregister`, and the
+        adopting engine registers the same specification, then adopts.
+        """
+        lanes = []
+        for handle in handles:
+            lane = self._lanes.get(handle.id)
+            if lane is None:
+                raise KeyError(f"no registered query with handle {handle}")
+            lanes.append(lane)
+        lane_index = {lane.lane_id: index for index, lane in enumerate(lanes)}
+        return {
+            "snapshot_version": SNAPSHOT_VERSION,
+            "kind": PARTIAL_SNAPSHOT_KIND,
+            "position": self.position,
+            "queries": [
+                {"name": lane.handle.name, "window": lane.handle.window}
+                for lane in lanes
+            ],
+            "signatures": [
+                stable_signature(lane.dispatch.signature()) for lane in lanes
+            ],
+            "lanes": [lane.snapshot() for lane in lanes],
+            "buckets": self._runtime.extract_bucket_entries(lane_index),
+        }
+
+    def adopt_queries(
+        self, partial: Dict[str, object], handles: Sequence[QueryHandle]
+    ) -> None:
+        """Adopt a lane subset extracted by :meth:`extract_queries`.
+
+        ``handles`` name this engine's freshly registered copies of the
+        extracted queries, in the extraction order (same specifications, same
+        windows — verified structurally through the per-lane dispatch
+        signatures before any state is touched).  This engine must stand at
+        the *same stream position* as the extracting engine: positions are
+        what make the migrated hash entries' window checks and expiry-bucket
+        keys mean the same thing on both sides, so continuation drops and
+        duplicates nothing.
+        """
+        check_partial_snapshot(partial)
+        queries = partial["queries"]
+        if len(handles) != len(queries):
+            raise SnapshotError(
+                f"partial snapshot holds {len(queries)} queries, "
+                f"{len(handles)} adopting handles given"
+            )
+        if int(partial["position"]) != self.position:
+            raise SnapshotError(
+                f"partial snapshot was taken at stream position "
+                f"{partial['position']}, this engine is at {self.position} "
+                "(synchronise the feed before migrating)"
+            )
+        lanes = []
+        for handle in handles:
+            lane = self._lanes.get(handle.id)
+            if lane is None:
+                raise KeyError(f"no registered query with handle {handle}")
+            lanes.append(lane)
+        # Validate everything up front: a rejected adopt leaves the engine
+        # exactly as it was.
+        for lane, query, signature, lane_snap in zip(
+            lanes, queries, partial["signatures"], partial["lanes"]
+        ):
+            if getattr(lane.ds, "restore", None) is None:
+                raise SnapshotError(
+                    "adopt_queries requires arena-backed query lanes "
+                    "(construct the engine with arena=True)"
+                )
+            if lane.window != query["window"] or lane_snap["window"] != lane.window:
+                raise SnapshotError(
+                    f"query {lane.handle} has window {lane.window}, the "
+                    f"extracted lane recorded {query['window']}"
+                )
+            if stable_signature(lane.dispatch.signature()) != signature:
+                raise SnapshotError(
+                    f"query {lane.handle} does not match the extracted query "
+                    "(dispatch signatures differ)"
+                )
+        # Pre-check bucket absorbability so a rejected adopt never leaves
+        # half-restored lanes behind (absorb itself re-checks).
+        swept_upto = self._runtime._swept_upto
+        for expiry_position in partial["buckets"]:
+            if int(expiry_position) <= swept_upto:
+                raise SnapshotError(
+                    f"extracted expiry bucket {expiry_position} is already in "
+                    f"this engine's past (swept up to {swept_upto})"
+                )
+        for lane, lane_snap in zip(lanes, partial["lanes"]):
+            lane.restore(lane_snap)
+        self._runtime.absorb_bucket_entries(partial["buckets"], lanes)
 
     # ------------------------------------------------------- snapshot protocol
     def _ordered_lanes(self) -> List[_QueryLane]:

@@ -525,6 +525,63 @@ class StreamRuntime:
         results = self.drive_batch(tuples, step, sweep=sweep)
         return results, tally[0]
 
+    # ------------------------------------------------- lane-subset extraction
+    def extract_bucket_entries(self, lane_index: Dict[int, int]) -> Dict[int, List[object]]:
+        """The expiry-bucket triples of a *subset* of lanes, non-destructively.
+
+        ``lane_index`` maps interned lane ids to the dense subset indexes the
+        caller assigns (the lane-subset snapshot protocol behind query
+        migration — :meth:`MultiQueryEngine.extract_queries
+        <repro.multi.engine.MultiQueryEngine.extract_queries>`).  Triples of
+        other lanes are left untouched; the extracted lanes' triples stay in
+        this runtime too (the caller typically unregisters the lanes next,
+        after which the sweep skips the stale ids).  Entries always sit in
+        strictly future buckets, so every extracted triple is re-absorbable
+        by a runtime standing at the same position.
+        """
+        extracted: Dict[int, List[object]] = {}
+        for expiry_position, entries in self.buckets.items():
+            flat: List[object] = []
+            for index in range(0, len(entries), 3):
+                mapped = lane_index.get(entries[index])
+                if mapped is None:
+                    continue
+                flat.append(mapped)
+                flat.append(entries[index + 1])
+                flat.append(entries[index + 2])
+            if flat:
+                extracted[expiry_position] = flat
+        return extracted
+
+    def absorb_bucket_entries(
+        self, buckets: Dict[int, List[object]], lanes_by_index: Sequence[EvictionLane]
+    ) -> None:
+        """Merge extracted bucket triples into this runtime's expiry map.
+
+        ``lanes_by_index`` mirrors the ``lane_index`` the triples were
+        extracted with.  No arena references are taken here: the extracted
+        lanes' enumeration-structure snapshots carry their refcounts, exactly
+        as in a full :meth:`restore`.  Every absorbed bucket must still be in
+        the future — an already-swept expiry position would leak its entries
+        (and their refcounts) forever, so it is rejected.
+        """
+        own = self.buckets
+        for expiry_position, entries in buckets.items():
+            expiry_position = int(expiry_position)
+            if expiry_position <= self._swept_upto:
+                raise ValueError(
+                    f"cannot absorb expiry bucket {expiry_position}: this runtime "
+                    f"already swept up to {self._swept_upto} (positions must be "
+                    "synchronised before migrating lanes)"
+                )
+            target = own.get(expiry_position)
+            if target is None:
+                target = own[expiry_position] = []
+            for index in range(0, len(entries), 3):
+                target.append(lanes_by_index[entries[index]].lane_id)
+                target.append(entries[index + 1])
+                target.append(entries[index + 2])
+
     # ------------------------------------------------------- snapshot protocol
     def snapshot(self, lane_index: Dict[int, int]) -> Dict[str, object]:
         """The runtime's state, with lane ids remapped through ``lane_index``.

@@ -168,6 +168,47 @@ def stable_signature(signature: Any) -> Any:
     return signature
 
 
+#: ``kind`` tag of a lane-subset (partial) snapshot — the unit of query
+#: migration between engines (see ``MultiQueryEngine.extract_queries``).
+PARTIAL_SNAPSHOT_KIND = "multi-partial"
+
+
+def check_partial_snapshot(snapshot: Any) -> Dict[str, Any]:
+    """Validate a lane-subset snapshot's header and section shape.
+
+    Partial snapshots carry a ``kind`` tag instead of the full-engine
+    ``engine`` tag, so a full checkpoint cannot be fed to ``adopt_queries``
+    (or vice versa) by mistake.  Returns the snapshot for chaining.
+    """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(
+            f"partial snapshot must be a mapping, got {type(snapshot).__name__}"
+        )
+    version = snapshot.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"partial snapshot version {version!r} is not supported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    kind = snapshot.get("kind")
+    if kind != PARTIAL_SNAPSHOT_KIND:
+        raise SnapshotError(
+            f"expected a {PARTIAL_SNAPSHOT_KIND!r} lane-subset snapshot, got {kind!r}"
+        )
+    for section in ("position", "queries", "signatures", "lanes", "buckets"):
+        if section not in snapshot:
+            raise SnapshotError(f"partial snapshot is missing the {section!r} section")
+    queries = snapshot["queries"]
+    lanes = snapshot["lanes"]
+    signatures = snapshot["signatures"]
+    if not (len(queries) == len(lanes) == len(signatures)):
+        raise SnapshotError(
+            f"partial snapshot sections disagree on the query count "
+            f"({len(queries)} queries, {len(lanes)} lanes, {len(signatures)} signatures)"
+        )
+    return snapshot
+
+
 def check_snapshot_header(snapshot: Any, engine: str) -> Dict[str, Any]:
     """Validate the common engine-snapshot header, returning the snapshot.
 

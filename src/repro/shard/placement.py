@@ -1,0 +1,72 @@
+"""Placement policies: which shard owns a newly registered query.
+
+The coordinator asks its policy once per registration (and never again —
+later *rebalancing* is an explicit :meth:`ShardedEngine.rebalance
+<repro.shard.coordinator.ShardedEngine.rebalance>` call, so placement stays
+a pure function of registration-time information).  Policies see the handle
+being placed and the current per-shard query counts; they must return a
+shard index in ``range(shards)``.
+
+:class:`HashPlacement` is the default: deterministic, stateless, and — via
+a multiplicative mix of the handle id — spreads consecutively allocated ids
+across shards, so the grouped workloads (where neighbouring ids share a
+relation alphabet) don't pile one group onto one shard.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.multi.registry import QueryHandle
+
+
+class PlacementPolicy:
+    """Strategy interface: ``assign`` a registered query to a shard."""
+
+    def assign(self, handle: QueryHandle, shards: int, loads: Sequence[int]) -> int:
+        """The shard (``0 <= index < shards``) that should own ``handle``.
+
+        ``loads`` is the current number of queries per shard; stateless
+        policies are free to ignore it.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class HashPlacement(PlacementPolicy):
+    """Deterministic spread of handle ids across shards (the default).
+
+    Knuth's multiplicative hash of the id, reduced mod ``shards`` — handle
+    ids are never reused, so a query keeps its shard for its whole life and
+    a re-registered query (new id) may land elsewhere.
+    """
+
+    _MIX = 2654435761  # 2**32 / golden ratio, odd
+
+    def assign(self, handle: QueryHandle, shards: int, loads: Sequence[int]) -> int:
+        return ((handle.id * self._MIX) & 0xFFFFFFFF) % shards
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through the shards in registration order (stateful)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, handle: QueryHandle, shards: int, loads: Sequence[int]) -> int:
+        index = self._next % shards
+        self._next = index + 1
+        return index
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Place on the shard currently owning the fewest queries.
+
+    Ties break toward the lowest shard index, so placement is deterministic
+    for a given registration sequence.
+    """
+
+    def assign(self, handle: QueryHandle, shards: int, loads: Sequence[int]) -> int:
+        return min(range(shards), key=lambda index: (loads[index], index))
