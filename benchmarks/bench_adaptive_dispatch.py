@@ -1,0 +1,294 @@
+"""Benchmark — adaptive selectivity-driven dispatch vs the static plan.
+
+One experiment, written to ``BENCH_adaptive_dispatch.json``: the same seeded
+scenario streams are ingested twice by freshly built engines — once with
+``adaptive=True`` (runtime hit counters reorder candidate groups and promote
+hot constant guards) and once with ``adaptive=False`` (the compile-time
+static plan, the ablation oracle) — and every run's outputs are folded into
+a canonical digest, so the speedup numbers are only reported if the two
+dispatch modes produced bit-identical matches.
+
+Scenarios (all from ``workloads.py``, seeded and replayable):
+
+* ``drift`` — 96 guarded-pair queries over one relation; the stream's hot
+  guard value jumps every quarter of the stream (``drifting_guard_queries``).
+  A static plan pays the full candidate walk on every tuple; promotion
+  collapses it to two group evaluations and decay re-learns each phase.
+  **Contract (full run): adaptive ≥ 1.5x faster than static.**
+* ``burst`` — same queries, steady hot key with periodic hot-key bursts
+  (``bursty_guard_queries``); reported, not gated (bursts sit between the
+  drift win and the stable guard).
+* ``stable_wildcard`` — adversarial wildcard-heavy mix over a uniform
+  stream (``wildcard_mix_queries``): nothing to promote, firing cost
+  dominates.  **Contract: adaptive ≤ 1.02x the static wall-clock.**
+* ``stable_shared_star`` — the grouped-star multi-query production shape
+  (``shared_star_queries``) on a uniform stream.  **Contract: ≤ 1.02x.**
+* ``stable_single`` — the single-query engine on the skewed constant-guard
+  disjunction (``guarded_disjunction_workload``), where the static guard
+  buckets already do the work.  **Contract: ≤ 1.02x.**
+
+Timings interleave the modes (static, adaptive, static, adaptive, ...) and
+take each mode's minimum, so slow drift of the machine hits both sides
+equally.  Run as a script (``PYTHONPATH=src python
+benchmarks/bench_adaptive_dispatch.py``); ``--tiny`` shrinks every dimension
+for CI smoke runs, always verifies output identity, and relaxes the stable
+guard to ≤ 1.25x (short streams neither amortise the observation intervals
+nor time above the noise floor; the drift floor likewise needs the full
+stream lengths and is only gated in the full run).  Violating an enforced
+contract exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench.harness import gc_controlled, peak_rss_bytes, write_benchmark_json
+from repro.core.evaluation import StreamingEvaluator
+from repro.multi.engine import MultiQueryEngine
+
+from workloads import (
+    bursty_guard_queries,
+    drifting_guard_queries,
+    guarded_disjunction_workload,
+    shared_star_queries,
+    wildcard_mix_queries,
+)
+
+STABLE_OVERHEAD_LIMIT = 1.02
+#: The --tiny smoke guard: short streams do not amortise the observation
+#: intervals (dormancy back-off needs dozens of flushes to saturate) and
+#: wall-clock noise at a few-ms scale swamps 2%, so CI only asserts the
+#: overhead is not grossly wrong; the checked-in full run enforces 1.02x.
+TINY_OVERHEAD_LIMIT = 1.25
+DRIFT_SPEEDUP_FLOOR = 1.5
+
+
+def _digest_multi(outputs) -> str:
+    digest = hashlib.sha256()
+    for position, per_query in enumerate(outputs):
+        for qid in sorted(per_query):
+            digest.update(
+                f"{position}|{qid}|{sorted(map(str, per_query[qid]))}".encode()
+            )
+    return digest.hexdigest()
+
+
+def _digest_single(outputs) -> str:
+    digest = hashlib.sha256()
+    for position, valuations in enumerate(outputs):
+        if valuations:
+            digest.update(f"{position}|{sorted(map(str, valuations))}".encode())
+    return digest.hexdigest()
+
+
+def _time_multi(queries, stream, window: int, adaptive: bool):
+    engine = MultiQueryEngine(collect_stats=False, adaptive=adaptive)
+    for index, pcea in enumerate(queries):
+        engine.register(pcea, window, f"q{index}")
+    process = engine.process
+    with gc_controlled():
+        began = time.perf_counter()
+        outputs = [process(tup) for tup in stream]
+        wall = time.perf_counter() - began
+    return wall, _digest_multi(outputs), engine.adaptive_info()
+
+
+def _time_single(pcea, stream, window: int, adaptive: bool):
+    engine = StreamingEvaluator(pcea, window=window, collect_stats=False, adaptive=adaptive)
+    process = engine.process
+    with gc_controlled():
+        began = time.perf_counter()
+        outputs = [process(tup) for tup in stream]
+        wall = time.perf_counter() - began
+    return wall, _digest_single(outputs), engine.adaptive_info()
+
+
+def run_scenario(
+    name: str,
+    timer: Callable[[bool], tuple],
+    tuples: int,
+    repeats: int,
+    contract: Optional[str],
+) -> Dict:
+    """Interleaved timed runs of both modes; returns the scenario row.
+
+    ``contract`` is ``"speedup"`` (adaptive must be ≥ 1.5x faster),
+    ``"overhead"`` (adaptive must be ≤ 1.02x static) or ``None`` (report
+    only).  Output digests must agree across *all* runs of both modes.
+    """
+    walls: Dict[bool, List[float]] = {True: [], False: []}
+    digests = set()
+    info = None
+    for _ in range(repeats):
+        for adaptive in (False, True):
+            wall, digest, run_info = timer(adaptive)
+            walls[adaptive].append(wall)
+            digests.add(digest)
+            if adaptive:
+                info = run_info
+    static = min(walls[False])
+    adaptive_wall = min(walls[True])
+    speedup = static / adaptive_wall if adaptive_wall else float("inf")
+    row = {
+        "scenario": name,
+        "tuples": tuples,
+        "static_seconds": static,
+        "adaptive_seconds": adaptive_wall,
+        "static_us_per_tuple": static * 1e6 / tuples,
+        "adaptive_us_per_tuple": adaptive_wall * 1e6 / tuples,
+        "speedup_vs_static": speedup,
+        "outputs_identical": len(digests) == 1,
+        "contract": contract,
+        "adaptive_info": info,
+    }
+    print(
+        f"  {name:<18s} static={row['static_us_per_tuple']:8.2f}us/t  "
+        f"adaptive={row['adaptive_us_per_tuple']:8.2f}us/t  "
+        f"speedup={speedup:5.2f}x  identical={row['outputs_identical']}"
+    )
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke dimensions")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_adaptive_dispatch.json"),
+    )
+    args = parser.parse_args()
+    if args.tiny:
+        drift_queries, drift_length = 32, 6_000
+        stable_length, wildcard_queries = 6_000, 8
+        star_queries, repeats, window = 32, 3, 128
+        single_branches, single_length = 32, 6_000
+    else:
+        drift_queries, drift_length = 96, 40_000
+        stable_length, wildcard_queries = 40_000, 16
+        star_queries, repeats, window = 64, 5, 256
+        single_branches, single_length = 64, 40_000
+
+    print(
+        f"adaptive dispatch vs static plan "
+        f"(drift: {drift_queries} queries x {drift_length} tuples, "
+        f"repeats={repeats}, min-of-repeats per mode)"
+    )
+
+    queries, stream = drifting_guard_queries(
+        drift_queries, drift_length, filter_selectivity=0.01, seed=11
+    )
+    drift = run_scenario(
+        "drift",
+        lambda adaptive: _time_multi(queries, stream, window, adaptive),
+        len(stream),
+        repeats,
+        "speedup",
+    )
+    queries, stream = bursty_guard_queries(
+        drift_queries, drift_length, filter_selectivity=0.01, seed=12
+    )
+    burst = run_scenario(
+        "burst",
+        lambda adaptive: _time_multi(queries, stream, window, adaptive),
+        len(stream),
+        repeats,
+        None,
+    )
+    queries, stream = wildcard_mix_queries(wildcard_queries, stable_length, seed=13)
+    wildcard = run_scenario(
+        "stable_wildcard",
+        lambda adaptive: _time_multi(queries, stream, window, adaptive),
+        len(stream),
+        repeats,
+        "overhead",
+    )
+    queries, stream = shared_star_queries(star_queries, stable_length, seed=14)
+    star = run_scenario(
+        "stable_shared_star",
+        lambda adaptive: _time_multi(queries, stream, window, adaptive),
+        len(stream),
+        repeats,
+        "overhead",
+    )
+    pcea, stream = guarded_disjunction_workload(single_branches, single_length, seed=15)
+    single = run_scenario(
+        "stable_single",
+        lambda adaptive: _time_single(pcea, stream, window, adaptive),
+        len(stream),
+        repeats,
+        "overhead",
+    )
+
+    scenarios = [drift, burst, wildcard, star, single]
+    overhead_limit = TINY_OVERHEAD_LIMIT if args.tiny else STABLE_OVERHEAD_LIMIT
+    failures: List[str] = []
+    for row in scenarios:
+        if not row["outputs_identical"]:
+            failures.append(f"{row['scenario']}: outputs differ between dispatch modes")
+        if row["contract"] == "overhead" and row["speedup_vs_static"] < 1 / overhead_limit:
+            failures.append(
+                f"{row['scenario']}: adaptive overhead "
+                f"{1 / row['speedup_vs_static']:.3f}x exceeds the "
+                f"{overhead_limit}x stable guard"
+            )
+        if (
+            row["contract"] == "speedup"
+            and not args.tiny
+            and row["speedup_vs_static"] < DRIFT_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"{row['scenario']}: speedup {row['speedup_vs_static']:.2f}x "
+                f"is below the {DRIFT_SPEEDUP_FLOOR}x drift floor"
+            )
+
+    summary = {
+        "outputs_identical_all_scenarios": all(r["outputs_identical"] for r in scenarios),
+        "drift_speedup_vs_static": drift["speedup_vs_static"],
+        "burst_speedup_vs_static": burst["speedup_vs_static"],
+        "stable_wildcard_overhead": 1 / wildcard["speedup_vs_static"],
+        "stable_shared_star_overhead": 1 / star["speedup_vs_static"],
+        "stable_single_overhead": 1 / single["speedup_vs_static"],
+        "drift_floor": DRIFT_SPEEDUP_FLOOR,
+        "stable_overhead_limit": overhead_limit,
+        "drift_promotions": (drift["adaptive_info"] or {}).get("promotions", 0),
+        "drift_demotions": (drift["adaptive_info"] or {}).get("demotions", 0),
+        "contracts_enforced": "stable only" if args.tiny else "drift floor + stable",
+    }
+    payload = {
+        "benchmark": "adaptive_dispatch",
+        "description": (
+            "Adaptive selectivity-driven dispatch (runtime candidate reordering "
+            "+ hot constant-guard promotion) vs the frozen compile-time plan on "
+            "drifting-skew, bursty, and stable/adversarial scenario workloads; "
+            "outputs verified bit-identical between the two modes in every "
+            "scenario before any speedup is reported."
+        ),
+        "tiny": args.tiny,
+        "gc_enabled": False,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "speedup_vs_static": drift["speedup_vs_static"],
+        "adaptive": drift["adaptive_info"] or {},
+        "scenarios": scenarios,
+        "summary": summary,
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+    for failure in failures:
+        print(f"  CONTRACT VIOLATION: {failure}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

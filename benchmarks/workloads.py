@@ -375,6 +375,126 @@ def guarded_disjunction_workload(
     return pcea, stream
 
 
+def _guarded_pair_queries(num_queries: int, filter_selectivity: float) -> List[PCEA]:
+    """``num_queries`` two-branch disjunctions over one relation ``E``.
+
+    Query ``q`` is ``E(t, y)[t == q]  ∨  E(t, y)[y < threshold]`` — a private
+    constant-guarded branch plus a *shared* unguarded filter branch
+    (structurally identical across queries, so the merged index memoises it
+    as one predicate group with ``num_queries`` members).  This is the shape
+    where static dispatch pays the full ``O(num_queries)`` candidate walk on
+    every ``E`` tuple while an adaptive hot-value plan collapses it to two
+    group evaluations — the common scaffold of the drift/burst scenarios.
+    """
+    threshold = max(1, int(PAYLOAD_DOMAIN * filter_selectivity))
+    return [
+        compile_pattern(
+            disjunction(
+                atom("E", "t", "y", filters=[("t", "==", q)]),
+                atom("E", "t", "y", filters=[("y", "<", threshold)]),
+            )
+        )
+        for q in range(num_queries)
+    ]
+
+
+def drifting_guard_queries(
+    num_queries: int,
+    length: int,
+    phases: int = 4,
+    hot_fraction: float = 0.95,
+    filter_selectivity: float = 0.02,
+    seed: int = 0,
+) -> Tup[List[PCEA], List[Tuple]]:
+    """Guarded-pair queries + a stream whose hot guard value drifts mid-stream.
+
+    The stream runs in ``phases`` equal segments; within a segment a
+    ``hot_fraction`` of events carry that segment's hot ``t`` value (the rest
+    are uniform over the query range), and the hot value jumps to a different
+    query's guard at every segment boundary.  A static plan frozen for one
+    segment's skew is wrong for the next — the scenario adaptive promotion
+    (and decay-driven demotion) exists for.  Seeded and fully replayable.
+    """
+    queries = _guarded_pair_queries(num_queries, filter_selectivity)
+    rng = random.Random(seed)
+    phase_length = max(1, length // max(1, phases))
+    stream: List[Tuple] = []
+    for i in range(length):
+        phase = i // phase_length
+        hot = (phase * 7919) % num_queries  # deterministic jump per phase
+        if rng.random() < hot_fraction:
+            value = hot
+        else:
+            value = rng.randrange(num_queries)
+        stream.append(Tuple("E", (value, rng.randrange(PAYLOAD_DOMAIN))))
+    return queries, stream
+
+
+def bursty_guard_queries(
+    num_queries: int,
+    length: int,
+    burst_every: int = 2_000,
+    burst_length: int = 500,
+    hot_fraction: float = 0.95,
+    filter_selectivity: float = 0.02,
+    seed: int = 0,
+) -> Tup[List[PCEA], List[Tuple]]:
+    """Guarded-pair queries + a stream with a steady hot key and hot-key bursts.
+
+    The baseline skew concentrates on guard value ``0``; every
+    ``burst_every`` events a burst of ``burst_length`` events switches the
+    hot value to another query's guard, then reverts.  Bursts are long
+    enough to trigger re-promotion but short enough that a learner with no
+    decay would thrash — the adversarial middle ground between stable skew
+    and clean drift.  Seeded and fully replayable.
+    """
+    queries = _guarded_pair_queries(num_queries, filter_selectivity)
+    rng = random.Random(seed)
+    stream: List[Tuple] = []
+    for i in range(length):
+        cycle = i % burst_every
+        burst = i // burst_every
+        hot = 1 + (burst * 31) % (num_queries - 1) if cycle < burst_length else 0
+        if rng.random() < hot_fraction:
+            value = hot
+        else:
+            value = rng.randrange(num_queries)
+        stream.append(Tuple("E", (value, rng.randrange(PAYLOAD_DOMAIN))))
+    return queries, stream
+
+
+def wildcard_mix_queries(
+    num_queries: int,
+    length: int,
+    key_domain: int = DEFAULT_KEY_DOMAIN,
+    seed: int = 0,
+) -> Tup[List[PCEA], List[Tuple]]:
+    """An adversarial wildcard-heavy query mix + a uniform stream.
+
+    Half the queries are pure wildcards (``E(t, y)`` with no filter — every
+    ``E`` tuple fires them), half carry a private constant guard.  Nothing
+    here rewards adaptation: the wildcard group holds on every tuple, the
+    uniform stream never concentrates on a guard value, and the per-tuple
+    cost is dominated by firing/enumeration work identical under both
+    dispatch modes.  This is the stable-workload scenario the ≤1.02x
+    overhead contract is enforced on.  Seeded and fully replayable.
+    """
+    queries: List[PCEA] = []
+    for q in range(num_queries):
+        if q % 2 == 0:
+            queries.append(compile_pattern(atom("E", "t", "y")))
+        else:
+            queries.append(
+                compile_pattern(atom("E", "t", "y", filters=[("t", "==", q)]))
+            )
+    rng = random.Random(seed)
+    stream = [
+        Tuple("E", (rng.randrange(key_domain), rng.randrange(PAYLOAD_DOMAIN)))
+        for _ in range(length)
+    ]
+    return queries, stream
+
+
 def streaming_engine(
     query: ConjunctiveQuery, window: int, arena: bool = True
 ) -> StreamingEvaluator:

@@ -300,6 +300,20 @@ def validate_benchmark_payload(payload: Dict) -> None:
                 "benchmark payload 'workers' must be a positive int "
                 "(the shard/worker count the run used)"
             )
+    if "adaptive" in payload:
+        adaptive = payload["adaptive"]
+        if not isinstance(adaptive, dict):
+            raise ValueError(
+                "benchmark payload 'adaptive' must be a mapping "
+                "(the adaptive-dispatch counters the run observed)"
+            )
+    if "speedup_vs_static" in payload:
+        speedup = payload["speedup_vs_static"]
+        if isinstance(speedup, bool) or not isinstance(speedup, (int, float)) or speedup <= 0:
+            raise ValueError(
+                "benchmark payload 'speedup_vs_static' must be a positive "
+                "number (static wall-clock / adaptive wall-clock)"
+            )
     if "scaling" in payload:
         scaling = payload["scaling"]
         if not isinstance(scaling, list) or not scaling:

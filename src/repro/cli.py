@@ -182,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate with the general (non-hashed) engine that scans live "
         "runs per transition; identical matches, linear-in-data update cost",
     )
+    _add_adaptive_arguments(parser)
     parser.add_argument(
         "--stats",
         action="store_true",
@@ -197,6 +198,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_checkpoint_arguments(parser)
     return parser
+
+
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    """The adaptive-dispatch toggle, identical on every engine mode."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--adaptive",
+        dest="adaptive",
+        action="store_true",
+        help="adaptive selectivity-driven dispatch (the default): runtime hit "
+        "counters reorder candidate evaluation and promote hot constant "
+        "guards; matches are bit-identical to the static path",
+    )
+    group.add_argument(
+        "--no-adaptive",
+        dest="adaptive",
+        action="store_false",
+        help="freeze the compile-time dispatch order (the static ablation "
+        "oracle --adaptive is differentially tested against)",
+    )
+    parser.set_defaults(adaptive=True)
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -422,6 +444,7 @@ def build_multi_parser() -> argparse.ArgumentParser:
         help="how --workers processes start (default spawn; 'inline' runs the "
         "shards in-process behind the same frame protocol, for debugging)",
     )
+    _add_adaptive_arguments(parser)
     _add_checkpoint_arguments(parser)
     return parser
 
@@ -466,6 +489,7 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
                 columnar=not args.no_columnar,
                 collect_stats=args.stats,
                 kernel=args.kernel,
+                adaptive=args.adaptive,
             )
         else:
             engine = StreamingEvaluator(
@@ -477,6 +501,7 @@ def run(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> in
                 arena=not args.no_arena,
                 columnar=not args.no_columnar,
                 kernel=args.kernel,
+                adaptive=args.adaptive,
             )
     except ValueError as exc:
         # e.g. --kernel native on an installation without the built extension
@@ -591,6 +616,19 @@ def _print_stats(engine, output: TextIO) -> None:
         f"backends={','.join(kernel['backends'])}",
         file=output,
     )
+    adaptive = engine.adaptive_info()
+    if adaptive is None:
+        print("# adaptive: enabled=no", file=output)
+    else:
+        print(
+            f"# adaptive: enabled=yes interval={adaptive['interval']} "
+            f"flushes={adaptive['flushes']} reorders={adaptive['reorders']} "
+            f"promotions={adaptive['promotions']} "
+            f"demotions={adaptive['demotions']} "
+            f"promoted={adaptive['promoted']} "
+            f"tracked_relations={adaptive['tracked_relations']}",
+            file=output,
+        )
 
 
 def _format_memory_line(memory: dict) -> str:
@@ -658,6 +696,7 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
                 arena=not args.no_arena,
                 columnar=not args.no_columnar,
                 kernel=args.kernel,
+                adaptive=args.adaptive,
             )
         else:
             engine = MultiQueryEngine(
@@ -666,6 +705,7 @@ def run_multi(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO)
                 arena=not args.no_arena,
                 columnar=not args.no_columnar,
                 kernel=args.kernel,
+                adaptive=args.adaptive,
             )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -136,6 +136,7 @@ class CompiledTransition:
         "relations",
         "guard",
         "pred_key",
+        "hits",
     )
 
     def __init__(self, index: int, transition: "PCEATransition") -> None:
@@ -160,6 +161,11 @@ class CompiledTransition:
         self.target_id = -1
         self.is_final = False
         self.joins: Tup[Tup[State, int, object], ...] = ()
+        # Adaptive-dispatch hit counter (repro.core.adaptive): bumped when
+        # this transition leads a predicate group whose unary held, halved at
+        # every flush.  Pure feedback — never read on a correctness path and
+        # excluded from signature().
+        self.hits = 0
 
     def __repr__(self) -> str:
         key = "*" if self.relations is None else "|".join(sorted(self.relations))
@@ -299,6 +305,19 @@ class TransitionDispatchIndex:
 
     def all_transitions(self) -> Tup[CompiledTransition, ...]:
         return self._all
+
+    def build_adaptive(self, config=None):
+        """An engine-owned :class:`~repro.core.adaptive.AdaptiveState` over
+        this index.
+
+        Each adaptive engine builds its own state (the index itself may be
+        shared through ``PCEA.dispatch_index`` caching), so learned plans
+        never leak between engines; only the ``hits`` feedback counters live
+        on the shared :class:`CompiledTransition` records.
+        """
+        from repro.core.adaptive import AdaptiveState
+
+        return AdaptiveState(self, _transition_order, config)
 
     # ------------------------------------------------------------ introspection
     def __len__(self) -> int:

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple as Tup, Union
 
+from repro.core.adaptive import resolve_config
 from repro.core.arena import ArenaDataStructure
 from repro.core.datastructure import DataStructure, Node
 from repro.core.dispatch import TransitionDispatchIndex
@@ -82,6 +83,11 @@ UpdateStatistics = EngineStatistics
 
 class NotEqualityPredicateError(TypeError):
     """Raised when Algorithm 1 is instantiated on a PCEA with non-equality joins."""
+
+
+def _fired_order(item) -> int:
+    # Canonical transition order for plan-mode effect application.
+    return item[0].index
 
 
 class StreamingEvaluator(RuntimeBackedEngine):
@@ -137,6 +143,14 @@ class StreamingEvaluator(RuntimeBackedEngine):
         :mod:`repro.core.kernel`).  Ignored with ``arena=False`` or an
         injected ``datastructure``; :meth:`kernel_info` reports what is
         actually running.
+    adaptive:
+        Adaptive selectivity-driven dispatch (:mod:`repro.core.adaptive`):
+        ``True`` (default) enables runtime feedback — shared-predicate
+        groups evaluated once per tuple, periodic reordering, hot
+        constant-guard promotion — with outputs and operation counters
+        bit-identical to the static path (``False``, the ablation oracle).
+        An explicit :class:`~repro.core.adaptive.AdaptiveConfig` overrides
+        the flush/promotion knobs.  Ignored with ``indexed=False``.
 
     Examples
     --------
@@ -156,6 +170,7 @@ class StreamingEvaluator(RuntimeBackedEngine):
         arena: bool = True,
         columnar: bool = True,
         kernel: str | None = None,
+        adaptive: object = True,
     ) -> None:
         if not pcea.uses_only_equality_predicates():
             raise NotEqualityPredicateError(
@@ -208,6 +223,17 @@ class StreamingEvaluator(RuntimeBackedEngine):
                 pcea.transitions, indexed=False, final=pcea.final
             )
         self._evict = evict
+        # Adaptive dispatch: engine-owned feedback state over the (possibly
+        # shared) dispatch index.  Armed only when the index has something
+        # to adapt — a guarded relation or a shared predicate group —
+        # otherwise the per-tuple path is exactly the static one.
+        self._adaptive = None
+        config = resolve_config(adaptive) if self._dispatch.indexed else None
+        if config is not None:
+            state = self._dispatch.build_adaptive(config)
+            if state.tracked():
+                self._adaptive = state
+                self._runtime.arm_adapt(self._adapt_flush, config.interval)
 
     # -------------------------------------------------------------- main loop
     def run(
@@ -314,49 +340,104 @@ class StreamingEvaluator(RuntimeBackedEngine):
         # FireTransitions, restricted to the candidate transitions for this
         # tuple's relation and constant guards (wildcard transitions are
         # always candidates).
-        for compiled in dispatch.candidates_for(tup):
+        adaptive = self._adaptive
+        plan = adaptive.plan_for(tup) if adaptive is not None else None
+        if plan is not None:
+            # Plan mode (repro.core.adaptive): one ``unary.holds`` per
+            # predicate group — a miss skips every member, sound because
+            # equal canonical keys accept exactly the same tuples — then the
+            # fired transitions applied in canonical transition order.  The
+            # fire phase only reads the hash table, so the fired *set* is
+            # evaluation-order-invariant; sorting before the effects makes
+            # node creation, bucket fill and final collection bit-identical
+            # to the static loop.  Counters are bulk-added to exactly what
+            # the static loop would have counted for the same member set.
             if stats is not None:
-                stats.transitions_scanned += 1
-                stats.predicate_evaluations += 1
-            if not compiled.unary.holds(tup):
-                continue
-            children: List[NodeRef] = []
-            node_ms = position
-            feasible = True
-            for _, source_id, predicate in compiled.joins:
-                key = predicate.right_key(tup)  # the current tuple is the later one
+                stats.transitions_scanned += plan.total
+                stats.predicate_evaluations += plan.total
+            fired: List[Tup[object, List[NodeRef], int]] = []
+            for group in plan.groups:
+                if not group.unary.holds(tup):
+                    continue
+                group.rep.hits += 1
+                for compiled in group.members:
+                    children = []
+                    node_ms = position
+                    feasible = True
+                    for _, source_id, predicate in compiled.joins:
+                        key = predicate.right_key(tup)
+                        if stats is not None:
+                            stats.hash_lookups += 1
+                        if key is None:
+                            feasible = False
+                            break
+                        pair = hash_table.get((compiled.index, source_id, key))
+                        if pair is None or position - pair[1] > window:
+                            feasible = False
+                            break
+                        children.append(pair[0])
+                        if pair[1] < node_ms:
+                            node_ms = pair[1]
+                    if feasible:
+                        fired.append((compiled, children, node_ms))
+            if len(fired) > 1:
+                fired.sort(key=_fired_order)
+            for compiled, children, node_ms in fired:
+                node = ds.extend(compiled.labels, position, children, node_ms)
                 if stats is not None:
-                    stats.hash_lookups += 1
-                if key is None:
-                    feasible = False
-                    break
-                pair = hash_table.get((compiled.index, source_id, key))
-                # ``ds.expired`` with the cached max_start: stored nodes are
-                # never bottom, and an expired (possibly released) node simply
-                # fails the window check.
-                if pair is None or position - pair[1] > window:
-                    feasible = False
-                    break
-                children.append(pair[0])
-                if pair[1] < node_ms:
-                    node_ms = pair[1]
-            if not feasible:
-                continue
-            # node_ms == min(position, min child max_start) — exactly the
-            # max_start ``extend`` computes for the new node; passing it in
-            # lets the arena skip re-reading the child records (the in-window
-            # check above certifies the children are live).
-            node = ds.extend(compiled.labels, position, children, node_ms)
-            if stats is not None:
-                stats.transitions_fired += 1
-                stats.nodes_created += 1
-            bucket = new_nodes.get(compiled.target_id)
-            if bucket is None:
-                new_nodes[compiled.target_id] = [(node, node_ms)]
-            else:
-                bucket.append((node, node_ms))
-            if compiled.is_final:
-                final_nodes.append(node)
+                    stats.transitions_fired += 1
+                    stats.nodes_created += 1
+                bucket = new_nodes.get(compiled.target_id)
+                if bucket is None:
+                    new_nodes[compiled.target_id] = [(node, node_ms)]
+                else:
+                    bucket.append((node, node_ms))
+                if compiled.is_final:
+                    final_nodes.append(node)
+        else:
+            for compiled in dispatch.candidates_for(tup):
+                if stats is not None:
+                    stats.transitions_scanned += 1
+                    stats.predicate_evaluations += 1
+                if not compiled.unary.holds(tup):
+                    continue
+                children = []
+                node_ms = position
+                feasible = True
+                for _, source_id, predicate in compiled.joins:
+                    key = predicate.right_key(tup)  # the current tuple is the later one
+                    if stats is not None:
+                        stats.hash_lookups += 1
+                    if key is None:
+                        feasible = False
+                        break
+                    pair = hash_table.get((compiled.index, source_id, key))
+                    # ``ds.expired`` with the cached max_start: stored nodes
+                    # are never bottom, and an expired (possibly released)
+                    # node simply fails the window check.
+                    if pair is None or position - pair[1] > window:
+                        feasible = False
+                        break
+                    children.append(pair[0])
+                    if pair[1] < node_ms:
+                        node_ms = pair[1]
+                if not feasible:
+                    continue
+                # node_ms == min(position, min child max_start) — exactly the
+                # max_start ``extend`` computes for the new node; passing it
+                # in lets the arena skip re-reading the child records (the
+                # in-window check above certifies the children are live).
+                node = ds.extend(compiled.labels, position, children, node_ms)
+                if stats is not None:
+                    stats.transitions_fired += 1
+                    stats.nodes_created += 1
+                bucket = new_nodes.get(compiled.target_id)
+                if bucket is None:
+                    new_nodes[compiled.target_id] = [(node, node_ms)]
+                else:
+                    bucket.append((node, node_ms))
+                if compiled.is_final:
+                    final_nodes.append(node)
 
         # UpdateIndices, restricted to the transitions that consume a state
         # that actually received new runs this position.
@@ -489,12 +570,26 @@ class StreamingEvaluator(RuntimeBackedEngine):
             raise SnapshotError(f"snapshot is missing the {exc} section") from exc
         self._lane.restore(lane_snap)
         self._runtime.restore(runtime_snap, [self._lane])
+        if self._adaptive is not None:
+            # Restore policy (repro.core.adaptive): learned state resets
+            # deterministically and the flush clock re-seats from the
+            # restored position — invisible in outputs and statistics, so
+            # snapshots stay interchangeable with static engines.
+            self._adaptive.reset()
+            self._runtime.arm_adapt(self._adapt_flush, self._adaptive.config.interval)
 
     # ------------------------------------------------------------ introspection
     # (hash_table_size / memory_info / dispatch_info / observe come from
     # RuntimeBackedEngine; this hook points them at the automaton's index.)
     def _dispatch_source(self):
         return self._dispatch
+
+    def _adapt_flush(self, position: int) -> None:
+        """Adapt-clock callback: one reorder/promotion pass over the plans."""
+        reorders, promotions, demotions = self._adaptive.flush()
+        obs = self._runtime.obs
+        if obs is not None and (reorders or promotions or demotions):
+            obs.on_dispatch_adapt(reorders, promotions, demotions)
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

@@ -61,9 +61,10 @@ import struct
 from array import array
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple as Tup
 
+from repro.core.adaptive import resolve_config
 from repro.core.arena import ArenaDataStructure
 from repro.core.datastructure import DataStructure
-from repro.core.dispatch import TransitionDispatchIndex
+from repro.core.dispatch import TransitionDispatchIndex, _transition_order
 from repro.core.evaluation import NodeRef
 from repro.core.pcea import PCEA
 from repro.cq.schema import Tuple
@@ -172,6 +173,15 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         ``"native"`` / ``"auto"``; ``None`` defers to ``REPRO_KERNEL`` then
         auto-detection — :mod:`repro.core.kernel`).  Ignored with
         ``arena=False``.
+    adaptive:
+        Adaptive selectivity-driven dispatch (:mod:`repro.core.adaptive`):
+        runtime hit counters reorder candidate groups and promote hot
+        constant-guard values.  Particularly effective here, where a shared
+        group verdict saves whole ring scans; outputs, counters and
+        snapshots stay bit-identical to the static path (``False``, the
+        ablation oracle).  Requires ``indexed=True`` (silently inert
+        otherwise); an :class:`~repro.core.adaptive.AdaptiveConfig`
+        overrides the knobs.
     """
 
     def __init__(
@@ -184,6 +194,7 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         columnar: bool = True,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         kernel: Optional[str] = None,
+        adaptive: object = True,
     ) -> None:
         if ring_capacity < 1:
             raise ValueError("ring_capacity must be at least 1 slot")
@@ -217,6 +228,17 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         self._count_stats = collect_stats
         self._runtime.count_stats = collect_stats
         self.nodes_scanned = 0
+        # Adaptive dispatch: only armed when the index actually dispatches
+        # and the automaton has something to learn (a promotable guard
+        # position or a shareable predicate group) — otherwise the per-tuple
+        # path is exactly the static one.
+        self._adaptive = None
+        config = resolve_config(adaptive) if self._dispatch.indexed else None
+        if config is not None:
+            state = self._dispatch.build_adaptive(config)
+            if state.tracked():
+                self._adaptive = state
+                self._runtime.arm_adapt(self._adapt_flush, config.interval)
 
     # -------------------------------------------------------------- main loop
     def process(self, tup: Tuple) -> List[Valuation]:
@@ -300,12 +322,36 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
             stats.tuples_processed += 1
         created: List[Tup[int, bool, NodeRef]] = []
         scanned = 0
-        for compiled in self._dispatch.candidates_for(tup):
+        # Plan mode evaluates one unary per predicate group (all members are
+        # pred_key-equal, so the group verdict is each member's verdict),
+        # then runs the held members' ring scans in canonical transition
+        # order.  The scans read only state stored by *previous* tuples, so
+        # deciding all verdicts up front cannot change any scan's view —
+        # ``created`` (and hence node allocation, storage and snapshots)
+        # stays bit-identical to the static candidate walk.
+        adaptive = self._adaptive
+        plan = adaptive.plan_for(tup) if adaptive is not None else None
+        if plan is not None:
             if stats is not None:
-                stats.transitions_scanned += 1
-                stats.predicate_evaluations += 1
-            if not compiled.unary.holds(tup):
-                continue
+                stats.transitions_scanned += plan.total
+                stats.predicate_evaluations += plan.total
+            held: List = []
+            for group in plan.groups:
+                if group.unary.holds(tup):
+                    group.rep.hits += 1
+                    held.extend(group.members)
+            if len(held) > 1:
+                held.sort(key=_transition_order)
+            candidates = held
+        else:
+            candidates = self._dispatch.candidates_for(tup)
+        for compiled in candidates:
+            if plan is None:
+                if stats is not None:
+                    stats.transitions_scanned += 1
+                    stats.predicate_evaluations += 1
+                if not compiled.unary.holds(tup):
+                    continue
             if not compiled.joins:  # initial transition: no sources to join
                 node = ds.extend(compiled.labels, position, [])
                 if stats is not None:
@@ -465,6 +511,11 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
         self._rings = rings
         self._next_seq = next_seq
         self.nodes_scanned = nodes_scanned
+        if self._adaptive is not None:
+            # Deterministic reset (learning state is never serialized): the
+            # restored engine re-learns, identically on every restore.
+            self._adaptive.reset()
+            self._runtime.arm_adapt(self._adapt_flush, self._adaptive.config.interval)
 
     # ------------------------------------------------------------ introspection
     def live_run_count(self) -> int:
@@ -489,6 +540,12 @@ class GeneralStreamingEvaluator(RuntimeBackedEngine):
     # RuntimeBackedEngine; this hook points them at the automaton's index.)
     def _dispatch_source(self):
         return self._dispatch
+
+    def _adapt_flush(self, position: int) -> None:
+        reorders, promotions, demotions = self._adaptive.flush()
+        obs = self._runtime.obs
+        if obs is not None and (reorders or promotions or demotions):
+            obs.on_dispatch_adapt(reorders, promotions, demotions)
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

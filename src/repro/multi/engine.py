@@ -39,6 +39,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple as Tup
 
+from repro.core.adaptive import resolve_config
 from repro.core.arena import ArenaDataStructure
 from repro.core.kernel import resolve_kernel
 from repro.core.datastructure import DataStructure
@@ -65,6 +66,11 @@ from repro.valuation import Valuation
 
 
 _MISS = object()  # memo-cache sentinel (verdicts are booleans, None won't do)
+
+
+def _fired_entry_order(item) -> int:
+    # Canonical candidate order for plan-mode effect application.
+    return item[0].order
 
 #: Backwards-compatible name: the per-engine statistics dataclasses were
 #: unified into :class:`repro.runtime.EngineStatistics` (the old
@@ -152,6 +158,15 @@ class MultiQueryEngine(RuntimeBackedEngine):
         — the pass that reclaims expired slabs of lanes whose queries stopped
         matching.  Lower it for tighter idle-lane memory at higher amortised
         sweep cost; ``memory_info()['release_interval']`` reports it.
+    adaptive:
+        Adaptive selectivity-driven dispatch (:mod:`repro.core.adaptive`)
+        over the merged index: runtime feedback reorders candidate groups
+        and promotes hot constant-guard values to standing plans, with
+        per-query outputs and counters bit-identical to the static path
+        (``False``, the ablation oracle).  Plan mode shares one verdict per
+        predicate group, so it requires ``memoise=True`` (silently inert
+        otherwise).  An :class:`~repro.core.adaptive.AdaptiveConfig`
+        overrides the flush/promotion knobs.
     """
 
     def __init__(
@@ -165,6 +180,7 @@ class MultiQueryEngine(RuntimeBackedEngine):
         columnar: bool = True,
         kernel: Optional[str] = None,
         release_interval: int = RELEASE_PASS_INTERVAL,
+        adaptive: object = True,
     ) -> None:
         self.registry = registry if registry is not None else QueryRegistry()
         self.memoise = memoise
@@ -186,6 +202,16 @@ class MultiQueryEngine(RuntimeBackedEngine):
             self._lanes[entry.handle.id] = lane
             self._runtime.add_lane(lane)
             self._merged.add_query(lane, lane.dispatch)
+        # Adaptive dispatch over the merged index.  Plan mode shares one
+        # verdict per predicate group (and emulates the memoised counters),
+        # so it is gated on memoise; the listener hookup keeps plans fresh
+        # through incremental registration patches.
+        self._adaptive = None
+        config = resolve_config(adaptive) if memoise else None
+        if config is not None:
+            self._adaptive = self._merged.build_adaptive(config)
+            self._merged.adaptive_listener = self._adaptive
+            self._runtime.arm_adapt(self._adapt_flush, config.interval)
 
     # ----------------------------------------------------------- registration
     def register(
@@ -243,6 +269,12 @@ class MultiQueryEngine(RuntimeBackedEngine):
         self._merged = MergedDispatchIndex(
             [(lane, lane.dispatch) for lane in lanes], guards=self._guards
         )
+        if self._adaptive is not None:
+            # A rebuilt index means rebuilt entries: re-derive the adaptive
+            # state over them (learning restarts, matching the from-scratch
+            # semantics of the ablation path).
+            self._adaptive = self._merged.build_adaptive(self._adaptive.config)
+            self._merged.adaptive_listener = self._adaptive
 
     # -------------------------------------------------------------- main loop
     def run(
@@ -294,80 +326,153 @@ class MultiQueryEngine(RuntimeBackedEngine):
         # The bookkeeping dicts are allocated lazily: on most tuples nothing
         # fires, and the whole per-tuple cost is the candidate loop itself.
         memoise = self.memoise
-        verdicts: Dict[Hashable, bool] = {}
-        verdicts_get = verdicts.get
         # new_nodes buckets hold (node, max_start) pairs: max_start is
         # threaded from the children's cached values (min for extend, max for
         # union — exact by construction / the heap condition), so the shared
         # loop never reads it back through a lane's data structure.
         new_nodes: Optional[Dict[_QueryLane, Dict[int, List[Tup[NodeRef, int]]]]] = None
         final_by_lane: Optional[Dict[_QueryLane, List[NodeRef]]] = None
-        for entry in self._merged.candidates_for(tup):
+        adaptive = self._adaptive
+        plan = adaptive.plan_for(tup) if adaptive is not None else None
+        if plan is not None:
+            # Plan mode: one predicate evaluation per group (the memoised
+            # path would reach the same count — every group member shares the
+            # group's canonical key), members probed in selectivity order.
+            # The fired set is evaluation-order-invariant because this phase
+            # only reads the hash table; sorting it back into entry order
+            # before applying effects keeps extends/unions/enumeration — and
+            # therefore outputs and node ids — bit-identical to the static
+            # candidate scan.
             if stats is not None:
-                stats.transitions_scanned += 1
-            if memoise:
-                held = verdicts_get(entry.pred_key, _MISS)
-                if held is _MISS:
+                groups_n = len(plan.groups)
+                stats.transitions_scanned += plan.total
+                stats.predicate_evaluations += groups_n
+                stats.predicate_cache_hits += plan.total - groups_n
+            fired: List[Tup] = []
+            for group in plan.groups:
+                if not group.unary.holds(tup):
+                    continue
+                group.rep.hits += 1
+                for entry in group.members:
+                    lane = entry.owner
+                    compiled = entry.compiled
+                    hash_table = lane.hash
+                    window = lane.window
+                    children: List[NodeRef] = []
+                    node_ms = position
+                    feasible = True
+                    for _, source_id, predicate in compiled.joins:
+                        key = predicate.right_key(tup)
+                        if stats is not None:
+                            stats.hash_lookups += 1
+                        if key is None:
+                            feasible = False
+                            break
+                        pair = hash_table.get((compiled.index, source_id, key))
+                        if pair is None or position - pair[1] > window:
+                            feasible = False
+                            break
+                        children.append(pair[0])
+                        if pair[1] < node_ms:
+                            node_ms = pair[1]
+                    if feasible:
+                        fired.append((entry, children, node_ms))
+            if len(fired) > 1:
+                fired.sort(key=_fired_entry_order)
+            for entry, children, node_ms in fired:
+                lane = entry.owner
+                compiled = entry.compiled
+                node = lane.ds.extend(compiled.labels, position, children, node_ms)
+                if stats is not None:
+                    stats.transitions_fired += 1
+                    stats.nodes_created += 1
+                if new_nodes is None:
+                    new_nodes = {}
+                lane_nodes = new_nodes.get(lane)
+                if lane_nodes is None:
+                    lane_nodes = new_nodes[lane] = {}
+                bucket = lane_nodes.get(compiled.target_id)
+                if bucket is None:
+                    lane_nodes[compiled.target_id] = [(node, node_ms)]
+                else:
+                    bucket.append((node, node_ms))
+                if compiled.is_final:
+                    if final_by_lane is None:
+                        final_by_lane = {}
+                    finals = final_by_lane.get(lane)
+                    if finals is None:
+                        final_by_lane[lane] = [node]
+                    else:
+                        finals.append(node)
+        else:
+            verdicts: Dict[Hashable, bool] = {}
+            verdicts_get = verdicts.get
+            for entry in self._merged.candidates_for(tup):
+                if stats is not None:
+                    stats.transitions_scanned += 1
+                if memoise:
+                    held = verdicts_get(entry.pred_key, _MISS)
+                    if held is _MISS:
+                        held = entry.unary.holds(tup)
+                        verdicts[entry.pred_key] = held
+                        if stats is not None:
+                            stats.predicate_evaluations += 1
+                    elif stats is not None:
+                        stats.predicate_cache_hits += 1
+                else:
                     held = entry.unary.holds(tup)
-                    verdicts[entry.pred_key] = held
                     if stats is not None:
                         stats.predicate_evaluations += 1
-                elif stats is not None:
-                    stats.predicate_cache_hits += 1
-            else:
-                held = entry.unary.holds(tup)
+                if not held:
+                    continue
+                lane = entry.owner
+                compiled = entry.compiled
+                hash_table = lane.hash
+                window = lane.window
+                children = []
+                node_ms = position
+                feasible = True
+                for _, source_id, predicate in compiled.joins:
+                    key = predicate.right_key(tup)  # the current tuple is the later one
+                    if stats is not None:
+                        stats.hash_lookups += 1
+                    if key is None:
+                        feasible = False
+                        break
+                    pair = hash_table.get((compiled.index, source_id, key))
+                    if pair is None or position - pair[1] > window:
+                        feasible = False
+                        break
+                    children.append(pair[0])
+                    if pair[1] < node_ms:
+                        node_ms = pair[1]
+                if not feasible:
+                    continue
+                # node_ms is exactly the max_start extend computes; passing it
+                # in lets the arena skip re-reading the child records (the
+                # in-window check above certifies the children are live).
+                node = lane.ds.extend(compiled.labels, position, children, node_ms)
                 if stats is not None:
-                    stats.predicate_evaluations += 1
-            if not held:
-                continue
-            lane = entry.owner
-            compiled = entry.compiled
-            hash_table = lane.hash
-            window = lane.window
-            children: List[NodeRef] = []
-            node_ms = position
-            feasible = True
-            for _, source_id, predicate in compiled.joins:
-                key = predicate.right_key(tup)  # the current tuple is the later one
-                if stats is not None:
-                    stats.hash_lookups += 1
-                if key is None:
-                    feasible = False
-                    break
-                pair = hash_table.get((compiled.index, source_id, key))
-                if pair is None or position - pair[1] > window:
-                    feasible = False
-                    break
-                children.append(pair[0])
-                if pair[1] < node_ms:
-                    node_ms = pair[1]
-            if not feasible:
-                continue
-            # node_ms is exactly the max_start extend computes; passing it in
-            # lets the arena skip re-reading the child records (the in-window
-            # check above certifies the children are live).
-            node = lane.ds.extend(compiled.labels, position, children, node_ms)
-            if stats is not None:
-                stats.transitions_fired += 1
-                stats.nodes_created += 1
-            if new_nodes is None:
-                new_nodes = {}
-            lane_nodes = new_nodes.get(lane)
-            if lane_nodes is None:
-                lane_nodes = new_nodes[lane] = {}
-            bucket = lane_nodes.get(compiled.target_id)
-            if bucket is None:
-                lane_nodes[compiled.target_id] = [(node, node_ms)]
-            else:
-                bucket.append((node, node_ms))
-            if compiled.is_final:
-                if final_by_lane is None:
-                    final_by_lane = {}
-                finals = final_by_lane.get(lane)
-                if finals is None:
-                    final_by_lane[lane] = [node]
+                    stats.transitions_fired += 1
+                    stats.nodes_created += 1
+                if new_nodes is None:
+                    new_nodes = {}
+                lane_nodes = new_nodes.get(lane)
+                if lane_nodes is None:
+                    lane_nodes = new_nodes[lane] = {}
+                bucket = lane_nodes.get(compiled.target_id)
+                if bucket is None:
+                    lane_nodes[compiled.target_id] = [(node, node_ms)]
                 else:
-                    finals.append(node)
+                    bucket.append((node, node_ms))
+                if compiled.is_final:
+                    if final_by_lane is None:
+                        final_by_lane = {}
+                    finals = final_by_lane.get(lane)
+                    if finals is None:
+                        final_by_lane[lane] = [node]
+                    else:
+                        finals.append(node)
 
         # UpdateIndices per query that received new runs, registering every
         # stored entry in the runtime's shared expiry-bucket map.
@@ -615,12 +720,25 @@ class MultiQueryEngine(RuntimeBackedEngine):
         for lane, lane_snap in zip(lanes, lane_snaps):
             lane.restore(lane_snap)
         self._runtime.restore(runtime_snap, lanes)
+        if self._adaptive is not None:
+            # Deterministic reset: adaptive learning state is never
+            # serialized, so a restored engine re-learns from the stream —
+            # identical whether the snapshot came from an adaptive or a
+            # static engine.
+            self._adaptive.reset()
+            self._runtime.arm_adapt(self._adapt_flush, self._adaptive.config.interval)
 
     # ------------------------------------------------------------ introspection
     # (hash_table_size / memory_info / dispatch_info / observe come from
     # RuntimeBackedEngine; this hook points them at the merged index.)
     def _dispatch_source(self):
         return self._merged
+
+    def _adapt_flush(self, position: int) -> None:
+        reorders, promotions, demotions = self._adaptive.flush()
+        obs = self._runtime.obs
+        if obs is not None and (reorders or promotions or demotions):
+            obs.on_dispatch_adapt(reorders, promotions, demotions)
 
     def reset_statistics(self) -> None:
         self._runtime.reset_statistics()

@@ -72,7 +72,7 @@ class MergedEntry:
     order within a query).
     """
 
-    __slots__ = ("owner", "compiled", "unary", "pred_key", "guard", "order")
+    __slots__ = ("owner", "compiled", "unary", "pred_key", "guard", "order", "hits")
 
     def __init__(
         self, owner: object, compiled: CompiledTransition, pred_key: int, order: int
@@ -83,6 +83,10 @@ class MergedEntry:
         self.pred_key = pred_key
         self.guard: Optional[Tup[int, object]] = compiled.guard
         self.order = order
+        # Adaptive-dispatch hit counter (repro.core.adaptive): bumped when
+        # this entry leads a predicate group whose unary held, halved at
+        # every flush.  Feedback only — excluded from signature().
+        self.hits = 0
 
     def __repr__(self) -> str:
         return f"MergedEntry(owner={self.owner!r}, {self.compiled!r})"
@@ -146,6 +150,10 @@ class MergedDispatchIndex:
                 Tup[Tup[int, Dict[Hashable, Tup[MergedEntry, ...]]], ...],
             ],
         ] = {}
+        # The engine's adaptive state, when it opted in: every per-relation
+        # refresh notifies it so learned plans are re-derived for exactly the
+        # relations a patch touched (the PR 4 localized-rewrite contract).
+        self.adaptive_listener = None
         for owner, index in members:
             self.add_query(owner, index)
 
@@ -265,20 +273,23 @@ class MergedDispatchIndex:
             # wildcard list) already covers it.
             self._by_relation.pop(relation, None)
             self._guarded.pop(relation, None)
-            return
-        if self._wildcard_entries:
-            members: Tup[MergedEntry, ...] = tuple(
-                sorted(bucket + self._wildcard_entries, key=_entry_order)
-            )
         else:
-            members = tuple(bucket)
-        self._by_relation[relation] = members
-        if self.guards:
-            guard_buckets = build_guard_buckets(members)
-            if guard_buckets is None:
-                self._guarded.pop(relation, None)
+            if self._wildcard_entries:
+                members: Tup[MergedEntry, ...] = tuple(
+                    sorted(bucket + self._wildcard_entries, key=_entry_order)
+                )
             else:
-                self._guarded[relation] = guard_buckets
+                members = tuple(bucket)
+            self._by_relation[relation] = members
+            if self.guards:
+                guard_buckets = build_guard_buckets(members)
+                if guard_buckets is None:
+                    self._guarded.pop(relation, None)
+                else:
+                    self._guarded[relation] = guard_buckets
+        listener = self.adaptive_listener
+        if listener is not None:
+            listener.rebuild_relation(relation)
 
     # ----------------------------------------------------------------- lookups
     def candidates_for(self, tup) -> Sequence[MergedEntry]:
@@ -293,6 +304,17 @@ class MergedDispatchIndex:
         entries = [e for per_owner in self._by_owner.values() for e in per_owner]
         entries.sort(key=_entry_order)
         return tuple(entries)
+
+    def build_adaptive(self, config=None):
+        """An engine-owned :class:`~repro.core.adaptive.AdaptiveState` over
+        this index.
+
+        The caller is responsible for wiring the returned state into
+        ``adaptive_listener`` so structural patches keep its plans fresh.
+        """
+        from repro.core.adaptive import AdaptiveState
+
+        return AdaptiveState(self, _entry_order, config)
 
     # ------------------------------------------------------------ introspection
     def __len__(self) -> int:

@@ -63,6 +63,10 @@ from repro.runtime.statistics import EngineStatistics
 #: Default positions between full arena-release passes over every lane.
 RELEASE_PASS_INTERVAL = 256
 
+#: Sentinel "never" position for the adaptive-dispatch flush clock: far past
+#: any reachable stream position, so the disabled path is one int compare.
+_NEVER_ADAPT = 1 << 62
+
 _T = TypeVar("_T")
 
 
@@ -190,6 +194,9 @@ class StreamRuntime:
         "obs_arm",
         "obs_next",
         "obs_sweep_sampled",
+        "adapt_hook",
+        "adapt_interval",
+        "_next_adapt",
         "_swept_upto",
         "_next_release_pass",
         "_lanes",
@@ -229,6 +236,14 @@ class StreamRuntime:
         # the sweep keys its (timed, slab-accounting) sampled branch off this
         # single flag instead of re-deriving the sampling grid.
         self.obs_sweep_sampled = False
+        # Adaptive-dispatch flush callback (repro.core.adaptive), fired by
+        # the sweep every ``adapt_interval`` positions.  ``_next_adapt``
+        # mirrors ``_next_release_pass``: a sentinel far future position when
+        # no adaptive engine armed it, so the disabled steady-state cost is
+        # one slot load and one int compare.
+        self.adapt_hook = None
+        self.adapt_interval = 0
+        self._next_adapt = _NEVER_ADAPT
         # Absolute expiry position -> flat [lane_id, key, node, ...] triples.
         # Entries always register in strictly future buckets (a storable
         # entry satisfies max_start >= position - lane.window), so the sweep
@@ -244,6 +259,24 @@ class StreamRuntime:
         # resolves ids with one small-int dict lookup.
         self._lanes: Dict[int, EvictionLane] = {}
         self._next_lane_id = 0
+
+    # ------------------------------------------------------------- adaptation
+    def arm_adapt(self, hook: Callable[[int], None], interval: int) -> None:
+        """Arm the adaptive flush clock: call ``hook(position)`` every
+        ``interval`` positions from the sweep.  The first flush fires once the
+        stream has advanced ``interval`` positions past the current cursor —
+        which is also how restore re-seats the clock (learned state resets on
+        restore, so the clock is derived, never serialised)."""
+        if interval < 1:
+            raise ValueError("adapt interval must be at least 1 position")
+        self.adapt_hook = hook
+        self.adapt_interval = interval
+        self._next_adapt = self.position + interval
+
+    def disarm_adapt(self) -> None:
+        self.adapt_hook = None
+        self.adapt_interval = 0
+        self._next_adapt = _NEVER_ADAPT
 
     # ------------------------------------------------------------------ lanes
     def add_lane(self, lane: EvictionLane) -> EvictionLane:
@@ -344,6 +377,9 @@ class StreamRuntime:
                         lane.release(position)
             if position >= self._next_release_pass:
                 self.release_lanes(position)
+            if position >= self._next_adapt:
+                self._next_adapt = position + self.adapt_interval
+                self.adapt_hook(position)
         elif position > self._swept_upto:
             self.sweep_upto(position)
 
@@ -441,6 +477,9 @@ class StreamRuntime:
                 lane.release(position)
         if position >= self._next_release_pass:
             self.release_lanes(position)
+        if position >= self._next_adapt:
+            self._next_adapt = position + self.adapt_interval
+            self.adapt_hook(position)
 
     def release_lanes(self, position: int) -> None:
         """Release expired arena slabs in every active lane.
@@ -814,7 +853,18 @@ class RuntimeBackedEngine:
                 "union_calls": getattr(ds, "union_calls", 0),
                 "union_copies": getattr(ds, "union_copies", 0),
             }
+        adaptive = self.adaptive_info()
+        if adaptive is not None:
+            snapshot["adaptive"] = adaptive
         return snapshot
+
+    def adaptive_info(self) -> Optional[Dict[str, object]]:
+        """The adaptive-dispatch summary, or ``None`` when not enabled.
+
+        See :meth:`repro.core.adaptive.AdaptiveState.info` for the keys.
+        """
+        state = getattr(self, "_adaptive", None)
+        return state.info() if state is not None else None
 
     def attach_observer(self, observer) -> None:
         """Attach a :class:`repro.obs.Observer` (see its ``attach``)."""

@@ -167,6 +167,7 @@ class ShardedEngine:
         arena: bool = True,
         columnar: bool = True,
         kernel: Optional[str] = None,
+        adaptive: object = True,
     ) -> None:
         if workers < 1:
             raise ValueError("a sharded engine needs at least 1 worker")
@@ -179,6 +180,7 @@ class ShardedEngine:
             "arena": arena,
             "columnar": columnar,
             "kernel": kernel,
+            "adaptive": adaptive,
         }
         self._placement = placement if placement is not None else HashPlacement()
         self._start_method = start_method
@@ -636,6 +638,20 @@ class ShardedEngine:
             kernel["active"] = active.pop()
         elif active:
             kernel["active"] = "mixed"
+        adaptive_snaps = [s["adaptive"] for s in observed if "adaptive" in s]
+        adaptive: Optional[Dict[str, object]] = None
+        if adaptive_snaps:
+            adaptive = {
+                "enabled": True,
+                "interval": adaptive_snaps[0]["interval"],
+                "flushes": sum(a["flushes"] for a in adaptive_snaps),
+                "reorders": sum(a["reorders"] for a in adaptive_snaps),
+                "promotions": sum(a["promotions"] for a in adaptive_snaps),
+                "demotions": sum(a["demotions"] for a in adaptive_snaps),
+                "promoted": sum(a["promoted"] for a in adaptive_snaps),
+                "tracked_relations": sum(a["tracked_relations"] for a in adaptive_snaps),
+                "dormant_relations": sum(a["dormant_relations"] for a in adaptive_snaps),
+            }
         per_shard = []
         frames_sent = frames_received = bytes_sent = bytes_received = 0
         for shard, snapshot in zip(self._shards, observed):
@@ -655,7 +671,7 @@ class ShardedEngine:
                     "bytes_sent": channel.bytes_sent,
                 }
             )
-        return {
+        snapshot_out: Dict[str, object] = {
             "engine": type(self).__name__,
             "position": self._position,
             "hash_entries": sum(s["hash_entries"] for s in observed),
@@ -683,6 +699,13 @@ class ShardedEngine:
                 "per_shard": per_shard,
             },
         }
+        if adaptive is not None:
+            snapshot_out["adaptive"] = adaptive
+        return snapshot_out
+
+    def adaptive_info(self) -> Optional[Dict[str, object]]:
+        """Adaptive-dispatch counters summed across shards (``None`` if off)."""
+        return self.observe().get("adaptive")
 
     def dispatch_info(self) -> Dict[str, float]:
         """Aggregated merged-index statistics (see :meth:`observe`)."""

@@ -68,6 +68,7 @@ class ShardWorker:
             arena=config.get("arena", True),
             columnar=config.get("columnar", True),
             kernel=config.get("kernel"),
+            adaptive=config.get("adaptive", True),
         )
         self._order: List[int] = []  # global ids in registration order
         self._local: Dict[int, QueryHandle] = {}  # global id -> local handle

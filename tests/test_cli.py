@@ -151,17 +151,20 @@ class TestRun:
             ]
 
         events = list(read_events(EVENTS_CSV.splitlines()))
-        argv = ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100", "--stats", "--quiet"]
+        # --no-adaptive pins the adaptive line to its uniform disabled shape
+        # (when enabled, its keys legitimately differ with engine state).
+        argv = [
+            "--query", "Q(x, y) <- T(x), S(x, y), R(x, y)",
+            "--window", "100", "--stats", "--quiet", "--no-adaptive",
+        ]
         _, single = self._run(argv, events)
         _, general = self._run(argv + ["--general"], events)
         multi_parser = build_multi_parser()
-        multi_args = multi_parser.parse_args(
-            ["--query", "Q(x, y) <- T(x), S(x, y), R(x, y)", "--window", "100", "--stats", "--quiet"]
-        )
+        multi_args = multi_parser.parse_args(argv)
         multi_output = io.StringIO()
         assert run_multi(multi_args, events, multi_output) == 0
         single_keys = stat_keys(single)
-        assert len(single_keys) == 4
+        assert len(single_keys) == 5
         assert stat_keys(general) == single_keys
         assert stat_keys(multi_output.getvalue()) == single_keys
 
