@@ -1,0 +1,341 @@
+"""Benchmark — the network ingest server under concurrent clients.
+
+One experiment, written to ``BENCH_ingest_server.json``:
+
+* **concurrent serving** — ``--clients`` (≥ 8) ingest clients push a
+  grouped-star workload over TCP into one :class:`IngestServer` driving a
+  shared ``MultiQueryEngine``, while a collector client subscribes to every
+  query.  Two framings are measured over the same per-client streams:
+
+  - ``batched`` — clients frame ``--frame`` tuples per ingest message and
+    the server coalesces across connections up to ``--max-batch``;
+  - ``tuple_at_a_time`` — one tuple per frame, ``max_batch=1`` (no
+    coalescing), the naive request/response shape.
+
+Reported per row: sustained tuples/sec over the whole run (first send to
+last ack, all clients concurrent) and the end-to-end ack latency
+distribution (send → ack round trip per frame under a bounded pipeline;
+the ack is a match barrier, so this bounds match delivery too).  The
+headline ``summary.batched_speedup_vs_tuple_at_a_time`` must be ≥ 2× in
+the full run — that is the adaptive coalescer's reason to exist.
+
+Every run is digest-verified: the global interleaved tuple order is
+reconstructed from the acks' ``(base_position, count)`` assignments and
+replayed through a direct in-process engine; the collector's served
+matches must be bit-identical (``summary.outputs_identical_all_runs``).
+
+Run as a script (``PYTHONPATH=src python benchmarks/bench_ingest_server.py``);
+``--tiny`` shrinks dimensions for CI smoke runs (and relaxes the 2× floor,
+which is meaningless at smoke sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import random
+import sys
+import threading
+import time
+from typing import Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_HERE, _SRC):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.bench.harness import gc_controlled, peak_rss_bytes, summarize, write_benchmark_json
+from repro.cq.schema import Tuple
+from repro.multi import MultiQueryEngine
+from repro.net import IngestClient, ServerThread
+
+
+def make_workload(groups: int, clients: int, per_client: int, key_domain: int, seed: int):
+    """Star query strings per relation group + one stream slice per client."""
+    queries = [
+        f"Q{g}(x, y) <- G{g}T(x), G{g}S(x, y), G{g}R(x, y)" for g in range(groups)
+    ]
+    rng = random.Random(seed)
+    streams: List[List[Tuple]] = []
+    for _ in range(clients):
+        slice_: List[Tuple] = []
+        for _ in range(per_client):
+            g = rng.randrange(groups)
+            relation = rng.choice(("T", "S", "R"))
+            if relation == "T":
+                slice_.append(Tuple(f"G{g}T", (rng.randrange(key_domain),)))
+            else:
+                slice_.append(
+                    Tuple(
+                        f"G{g}{relation}",
+                        (rng.randrange(key_domain), rng.randrange(key_domain)),
+                    )
+                )
+        streams.append(slice_)
+    return queries, streams
+
+
+def digest_outputs(per_tuple_outputs) -> str:
+    """position|qid|sorted(vals) folded in stream order (the repo idiom)."""
+    digest = hashlib.sha256()
+    for position, outputs in enumerate(per_tuple_outputs):
+        for qid in sorted(outputs):
+            valuations = outputs[qid]
+            if valuations:
+                digest.update(
+                    f"{position}|{qid}|{sorted(map(str, valuations))}".encode()
+                )
+    return digest.hexdigest()
+
+
+def digest_matches(matches) -> str:
+    """The same digest from a collector's ``{handle: [(pos, vals)]}`` view."""
+    flat = []
+    for qid, batches in matches.items():
+        for position, valuations in batches:
+            if valuations:
+                flat.append((position, qid, sorted(map(str, valuations))))
+    digest = hashlib.sha256()
+    for position, qid, rendered in sorted(flat):
+        digest.update(f"{position}|{qid}|{rendered}".encode())
+    return digest.hexdigest()
+
+
+def direct_run(queries: List[str], interleaved: List[Tuple], window: int):
+    """The ground truth: the reconstructed order through an in-process engine."""
+    engine = MultiQueryEngine(collect_stats=False)
+    for query in queries:
+        engine.register(query, window=window)
+    began = time.perf_counter()
+    outputs = engine.process_many(interleaved)
+    wall = time.perf_counter() - began
+    return digest_outputs(outputs), wall
+
+
+def _pump(
+    host: str,
+    port: int,
+    stream: List[Tuple],
+    frame_size: int,
+    pipeline: int,
+    acks_out: List,
+    latencies_out: List[float],
+    errors: List,
+) -> None:
+    """One ingest client: bounded-pipeline pushes, per-frame ack RTTs."""
+    try:
+        with IngestClient(host, port) as client:
+            sent: Dict[int, float] = {}
+            outstanding: List[int] = []
+            frame_index = 0
+            for start in range(0, len(stream), frame_size):
+                if len(outstanding) >= pipeline:
+                    seq = outstanding.pop(0)
+                    base, count = client.wait_ack(seq)
+                    latencies_out.append(time.perf_counter() - sent.pop(seq))
+                    acks_out.append((base, count, seq))
+                chunk = stream[start : start + frame_size]
+                seq = client.ingest(chunk, seq=frame_index)
+                sent[seq] = time.perf_counter()
+                outstanding.append(seq)
+                frame_index += 1
+            for seq in outstanding:
+                base, count = client.wait_ack(seq)
+                latencies_out.append(time.perf_counter() - sent.pop(seq))
+                acks_out.append((base, count, seq))
+    except Exception as exc:  # pragma: no cover - surfaced by the caller
+        errors.append(exc)
+
+
+def run_serving(
+    label: str,
+    queries: List[str],
+    streams: List[List[Tuple]],
+    window: int,
+    frame_size: int,
+    max_batch: int,
+    pipeline: int,
+) -> Dict:
+    engine = MultiQueryEngine(collect_stats=False)
+    total = sum(len(s) for s in streams)
+    with ServerThread(engine, max_batch=max_batch) as st:
+        collector = IngestClient(st.host, st.port)
+        for index, query in enumerate(queries):
+            collector.subscribe(query, window, name=f"q{index}")
+        acks_per_client: List[List] = [[] for _ in streams]
+        latencies_per_client: List[List[float]] = [[] for _ in streams]
+        errors: List = []
+        threads = [
+            threading.Thread(
+                target=_pump,
+                args=(
+                    st.host,
+                    st.port,
+                    stream,
+                    frame_size,
+                    pipeline,
+                    acks_per_client[index],
+                    latencies_per_client[index],
+                    errors,
+                ),
+            )
+            for index, stream in enumerate(streams)
+        ]
+        with gc_controlled():
+            began = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - began
+        if errors:
+            raise RuntimeError(f"ingest client failed: {errors[0]!r}")
+        # Every ingester saw its final ack, so every match frame is already
+        # ordered before this ping in the collector's outbox.
+        collector.ping()
+        served_digest = digest_matches(collector.matches)
+        collector.close()
+        observed = st.server.observe()
+
+    # Rebuild the exact interleave the server committed to, from the acks.
+    interleaved: List = [None] * total
+    for index, acks in enumerate(acks_per_client):
+        for base, count, frame_index in acks:
+            chunk = streams[index][frame_index * frame_size : frame_index * frame_size + count]
+            interleaved[base : base + count] = chunk
+    if None in interleaved:
+        raise RuntimeError("ack reconstruction left holes — positions lost")
+
+    latencies = [l for per_client in latencies_per_client for l in per_client]
+    row = {
+        "mode": label,
+        "clients": len(streams),
+        "frame_size": frame_size,
+        "max_batch": max_batch,
+        "pipeline": pipeline,
+        "tuples": total,
+        "wall_seconds": wall,
+        "tuples_per_s": total / wall,
+        "ack_latency_s": summarize(latencies),
+        "batches": observed["batches"],
+        "mean_coalesced_batch": total / observed["batches"] if observed["batches"] else 0.0,
+        "peak_queue_depth": observed["peak_queue_depth"],
+        "peak_outbox": observed["peak_outbox"],
+        "match_frames_out": observed["match_frames_out"],
+        "served_digest": served_digest,
+    }
+    print(
+        f"  {label:<16s} {row['tuples_per_s']:9.1f} tup/s  "
+        f"p99-ack={row['ack_latency_s']['p99'] * 1e3:7.2f}ms  "
+        f"batches={observed['batches']}  "
+        f"mean-batch={row['mean_coalesced_batch']:6.1f}"
+    )
+    return row, interleaved
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke dimensions")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent ingest clients")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(_HERE), "BENCH_ingest_server.json"),
+    )
+    args = parser.parse_args()
+    if args.tiny:
+        groups, per_client, window, key_domain = 2, 120, 16, 4
+        frame_size, max_batch, pipeline = 16, 128, 4
+    else:
+        groups, per_client, window, key_domain = 4, 3000, 64, 5
+        frame_size, max_batch, pipeline = 128, 512, 8
+
+    queries, streams = make_workload(groups, args.clients, per_client, key_domain, seed=13)
+    total = sum(len(s) for s in streams)
+    print(
+        f"workload: {len(queries)} star queries, {args.clients} clients × "
+        f"{per_client} tuples ({total} total), window={window}"
+    )
+
+    batched, interleaved_b = run_serving(
+        "batched", queries, streams, window, frame_size, max_batch, pipeline
+    )
+    naive, interleaved_n = run_serving(
+        "tuple_at_a_time", queries, streams, window, 1, 1, pipeline
+    )
+
+    # Ground truth both runs against their own committed interleave.
+    identical = True
+    for row, interleaved in ((batched, interleaved_b), (naive, interleaved_n)):
+        expected, direct_wall = direct_run(queries, interleaved, window)
+        row["direct_digest"] = expected
+        row["direct_wall_seconds"] = direct_wall
+        match = row["served_digest"] == expected
+        row["outputs_identical"] = match
+        identical = identical and match
+        if not match:
+            print(
+                f"  OUTPUT MISMATCH ({row['mode']}) — results are invalid",
+                file=sys.stderr,
+            )
+
+    speedup = batched["tuples_per_s"] / naive["tuples_per_s"]
+    print(f"  batched speedup over tuple-at-a-time = {speedup:.2f}x")
+
+    summary = {
+        "clients": args.clients,
+        "queries": len(queries),
+        "stream_length": total,
+        "window": window,
+        "sustained_tuples_per_s": batched["tuples_per_s"],
+        "p99_ack_latency_s": batched["ack_latency_s"]["p99"],
+        "mean_coalesced_batch": batched["mean_coalesced_batch"],
+        "batched_speedup_vs_tuple_at_a_time": speedup,
+        "outputs_identical_all_runs": identical,
+        "serving_overhead_vs_direct": (
+            batched["wall_seconds"] / batched["direct_wall_seconds"]
+            if batched["direct_wall_seconds"]
+            else 0.0
+        ),
+    }
+    payload = {
+        "benchmark": "ingest_server",
+        "description": (
+            "Concurrent TCP clients pushing a grouped-star workload into one "
+            "IngestServer (shared MultiQueryEngine) with a collector "
+            "subscribed to every query; sustained throughput and per-frame "
+            "ack round-trip latency for coalesced batches vs one-tuple "
+            "frames, digest-verified against a direct in-process replay of "
+            "the ack-reconstructed interleaved order."
+        ),
+        "workload": {
+            "groups": groups,
+            "clients": args.clients,
+            "per_client_tuples": per_client,
+            "key_domain": key_domain,
+            "window": window,
+            "frame_size": frame_size,
+            "max_batch": max_batch,
+            "pipeline": pipeline,
+        },
+        "rows": [batched, naive],
+        "summary": summary,
+        "gc_enabled": False,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    write_benchmark_json(args.output, payload)
+    print(f"wrote {args.output}")
+
+    if not identical:
+        sys.exit(1)
+    if not args.tiny and speedup < 2.0:
+        print(
+            f"FLOOR VIOLATION: batched speedup {speedup:.2f}x < 2.0x",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -842,10 +842,363 @@ def _workers_conflict(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cer serve",
+        description="Serve an engine over TCP (repro.net): clients push tuple "
+        "batches and subscribe to query matches over length-prefixed binary "
+        "frames; the server coalesces everything buffered across all "
+        "connections into adaptive engine batches with bounded queues in "
+        "both directions (see the README's 'Serving over the network').",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="address to bind (default loopback)")
+    parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (default 0 = ephemeral, printed on start)"
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port number to PATH once listening (for scripts "
+        "that start the server with --port 0)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        metavar="N",
+        help="most tuples the driver coalesces into one engine batch / "
+        "eviction sweep (default 512)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="hard bound on queued-but-unprocessed tuples across all "
+        "connections; past it the sender's socket stops being read "
+        "(default 8192)",
+    )
+    parser.add_argument(
+        "--max-outbox",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="hard bound on match frames queued to one subscriber before the "
+        "shedding policy applies (default 1024)",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        choices=("disconnect", "drop"),
+        default="disconnect",
+        help="what happens to a subscriber whose outbox is full: disconnect "
+        "it (default; a consumer that cannot keep up should not silently "
+        "lose matches) or drop that match frame and keep the connection",
+    )
+    parser.add_argument(
+        "--exit-after-clients",
+        type=int,
+        default=0,
+        metavar="N",
+        help="exit once N clients have connected and all of them are gone "
+        "(0 = serve until SIGINT/SIGTERM; used by the CI smoke)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a sharded engine: N worker processes behind the "
+        "coordinator (0 = in-process multi-query engine)",
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("spawn", "fork", "forkserver", "inline"),
+        default="spawn",
+        help="how --workers processes start (default spawn)",
+    )
+    parser.add_argument("--no-memoise", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--no-arena", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--no-columnar", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native"),
+        default=None,
+        help="record-operation backend for the engine's arena hot path",
+    )
+    parser.add_argument("--quiet", action="store_true", help="print only the exit summary")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the engine's counters and the server's flow-control "
+        "totals at exit",
+    )
+    _add_adaptive_arguments(parser)
+    _add_observability_arguments(parser)
+    return parser
+
+
+def run_serve(args: argparse.Namespace, output: TextIO) -> int:
+    """Run the ingest server until a signal (or ``--exit-after-clients``)."""
+    import asyncio
+    import signal
+
+    from repro.net.server import IngestServer
+
+    conflict = _kernel_conflict(args)
+    if conflict:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
+    workers = args.workers or 0
+    if workers:
+        if args.no_arena:
+            print(
+                "error: --workers requires arena-backed query lanes (drop --no-arena)",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "trace", None):
+            print(
+                "error: --trace records in-process spans; worker processes "
+                "are not traced (drop --trace or --workers)",
+                file=sys.stderr,
+            )
+            return 2
+    observer = None
+    sample = getattr(args, "trace_sample", None)
+    if args.metrics_file or args.trace or sample is not None:
+        from repro.obs import DEFAULT_SAMPLE_EVERY, Observer, TraceRecorder
+
+        recorder = (
+            TraceRecorder(sample_every=sample if sample is not None else DEFAULT_SAMPLE_EVERY)
+            if args.trace
+            else None
+        )
+        try:
+            observer = Observer(trace=recorder, sample_every=sample)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        if workers:
+            from repro.shard import ShardedEngine
+
+            engine = ShardedEngine(
+                workers,
+                start_method=args.start_method,
+                memoise=not args.no_memoise,
+                collect_stats=args.stats,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                kernel=args.kernel,
+                adaptive=args.adaptive,
+            )
+        else:
+            from repro.multi import MultiQueryEngine
+
+            engine = MultiQueryEngine(
+                memoise=not args.no_memoise,
+                collect_stats=args.stats,
+                arena=not args.no_arena,
+                columnar=not args.no_columnar,
+                kernel=args.kernel,
+                adaptive=args.adaptive,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    server = IngestServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        max_outbox=args.max_outbox,
+        shed_policy=args.shed_policy,
+        observer=observer,
+        exit_after_clients=args.exit_after_clients or None,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.stop())
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # non-unix loop: ctrl-C lands as KeyboardInterrupt below
+        print(
+            f"# serving host={server.host} port={server.port} "
+            f"engine={'sharded' if workers else 'multi'} "
+            f"max_batch={server.max_batch} max_queue={server.max_queue} "
+            f"max_outbox={server.max_outbox} shed_policy={server.shed_policy}",
+            file=output,
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        await server.serve_forever()
+
+    try:
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        summary = server.observe()
+        print(
+            f"# net: clients_served={summary['clients_served']} "
+            f"frames_in={summary['frames_in']} tuples_in={summary['tuples_in']} "
+            f"batches={summary['batches']} "
+            f"match_frames_out={summary['match_frames_out']} "
+            f"acks_out={summary['acks_out']} shed={summary['shed']} "
+            f"protocol_errors={summary['protocol_errors']} "
+            f"peak_queue_depth={summary['peak_queue_depth']} "
+            f"peak_outbox={summary['peak_outbox']} position={summary['position']}",
+            file=output,
+        )
+        if args.stats:
+            _print_stats(engine, output)
+        if not _finish_observability(args, observer, output):
+            return 2
+        if server.driver_error is not None:
+            print(f"error: engine failed mid-batch: {server.driver_error!r}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if workers:
+            engine.close()
+
+
+def build_net_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cer client",
+        description="Line-oriented client for 'repro-cer serve': subscribe the "
+        "given queries, stream a CSV event file into the server, wait for "
+        "every ack, and print the received matches in the multi-mode output "
+        "format (sorted by position, then query name).",
+    )
+    parser.add_argument(
+        "stream", nargs="?", help="path to the CSV event file (defaults to standard input)"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="a query to subscribe (repeatable); omit to ingest without "
+        "subscribing",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        action="append",
+        dest="windows",
+        metavar="W",
+        help="sliding window size; give once for all queries or once per "
+        "query (default 1000)",
+    )
+    parser.add_argument("--separator", default=",", help="value separator in the event file")
+    parser.add_argument("--limit", type=int, default=None, help="stop after this many events")
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="tuples per ingest frame (default 256)",
+    )
+    parser.add_argument(
+        "--pipeline",
+        type=int,
+        default=4,
+        metavar="N",
+        help="ingest frames in flight before waiting for an ack (default 4)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="print only the final summary")
+    return parser
+
+
+def run_net_client(args: argparse.Namespace, events: Iterable[Tuple], output: TextIO) -> int:
+    """Stream events into a running server and print the matches received."""
+    from repro.net.client import IngestClient, NetClientError
+
+    queries = args.queries or []
+    windows = args.windows or [1000]
+    if len(windows) not in (1, max(1, len(queries))):
+        print(
+            f"error: give --window once (shared) or once per query "
+            f"(got {len(windows)} windows for {len(queries)} queries)",
+            file=sys.stderr,
+        )
+        return 2
+    if len(windows) == 1:
+        windows = windows * max(1, len(queries))
+    start = time.perf_counter()
+    try:
+        client = IngestClient(args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    names = {}
+    events_seen = 0
+    try:
+        with client:
+            for index, (query, window) in enumerate(zip(queries, windows)):
+                try:
+                    parsed = parse_query(query)
+                except ValueError as exc:
+                    print(f"error: cannot parse query: {exc}", file=sys.stderr)
+                    return 2
+                handle_id, name, _window = client.subscribe(
+                    query, window, name=parsed.name or f"q{index}"
+                )
+                names[handle_id] = name
+            outstanding: List[int] = []
+            for batch in _batched(islice(events, args.limit), max(1, args.batch_size)):
+                events_seen += len(batch)
+                outstanding.append(client.ingest(batch))
+                while len(outstanding) >= max(1, args.pipeline):
+                    client.wait_ack(outstanding.pop(0))
+            for seq in outstanding:
+                client.wait_ack(seq)
+    except NetClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rendered = []
+    total = 0
+    for handle_id, batches in client.matches.items():
+        name = names.get(handle_id, f"h{handle_id}")
+        for position, valuations in batches:
+            total += len(valuations)
+            for valuation in valuations:
+                rendered.append((position, name, format_match(position, valuation)))
+    if not args.quiet:
+        for position, name, line in sorted(rendered):
+            print(f"{name}\t{line}", file=output)
+    elapsed = time.perf_counter() - start
+    rate = events_seen / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"# events={events_seen} queries={len(names)} matches={total} "
+        f"seconds={elapsed:.3f} events/s={rate:.0f}",
+        file=output,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "multi":
+    if argv and argv[0] == "serve":
+        args = build_serve_parser().parse_args(argv[1:])
+        return run_serve(args, sys.stdout)
+    if argv and argv[0] == "client":
+        parser, runner = build_net_client_parser(), run_net_client
+        argv = argv[1:]
+    elif argv and argv[0] == "multi":
         parser, runner = build_multi_parser(), run_multi
         argv = argv[1:]
     else:

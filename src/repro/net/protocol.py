@@ -1,0 +1,153 @@
+"""The ingest wire protocol: message shapes over shared pickle frames.
+
+Transport framing is :mod:`repro.runtime.frames` — the same 4-byte
+length-prefixed ``pickle.HIGHEST_PROTOCOL`` frames the sharding layer
+speaks over pipes, here over a TCP byte stream.  Every message is a plain
+tuple ``(command, *args)``.
+
+Client → server
+---------------
+``("hello", version)``
+    Optional handshake; the server replies ``("welcome", version, engine)``.
+``("subscribe", query, window, name)``
+    Register a query and subscribe to its matches.  ``query`` is a query
+    string (or ``None`` against a single-query server, which subscribes the
+    engine's one compiled query); ``window`` is a positive int (``None``
+    with ``query=None``).  Reply: ``("subscribed", handle_id, name,
+    window)`` — or ``("refused", reason)`` for a well-formed request the
+    engine rejects (unparseable query, bad window).  Subscribing a
+    ``(query, window)`` pair another client already registered shares the
+    engine-side handle (refcounted); matches are encoded once and the same
+    frame bytes fan out to every subscriber.
+``("unsubscribe", handle_id)``
+    Drop this client's subscription.  Reply ``("unsubscribed", handle_id)``
+    or ``("refused", reason)``.  The engine unregisters the query when its
+    last subscriber leaves (riding the incremental merged-index patch).
+``("ingest", seq, tuples)``
+    Push a batch of :class:`~repro.cq.schema.Tuple` into the stream.
+    ``seq`` is a client-chosen cookie echoed in the ack.  Reply (after the
+    engine batch containing the frame's **last** tuple): ``("ack", seq,
+    base_position, count)`` where ``base_position`` is the global stream
+    position assigned to the frame's first tuple.  Per-connection FIFO
+    guarantees every match produced at positions ≤ ``base_position +
+    count - 1`` for this client's subscriptions is delivered *before* the
+    ack — the ack is a match barrier, which is how the differential tests
+    and the benchmark reconstruct the exact interleaved order.
+``("ping", token)``
+    Reply ``("pong", token, position)``; a flush barrier past everything
+    already enqueued for this client.
+
+Server → client
+---------------
+``("matches", handle_id, batch)``
+    ``batch`` is ``[(position, [Valuation, ...]), ...]`` — every match the
+    last engine batch produced for that handle, in stream order.
+``("error", reason)``
+    Protocol violation (malformed frame, unknown command, bad argument
+    shapes, oversized frame).  The server closes this connection after
+    sending it; other clients and the stream position are unaffected.
+
+Security note: frames are **pickle** — the server trusts its network, the
+same trust boundary as the sharding layer's worker pipes.  Malformed
+pickles are contained (``FrameProtocolError`` → error-close), but the
+protocol is not designed for hostile peers; bind to loopback or a private
+network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple as Tup
+
+from repro.cq.schema import Tuple
+from repro.runtime.frames import FrameProtocolError
+
+#: Protocol version spoken by this build (echoed in ``welcome``).
+PROTOCOL_VERSION = 1
+
+#: Commands a client may send.
+CLIENT_COMMANDS = frozenset({"hello", "subscribe", "unsubscribe", "ingest", "ping"})
+
+
+def validate_client_message(message: Any) -> Tup:
+    """Check shape and argument types of an inbound client message.
+
+    Returns the message when well-formed; raises
+    :class:`~repro.runtime.frames.FrameProtocolError` otherwise.  This is
+    the server's single admission gate — everything past it may assume the
+    documented shapes.
+    """
+    if not isinstance(message, tuple) or not message:
+        raise FrameProtocolError(f"message is not a command tuple: {message!r:.80}")
+    command = message[0]
+    if command not in CLIENT_COMMANDS:
+        raise FrameProtocolError(f"unknown command {command!r:.80}")
+    if command == "hello":
+        if len(message) != 2 or not isinstance(message[1], int):
+            raise FrameProtocolError("hello expects (hello, version:int)")
+    elif command == "subscribe":
+        if len(message) != 4:
+            raise FrameProtocolError("subscribe expects (subscribe, query, window, name)")
+        _, query, window, name = message
+        if query is not None and not isinstance(query, str):
+            raise FrameProtocolError("subscribe query must be a string or None")
+        if window is not None and (isinstance(window, bool) or not isinstance(window, int)):
+            raise FrameProtocolError("subscribe window must be an int or None")
+        if name is not None and not isinstance(name, str):
+            raise FrameProtocolError("subscribe name must be a string or None")
+    elif command == "unsubscribe":
+        if len(message) != 2 or isinstance(message[1], bool) or not isinstance(message[1], int):
+            raise FrameProtocolError("unsubscribe expects (unsubscribe, handle_id:int)")
+    elif command == "ingest":
+        if len(message) != 3:
+            raise FrameProtocolError("ingest expects (ingest, seq, tuples)")
+        _, seq, tuples = message
+        if isinstance(seq, bool) or not isinstance(seq, int):
+            raise FrameProtocolError("ingest seq must be an int")
+        if not isinstance(tuples, (list, tuple)) or not tuples:
+            raise FrameProtocolError("ingest tuples must be a non-empty list")
+        for item in tuples:
+            if not isinstance(item, Tuple):
+                raise FrameProtocolError(
+                    f"ingest items must be repro Tuple, got {type(item).__name__}"
+                )
+            if not isinstance(item.relation, str):
+                raise FrameProtocolError("ingest tuple relation must be a string")
+            try:
+                hash(item.values)
+            except TypeError as exc:
+                raise FrameProtocolError(
+                    f"ingest tuple values must be hashable: {exc}"
+                ) from exc
+    elif command == "ping":
+        if len(message) != 2:
+            raise FrameProtocolError("ping expects (ping, token)")
+    return message
+
+
+# ----------------------------------------------------------- reply builders
+def welcome(engine_kind: str) -> Tup:
+    return ("welcome", PROTOCOL_VERSION, engine_kind)
+
+
+def subscribed(handle_id: int, name: str, window: Optional[int]) -> Tup:
+    return ("subscribed", handle_id, name, window)
+
+
+def unsubscribed(handle_id: int) -> Tup:
+    return ("unsubscribed", handle_id)
+
+
+def refused(reason: str) -> Tup:
+    return ("refused", reason)
+
+
+def ack(seq: int, base_position: int, count: int) -> Tup:
+    return ("ack", seq, base_position, count)
+
+
+def pong(token: Any, position: int) -> Tup:
+    return ("pong", token, position)
+
+
+def error(reason: str) -> Tup:
+    return ("error", reason)

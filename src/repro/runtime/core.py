@@ -866,6 +866,18 @@ class RuntimeBackedEngine:
         state = getattr(self, "_adaptive", None)
         return state.info() if state is not None else None
 
+    def ingest_batch(self, tuples: Sequence[object]):
+        """The network front end's batch-drain hook.
+
+        Returns ``(base_position, outputs)`` where ``outputs`` is whatever
+        the engine's ``process_many`` produces and ``base_position`` is the
+        stream position assigned to ``tuples[0]`` — so a caller that did
+        not count tuples itself (the ingest server coalescing frames from
+        many connections) can stamp every output with its global position.
+        """
+        base = self._runtime.position + 1
+        return base, self.process_many(tuples)
+
     def attach_observer(self, observer) -> None:
         """Attach a :class:`repro.obs.Observer` (see its ``attach``)."""
         observer.attach(self)

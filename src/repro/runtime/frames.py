@@ -1,0 +1,230 @@
+"""The shared wire codec: length-prefixed pickled frames.
+
+Every message between two repro processes — a shard coordinator and its
+workers over a ``multiprocessing`` pipe, or a network client and the
+ingestion server over a TCP socket — is one **frame**::
+
+    +----------------+------------------------------------+
+    | length (4B !I) | pickle.dumps(message, HIGHEST)     |
+    +----------------+------------------------------------+
+
+The 4-byte big-endian length prefix covers the pickled body only.  Messages
+are plain tuples ``(command, *args)`` — no engine objects, no callables —
+so a frame is decodable by any process that imports :mod:`repro` (spawn
+start method included; nothing in a frame depends on inherited process
+state).  ``pickle.HIGHEST_PROTOCOL`` is pinned deliberately: protocol 5
+frames out-of-band-encode the large ``bytes``/``array`` payloads inside
+lane snapshots, and both ends of a pipe are by construction the same
+interpreter version.
+
+Two transports share this codec:
+
+* **Message-oriented pipes** (:class:`multiprocessing.connection.Connection`,
+  the ends of a ``multiprocessing.Pipe``).  The connection delivers whole
+  frames, so the length prefix is *verified* on receipt — a mismatch means
+  a torn or corrupted frame and raises :class:`FrameProtocolError` instead
+  of unpickling garbage.  :class:`FrameChannel` wraps this transport.
+* **Byte streams** (TCP sockets).  The stream delivers arbitrary chunks, so
+  the prefix is the *delimiter*: read 4 bytes, validate the length against
+  :data:`MAX_FRAME_BYTES` **before** allocating or reading the body
+  (:func:`frame_length`), then read exactly that many bytes and decode them
+  (:func:`decode_body`).  :class:`FrameAssembler` implements the
+  reassembly state machine for synchronous readers; asyncio readers use
+  ``readexactly`` with the same two helpers.
+
+:meth:`FrameChannel.send_raw`/:meth:`recv_raw` expose the encoded-bytes
+layer so a broadcast frame can be encoded **once** and the same bytes
+written to every peer — the coordinator's batch broadcast and the ingest
+server's match fan-out both depend on it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator, Optional, Tuple
+
+#: Frames are pickled with the highest protocol available — both pipe ends
+#: are the same interpreter, and protocol 5 keeps large snapshot buffers as
+#: single contiguous writes.
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+_LENGTH = struct.Struct("!I")
+
+#: Size in bytes of the frame length prefix.
+HEADER_SIZE = _LENGTH.size
+
+#: Maximum frame body accepted on receipt (a corrupted length prefix must
+#: not trigger a multi-gigabyte allocation).  1 GiB is far above any real
+#: frame — a full 1024-query engine snapshot measures in the tens of MB.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameProtocolError(RuntimeError):
+    """A frame failed to encode, frame, or decode."""
+
+
+class WorkerDied(RuntimeError):
+    """The peer end of a shard channel is gone (EOF / broken pipe)."""
+
+
+def encode_frame(message: Any) -> bytes:
+    """One length-prefixed pickled frame for ``message``."""
+    try:
+        body = pickle.dumps(message, protocol=PICKLE_PROTOCOL)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise FrameProtocolError(f"message is not picklable: {exc}") from exc
+    return _LENGTH.pack(len(body)) + body
+
+
+def frame_length(header: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Body length promised by a 4-byte ``header``, validated against the cap.
+
+    Stream transports call this before reading (or allocating) the body, so
+    a corrupted or hostile prefix is rejected without buffering anything.
+    """
+    if len(header) != HEADER_SIZE:
+        raise FrameProtocolError(
+            f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    (length,) = _LENGTH.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameProtocolError(f"frame of {length} bytes exceeds the cap")
+    return length
+
+
+def decode_body(body: bytes) -> Any:
+    """Unpickle a frame body whose length was already validated."""
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # unpickling raises a zoo of exception types
+        raise FrameProtocolError(f"frame body does not unpickle: {exc}") from exc
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode one whole frame, verifying the length prefix against the body."""
+    if len(frame) < HEADER_SIZE:
+        raise FrameProtocolError(
+            f"frame of {len(frame)} bytes is shorter than the length prefix"
+        )
+    (length,) = _LENGTH.unpack_from(frame)
+    body = len(frame) - HEADER_SIZE
+    if length != body:
+        raise FrameProtocolError(
+            f"frame length prefix says {length} bytes, body holds {body}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FrameProtocolError(f"frame of {length} bytes exceeds the cap")
+    return decode_body(frame[HEADER_SIZE:])
+
+
+class FrameAssembler:
+    """Reassemble frames from an arbitrary-chunked byte stream.
+
+    Feed whatever the socket returned; iterate the decoded messages that
+    completed.  The length prefix is validated as soon as its 4 bytes are
+    available — an oversized frame raises :class:`FrameProtocolError`
+    *before* its body is buffered, so a hostile peer cannot balloon the
+    reassembly buffer past ``max_frame_bytes`` plus one socket read.
+
+    Counts frames and bytes received, mirroring :class:`FrameChannel`.
+    """
+
+    __slots__ = ("_buffer", "_need", "max_frame_bytes", "frames_received", "bytes_received")
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._need: Optional[int] = None  # body length once the header parsed
+        self.max_frame_bytes = max_frame_bytes
+        self.frames_received = 0
+        self.bytes_received = 0
+
+    def feed(self, chunk: bytes) -> Iterator[Any]:
+        """Absorb ``chunk``; yield every message completed by it, in order."""
+        self.bytes_received += len(chunk)
+        self._buffer.extend(chunk)
+        while True:
+            if self._need is None:
+                if len(self._buffer) < HEADER_SIZE:
+                    return
+                self._need = frame_length(
+                    bytes(self._buffer[:HEADER_SIZE]), self.max_frame_bytes
+                )
+                del self._buffer[:HEADER_SIZE]
+            if len(self._buffer) < self._need:
+                return
+            body = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._need = None
+            self.frames_received += 1
+            yield decode_body(body)
+
+    def pending(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+
+class FrameChannel:
+    """Framed messaging over one ``multiprocessing`` pipe connection.
+
+    Counts frames and bytes in both directions (the coordinator surfaces
+    the totals through ``observe()`` / ``--stats``).
+    """
+
+    __slots__ = ("connection", "frames_sent", "frames_received", "bytes_sent", "bytes_received")
+
+    def __init__(self, connection) -> None:
+        self.connection = connection
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------- raw layer
+    def send_raw(self, frame: bytes) -> None:
+        """Write an already-encoded frame (broadcast path: encode once)."""
+        try:
+            self.connection.send_bytes(frame)
+        except (BrokenPipeError, ConnectionResetError, OSError, EOFError) as exc:
+            raise WorkerDied(f"peer is gone: {exc!r}") from exc
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+    def recv_raw(self) -> bytes:
+        """Block for the next frame's raw bytes (prefix not yet verified)."""
+        try:
+            frame = self.connection.recv_bytes()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise WorkerDied(f"peer is gone: {exc!r}") from exc
+        self.frames_received += 1
+        self.bytes_received += len(frame)
+        return frame
+
+    # --------------------------------------------------------- message layer
+    def send(self, message: Any) -> None:
+        self.send_raw(encode_frame(message))
+
+    def recv(self) -> Any:
+        return decode_frame(self.recv_raw())
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether a frame is ready (never blocks past ``timeout``)."""
+        try:
+            return self.connection.poll(timeout)
+        except (BrokenPipeError, ConnectionResetError, OSError, EOFError):
+            return False
+
+    def close(self) -> None:
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+    def counters(self) -> Tuple[int, int, int, int]:
+        return (self.frames_sent, self.frames_received, self.bytes_sent, self.bytes_received)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameChannel(sent={self.frames_sent}/{self.bytes_sent}B, "
+            f"received={self.frames_received}/{self.bytes_received}B)"
+        )

@@ -498,6 +498,12 @@ class ShardedEngine:
             self.checkpoint()
         return results
 
+    def ingest_batch(self, tuples: Sequence[Tuple]):
+        """The network front end's batch-drain hook (see
+        :meth:`repro.runtime.core.RuntimeBackedEngine.ingest_batch`)."""
+        base = self._position + 1
+        return base, self.process_many(tuples)
+
     # ------------------------------------------------- checkpoint / rebalance
     def checkpoint(self) -> None:
         """Snapshot every shard and truncate the recovery logs.

@@ -1,147 +1,38 @@
-"""The shard wire protocol: length-prefixed pickled frames.
+"""The shard wire protocol — a re-export of the shared frame codec.
 
-Every message between the coordinator and a worker is one **frame**::
-
-    +----------------+------------------------------------+
-    | length (4B !I) | pickle.dumps(message, HIGHEST)     |
-    +----------------+------------------------------------+
-
-The 4-byte big-endian length prefix covers the pickled body only.  Messages
-are plain tuples ``(command, *args)`` — no engine objects, no callables —
-so a frame is decodable by any process that imports :mod:`repro` (spawn
-start method included; nothing in a frame depends on inherited process
-state).  ``pickle.HIGHEST_PROTOCOL`` is pinned deliberately: protocol 5
-frames out-of-band-encode the large ``bytes``/``array`` payloads inside
-lane snapshots, and both ends of a pipe are by construction the same
-interpreter version.
-
-Transport is :class:`multiprocessing.connection.Connection` (the ends of a
-``multiprocessing.Pipe``).  Connections are message-oriented, so the length
-prefix is *verified* on receipt — a mismatch means a torn or corrupted
-frame and raises :class:`FrameProtocolError` instead of unpickling garbage.
-:meth:`FrameChannel.send_raw`/:meth:`recv_raw` expose the encoded-bytes
-layer so the coordinator can encode a broadcast frame **once** and write
-the same bytes to every worker, and so the worker loop can time
-decode+handle+encode as busy work while excluding the blocking wait.
+The length-prefixed pickled-frame codec started life here (PR 8, pipes
+between the coordinator and its workers) and moved to
+:mod:`repro.runtime.frames` when the network ingestion server needed the
+identical framing over TCP sockets.  This module remains the import path
+the sharding layer uses; everything below *is* the shared implementation.
 """
 
 from __future__ import annotations
 
-import pickle
-import struct
-from typing import Any, Tuple
+from repro.runtime.frames import (
+    HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    PICKLE_PROTOCOL,
+    FrameAssembler,
+    FrameChannel,
+    FrameProtocolError,
+    WorkerDied,
+    decode_body,
+    decode_frame,
+    encode_frame,
+    frame_length,
+)
 
-#: Frames are pickled with the highest protocol available — both pipe ends
-#: are the same interpreter, and protocol 5 keeps large snapshot buffers as
-#: single contiguous writes.
-PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
-
-_LENGTH = struct.Struct("!I")
-
-#: Maximum frame body accepted on receipt (a corrupted length prefix must
-#: not trigger a multi-gigabyte allocation).  1 GiB is far above any real
-#: frame — a full 1024-query engine snapshot measures in the tens of MB.
-MAX_FRAME_BYTES = 1 << 30
-
-
-class FrameProtocolError(RuntimeError):
-    """A frame failed to encode, frame, or decode."""
-
-
-class WorkerDied(RuntimeError):
-    """The peer end of a shard channel is gone (EOF / broken pipe)."""
-
-
-def encode_frame(message: Any) -> bytes:
-    """One length-prefixed pickled frame for ``message``."""
-    try:
-        body = pickle.dumps(message, protocol=PICKLE_PROTOCOL)
-    except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        raise FrameProtocolError(f"message is not picklable: {exc}") from exc
-    return _LENGTH.pack(len(body)) + body
-
-
-def decode_frame(frame: bytes) -> Any:
-    """Decode one frame, verifying the length prefix against the body."""
-    if len(frame) < _LENGTH.size:
-        raise FrameProtocolError(
-            f"frame of {len(frame)} bytes is shorter than the length prefix"
-        )
-    (length,) = _LENGTH.unpack_from(frame)
-    body = len(frame) - _LENGTH.size
-    if length != body:
-        raise FrameProtocolError(
-            f"frame length prefix says {length} bytes, body holds {body}"
-        )
-    if length > MAX_FRAME_BYTES:
-        raise FrameProtocolError(f"frame of {length} bytes exceeds the cap")
-    try:
-        return pickle.loads(frame[_LENGTH.size :])
-    except Exception as exc:  # unpickling raises a zoo of exception types
-        raise FrameProtocolError(f"frame body does not unpickle: {exc}") from exc
-
-
-class FrameChannel:
-    """Framed messaging over one ``multiprocessing`` pipe connection.
-
-    Counts frames and bytes in both directions (the coordinator surfaces
-    the totals through ``observe()`` / ``--stats``).
-    """
-
-    __slots__ = ("connection", "frames_sent", "frames_received", "bytes_sent", "bytes_received")
-
-    def __init__(self, connection) -> None:
-        self.connection = connection
-        self.frames_sent = 0
-        self.frames_received = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-
-    # ------------------------------------------------------------- raw layer
-    def send_raw(self, frame: bytes) -> None:
-        """Write an already-encoded frame (broadcast path: encode once)."""
-        try:
-            self.connection.send_bytes(frame)
-        except (BrokenPipeError, ConnectionResetError, OSError, EOFError) as exc:
-            raise WorkerDied(f"peer is gone: {exc!r}") from exc
-        self.frames_sent += 1
-        self.bytes_sent += len(frame)
-
-    def recv_raw(self) -> bytes:
-        """Block for the next frame's raw bytes (prefix not yet verified)."""
-        try:
-            frame = self.connection.recv_bytes()
-        except (EOFError, ConnectionResetError, BrokenPipeError, OSError) as exc:
-            raise WorkerDied(f"peer is gone: {exc!r}") from exc
-        self.frames_received += 1
-        self.bytes_received += len(frame)
-        return frame
-
-    # --------------------------------------------------------- message layer
-    def send(self, message: Any) -> None:
-        self.send_raw(encode_frame(message))
-
-    def recv(self) -> Any:
-        return decode_frame(self.recv_raw())
-
-    def poll(self, timeout: float = 0.0) -> bool:
-        """Whether a frame is ready (never blocks past ``timeout``)."""
-        try:
-            return self.connection.poll(timeout)
-        except (BrokenPipeError, ConnectionResetError, OSError, EOFError):
-            return False
-
-    def close(self) -> None:
-        try:
-            self.connection.close()
-        except OSError:
-            pass
-
-    def counters(self) -> Tuple[int, int, int, int]:
-        return (self.frames_sent, self.frames_received, self.bytes_sent, self.bytes_received)
-
-    def __repr__(self) -> str:
-        return (
-            f"FrameChannel(sent={self.frames_sent}/{self.bytes_sent}B, "
-            f"received={self.frames_received}/{self.bytes_received}B)"
-        )
+__all__ = [
+    "HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "PICKLE_PROTOCOL",
+    "FrameAssembler",
+    "FrameChannel",
+    "FrameProtocolError",
+    "WorkerDied",
+    "decode_body",
+    "decode_frame",
+    "encode_frame",
+    "frame_length",
+]

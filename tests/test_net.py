@@ -1,0 +1,783 @@
+"""The network ingestion layer (`repro.net`).
+
+Covers, per the serving contract:
+
+* the shared frame codec (`repro.runtime.frames`) — the shard layer's
+  import path re-exports it unchanged, and the byte-stream reassembler
+  rejects oversized prefixes *before* buffering a body;
+* differential serving — a server-fed engine is bit-identical to direct
+  `process_many` on the same interleaved tuple order, for the single,
+  multi and sharded backends, including mid-stream subscribe/unsubscribe
+  churn and clients disconnecting with unflushed subscriptions;
+* protocol robustness — truncated, oversized, garbage and malformed
+  frames close that client with a protocol-error reply and never kill the
+  server or desync other clients (hypothesis-fuzzed);
+* flow control — the ingest queue and per-subscriber outboxes stay at
+  their configured caps under pressure (hard bounds, not averages), with
+  shedding counted and the configured policy applied;
+* observability — the `repro_ingest_*` / `repro_net_*` series and `batch`
+  spans surface through the standard `Observer`, including `--metrics-file`
+  under the `serve` CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+import threading
+import time
+from hashlib import sha256
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import (
+    build_net_client_parser,
+    build_serve_parser,
+    main,
+    run_multi,
+    run_net_client,
+)
+from repro.core.evaluation import StreamingEvaluator
+from repro.cq.schema import Tuple
+from repro.multi import MultiQueryEngine, compile_query
+from repro.net import IngestClient, IngestServer, NetClientError, ServerThread, SingleEngineFeed
+from repro.net.protocol import validate_client_message
+from repro.runtime import frames as shared_frames
+from repro.runtime.frames import (
+    FrameAssembler,
+    FrameProtocolError,
+    HEADER_SIZE,
+    encode_frame,
+    frame_length,
+)
+from repro.shard import ShardedEngine
+from repro.shard import frames as shard_frames
+
+QUERY_A = "QA(x, y) <- T(x), S(x, y), R(x, y)"
+QUERY_B = "QB(x) <- T(x), R(x, 1)"
+WINDOW = 16
+
+
+def star_stream(length: int, seed: int = 11, domain: int = 5):
+    """A deterministic mixed T/S/R stream that produces matches."""
+    import random
+
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(length):
+        relation = rng.choice(("T", "S", "R"))
+        if relation == "T":
+            stream.append(Tuple("T", (rng.randrange(domain),)))
+        else:
+            stream.append(Tuple(relation, (rng.randrange(domain), rng.randrange(domain))))
+    return stream
+
+
+def output_digest(per_tuple_outputs, base: int = 0) -> str:
+    """The canonical digest the benchmarks use: position|qid|sorted(vals)."""
+    digest = sha256()
+    for offset, outputs in enumerate(per_tuple_outputs):
+        for qid in sorted(outputs):
+            valuations = outputs[qid]
+            if valuations:
+                digest.update(
+                    f"{base + offset}|{qid}|{sorted(map(str, valuations))}".encode()
+                )
+    return digest.hexdigest()
+
+
+def matches_digest(matches) -> str:
+    """Same digest computed from a client's ``{handle: [(pos, vals)]}``."""
+    flat = []
+    for qid, batches in matches.items():
+        for position, valuations in batches:
+            if valuations:
+                flat.append((position, qid, sorted(map(str, valuations))))
+    digest = sha256()
+    for position, qid, rendered in sorted(flat):
+        digest.update(f"{position}|{qid}|{rendered}".encode())
+    return digest.hexdigest()
+
+
+def direct_digest(queries, stream, window: int = WINDOW) -> str:
+    """Digest of a direct in-process MultiQueryEngine run over ``stream``."""
+    engine = MultiQueryEngine()
+    for query in queries:
+        engine.register(query, window)
+    return output_digest(engine.process_many(stream))
+
+
+# --------------------------------------------------------------------------
+class TestSharedCodec:
+    def test_shard_module_reexports_shared_codec(self):
+        assert shard_frames.encode_frame is shared_frames.encode_frame
+        assert shard_frames.decode_frame is shared_frames.decode_frame
+        assert shard_frames.FrameChannel is shared_frames.FrameChannel
+        assert shard_frames.MAX_FRAME_BYTES == shared_frames.MAX_FRAME_BYTES
+
+    def test_assembler_reassembles_odd_chunks(self):
+        messages = [("a", 1), ("b", list(range(50))), ("c", None)]
+        blob = b"".join(encode_frame(m) for m in messages)
+        for chunk_size in (1, 3, 7, len(blob)):
+            assembler = FrameAssembler()
+            decoded = []
+            for start in range(0, len(blob), chunk_size):
+                decoded.extend(assembler.feed(blob[start : start + chunk_size]))
+            assert decoded == messages
+            assert assembler.frames_received == len(messages)
+            assert assembler.bytes_received == len(blob)
+            assert assembler.pending() == 0
+
+    def test_assembler_rejects_oversize_before_buffering_body(self):
+        assembler = FrameAssembler(max_frame_bytes=64)
+        header = struct.pack("!I", 1 << 20)
+        with pytest.raises(FrameProtocolError, match="exceeds the cap"):
+            list(assembler.feed(header))
+        # Nothing of the claimed megabyte was buffered (just the header).
+        assert assembler.pending() <= HEADER_SIZE
+
+    def test_assembler_rejects_garbage_body(self):
+        frame = struct.pack("!I", 4) + b"\xde\xad\xbe\xef"
+        with pytest.raises(FrameProtocolError, match="does not unpickle"):
+            list(FrameAssembler().feed(frame))
+
+    def test_frame_length_validates_header_size(self):
+        with pytest.raises(FrameProtocolError):
+            frame_length(b"\x00")
+        assert frame_length(struct.pack("!I", 17)) == 17
+
+    def test_truncated_frame_stays_pending(self):
+        frame = encode_frame(("hello", 1))
+        assembler = FrameAssembler()
+        assert list(assembler.feed(frame[:-2])) == []
+        assert assembler.pending() == len(frame) - HEADER_SIZE - 2
+        assert list(assembler.feed(frame[-2:])) == [("hello", 1)]
+
+
+class TestProtocolValidation:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            "not a tuple",
+            (),
+            ("launch", 1),
+            ("subscribe", 7, 10, None),
+            ("subscribe", "Q(x) <- A(x)", "big", None),
+            ("subscribe", "Q(x) <- A(x)", 10, 4),
+            ("unsubscribe", "zero"),
+            ("unsubscribe", True),
+            ("ingest", "s", [Tuple("A", (1,))]),
+            ("ingest", 0, []),
+            ("ingest", 0, [("A", (1,))]),
+            ("ingest", 0, [Tuple("A", ([1, 2],))]),
+            ("ping",),
+            ("hello", "one"),
+        ],
+    )
+    def test_malformed_messages_rejected(self, message):
+        with pytest.raises(FrameProtocolError):
+            validate_client_message(message)
+
+    def test_wellformed_messages_pass(self):
+        validate_client_message(("hello", 1))
+        validate_client_message(("subscribe", QUERY_A, 10, "qa"))
+        validate_client_message(("subscribe", None, None, None))
+        validate_client_message(("unsubscribe", 3))
+        validate_client_message(("ingest", 0, [Tuple("A", (1, "x"))]))
+        validate_client_message(("ping", "token"))
+
+
+# --------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_subscribe_ingest_ack_matches(self):
+        stream = star_stream(200)
+        engine = MultiQueryEngine()
+        with ServerThread(engine) as st:
+            with IngestClient(st.host, st.port) as client:
+                version, kind = client.hello()
+                assert version == 1 and kind == "MultiQueryEngine"
+                handle_id, name, window = client.subscribe(QUERY_A, WINDOW, name="qa")
+                assert (handle_id, name, window) == (0, "qa", WINDOW)
+                seq = client.ingest(stream)
+                base, count = client.wait_ack(seq)
+                assert (base, count) == (0, len(stream))
+                assert client.ping() == len(stream) - 1
+                served = matches_digest(client.matches)
+        assert served == direct_digest([QUERY_A], stream)
+
+    def test_acks_reconstruct_interleaved_order(self):
+        stream = star_stream(100)
+        with ServerThread(MultiQueryEngine()) as st:
+            with IngestClient(st.host, st.port) as client:
+                client.subscribe(QUERY_A, WINDOW)
+                seqs = [client.ingest(stream[i : i + 7]) for i in range(0, 100, 7)]
+                acks = [client.wait_ack(seq) for seq in seqs]
+        # Frames were assigned contiguous, ordered position ranges.
+        expected_base = 0
+        for (base, count), start in zip(acks, range(0, 100, 7)):
+            assert base == expected_base
+            assert count == len(stream[start : start + 7])
+            expected_base += count
+
+    def test_shared_subscription_fans_out_to_both_clients(self):
+        stream = star_stream(150)
+        expected = direct_digest([QUERY_A], stream)
+        with ServerThread(MultiQueryEngine()) as st:
+            with IngestClient(st.host, st.port) as a, IngestClient(st.host, st.port) as b:
+                ha, _, _ = a.subscribe(QUERY_A, WINDOW)
+                hb, _, _ = b.subscribe(QUERY_A, WINDOW)
+                assert ha == hb  # deduped onto one engine handle
+                a.ingest_all(stream, frame_size=32)
+                b.ping()  # flush barrier: a's acks don't order b's matches
+                assert matches_digest(a.matches) == expected
+                assert matches_digest(b.matches) == expected
+            # Both subscribers gone: the engine handle was released.
+            time.sleep(0.2)
+            assert st.server.observe()["subscriptions"] == 0
+
+    def test_unsubscribe_stops_matches_and_releases_handle(self):
+        stream = star_stream(120)
+        with ServerThread(MultiQueryEngine()) as st:
+            with IngestClient(st.host, st.port) as client:
+                handle_id, _, _ = client.subscribe(QUERY_A, WINDOW)
+                client.ingest_all(stream[:60], frame_size=20)
+                first_half = dict(client.matches)
+                client.unsubscribe(handle_id)
+                client.ingest_all(stream[60:], frame_size=20)
+                client.ping()
+                assert client.matches == first_half  # nothing after unsubscribe
+        # Unknown-handle unsubscribe is refused, not fatal.
+        with ServerThread(MultiQueryEngine()) as st:
+            with IngestClient(st.host, st.port) as client:
+                with pytest.raises(NetClientError, match="refused"):
+                    client.unsubscribe(99)
+                client.subscribe(QUERY_A, WINDOW)  # connection still usable
+
+    def test_bad_query_refused_without_closing(self):
+        with ServerThread(MultiQueryEngine()) as st:
+            with IngestClient(st.host, st.port) as client:
+                with pytest.raises(NetClientError, match="refused"):
+                    client.subscribe("this is not a query", 10)
+                with pytest.raises(NetClientError, match="refused"):
+                    client.subscribe(QUERY_A, WINDOW)
+                    client.subscribe(QUERY_A, WINDOW)  # duplicate
+                assert client.ping() == -1  # still connected, nothing ingested
+
+
+# --------------------------------------------------------------------------
+ENGINE_KINDS = ("single", "multi", "sharded")
+
+
+def make_backend(kind: str):
+    """(feed, close) for each engine backend the server can drive."""
+    if kind == "single":
+        pcea = compile_query(QUERY_A)
+        return SingleEngineFeed(StreamingEvaluator(pcea, window=WINDOW)), lambda: None
+    if kind == "multi":
+        return MultiQueryEngine(), lambda: None
+    engine = ShardedEngine(2, start_method="inline")
+    return engine, engine.close
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("kind", ENGINE_KINDS)
+    def test_served_identical_to_direct(self, kind):
+        stream = star_stream(300)
+        engine, close = make_backend(kind)
+        try:
+            with ServerThread(engine, max_batch=64) as st:
+                with IngestClient(st.host, st.port) as client:
+                    if kind == "single":
+                        client.subscribe(None, None)
+                    else:
+                        client.subscribe(QUERY_A, WINDOW)
+                    client.ingest_all(stream, frame_size=17)
+                    served = matches_digest(client.matches)
+        finally:
+            close()
+        # Handle id 0 on every backend, so the digests are comparable.
+        assert served == direct_digest([QUERY_A], stream)
+
+    @pytest.mark.parametrize("kind", ("multi", "sharded"))
+    def test_mid_stream_subscription_churn(self, kind):
+        """Register/unregister mid-stream == the same churn done directly."""
+        stream = star_stream(240)
+        engine, close = make_backend(kind)
+        try:
+            with ServerThread(engine, max_batch=32) as st:
+                with IngestClient(st.host, st.port) as client:
+                    ha, _, _ = client.subscribe(QUERY_A, WINDOW)
+                    client.ingest_all(stream[:80], frame_size=16)
+                    hb, _, _ = client.subscribe(QUERY_B, WINDOW)
+                    client.ingest_all(stream[80:160], frame_size=16)
+                    client.unsubscribe(ha)
+                    client.ingest_all(stream[160:], frame_size=16)
+                    client.ping()
+                    served = matches_digest(client.matches)
+        finally:
+            close()
+        direct = MultiQueryEngine()
+        handle_a = direct.register(QUERY_A, WINDOW)
+        outputs = direct.process_many(stream[:80])
+        direct.register(QUERY_B, WINDOW)
+        outputs += direct.process_many(stream[80:160])
+        direct.unregister(handle_a)
+        # Matches for A delivered up to the unregister; B keeps flowing.
+        outputs += direct.process_many(stream[160:])
+        assert served == output_digest(outputs)
+
+    def test_concurrent_clients_reconstructed_order(self):
+        """8 concurrent ingest clients; acks rebuild the interleave exactly."""
+        num_clients, per_client = 8, 120
+        streams = [star_stream(per_client, seed=100 + i) for i in range(num_clients)]
+        engine = MultiQueryEngine()
+        with ServerThread(engine, max_batch=48) as st:
+            collector = IngestClient(st.host, st.port)
+            collector.subscribe(QUERY_A, WINDOW)
+            collector.subscribe(QUERY_B, WINDOW)
+            acks_per_client = [[] for _ in range(num_clients)]
+            errors = []
+
+            def pump(index: int) -> None:
+                try:
+                    with IngestClient(st.host, st.port) as client:
+                        seqs = [
+                            client.ingest(streams[index][start : start + 10])
+                            for start in range(0, per_client, 10)
+                        ]
+                        for frame_index, seq in enumerate(seqs):
+                            base, count = client.wait_ack(seq)
+                            acks_per_client[index].append((base, count, frame_index))
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=pump, args=(i,)) for i in range(num_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            # Every ingester acked ⇒ every match frame is already in the
+            # collector's outbox; ping flushes it through.
+            collector.ping()
+            served = matches_digest(collector.matches)
+            collector.close()
+
+        # Rebuild the global interleaved order from the acks.
+        total = num_clients * per_client
+        interleaved = [None] * total
+        for index, acks in enumerate(acks_per_client):
+            for base, count, frame_index in acks:
+                chunk = streams[index][frame_index * 10 : frame_index * 10 + count]
+                interleaved[base : base + count] = chunk
+        assert None not in interleaved
+        assert served == direct_digest([QUERY_A, QUERY_B], interleaved)
+
+    def test_disconnect_with_unflushed_subscription(self):
+        """A subscriber vanishing mid-stream never disturbs other clients."""
+        stream = star_stream(300)
+        engine = MultiQueryEngine()
+        with ServerThread(engine, max_batch=32) as st:
+            keeper = IngestClient(st.host, st.port)
+            keeper.subscribe(QUERY_A, WINDOW)
+            quitter = IngestClient(st.host, st.port)
+            quitter.subscribe(QUERY_B, WINDOW)
+            keeper.ingest_all(stream[:150], frame_size=25)
+            # Abrupt close: no unsubscribe, matches still queued server-side.
+            quitter.close()
+            keeper.ingest_all(stream[150:], frame_size=25)
+            keeper.ping()
+            served = matches_digest(keeper.matches)
+            deadline = time.time() + 5
+            while time.time() < deadline and st.server.observe()["subscriptions"] > 1:
+                time.sleep(0.05)
+            assert st.server.observe()["subscriptions"] == 1  # B was released
+        # Per-query outputs are independent, so the keeper's view equals a
+        # direct single-query run regardless of the churn timing.
+        assert served == direct_digest([QUERY_A], stream)
+
+
+# --------------------------------------------------------------------------
+class _RawConnection:
+    """A bare socket speaking raw bytes at the server (for malformed input)."""
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=10)
+
+    def send(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def expect_error_close(self) -> str:
+        """Read to EOF; assert exactly one ('error', reason) frame arrived."""
+        data = b""
+        try:
+            while True:
+                chunk = self.sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        except OSError:
+            pass
+        messages = list(FrameAssembler().feed(data))
+        assert len(messages) == 1 and messages[0][0] == "error", messages
+        return messages[0][1]
+
+    def closed_by_server(self) -> bool:
+        try:
+            self.sock.settimeout(5)
+            while True:
+                if not self.sock.recv(65536):
+                    return True
+        except OSError:
+            return False
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TestRobustness:
+    @pytest.fixture()
+    def server(self):
+        with ServerThread(MultiQueryEngine(), max_frame_bytes=1 << 16) as st:
+            yield st
+
+    def _assert_still_serving(self, st) -> None:
+        """The canary: a fresh client completes a full round trip.
+
+        The engine is stateful across canary calls (the fuzz test shares one
+        server), so this asserts the protocol round trip — subscribe, acked
+        ingest, position barrier — not a from-scratch digest; differential
+        correctness is covered on fresh servers above.
+        """
+        with IngestClient(st.host, st.port) as client:
+            client.subscribe(QUERY_A, WINDOW)
+            base, count = client.ingest_all(star_stream(30), frame_size=10)
+            assert count == 10
+            assert client.ping() == base + count - 1
+
+    def test_garbage_body_closes_with_error(self, server):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(struct.pack("!I", 8) + b"\x00" * 8)
+        assert "unpickle" in conn.expect_error_close()
+        conn.close()
+        self._assert_still_serving(server)
+
+    def test_oversized_prefix_closes_with_error(self, server):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(struct.pack("!I", (1 << 16) + 1))
+        assert "exceeds the cap" in conn.expect_error_close()
+        conn.close()
+        self._assert_still_serving(server)
+
+    def test_truncated_frame_then_eof(self, server):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(struct.pack("!I", 100) + b"only ten b")
+        conn.close()  # peer vanishes mid-frame
+        self._assert_still_serving(server)
+
+    def test_unknown_command_closes_with_error(self, server):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(encode_frame(("launch_missiles", 1, 2)))
+        assert "unknown command" in conn.expect_error_close()
+        conn.close()
+        self._assert_still_serving(server)
+
+    def test_non_tuple_message_closes_with_error(self, server):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(encode_frame({"command": "ingest"}))
+        assert "not a command tuple" in conn.expect_error_close()
+        conn.close()
+        self._assert_still_serving(server)
+
+    def test_malformed_peer_never_desyncs_others(self, server):
+        """A client's stream positions are unaffected by another's garbage."""
+        with IngestClient(server.host, server.port) as client:
+            client.subscribe(QUERY_A, WINDOW)
+            stream = star_stream(90)
+            seq = client.ingest(stream[:30])
+            base, _ = client.wait_ack(seq)
+            assert base == 0
+            conn = _RawConnection(server.host, server.port)
+            conn.send(b"\xff\xff\xff\xff")  # oversized prefix
+            conn.expect_error_close()
+            conn.close()
+            seq = client.ingest(stream[30:])
+            base, count = client.wait_ack(seq)
+            assert (base, count) == (30, 60)
+            assert matches_digest(client.matches) == direct_digest([QUERY_A], stream)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(blob=st.binary(min_size=1, max_size=512))
+    def test_fuzzed_bytes_never_kill_the_server(self, server, blob):
+        conn = _RawConnection(server.host, server.port)
+        conn.send(blob)
+        conn.close()
+        self._assert_still_serving(server)
+
+    def test_ingest_frame_bigger_than_queue_is_rejected(self):
+        with ServerThread(MultiQueryEngine(), max_queue=16) as st:
+            with IngestClient(st.host, st.port) as client:
+                client.ingest(star_stream(17))
+                with pytest.raises(NetClientError, match="queue bound"):
+                    client.ping()
+
+
+# --------------------------------------------------------------------------
+class _SlowFeed:
+    """Wrap an engine feed so every batch takes ``delay`` seconds — lets the
+    readers outrun the driver and push the ingest queue to its cap."""
+
+    def __init__(self, inner, delay: float):
+        self._inner = inner
+        self.delay = delay
+        self.batch_sizes = []
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def position(self):
+        return self._inner.position
+
+    def ingest_batch(self, tuples):
+        self.batch_sizes.append(len(tuples))
+        time.sleep(self.delay)
+        return self._inner.ingest_batch(tuples)
+
+
+class TestFlowControl:
+    def test_ingest_queue_holds_its_cap(self):
+        """Backpressure: the queue never exceeds max_queue, reaches it under
+        pressure, and not one tuple is lost while the socket is throttled."""
+        max_queue, frame_size, frames = 64, 16, 50
+        stream = star_stream(frame_size * frames)
+        engine = _SlowFeed(MultiQueryEngine(), delay=0.004)
+        with ServerThread(engine, max_batch=32, max_queue=max_queue) as st:
+            with IngestClient(st.host, st.port) as client:
+                client.subscribe(QUERY_A, WINDOW)
+                seqs = [
+                    client.ingest(stream[i * frame_size : (i + 1) * frame_size])
+                    for i in range(frames)
+                ]
+                acks = [client.wait_ack(seq) for seq in seqs]
+                served = matches_digest(client.matches)
+            time.sleep(0.1)
+            summary = st.server.observe()
+        # Hard bound held, and genuinely exercised.
+        assert summary["peak_queue_depth"] <= max_queue
+        assert summary["peak_queue_depth"] > max_queue - frame_size
+        # Nothing lost or reordered under throttling.
+        assert acks == [(i * frame_size, frame_size) for i in range(frames)]
+        assert served == direct_digest([QUERY_A], stream)
+
+    def _shedding_run(self, policy: str):
+        """One ingester + one subscriber that never reads its socket."""
+        max_outbox = 16
+        stream = [Tuple("A", (i % 3,)) for i in range(4000)]
+        engine = MultiQueryEngine()
+        st = ServerThread(
+            engine,
+            max_batch=4,
+            max_outbox=max_outbox,
+            shed_policy=policy,
+            sndbuf=4096,
+            write_buffer_limit=4096,
+        )
+        with st:
+            slow = IngestClient(st.host, st.port, rcvbuf=4096)
+            slow.subscribe("QS(x) <- A(x)", 4)
+            with IngestClient(st.host, st.port) as feeder:
+                feeder.ingest_all(stream, frame_size=4)
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                summary = st.server.observe()
+                # Wait for shedding to engage and the feeder's disconnect
+                # to be reaped, so ``clients`` counts only the laggard.
+                if summary["shed"] > 0 and summary["clients"] <= 1:
+                    break
+                time.sleep(0.05)
+            summary = st.server.observe()
+            yield st, slow, summary, max_outbox
+        slow.close()
+
+    def test_slow_subscriber_outbox_capped_and_shed_drop(self):
+        run = self._shedding_run("drop")
+        st, slow, summary, max_outbox = next(run)
+        assert summary["shed"] > 0
+        assert summary["peak_outbox"] <= max_outbox
+        # Drop policy: the connection survives the shedding.
+        assert summary["clients"] == 1
+        metrics = st.server.metrics.collect()
+        assert metrics["repro_net_shed_total"] == summary["shed"]
+        for _ in run:
+            pass
+
+    def test_slow_subscriber_disconnected_under_disconnect_policy(self):
+        run = self._shedding_run("disconnect")
+        st, slow, summary, max_outbox = next(run)
+        assert summary["shed"] > 0
+        assert summary["peak_outbox"] <= max_outbox
+        deadline = time.time() + 10
+        while time.time() < deadline and st.server.observe()["clients"] > 0:
+            time.sleep(0.05)
+        assert st.server.observe()["clients"] == 0  # the laggard was dropped
+        # The server still serves new clients after shedding one.
+        with IngestClient(st.host, st.port) as client:
+            client.subscribe(QUERY_A, WINDOW)
+            client.ingest_all(star_stream(30), frame_size=10)
+        for _ in run:
+            pass
+
+
+# --------------------------------------------------------------------------
+class TestObservability:
+    def test_net_series_and_batch_spans(self):
+        from repro.obs import Observer, TraceRecorder
+
+        observer = Observer(trace=TraceRecorder(sample_every=1), sample_every=1)
+        engine = MultiQueryEngine()
+        stream = star_stream(200)
+        with ServerThread(engine, max_batch=32, observer=observer) as st:
+            with IngestClient(st.host, st.port) as client:
+                client.subscribe(QUERY_A, WINDOW)
+                client.ingest_all(stream, frame_size=20)
+        series = observer.metrics.collect()
+        assert series["repro_ingest_tuples_total"] == len(stream)
+        assert series["repro_ingest_queue_depth"] == 0
+        assert series["repro_net_shed_total"] == 0
+        assert series["repro_net_clients"] == 0
+        assert series["repro_ingest_batch_tuples"]["count"] >= 1
+        assert series["repro_ingest_batch_tuples"]["sum"] == len(stream)
+        # Engine-side batch instrumentation fired through the same observer.
+        assert series["repro_batches_total"] >= 1
+        exposition = observer.metrics.to_prometheus()
+        assert "repro_ingest_tuples_total" in exposition
+        assert "repro_net_shed_total" in exposition
+        kinds = {span[0] for span in observer.trace.spans()}
+        assert "batch" in kinds
+
+    def test_coalescer_batches_bounded_by_max_batch(self):
+        from repro.obs import Observer
+
+        observer = Observer()
+        engine = _SlowFeed(MultiQueryEngine(), delay=0.002)
+        with ServerThread(engine, max_batch=16, observer=observer) as st:
+            with IngestClient(st.host, st.port) as client:
+                client.subscribe(QUERY_A, WINDOW)
+                seqs = [client.ingest(star_stream(8, seed=i)) for i in range(40)]
+                for seq in seqs:
+                    client.wait_ack(seq)
+        # The wrapper saw every actual engine batch: coalesced past the
+        # 8-tuple frames, never past max_batch.
+        assert engine.batch_sizes
+        assert max(engine.batch_sizes) <= 16
+        assert max(engine.batch_sizes) > 8  # frames really were coalesced
+        histogram = observer.metrics.histogram("repro_ingest_batch_tuples")
+        assert histogram.count == len(engine.batch_sizes)
+        assert histogram.sum == sum(engine.batch_sizes) == 40 * 8
+
+
+# --------------------------------------------------------------------------
+class TestServeCLI:
+    def _serve_and_run_client(self, tmp_path, serve_flags, client_flags, events_csv):
+        port_file = tmp_path / "port"
+        events = tmp_path / "events.csv"
+        events.write_text(events_csv)
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                [
+                    "serve",
+                    "--port",
+                    "0",
+                    "--port-file",
+                    str(port_file),
+                    "--exit-after-clients",
+                    "1",
+                    *serve_flags,
+                ]
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        deadline = time.time() + 30
+        while time.time() < deadline and not port_file.exists():
+            time.sleep(0.05)
+        port = int(port_file.read_text().strip())
+        buffer = io.StringIO()
+        args = build_net_client_parser().parse_args(
+            ["--port", str(port), str(events), *client_flags]
+        )
+        from repro.cli import read_events
+
+        code = run_net_client(args, read_events(events_csv.splitlines()), buffer)
+        thread.join(timeout=30)
+        assert result["code"] == 0
+        return code, buffer.getvalue()
+
+    def test_serve_client_diff_identical_to_multi_cli(self, tmp_path, capsys):
+        events_csv = "\n".join(
+            f"{t.relation},{','.join(map(str, t.values))}" for t in star_stream(200)
+        )
+        code, client_out = self._serve_and_run_client(
+            tmp_path,
+            [],
+            ["--query", QUERY_A, "--query", QUERY_B, "--window", str(WINDOW)],
+            events_csv,
+        )
+        capsys.readouterr()  # the serve thread's stdout, not under test here
+        assert code == 0
+        # Direct multi CLI over the same events.
+        from repro.cli import build_multi_parser, read_events
+
+        args = build_multi_parser().parse_args(
+            ["--query", QUERY_A, "--query", QUERY_B, "--window", str(WINDOW)]
+        )
+        direct = io.StringIO()
+        assert run_multi(args, read_events(events_csv.splitlines()), direct) == 0
+        served_lines = sorted(
+            line for line in client_out.splitlines() if not line.startswith("#")
+        )
+        direct_lines = sorted(
+            line for line in direct.getvalue().splitlines() if not line.startswith("#")
+        )
+        assert served_lines == direct_lines
+        assert served_lines  # the workload does produce matches
+
+    def test_metrics_file_under_serve(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.prom"
+        events_csv = "\n".join(
+            f"{t.relation},{','.join(map(str, t.values))}" for t in star_stream(60)
+        )
+        code, _ = self._serve_and_run_client(
+            tmp_path,
+            ["--metrics-file", str(metrics_file)],
+            ["--query", QUERY_A, "--window", str(WINDOW)],
+            events_csv,
+        )
+        capsys.readouterr()
+        assert code == 0
+        exposition = metrics_file.read_text()
+        assert "repro_ingest_tuples_total 60" in exposition
+        assert "repro_ingest_queue_depth" in exposition
+        assert "repro_net_shed_total" in exposition
+        assert "repro_batches_total" in exposition
+
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.port == 0 and args.max_batch == 512
+        assert args.shed_policy == "disconnect"
+        assert args.adaptive is True
